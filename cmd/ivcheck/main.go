@@ -1,0 +1,96 @@
+// Command ivcheck prints the nominal figures of merit and I-V curves of the
+// Virtual Source and golden 40-nm cards side by side — a quick sanity view
+// of the two model families the reproduction compares.
+//
+// Usage:
+//
+//	ivcheck [-w 1u] [-l 40n] [-vdd 0.9] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"math"
+
+	"vstat/internal/bsim"
+	"vstat/internal/device"
+	"vstat/internal/spice"
+	"vstat/internal/vsmodel"
+)
+
+type entry struct {
+	name string
+	d    device.Device
+}
+
+func main() {
+	wFlag := flag.String("w", "1u", "drawn width")
+	lFlag := flag.String("l", "40n", "drawn length")
+	vdd := flag.Float64("vdd", 0.9, "supply voltage")
+	sweep := flag.Bool("sweep", false, "print full Id-Vg and Id-Vd sweeps")
+	flag.Parse()
+
+	w, err := spice.ParseValue(*wFlag)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := spice.ParseValue(*lFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	nv := vsmodel.NMOS40(w).WithGeometry(w, l)
+	pv := vsmodel.PMOS40(w).WithGeometry(w, l)
+	nb := bsim.NMOS40(w).WithGeometry(w, l)
+	pb := bsim.PMOS40(w).WithGeometry(w, l)
+	devs := []entry{
+		{"VS-NMOS", &nv}, {"GOLD-NMOS", &nb},
+		{"VS-PMOS", &pv}, {"GOLD-PMOS", &pb},
+	}
+
+	um := w / 1e-6
+	fmt.Printf("W=%.3g m, L=%.3g m, Vdd=%.2f V\n", w, l, *vdd)
+	fmt.Printf("%-10s %12s %12s %12s %12s %12s\n",
+		"model", "Ion uA/um", "Ioff nA/um", "Ilin uA/um", "Cgg fF", "gm mS")
+	for _, m := range devs {
+		pol := m.d.Kind().Polarity()
+		ion := pol * m.d.Eval(pol**vdd, pol**vdd, 0, 0).Id
+		ioff := pol * m.d.Eval(pol**vdd, 0, 0, 0).Id
+		ilin := pol * m.d.Eval(pol*0.05, pol**vdd, 0, 0).Id
+		cgg := device.Cgg(m.d, 0, pol**vdd, 0, 0)
+		gm := math.Abs(device.Gm(m.d, pol**vdd, pol**vdd, 0, 0))
+		fmt.Printf("%-10s %12.1f %12.2f %12.1f %12.3f %12.3f\n",
+			m.name, ion*1e6/um, ioff*1e9/um, ilin*1e6/um, cgg*1e15, gm*1e3)
+	}
+
+	if !*sweep {
+		return
+	}
+	printSweep := func(title string, bias func(v float64, d device.Device, pol float64) float64) {
+		fmt.Printf("\n%s:\n%-8s", title, "V")
+		for _, m := range devs {
+			fmt.Printf(" %-12s", m.name)
+		}
+		fmt.Println()
+		for v := 0.0; v <= *vdd+1e-9; v += *vdd / 18 {
+			fmt.Printf("%-8.3f", v)
+			for _, m := range devs {
+				fmt.Printf(" %-12.4e", bias(v, m.d, m.d.Kind().Polarity()))
+			}
+			fmt.Println()
+		}
+	}
+	printSweep("Id-Vg at Vds=Vdd (A)", func(v float64, d device.Device, pol float64) float64 {
+		return pol * d.Eval(pol**vdd, pol*v, 0, 0).Id
+	})
+	printSweep("Id-Vd at Vg=Vdd (A)", func(v float64, d device.Device, pol float64) float64 {
+		return pol * d.Eval(pol*v, pol**vdd, 0, 0).Id
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ivcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command spicecli runs a SPICE-subset netlist with the built-in MNA engine
+// and the VS / golden compact models, printing operating points, DC sweeps
+// and transient waveforms as whitespace-separated tables.
+//
+// Usage:
+//
+//	spicecli deck.sp            # runs every analysis card in the deck
+//	spicecli -nodes out,q deck.sp
+//
+// Supported cards are documented on spice.ParseNetlist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+	"strings"
+
+	"vstat/internal/spice"
+)
+
+func main() {
+	nodesFlag := flag.String("nodes", "", "comma-separated node names to print (default: all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicecli [-nodes a,b] deck.sp")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	deck, err := spice.ParseNetlist(f)
+	if err != nil {
+		fatal(err)
+	}
+	if deck.Title != "" {
+		fmt.Printf("* %s\n", deck.Title)
+	}
+
+	var nodes []string
+	if *nodesFlag != "" {
+		nodes = strings.Split(*nodesFlag, ",")
+	} else {
+		for i := 0; i < deck.Circuit.NumNodes(); i++ {
+			nodes = append(nodes, deck.Circuit.NodeName(i))
+		}
+	}
+
+	if deck.OPRequested {
+		op, err := deck.Circuit.OP()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== operating point ==")
+		for _, n := range nodes {
+			fmt.Printf("V(%s) = %.6g V\n", n, op.VName(n))
+		}
+	}
+
+	for _, dc := range deck.DCCards {
+		src := deck.Circuit.VSourceIndex(dc.Source)
+		if src < 0 {
+			fatal(fmt.Errorf("unknown source %q in .dc", dc.Source))
+		}
+		var values []float64
+		for v := dc.Start; v <= dc.Stop+1e-15; v += dc.Step {
+			values = append(values, v)
+		}
+		ops, err := deck.Circuit.DCSweep(src, values)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== dc sweep %s ==\n%-12s", dc.Source, dc.Source)
+		for _, n := range nodes {
+			fmt.Printf(" %-12s", "V("+n+")")
+		}
+		fmt.Println()
+		for i, op := range ops {
+			fmt.Printf("%-12.6g", values[i])
+			for _, n := range nodes {
+				fmt.Printf(" %-12.6g", op.VName(n))
+			}
+			fmt.Println()
+		}
+	}
+
+	for _, ac := range deck.ACCards {
+		src := deck.Circuit.VSourceIndex(ac.Source)
+		if src < 0 {
+			fatal(fmt.Errorf("unknown source %q in .ac", ac.Source))
+		}
+		res, err := deck.Circuit.AC(src, spice.LogSpace(ac.FStart, ac.FStop, ac.Points))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== ac sweep %s ==\n%-14s", ac.Source, "freq")
+		for _, n := range nodes {
+			fmt.Printf(" %-12s %-12s", "dB("+n+")", "ph("+n+")")
+		}
+		fmt.Println()
+		for k, f := range res.Freqs {
+			fmt.Printf("%-14.6g", f)
+			for _, n := range nodes {
+				v := res.VName(n, k)
+				fmt.Printf(" %-12.4g %-12.4g", 20*math.Log10(cmplx.Abs(v)+1e-300), cmplx.Phase(v))
+			}
+			fmt.Println()
+		}
+	}
+
+	for _, tr := range deck.TranCards {
+		opts := spice.TranOpts{Stop: tr.Stop, Step: tr.Step, UIC: tr.UIC}
+		if tr.UIC && len(deck.ICs) > 0 {
+			opts.IC = map[int]float64{}
+			for name, v := range deck.ICs {
+				opts.IC[deck.Circuit.Node(name)] = v
+			}
+		}
+		res, err := deck.Circuit.Transient(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== transient ==\n%-14s", "t")
+		for _, n := range nodes {
+			fmt.Printf(" %-12s", "V("+n+")")
+		}
+		fmt.Println()
+		waves := make([][]float64, len(nodes))
+		for i, n := range nodes {
+			waves[i] = res.VName(n)
+		}
+		for k, tm := range res.Time {
+			fmt.Printf("%-14.6g", tm)
+			for i := range nodes {
+				fmt.Printf(" %-12.6g", waves[i][k])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spicecli:", err)
+	os.Exit(1)
+}

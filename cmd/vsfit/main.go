@@ -1,0 +1,84 @@
+// Command vsfit runs the nominal Virtual Source parameter extraction
+// against the golden 40-nm reference (the paper's Fig. 1 workflow) and
+// prints the fitted card, fit quality, and optionally the overlay curves.
+//
+// Usage:
+//
+//	vsfit [-kind nmos|pmos] [-w 300n] [-vdd 0.9] [-curves]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vstat/internal/bsim"
+	"vstat/internal/device"
+	"vstat/internal/extract"
+	"vstat/internal/spice"
+	"vstat/internal/vsmodel"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "nmos", "device polarity: nmos or pmos")
+	wFlag := flag.String("w", "300n", "drawn width")
+	vdd := flag.Float64("vdd", 0.9, "supply voltage")
+	curves := flag.Bool("curves", false, "print the Fig. 1 overlay curves")
+	flag.Parse()
+
+	var kind device.Kind
+	switch *kindFlag {
+	case "nmos":
+		kind = device.NMOS
+	case "pmos":
+		kind = device.PMOS
+	default:
+		fatal(fmt.Errorf("bad -kind %q", *kindFlag))
+	}
+	w, err := spice.ParseValue(*wFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	ref := bsim.Card(kind, w)
+	ds := extract.SampleDevice(&ref, *vdd)
+	fit, rep, err := extract.FitVS(vsmodel.Card(kind, w), ds)
+	if err != nil {
+		fatal(err)
+	}
+	ref44 := ref.WithGeometry(w, ref.Length()+4e-9)
+	if cal, err := extract.CalibrateLDelta(fit, &ref44, *vdd); err == nil {
+		fit = cal
+	}
+
+	fmt.Printf("fitted %s card (W=%s, Vdd=%.2f V):\n", *kindFlag, *wFlag, *vdd)
+	fmt.Printf("  VT0    = %.4f V\n", fit.VT0)
+	fmt.Printf("  delta0 = %.4f V/V (LDelta = %.3g nm)\n", fit.Delta0, fit.LDelta*1e9)
+	fmt.Printf("  n0     = %.3f\n", fit.N0)
+	fmt.Printf("  vxo    = %.4g cm/s\n", fit.Vxo/vsmodel.CmPerS)
+	fmt.Printf("  mu     = %.1f cm2/Vs\n", fit.Mu/vsmodel.Cm2PerVs)
+	fmt.Printf("  Rs0    = %.1f ohm*um\n", fit.Rs0*1e6)
+	fmt.Printf("  Cinv   = %.3f uF/cm2\n", fit.Cinv/vsmodel.MuFPerCm2)
+	fmt.Printf("  Cof    = %.3g fF/um\n", fit.Cof*1e9)
+	fmt.Printf("fit quality: RMS rel Id %.2f%%, sat point %.2f%%, subVt %.3f dec, Cgg %.2f%%\n",
+		100*rep.RMSRelId, 100*rep.MaxRelIdSat, rep.RMSLogIdSub, 100*rep.RMSRelCgg)
+
+	if *curves {
+		s := extract.Fig1(&ref, &fit, *vdd)
+		fmt.Printf("\nId-Vg at Vds=Vdd:\n%-8s %-12s %-12s\n", "Vg", "golden", "VS")
+		for i := range s.VgGrid {
+			fmt.Printf("%-8.3f %-12.4e %-12.4e\n", s.VgGrid[i], s.IdVgRef[i], s.IdVgFit[i])
+		}
+		for j, vg := range s.VgLevels {
+			fmt.Printf("\nId-Vd at Vg=%.2f:\n%-8s %-12s %-12s\n", vg, "Vd", "golden", "VS")
+			for i := range s.VdGrid {
+				fmt.Printf("%-8.3f %-12.4e %-12.4e\n", s.VdGrid[i], s.IdVdRef[j][i], s.IdVdFit[j][i])
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsfit:", err)
+	os.Exit(1)
+}

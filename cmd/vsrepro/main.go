@@ -1,0 +1,136 @@
+// Command vsrepro runs the paper-reproduction experiments: every table and
+// figure of "Statistical Modeling with the Virtual Source MOSFET Model"
+// (DATE 2013), printed as the rows/series the paper reports.
+//
+// Usage:
+//
+//	vsrepro [-exp all|table1|table2|table3|table4|fig1|...|eq1] [-scale 0.1] [-seed N] [-workers N]
+//
+// -scale rescales every Monte Carlo sample count relative to the paper's
+// (1.0 reproduces the paper's N; the default 0.2 keeps a laptop run short).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vstat/internal/cards"
+	"vstat/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1..table4, fig1..fig9, eq1, fig8hold, ext-*), 'all' (paper set) or 'ext' (extensions)")
+		scale   = flag.Float64("scale", 0.2, "Monte Carlo sample scale vs paper counts")
+		seed    = flag.Int64("seed", 20130318, "master random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		vdd     = flag.Float64("vdd", 0.9, "nominal supply voltage")
+		outCard = flag.String("o", "", "save the extracted statistical VS model card (JSON) to this path")
+		csvDir  = flag.String("csv", "", "also dump each figure's plot series as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Scale: *scale, Vdd: *vdd}
+	fmt.Printf("vsrepro: building extraction suite (scale=%g, seed=%d)\n", *scale, *seed)
+	t0 := time.Now()
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("suite ready in %s: fitted VS cards + BPV coefficients\n\n", time.Since(t0).Round(time.Millisecond))
+
+	if *outCard != "" {
+		comment := fmt.Sprintf("extracted by vsrepro seed=%d scale=%g vdd=%g", *seed, *scale, *vdd)
+		if err := cards.SaveStatVS(*outCard, suite.VS, comment); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("statistical VS model card written to %s\n\n", *outCard)
+	}
+
+	type runner struct {
+		id  string
+		ext bool // extension beyond the paper's figures; excluded from "all"
+		run func() (fmt.Stringer, error)
+	}
+	runners := []runner{
+		{"table1", false, func() (fmt.Stringer, error) { return suite.Table1(), nil }},
+		{"fig1", false, func() (fmt.Stringer, error) { return suite.Fig1(), nil }},
+		{"table2", false, func() (fmt.Stringer, error) { return suite.Table2(), nil }},
+		{"fig2", false, func() (fmt.Stringer, error) { r, err := suite.Fig2(); return r, err }},
+		{"fig3", false, func() (fmt.Stringer, error) { r, err := suite.Fig3(); return r, err }},
+		{"table3", false, func() (fmt.Stringer, error) { r, err := suite.Table3(); return r, err }},
+		{"fig4", false, func() (fmt.Stringer, error) { r, err := suite.Fig4(); return r, err }},
+		{"fig5", false, func() (fmt.Stringer, error) { r, err := suite.Fig5(); return r, err }},
+		{"fig6", false, func() (fmt.Stringer, error) { r, err := suite.Fig6(); return r, err }},
+		{"fig7", false, func() (fmt.Stringer, error) { r, err := suite.Fig7(); return r, err }},
+		{"fig8", false, func() (fmt.Stringer, error) { r, err := suite.Fig8(); return r, err }},
+		{"fig9", false, func() (fmt.Stringer, error) { r, err := suite.Fig9(); return r, err }},
+		{"table4", false, func() (fmt.Stringer, error) { r, err := suite.Table4(); return r, err }},
+		{"eq1", false, func() (fmt.Stringer, error) { r, err := suite.Eq1Demo(); return r, err }},
+		{"fig8hold", true, func() (fmt.Stringer, error) { r, err := suite.Fig8Hold(); return r, err }},
+		{"ext-corners", true, func() (fmt.Stringer, error) { r, err := suite.ExtCorners(); return r, err }},
+		{"ext-nconv", true, func() (fmt.Stringer, error) { r, err := suite.ExtNConv(); return r, err }},
+		{"ext-interdie", true, func() (fmt.Stringer, error) { r, err := suite.ExtInterdie(); return r, err }},
+		{"ext-sramac", true, func() (fmt.Stringer, error) { r, err := suite.ExtSRAMAC(); return r, err }},
+		{"ext-ring", true, func() (fmt.Stringer, error) { r, err := suite.ExtRing(); return r, err }},
+		{"ext-ssta", true, func() (fmt.Stringer, error) {
+			f7, err := suite.Fig7()
+			if err != nil {
+				return nil, err
+			}
+			r, err := suite.ExtSSTA(f7)
+			return r, err
+		}},
+		{"ext-yield", true, func() (fmt.Stringer, error) {
+			f6, err := suite.Fig6()
+			if err != nil {
+				return nil, err
+			}
+			return suite.ExtYield(f6), nil
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	found := false
+	for _, r := range runners {
+		switch want {
+		case "all":
+			if r.ext {
+				continue
+			}
+		case "ext":
+			if !r.ext {
+				continue
+			}
+		default:
+			if want != r.id {
+				continue
+			}
+		}
+		found = true
+		t := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.id, err))
+		}
+		fmt.Printf("==== %s (%s) ====\n%s\n", r.id, time.Since(t).Round(time.Millisecond), res)
+		if *csvDir != "" {
+			if cw, ok := res.(interface{ WriteCSV(string) error }); ok {
+				if err := cw.WriteCSV(*csvDir); err != nil {
+					fatal(fmt.Errorf("%s: csv: %w", r.id, err))
+				}
+			}
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+Golden-model common-source stage with resistive load
+VDD vdd 0 DC 0.9
+VIN in 0 DC 0.45
+MN out in 0 0 nmos_golden W=1u L=40n
+RL vdd out 5k
+.op
+.end

@@ -1,0 +1,9 @@
+VS inverter: transient switching at 0.9 V
+VDD vdd 0 DC 0.9
+VIN in 0 PULSE(0 0.9 20p 10p 10p 150p 400p)
+MP out in vdd vdd pmos W=600n L=40n
+MN out in 0 0 nmos W=300n L=40n
+CL out 0 1f
+.op
+.tran 1p 400p
+.end

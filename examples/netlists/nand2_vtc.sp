@@ -1,0 +1,10 @@
+NAND2 voltage transfer curve (input a swept, b high)
+VDD vdd 0 DC 0.9
+VA a 0 DC 0
+VB b 0 DC 0.9
+MPA out a vdd vdd pmos W=600n L=40n
+MPB out b vdd vdd pmos W=600n L=40n
+MNB out b mid 0 nmos W=300n L=40n
+MNA mid a 0 0 nmos W=300n L=40n
+.dc VA 0 0.9 0.0225
+.end

@@ -1,0 +1,6 @@
+RC low-pass: AC transfer (pole at ~159 kHz)
+VIN in 0 DC 0
+R1 in out 1k
+C1 out 0 1n
+.ac VIN 1k 100meg 17
+.end

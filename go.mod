@@ -1,0 +1,3 @@
+module vstat
+
+go 1.22

@@ -1,0 +1,87 @@
+package bpv
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/device"
+	"vstat/internal/variation"
+	"vstat/internal/vsmodel"
+)
+
+// Ablation (DESIGN.md §5): the α2=α3 constraint. On exact synthetic data
+// the unconstrained solve must agree with the constrained one; its value is
+// robustness, which the constrained solve provides on noisy data.
+func TestUnconstrainedMatchesOnExactData(t *testing.T) {
+	truth := variation.FromPaperUnits(2.3, 3.71, 3.71, 944, 0.29)
+	ex := &Extraction{Card: vsmodel.NMOS40(1e-6), Kind: device.NMOS, Vdd: 0.9, Alpha5: truth.A5}
+	var data []GeometryVariance
+	for _, g := range standardGeometries() {
+		s1, s2, s3 := ex.PredictSigmas(truth, g[0], g[1])
+		data = append(data, GeometryVariance{W: g[0], L: g[1], SigmaIdsat: s1, SigmaLogIoff: s2, SigmaCgg: s3})
+	}
+	got, err := ex.SolveJointUnconstrained(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2, g3, g4, _ := got.PaperUnits()
+	w1, w2, w3, w4, _ := truth.PaperUnits()
+	// α1 and α3 (the W term, well excited by the width sweep) recover
+	// tightly; α2 (the L term) is weakly excited — that ill-conditioning is
+	// exactly why the paper imposes α2=α3.
+	if math.Abs(g1-w1)/w1 > 0.05 {
+		t.Fatalf("α1 %g want %g", g1, w1)
+	}
+	if math.Abs(g3-w3)/w3 > 0.15 {
+		t.Fatalf("α3 %g want %g", g3, w3)
+	}
+	if math.Abs(g4-w4)/w4 > 0.25 {
+		t.Fatalf("α4 %g want %g", g4, w4)
+	}
+	// α2 may wander; record rather than assert tightly, but it must not
+	// explode past physical bounds.
+	if g2 < 0 || g2 > 4*w2 {
+		t.Fatalf("α2 %g diverged (truth %g)", g2, w2)
+	}
+}
+
+// Ablation: the vxo coupling of paper Eq. (5). Freezing it must weaken the
+// Idsat sensitivities to µ and L — the reason the paper does NOT treat vxo
+// as an independent statistical parameter.
+func TestVxoCouplingAblation(t *testing.T) {
+	card := vsmodel.NMOS40(1e-6)
+	frozen := card
+	frozen.AlphaVel = 0
+	frozen.GammaVel = -1 // makes MuVeloCoupling = (1-B)(1-0-1)+0 = 0
+	frozen.SDelta = 0
+
+	if c := frozen.MuVeloCoupling(); math.Abs(c) > 1e-12 {
+		t.Fatalf("frozen coupling = %g, want 0", c)
+	}
+
+	tg := Targets{Vdd: 0.9}
+	full := SensitivitiesAt(card, device.NMOS, 600e-9, 40e-9, tg)
+	froz := SensitivitiesAt(frozen, device.NMOS, 600e-9, 40e-9, tg)
+
+	// µ column: with coupling, Δµ also raises vxo, so |∂Idsat/∂µ| is larger.
+	if math.Abs(full.D[0][3]) <= math.Abs(froz.D[0][3]) {
+		t.Fatalf("µ sensitivity with coupling %g not above frozen %g",
+			full.D[0][3], froz.D[0][3])
+	}
+	// L column: with coupling, ΔL moves vxo through δ(L); magnitude grows.
+	if math.Abs(full.D[0][1]) <= math.Abs(froz.D[0][1]) {
+		t.Fatalf("L sensitivity with coupling %g not above frozen %g",
+			full.D[0][1], froz.D[0][1])
+	}
+	// The coupling contribution is first-order, not a rounding artifact.
+	if r := math.Abs(full.D[0][3]) / math.Abs(froz.D[0][3]); r < 1.2 {
+		t.Fatalf("coupling boost only %gx", r)
+	}
+}
+
+func TestUnconstrainedNoData(t *testing.T) {
+	ex := &Extraction{Card: vsmodel.NMOS40(1e-6), Kind: device.NMOS, Vdd: 0.9}
+	if _, err := ex.SolveJointUnconstrained(nil); err != ErrInsufficientData {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+}

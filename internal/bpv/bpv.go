@@ -1,0 +1,349 @@
+// Package bpv implements the Backward Propagation of Variance statistical
+// extraction of the paper (Sec. III, Eqs. (8)–(10)): measured variances of
+// the electrical targets e_i ∈ {Idsat, log10 Ioff, Cgg@Vdd} over several
+// transistor geometries are mapped onto the squared mismatch coefficients
+// α² of the independent VS statistical parameters through the sensitivity
+// matrix of the *nominal* VS model.
+//
+// Paper-faithful details implemented here:
+//
+//   - the e_i targets are chosen to stay Gaussian (Idsat, log10 of Ioff,
+//     Cgg at Vdd);
+//   - σ_Cinv (α5) is measured directly rather than extracted, because the
+//     thermally grown oxide is tightly controlled (σ < 0.5 %) and BPV tends
+//     to overestimate such parameters; its contribution is subtracted from
+//     the measured variances before the solve (the LHS of Eq. (10));
+//   - the LER constraint α2 = α3 (σL/σW = L/W) removes one unknown;
+//   - vxo is *not* an independent parameter: its variation enters through
+//     the Δµ and Δδ(Leff) couplings of Eq. (5), which the sensitivities
+//     pick up automatically because they are computed through the model's
+//     ApplyDeltas mapping;
+//   - the system is solved either per geometry (exact 3×3) or jointly over
+//     all geometries (stacked non-negative least squares), the comparison
+//     the paper reports in Fig. 2.
+package bpv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vstat/internal/device"
+	"vstat/internal/linalg"
+	"vstat/internal/variation"
+	"vstat/internal/vsmodel"
+)
+
+// Targets evaluates the three electrical extraction targets at supply Vdd.
+type Targets struct {
+	Vdd float64
+}
+
+// Eval returns Idsat (A), log10(Ioff/A) and Cgg (F) for the device, using
+// polarity-appropriate bias.
+func (t Targets) Eval(d device.Device) (idsat, log10Ioff, cgg float64) {
+	v := t.Vdd
+	switch d.Kind() {
+	case device.PMOS:
+		idsat = -d.Eval(0, 0, v, v).Id
+		ioff := -d.Eval(0, v, v, v).Id
+		log10Ioff = safeLog10(ioff)
+		cgg = device.Cgg(d, v, 0, v, v)
+	default:
+		idsat = d.Eval(v, v, 0, 0).Id
+		ioff := d.Eval(v, 0, 0, 0).Id
+		log10Ioff = safeLog10(ioff)
+		cgg = device.Cgg(d, 0, v, 0, 0)
+	}
+	return idsat, log10Ioff, cgg
+}
+
+// EvalVec returns the three targets as a slice in the canonical order
+// (Idsat, log10Ioff, Cgg).
+func (t Targets) EvalVec(d device.Device) []float64 {
+	a, b, c := t.Eval(d)
+	return []float64{a, b, c}
+}
+
+func safeLog10(x float64) float64 {
+	if x <= 0 {
+		return -30 // well below any physical off-current; keeps MC samples finite
+	}
+	return math.Log10(x)
+}
+
+// Sensitivities holds ∂e_i/∂p_j of the nominal VS model at one geometry,
+// with i ∈ {Idsat, log10Ioff, Cgg} and j ∈ {VT0, L, W, µ, Cinv} (SI units).
+type Sensitivities struct {
+	W, L float64
+	// D[i][j], rows: Idsat, log10Ioff, Cgg; cols: VT0, L, W, Mu, Cinv.
+	D [3][5]float64
+}
+
+// paramSteps are the central-difference steps for each VS statistical
+// parameter, chosen small against each parameter's scale but large against
+// solver noise.
+type paramSteps struct {
+	vt0, l, w, mu, cinv float64
+}
+
+func stepsFor(card vsmodel.Params) paramSteps {
+	return paramSteps{
+		vt0:  1e-3,            // 1 mV
+		l:    0.05e-9,         // 0.05 nm
+		w:    0.5e-9,          // 0.5 nm
+		mu:   0.005 * card.Mu, // 0.5 %
+		cinv: 0.005 * card.Cinv,
+	}
+}
+
+// SensitivitiesAt computes the FD sensitivity matrix of the nominal card at
+// geometry (w, l). The derivatives are taken through ApplyDeltas, so the
+// vxo responses to Δµ and ΔLeff (paper Eq. 5) are folded into the µ and L
+// columns, as the paper requires for the independence of the p_j.
+func SensitivitiesAt(card vsmodel.Params, k device.Kind, w, l float64, tg Targets) Sensitivities {
+	card.TypeK = k
+	base := card.WithGeometry(w, l)
+	st := stepsFor(base)
+	out := Sensitivities{W: w, L: l}
+
+	deltaFor := func(j int, h float64) device.Deltas {
+		var d device.Deltas
+		switch j {
+		case 0:
+			d.DVT0 = h
+		case 1:
+			d.DL = h
+		case 2:
+			d.DW = h
+		case 3:
+			d.DMu = h
+		case 4:
+			d.DCinv = h
+		}
+		return d
+	}
+	steps := []float64{st.vt0, st.l, st.w, st.mu, st.cinv}
+	for j := 0; j < 5; j++ {
+		h := steps[j]
+		pp := base.ApplyDeltas(deltaFor(j, h))
+		pm := base.ApplyDeltas(deltaFor(j, -h))
+		ep := tg.EvalVec(&pp)
+		em := tg.EvalVec(&pm)
+		for i := 0; i < 3; i++ {
+			out.D[i][j] = (ep[i] - em[i]) / (2 * h)
+		}
+	}
+	return out
+}
+
+// GeometryVariance is one row of measured (Monte Carlo or silicon)
+// statistics: the standard deviations of the three targets at a geometry.
+type GeometryVariance struct {
+	W, L                               float64
+	SigmaIdsat, SigmaLogIoff, SigmaCgg float64
+}
+
+// Extraction configures a BPV run.
+type Extraction struct {
+	Card   vsmodel.Params // nominal VS card (geometry retargeted internally)
+	Kind   device.Kind
+	Vdd    float64
+	Alpha5 float64 // directly measured σ_Cinv coefficient (SI, m·F/m²)
+}
+
+// ErrInsufficientData is returned when no geometry rows are supplied.
+var ErrInsufficientData = errors.New("bpv: no geometry variance data")
+
+// lhsAndRows builds, for one geometry, the Cinv-corrected LHS (Eq. 10 left
+// side) and the coefficient rows over the unknowns [α1², α2²(=α3²), α4²].
+func (e *Extraction) lhsAndRows(g GeometryVariance) (lhs [3]float64, rows [3][3]float64) {
+	s := SensitivitiesAt(e.Card, e.Kind, g.W, g.L, Targets{Vdd: e.Vdd})
+	sigmaCinv := e.Alpha5 / math.Sqrt(g.W*g.L)
+	meas := [3]float64{g.SigmaIdsat, g.SigmaLogIoff, g.SigmaCgg}
+	wl := g.W * g.L
+	fL := g.L / g.W
+	fW := g.W / g.L
+	for i := 0; i < 3; i++ {
+		lhs[i] = meas[i]*meas[i] - s.D[i][4]*s.D[i][4]*sigmaCinv*sigmaCinv
+		if lhs[i] < 0 {
+			lhs[i] = 0 // Cinv correction cannot exceed the measured variance
+		}
+		rows[i] = [3]float64{
+			s.D[i][0] * s.D[i][0] / wl,
+			s.D[i][1]*s.D[i][1]*fL + s.D[i][2]*s.D[i][2]*fW, // α2=α3 merge
+			s.D[i][3] * s.D[i][3] / wl,
+		}
+	}
+	return lhs, rows
+}
+
+// scaleColumns normalizes each column of the stacked system to unit norm to
+// balance the wildly different magnitudes of V², m² and (m²/Vs)² entries;
+// the solution is rescaled afterwards.
+func scaleColumns(a *linalg.Matrix) []float64 {
+	scales := make([]float64, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		s := 0.0
+		for i := 0; i < a.Rows; i++ {
+			s += a.At(i, j) * a.At(i, j)
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			s = 1
+		}
+		scales[j] = s
+		for i := 0; i < a.Rows; i++ {
+			a.Set(i, j, a.At(i, j)/s)
+		}
+	}
+	return scales
+}
+
+// solve runs NNLS on the stacked system and converts α² to Alphas.
+func (e *Extraction) solve(lhs []float64, rows [][3]float64) (variation.Alphas, error) {
+	m := len(rows)
+	a := linalg.NewMatrix(m, 3)
+	for i, r := range rows {
+		a.Set(i, 0, r[0])
+		a.Set(i, 1, r[1])
+		a.Set(i, 2, r[2])
+	}
+	// Row scaling: normalize each equation by its LHS magnitude so Idsat
+	// (A²) and log10Ioff (dimensionless) rows weigh comparably.
+	for i := 0; i < m; i++ {
+		s := lhs[i]
+		if s <= 0 {
+			s = a.Row(i)[0] + a.Row(i)[1] + a.Row(i)[2]
+			if s == 0 {
+				s = 1
+			}
+		}
+		inv := 1 / s
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, a.At(i, j)*inv)
+		}
+		lhs[i] *= inv
+	}
+	colScale := scaleColumns(a)
+	x, err := linalg.NNLS(a, lhs)
+	if err != nil {
+		return variation.Alphas{}, fmt.Errorf("bpv: NNLS: %w", err)
+	}
+	for j := range x {
+		x[j] /= colScale[j]
+	}
+	al := variation.Alphas{
+		A1: math.Sqrt(math.Max(x[0], 0)),
+		A2: math.Sqrt(math.Max(x[1], 0)),
+		A4: math.Sqrt(math.Max(x[2], 0)),
+		A5: e.Alpha5,
+	}
+	al.A3 = al.A2
+	return al, nil
+}
+
+// SolveJoint stacks all geometries and solves the constrained system by
+// non-negative least squares — the "solved together" mode the paper
+// recommends for consistent, scalable coefficients.
+func (e *Extraction) SolveJoint(data []GeometryVariance) (variation.Alphas, error) {
+	if len(data) == 0 {
+		return variation.Alphas{}, ErrInsufficientData
+	}
+	var lhs []float64
+	var rows [][3]float64
+	for _, g := range data {
+		l, r := e.lhsAndRows(g)
+		for i := 0; i < 3; i++ {
+			lhs = append(lhs, l[i])
+			rows = append(rows, r[i])
+		}
+	}
+	return e.solve(lhs, rows)
+}
+
+// SolveJointUnconstrained drops the α2=α3 LER constraint and solves for
+// four independent coefficients. This is the ablation of the paper's
+// σL/σW = L/W assumption: with W-dominated geometries the L column is
+// poorly excited and the split becomes ill-conditioned, which is why the
+// paper ties the two.
+func (e *Extraction) SolveJointUnconstrained(data []GeometryVariance) (variation.Alphas, error) {
+	if len(data) == 0 {
+		return variation.Alphas{}, ErrInsufficientData
+	}
+	m := 3 * len(data)
+	a := linalg.NewMatrix(m, 4)
+	lhs := make([]float64, 0, m)
+	row := 0
+	for _, g := range data {
+		s := SensitivitiesAt(e.Card, e.Kind, g.W, g.L, Targets{Vdd: e.Vdd})
+		sigmaCinv := e.Alpha5 / math.Sqrt(g.W*g.L)
+		meas := [3]float64{g.SigmaIdsat, g.SigmaLogIoff, g.SigmaCgg}
+		wl := g.W * g.L
+		for i := 0; i < 3; i++ {
+			l := meas[i]*meas[i] - s.D[i][4]*s.D[i][4]*sigmaCinv*sigmaCinv
+			if l < 0 {
+				l = 0
+			}
+			a.Set(row, 0, s.D[i][0]*s.D[i][0]/wl)
+			a.Set(row, 1, s.D[i][1]*s.D[i][1]*g.L/g.W)
+			a.Set(row, 2, s.D[i][2]*s.D[i][2]*g.W/g.L)
+			a.Set(row, 3, s.D[i][3]*s.D[i][3]/wl)
+			// Row scaling as in solve().
+			sc := l
+			if sc <= 0 {
+				sc = a.Row(row)[0] + a.Row(row)[1] + a.Row(row)[2] + a.Row(row)[3]
+				if sc == 0 {
+					sc = 1
+				}
+			}
+			inv := 1 / sc
+			for j := 0; j < 4; j++ {
+				a.Set(row, j, a.At(row, j)*inv)
+			}
+			lhs = append(lhs, l*inv)
+			row++
+		}
+	}
+	colScale := scaleColumns(a)
+	x, err := linalg.NNLS(a, lhs)
+	if err != nil {
+		return variation.Alphas{}, fmt.Errorf("bpv: NNLS: %w", err)
+	}
+	for j := range x {
+		x[j] /= colScale[j]
+	}
+	return variation.Alphas{
+		A1: math.Sqrt(math.Max(x[0], 0)),
+		A2: math.Sqrt(math.Max(x[1], 0)),
+		A3: math.Sqrt(math.Max(x[2], 0)),
+		A4: math.Sqrt(math.Max(x[3], 0)),
+		A5: e.Alpha5,
+	}, nil
+}
+
+// SolveIndividual solves the 3×3 system of a single geometry — the
+// "solved separately" mode of paper Fig. 2.
+func (e *Extraction) SolveIndividual(g GeometryVariance) (variation.Alphas, error) {
+	l, r := e.lhsAndRows(g)
+	return e.solve(l[:], [][3]float64{r[0], r[1], r[2]})
+}
+
+// PredictSigmas forward-propagates a coefficient set through the nominal
+// sensitivities at one geometry, returning the predicted σ of the three
+// targets (the consistency check behind paper Fig. 3 and Table III).
+func (e *Extraction) PredictSigmas(al variation.Alphas, w, l float64) (sIdsat, sLogIoff, sCgg float64) {
+	s := SensitivitiesAt(e.Card, e.Kind, w, l, Targets{Vdd: e.Vdd})
+	sg := al.Sigmas(w, l)
+	sig := [5]float64{sg.VT0, sg.L, sg.W, sg.Mu, sg.Cinv}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		v := 0.0
+		for j := 0; j < 5; j++ {
+			t := s.D[i][j] * sig[j]
+			v += t * t
+		}
+		out[i] = math.Sqrt(v)
+	}
+	return out[0], out[1], out[2]
+}

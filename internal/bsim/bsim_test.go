@@ -1,0 +1,175 @@
+package bsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vstat/internal/device"
+	"vstat/internal/vsmodel"
+)
+
+const (
+	wTest = 1e-6
+	vdd   = 0.9
+)
+
+func TestGoldenOperatingWindow(t *testing.T) {
+	n := NMOS40(wTest)
+	ion := n.Eval(vdd, vdd, 0, 0).Id
+	ioff := n.Eval(vdd, 0, 0, 0).Id
+	if ion < 550e-6 || ion > 950e-6 {
+		t.Fatalf("golden NMOS Ion = %g µA/µm outside window", ion*1e6)
+	}
+	if ioff < 5e-9 || ioff > 150e-9 {
+		t.Fatalf("golden NMOS Ioff = %g nA/µm outside window", ioff*1e9)
+	}
+	p := PMOS40(wTest)
+	ionP := -p.Eval(0, 0, vdd, vdd).Id
+	if r := ionP / ion; r < 0.4 || r > 0.85 {
+		t.Fatalf("golden P/N ratio %g", r)
+	}
+}
+
+func TestGoldenZeroVds(t *testing.T) {
+	n := NMOS40(wTest)
+	if id := n.Eval(0, vdd, 0, 0).Id; id != 0 {
+		t.Fatalf("Id(Vds=0) = %g", id)
+	}
+}
+
+func TestGoldenMonotone(t *testing.T) {
+	n := NMOS40(wTest)
+	prev := -1.0
+	for vg := 0.0; vg <= 0.9; vg += 0.01 {
+		id := n.Eval(vdd, vg, 0, 0).Id
+		if id < prev {
+			t.Fatalf("not monotone in Vgs at %g", vg)
+		}
+		prev = id
+	}
+	prev = -1
+	for vd := 0.0; vd <= 0.9; vd += 0.005 {
+		id := n.Eval(vd, vdd, 0, 0).Id
+		if id < prev {
+			t.Fatalf("not monotone in Vds at %g: %g < %g", vd, id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestGoldenSubthresholdSwing(t *testing.T) {
+	n := NMOS40(wTest)
+	i1 := n.Eval(vdd, 0.05, 0, 0).Id
+	i2 := n.Eval(vdd, 0.15, 0, 0).Id
+	ss := 0.1 / math.Log10(i2/i1) * 1e3
+	if ss < 70 || ss > 120 {
+		t.Fatalf("golden SS = %g mV/dec unphysical", ss)
+	}
+}
+
+func TestGoldenDIBL(t *testing.T) {
+	n := NMOS40(wTest)
+	if n.Eval(vdd, 0, 0, 0).Id <= n.Eval(0.1, 0, 0, 0).Id {
+		t.Fatal("golden DIBL missing")
+	}
+	if n.Eta(30*vsmodel.Nm) <= n.Eta(40*vsmodel.Nm) {
+		t.Fatal("golden DIBL must grow toward short channels")
+	}
+}
+
+func TestGoldenSwapAndMirror(t *testing.T) {
+	n := NMOS40(wTest)
+	a := n.Eval(0.9, 0.6, 0, 0).Id
+	b := n.Eval(0, 0.6, 0.9, 0).Id
+	if math.Abs(a+b) > 1e-12*(1+math.Abs(a)) {
+		t.Fatalf("swap antisymmetry: %g vs %g", a, b)
+	}
+	p := n
+	p.TypeK = device.PMOS
+	ep := p.Eval(-0.9, -0.6, 0, 0).Id
+	if math.Abs(a+ep) > 1e-12*(1+math.Abs(a)) {
+		t.Fatalf("polarity mirror: %g vs %g", a, ep)
+	}
+}
+
+func TestGoldenChargeNeutralityAndFiniteness(t *testing.T) {
+	n := NMOS40(wTest)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		vd, vg, vs := rng.Float64()*1.1, rng.Float64()*1.1, rng.Float64()*1.1
+		e := n.Eval(vd, vg, vs, 0)
+		if math.Abs(e.Q.Sum()) > 1e-22 {
+			t.Fatalf("charge sum %g", e.Q.Sum())
+		}
+		if math.IsNaN(e.Id) || math.IsNaN(e.Q.Qg) {
+			t.Fatalf("NaN at (%g,%g,%g)", vd, vg, vs)
+		}
+	}
+}
+
+func TestGoldenBodyEffect(t *testing.T) {
+	n := NMOS40(wTest)
+	if n.Eval(vdd, 0.4, 0, -0.5).Id >= n.Eval(vdd, 0.4, 0, 0).Id {
+		t.Fatal("reverse body bias must cut current")
+	}
+}
+
+func TestGoldenWithDeltas(t *testing.T) {
+	n := NMOS40(wTest)
+	d := n.WithDeltas(device.Deltas{DVT0: 0.03}).(*Params)
+	if d.Vth0 != n.Vth0+0.03 {
+		t.Fatal("DVT0 mapping")
+	}
+	if d.Eval(vdd, 0, 0, 0).Id >= n.Eval(vdd, 0, 0, 0).Id {
+		t.Fatal("higher Vth0 must cut Ioff")
+	}
+	dl := n.WithDeltas(device.Deltas{DL: 2 * vsmodel.Nm}).(*Params)
+	if dl.Leff() != n.Leff()+2*vsmodel.Nm {
+		t.Fatal("DL mapping")
+	}
+	dm := n.WithDeltas(device.Deltas{DMu: 0.1 * n.U0}).(*Params)
+	if dm.Eval(vdd, vdd, 0, 0).Id <= n.Eval(vdd, vdd, 0, 0).Id {
+		t.Fatal("higher mobility must raise Ion")
+	}
+	dc := n.WithDeltas(device.Deltas{DCinv: 0.05 * n.Cox}).(*Params)
+	if device.Cgg(dc, 0, vdd, 0, 0) <= device.Cgg(&n, 0, vdd, 0, 0) {
+		t.Fatal("higher Cox must raise Cgg")
+	}
+	// Nominal card untouched.
+	if n.Vth0 != 0.36 {
+		t.Fatal("WithDeltas mutated nominal")
+	}
+}
+
+func TestGoldenVsVSModelShapeAgreement(t *testing.T) {
+	// The two models are different equations but must describe the same
+	// kind of transistor: currents within a factor 2 across the sweep above
+	// threshold.
+	nv := vsmodel.NMOS40(wTest)
+	nb := NMOS40(wTest)
+	for vg := 0.4; vg <= 0.9; vg += 0.1 {
+		iv := nv.Eval(vdd, vg, 0, 0).Id
+		ib := nb.Eval(vdd, vg, 0, 0).Id
+		if r := iv / ib; r < 0.5 || r > 2 {
+			t.Fatalf("models diverge at Vg=%g: VS=%g golden=%g", vg, iv, ib)
+		}
+	}
+}
+
+func TestGoldenAccessors(t *testing.T) {
+	n := NMOS40(wTest)
+	if n.Kind() != device.NMOS || n.Width() != wTest || n.Length() != 40*vsmodel.Nm {
+		t.Fatal("accessors")
+	}
+	if n.Leff() != 35*vsmodel.Nm || n.Weff() != wTest {
+		t.Fatal("effective geometry")
+	}
+	g := n.WithGeometry(3e-6, 50*vsmodel.Nm)
+	if g.W != 3e-6 || g.L != 50*vsmodel.Nm || g.Vth0 != n.Vth0 {
+		t.Fatal("WithGeometry")
+	}
+	if Card(device.PMOS, wTest).TypeK != device.PMOS {
+		t.Fatal("Card polarity")
+	}
+}

@@ -1,0 +1,90 @@
+package bsim
+
+import (
+	"vstat/internal/device"
+	"vstat/internal/vsmodel"
+)
+
+// Golden 40-nm-class cards. These play the role of the industrial design
+// kit: all "measured" device statistics in the reproduction are Monte Carlo
+// runs of this model with the truth mismatch coefficients defined in
+// internal/variation.
+
+// NMOS40 returns the golden NMOS card at drawn width w (meters).
+func NMOS40(w float64) Params {
+	return Params{
+		TypeK: device.NMOS,
+		W:     w,
+		L:     40 * vsmodel.Nm,
+		DLint: 5 * vsmodel.Nm,
+		DWint: 0,
+
+		Vth0:   0.36,
+		GammaB: 0.25,
+		PhiS:   0.9,
+
+		Eta0:    0.11,
+		LEta:    20 * vsmodel.Nm,
+		DVTRoll: 0.18,
+		LRoll:   22 * vsmodel.Nm,
+		LRef:    35 * vsmodel.Nm,
+
+		U0:     330 * vsmodel.Cm2PerVs,
+		Theta:  1.3,
+		Theta2: 0.25,
+		Vsat:   1.15e5,
+		LvSat:  70 * vsmodel.Nm,
+		NFac:   1.38,
+		Lambda: 0.25,
+		Rdsw:   95e-6,
+
+		Cox: 1.72 * vsmodel.MuFPerCm2,
+		Cov: 0.16e-9,
+
+		PhiT: vsmodel.PhiT300,
+	}
+}
+
+// PMOS40 returns the golden PMOS card at drawn width w (meters), in
+// n-equivalent parameter space.
+func PMOS40(w float64) Params {
+	return Params{
+		TypeK: device.PMOS,
+		W:     w,
+		L:     40 * vsmodel.Nm,
+		DLint: 5 * vsmodel.Nm,
+		DWint: 0,
+
+		Vth0:   0.36,
+		GammaB: 0.25,
+		PhiS:   0.9,
+
+		Eta0:    0.12,
+		LEta:    20 * vsmodel.Nm,
+		DVTRoll: 0.17,
+		LRoll:   22 * vsmodel.Nm,
+		LRef:    35 * vsmodel.Nm,
+
+		U0:     105 * vsmodel.Cm2PerVs,
+		Theta:  1.1,
+		Theta2: 0.2,
+		Vsat:   0.9e5,
+		LvSat:  70 * vsmodel.Nm,
+		NFac:   1.42,
+		Lambda: 0.28,
+		Rdsw:   120e-6,
+
+		Cox: 1.7 * vsmodel.MuFPerCm2,
+		Cov: 0.16e-9,
+
+		PhiT: vsmodel.PhiT300,
+	}
+}
+
+// Card returns the golden card for the given polarity and drawn width.
+func Card(k device.Kind, w float64) Params {
+	if k == device.PMOS {
+		return PMOS40(w)
+	}
+	return NMOS40(w)
+}

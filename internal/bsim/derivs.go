@@ -1,0 +1,158 @@
+package bsim
+
+import (
+	"math"
+
+	"vstat/internal/device"
+)
+
+// EvalDerivs4 implements device.NativeDerivs for the golden model: the
+// closed-form equations of evalN are re-evaluated over forward-mode dual
+// numbers, producing exact current and charge derivatives in a single pass.
+func (p *Params) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
+	pol := p.TypeK.Polarity()
+	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
+	swap := false
+	if nvd < nvs {
+		nvd, nvs = nvs, nvd
+		swap = true
+	}
+	id, q, gid3, cq3 := p.evalND(nvg-nvs, nvd-nvs, nvb-nvs)
+
+	// Map (vgs, vds, vbs)-space gradients onto terminals D, G, S, B:
+	// ∂vgs = (0,1,-1,0), ∂vds = (1,0,-1,0), ∂vbs = (0,0,-1,1).
+	toTerm := func(g [3]float64) [4]float64 {
+		return [4]float64{
+			g[1],
+			g[0],
+			-g[0] - g[1] - g[2],
+			g[2],
+		}
+	}
+	var der device.Derivs
+	der.Id = id
+	der.Q = q
+	der.GId = toTerm(gid3)
+	for k := 0; k < 4; k++ {
+		der.CQ[k] = toTerm(cq3[k])
+	}
+	if swap {
+		der = swapDerivsB(der)
+	}
+	if pol < 0 {
+		der.Id = -der.Id
+		der.Q = der.Q.Neg()
+	}
+	return der
+}
+
+// swapDerivsB mirrors vsmodel's swap of drain/source roles.
+func swapDerivsB(d device.Derivs) device.Derivs {
+	var out device.Derivs
+	out.Id = -d.Id
+	out.Q = d.Q.SwapDS()
+	perm := [4]int{2, 1, 0, 3}
+	for t := 0; t < 4; t++ {
+		out.GId[t] = -d.GId[perm[t]]
+		for k := 0; k < 4; k++ {
+			out.CQ[k][t] = d.CQ[perm[k]][perm[t]]
+		}
+	}
+	return out
+}
+
+// evalND is evalN over duals: it returns the current/charge values plus
+// their gradients with respect to (vgs, vds, vbs). vgd = vgs − vds is
+// derived internally, so no fourth independent is needed.
+func (p *Params) evalND(vgsV, vdsV, vbsV float64) (idV float64, qV device.Charges, gid [3]float64, cq [4][3]float64) {
+	leff := p.Leff()
+	weff := p.Weff()
+	if leff <= 1e-9 || weff <= 0 {
+		return 0, device.Charges{}, gid, cq
+	}
+	vt := p.PhiT
+	vgs := indep(vgsV, 0)
+	vds := indep(vdsV, 1)
+	vbs := indep(vbsV, 2)
+	vgd := vgs.sub(vds) // source-referred identity: vg−vd = vgs−vds
+
+	// Threshold.
+	vbsEff := vbs
+	if max := p.PhiS - 0.05; vbsEff.v > max {
+		vbsEff = con(max)
+	}
+	vth := con(p.Vth0 - p.DVTRoll*math.Exp(-leff/p.LRoll)).
+		sub(vds.scale(p.Eta(leff)))
+	if p.GammaB != 0 {
+		vth = vth.add(con(p.PhiS).sub(vbsEff).sqrt().sub(con(math.Sqrt(p.PhiS))).scale(p.GammaB))
+	}
+
+	nvt := p.NFac * vt
+	vgst := vgs.sub(vth)
+	vgsteff := vgst.scale(1 / nvt).softplus().scale(nvt)
+	if vgsteff.v < 1e-12 {
+		vgsteff = con(1e-12)
+	}
+
+	// Mobility and velocity saturation.
+	den := vgsteff.scale(p.Theta).add(vgsteff.mul(vgsteff).scale(p.Theta2)).addConst(1)
+	mueff := con(p.U0).div(den)
+	vsat := p.Vsat
+	if p.LvSat > 0 {
+		vsat *= math.Exp((p.LRef - leff) / p.LvSat)
+	}
+	esatL := con(2 * vsat * leff).div(mueff)
+	vgst2 := vgsteff.addConst(2 * nvt)
+	vdsat := vgst2.mul(esatL).div(vgst2.add(esatL))
+
+	// Smooth Vdseff.
+	const dv = 0.01
+	t := vdsat.sub(vds).addConst(-dv)
+	s := t.mul(t).add(vdsat.scale(4 * dv)).sqrt()
+	vdseff := vdsat.sub(t.add(s).scale(0.5))
+	if vdseff.v < 0 {
+		vdseff = con(0)
+	}
+	if vdseff.v > vds.v {
+		vdseff = vds
+	}
+
+	// Core current.
+	vbulk := vgst2 // vgsteff + 2nvt
+	beta := mueff.scale(p.Cox * weff / leff)
+	one := con(1)
+	gLin := beta.mul(vgsteff).mul(one.sub(vdseff.div(vbulk.scale(2)))).
+		div(one.add(vdseff.div(esatL)))
+	ids0 := gLin.mul(vdseff)
+	clm := vds.sub(vdseff).scale(p.Lambda).addConst(1)
+	rds := p.Rdsw / weff
+	id := ids0.mul(clm).div(gLin.scale(rds).addConst(1))
+
+	// Charges.
+	sat := con(0)
+	if vdsat.v > 0 {
+		sat = vdseff.div(vdsat)
+		if sat.v > 1 {
+			sat = con(1)
+		}
+	}
+	qInv := vgsteff.mul(one.sub(sat.scale(1.0 / 3))).scale(weff * leff * p.Cox)
+	qdFrac := one.sub(sat.scale(0.2)).scale(0.5) // 0.5 − sat/10
+	qsFrac := one.add(sat.scale(0.2)).scale(0.5)
+	covW := p.Cov * weff
+	qovS := vgs.scale(covW)
+	qovD := vgd.scale(covW)
+
+	qg := qInv.add(qovS).add(qovD)
+	qd := qdFrac.mul(qInv).scale(-1).sub(qovD)
+	qs := qsFrac.mul(qInv).scale(-1).sub(qovS)
+
+	idV = id.v
+	qV = device.Charges{Qd: qd.v, Qg: qg.v, Qs: qs.v, Qb: 0}
+	gid = id.d
+	cq[0] = qd.d
+	cq[1] = qg.d
+	cq[2] = qs.d
+	// Qb row stays zero.
+	return idV, qV, gid, cq
+}

@@ -1,0 +1,109 @@
+package bsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vstat/internal/device"
+)
+
+func TestGoldenNativeDerivsMatchFD(t *testing.T) {
+	n := NMOS40(600e-9)
+	p := PMOS40(600e-9)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		var d device.Device
+		if trial%2 == 0 {
+			d = &n
+		} else {
+			d = &p
+		}
+		vd := rng.Float64()*1.8 - 0.45
+		vg := rng.Float64() * 0.9
+		vs := rng.Float64() * 0.9
+
+		nat := d.(device.NativeDerivs).EvalDerivs4(vd, vg, vs, 0)
+		fd := device.EvalDerivsFD(d, vd, vg, vs, 0)
+
+		if math.Abs(nat.Id-fd.Id) > 1e-12*(1+math.Abs(fd.Id)) {
+			t.Fatalf("trial %d: Id %g vs %g", trial, nat.Id, fd.Id)
+		}
+		if math.Abs(nat.Q.Qg-fd.Q.Qg) > 1e-12*(1+math.Abs(fd.Q.Qg)) {
+			t.Fatalf("trial %d: Qg %g vs %g", trial, nat.Q.Qg, fd.Q.Qg)
+		}
+		gScale := 0.0
+		for _, v := range fd.GId {
+			gScale += math.Abs(v)
+		}
+		for j := 0; j < 4; j++ {
+			// FD truncation dominates the tolerance; the AD side is exact.
+			if math.Abs(nat.GId[j]-fd.GId[j]) > 0.03*gScale+1e-12 {
+				t.Fatalf("trial %d (vd=%.3f vg=%.3f vs=%.3f): GId[%d] AD %g vs FD %g",
+					trial, vd, vg, vs, j, nat.GId[j], fd.GId[j])
+			}
+		}
+		for k := 0; k < 4; k++ {
+			cScale := 0.0
+			for _, v := range fd.CQ[k] {
+				cScale += math.Abs(v)
+			}
+			for j := 0; j < 4; j++ {
+				if math.Abs(nat.CQ[k][j]-fd.CQ[k][j]) > 0.03*cScale+1e-22 {
+					t.Fatalf("trial %d: CQ[%d][%d] AD %g vs FD %g",
+						trial, k, j, nat.CQ[k][j], fd.CQ[k][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenNativeDerivsInvariances(t *testing.T) {
+	n := NMOS40(600e-9)
+	d := n.EvalDerivs4(0.7, 0.8, 0.1, 0)
+	sum := d.GId[0] + d.GId[1] + d.GId[2] + d.GId[3]
+	scale := math.Abs(d.GId[0]) + math.Abs(d.GId[1]) + math.Abs(d.GId[2]) + math.Abs(d.GId[3])
+	if math.Abs(sum) > 1e-12*scale {
+		t.Fatalf("GId row sum %g", sum)
+	}
+	for k := 0; k < 4; k++ {
+		s := d.CQ[k][0] + d.CQ[k][1] + d.CQ[k][2] + d.CQ[k][3]
+		if math.Abs(s) > 1e-22 {
+			t.Fatalf("CQ row %d sum %g", k, s)
+		}
+	}
+	for j := 0; j < 4; j++ {
+		s := d.CQ[0][j] + d.CQ[1][j] + d.CQ[2][j] + d.CQ[3][j]
+		if math.Abs(s) > 1e-22 {
+			t.Fatalf("CQ column %d sum %g", j, s)
+		}
+	}
+}
+
+func TestDualArithmetic(t *testing.T) {
+	a := indep(3, 0)
+	b := indep(2, 1)
+	// f = (a·b + a)/b − sqrt(a) = a + a/b − √a → 4.5 − √3;
+	// df/da = 1 + 1/b − 1/(2√3) = 1.5 − 1/(2√3).
+	f := a.mul(b).add(a).div(b).sub(a.sqrt())
+	wantV := 4.5 - math.Sqrt(3)
+	if math.Abs(f.v-wantV) > 1e-14 {
+		t.Fatalf("value %g want %g", f.v, wantV)
+	}
+	wantDa := 1.5 - 1/(2*math.Sqrt(3))
+	if math.Abs(f.d[0]-wantDa) > 1e-14 {
+		t.Fatalf("df/da %g want %g", f.d[0], wantDa)
+	}
+	// df/db = −a/b² (from (a·b+a)/b = a + a/b).
+	if math.Abs(f.d[1]+3.0/4) > 1e-14 {
+		t.Fatalf("df/db %g want %g", f.d[1], -0.75)
+	}
+	// softplus derivative is the logistic.
+	s := indep(0.3, 2).softplus()
+	if math.Abs(s.d[2]-1/(1+math.Exp(-0.3))) > 1e-14 {
+		t.Fatalf("softplus deriv %g", s.d[2])
+	}
+	if indep(5, 0).freeze().d[0] != 0 {
+		t.Fatal("freeze")
+	}
+}

@@ -1,0 +1,82 @@
+package bsim
+
+import "math"
+
+// dual is a forward-mode AD scalar carrying derivatives with respect to the
+// three source-referred independents (vgs, vds, vbs). Rewriting the golden
+// model's closed-form equations over duals yields exact terminal
+// derivatives in one pass — the golden counterpart of the VS model's
+// implicit-function-theorem fast path.
+type dual struct {
+	v float64
+	d [3]float64
+}
+
+func con(v float64) dual { return dual{v: v} }
+
+func indep(v float64, which int) dual {
+	var d dual
+	d.v = v
+	d.d[which] = 1
+	return d
+}
+
+func (a dual) add(b dual) dual {
+	return dual{v: a.v + b.v, d: [3]float64{a.d[0] + b.d[0], a.d[1] + b.d[1], a.d[2] + b.d[2]}}
+}
+
+func (a dual) sub(b dual) dual {
+	return dual{v: a.v - b.v, d: [3]float64{a.d[0] - b.d[0], a.d[1] - b.d[1], a.d[2] - b.d[2]}}
+}
+
+func (a dual) mul(b dual) dual {
+	return dual{v: a.v * b.v, d: [3]float64{
+		a.d[0]*b.v + a.v*b.d[0],
+		a.d[1]*b.v + a.v*b.d[1],
+		a.d[2]*b.v + a.v*b.d[2],
+	}}
+}
+
+func (a dual) div(b dual) dual {
+	inv := 1 / b.v
+	q := a.v * inv
+	return dual{v: q, d: [3]float64{
+		(a.d[0] - q*b.d[0]) * inv,
+		(a.d[1] - q*b.d[1]) * inv,
+		(a.d[2] - q*b.d[2]) * inv,
+	}}
+}
+
+func (a dual) scale(k float64) dual {
+	return dual{v: a.v * k, d: [3]float64{a.d[0] * k, a.d[1] * k, a.d[2] * k}}
+}
+
+func (a dual) addConst(k float64) dual { return dual{v: a.v + k, d: a.d} }
+
+func (a dual) sqrt() dual {
+	s := math.Sqrt(a.v)
+	g := 0.0
+	if s > 0 {
+		g = 0.5 / s
+	}
+	return dual{v: s, d: [3]float64{a.d[0] * g, a.d[1] * g, a.d[2] * g}}
+}
+
+// softplusD is nvt-scaled softplus with its logistic derivative.
+func (a dual) softplus() dual {
+	var v, g float64
+	switch {
+	case a.v > 40:
+		v, g = a.v, 1
+	case a.v < -40:
+		v, g = math.Exp(a.v), math.Exp(a.v)
+	default:
+		e := math.Exp(a.v)
+		v = math.Log1p(e)
+		g = e / (1 + e)
+	}
+	return dual{v: v, d: [3]float64{a.d[0] * g, a.d[1] * g, a.d[2] * g}}
+}
+
+// freeze drops the derivative (used at hard clamps).
+func (a dual) freeze() dual { return dual{v: a.v} }

@@ -1,0 +1,146 @@
+// Package cards persists model cards and extraction results as versioned
+// JSON documents, so extracted statistical models can be shipped to and
+// loaded by downstream tools (the moral equivalent of a PDK model-card
+// hand-off).
+package cards
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"vstat/internal/bsim"
+	"vstat/internal/core"
+	"vstat/internal/variation"
+	"vstat/internal/vsmodel"
+)
+
+// FormatVersion is bumped on any incompatible schema change.
+const FormatVersion = 1
+
+// StatVSDoc is the on-disk form of a statistical VS model.
+type StatVSDoc struct {
+	Format  int    `json:"format"`
+	Kind    string `json:"kind"` // "statvs"
+	Comment string `json:"comment,omitempty"`
+
+	NMOS vsmodel.Params `json:"nmos"`
+	PMOS vsmodel.Params `json:"pmos"`
+
+	// Alpha coefficients in paper units (V·nm, nm, nm, nm·cm²/Vs,
+	// nm·µF/cm²) for human readability.
+	AlphaNPaper [5]float64 `json:"alpha_nmos_paper_units"`
+	AlphaPPaper [5]float64 `json:"alpha_pmos_paper_units"`
+}
+
+// WriteStatVS serializes a statistical VS model.
+func WriteStatVS(w io.Writer, m *core.StatVS, comment string) error {
+	n1, n2, n3, n4, n5 := m.AlphaN.PaperUnits()
+	p1, p2, p3, p4, p5 := m.AlphaP.PaperUnits()
+	doc := StatVSDoc{
+		Format:      FormatVersion,
+		Kind:        "statvs",
+		Comment:     comment,
+		NMOS:        m.NMOS,
+		PMOS:        m.PMOS,
+		AlphaNPaper: [5]float64{n1, n2, n3, n4, n5},
+		AlphaPPaper: [5]float64{p1, p2, p3, p4, p5},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadStatVS deserializes a statistical VS model.
+func ReadStatVS(r io.Reader) (*core.StatVS, error) {
+	var doc StatVSDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cards: %w", err)
+	}
+	if doc.Format != FormatVersion {
+		return nil, fmt.Errorf("cards: unsupported format %d (want %d)", doc.Format, FormatVersion)
+	}
+	if doc.Kind != "statvs" {
+		return nil, fmt.Errorf("cards: document kind %q is not a statvs card", doc.Kind)
+	}
+	m := &core.StatVS{
+		NMOS:   doc.NMOS,
+		PMOS:   doc.PMOS,
+		AlphaN: variation.FromPaperUnits(doc.AlphaNPaper[0], doc.AlphaNPaper[1], doc.AlphaNPaper[2], doc.AlphaNPaper[3], doc.AlphaNPaper[4]),
+		AlphaP: variation.FromPaperUnits(doc.AlphaPPaper[0], doc.AlphaPPaper[1], doc.AlphaPPaper[2], doc.AlphaPPaper[3], doc.AlphaPPaper[4]),
+	}
+	return m, nil
+}
+
+// SaveStatVS writes the model to a file.
+func SaveStatVS(path string, m *core.StatVS, comment string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteStatVS(f, m, comment)
+}
+
+// LoadStatVS reads a model from a file.
+func LoadStatVS(path string) (*core.StatVS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStatVS(f)
+}
+
+// GoldenDoc is the on-disk form of a golden (BSIM-like) statistical model,
+// used to version the reference kit the extraction ran against.
+type GoldenDoc struct {
+	Format  int    `json:"format"`
+	Kind    string `json:"kind"` // "golden"
+	Comment string `json:"comment,omitempty"`
+
+	NMOS bsim.Params `json:"nmos"`
+	PMOS bsim.Params `json:"pmos"`
+
+	AlphaNPaper [5]float64 `json:"alpha_nmos_paper_units"`
+	AlphaPPaper [5]float64 `json:"alpha_pmos_paper_units"`
+}
+
+// WriteGolden serializes a golden statistical model.
+func WriteGolden(w io.Writer, m *core.StatGolden, comment string) error {
+	n1, n2, n3, n4, n5 := m.AlphaN.PaperUnits()
+	p1, p2, p3, p4, p5 := m.AlphaP.PaperUnits()
+	doc := GoldenDoc{
+		Format:      FormatVersion,
+		Kind:        "golden",
+		Comment:     comment,
+		NMOS:        m.NMOS,
+		PMOS:        m.PMOS,
+		AlphaNPaper: [5]float64{n1, n2, n3, n4, n5},
+		AlphaPPaper: [5]float64{p1, p2, p3, p4, p5},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadGolden deserializes a golden statistical model.
+func ReadGolden(r io.Reader) (*core.StatGolden, error) {
+	var doc GoldenDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cards: %w", err)
+	}
+	if doc.Format != FormatVersion {
+		return nil, fmt.Errorf("cards: unsupported format %d (want %d)", doc.Format, FormatVersion)
+	}
+	if doc.Kind != "golden" {
+		return nil, fmt.Errorf("cards: document kind %q is not a golden card", doc.Kind)
+	}
+	return &core.StatGolden{
+		NMOS:   doc.NMOS,
+		PMOS:   doc.PMOS,
+		AlphaN: variation.FromPaperUnits(doc.AlphaNPaper[0], doc.AlphaNPaper[1], doc.AlphaNPaper[2], doc.AlphaNPaper[3], doc.AlphaNPaper[4]),
+		AlphaP: variation.FromPaperUnits(doc.AlphaPPaper[0], doc.AlphaPPaper[1], doc.AlphaPPaper[2], doc.AlphaPPaper[3], doc.AlphaPPaper[4]),
+	}, nil
+}

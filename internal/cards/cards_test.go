@@ -1,0 +1,125 @@
+package cards
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vstat/internal/core"
+	"vstat/internal/device"
+	"vstat/internal/variation"
+)
+
+func TestStatVSRoundTrip(t *testing.T) {
+	m := core.DefaultStatVS()
+	m.AlphaN = variation.FromPaperUnits(2.3, 3.71, 3.71, 944, 0.29)
+	m.AlphaP = variation.FromPaperUnits(2.86, 3.66, 3.66, 781, 0.81)
+	m.NMOS.VT0 = 0.412 // perturb so the round trip is non-trivial
+
+	var buf bytes.Buffer
+	if err := WriteStatVS(&buf, m, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatVS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NMOS.VT0 != m.NMOS.VT0 || got.PMOS.Vxo != m.PMOS.Vxo {
+		t.Fatal("card fields lost")
+	}
+	g1, _, _, g4, _ := got.AlphaN.PaperUnits()
+	if math.Abs(g1-2.3) > 1e-9 || math.Abs(g4-944) > 1e-6 {
+		t.Fatalf("alpha round trip: %g %g", g1, g4)
+	}
+	// The loaded model must behave identically.
+	a := m.Nominal()(gotKind(), 600e-9, 40e-9).Eval(0.9, 0.9, 0, 0).Id
+	b := got.Nominal()(gotKind(), 600e-9, 40e-9).Eval(0.9, 0.9, 0, 0).Id
+	if a != b {
+		t.Fatalf("loaded model differs: %g vs %g", a, b)
+	}
+}
+
+func TestStatVSFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	m := core.DefaultStatVS()
+	if err := SaveStatVS(path, m, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStatVS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NMOS.Cinv != m.NMOS.Cinv {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := LoadStatVS(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	g := core.DefaultStatGolden()
+	var buf bytes.Buffer
+	if err := WriteGolden(&buf, g, "ref kit"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGolden(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NMOS.Vth0 != g.NMOS.Vth0 || got.AlphaN != g.AlphaN {
+		t.Fatal("golden round trip lost data")
+	}
+}
+
+func TestKindAndVersionGuards(t *testing.T) {
+	// Wrong kind.
+	var buf bytes.Buffer
+	if err := WriteGolden(&buf, core.DefaultStatGolden(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStatVS(&buf); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("kind guard: %v", err)
+	}
+	// Wrong version.
+	bad := strings.NewReader(`{"format": 99, "kind": "statvs"}`)
+	if _, err := ReadStatVS(bad); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("format guard: %v", err)
+	}
+	// Garbage.
+	if _, err := ReadStatVS(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage guard")
+	}
+	if _, err := ReadGolden(strings.NewReader(`{"format":1,"kind":"statvs"}`)); err == nil {
+		t.Fatal("golden kind guard")
+	}
+	if _, err := ReadGolden(strings.NewReader(`{"format":2,"kind":"golden"}`)); err == nil {
+		t.Fatal("golden format guard")
+	}
+	if _, err := ReadGolden(strings.NewReader("{")); err == nil {
+		t.Fatal("golden garbage guard")
+	}
+}
+
+func gotKind() device.Kind { return device.NMOS }
+
+func TestShippedModelCardLoads(t *testing.T) {
+	m, err := LoadStatVS("../../models/statvs-40nm.json")
+	if err != nil {
+		t.Skipf("shipped card not present: %v", err)
+	}
+	a1, _, _, a4, _ := m.AlphaN.PaperUnits()
+	if a1 < 1 || a1 > 6 || a4 <= 0 {
+		t.Fatalf("shipped card coefficients implausible: α1=%g α4=%g", a1, a4)
+	}
+	// The card must produce a working statistical device.
+	d := m.SampleDevice(gotRNG(), device.NMOS, 600e-9, 40e-9)
+	if id := d.Eval(0.9, 0.9, 0, 0).Id; id < 100e-6 || id > 900e-6 {
+		t.Fatalf("shipped card Idsat %g implausible", id)
+	}
+}
+
+func gotRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }

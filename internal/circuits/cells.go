@@ -1,0 +1,116 @@
+package circuits
+
+import (
+	"fmt"
+
+	"vstat/internal/device"
+	"vstat/internal/spice"
+)
+
+// AddNOR2 appends a two-input static CMOS NOR gate: series PMOS pull-up
+// (input a on the top transistor), parallel NMOS pull-down.
+func AddNOR2(c *spice.Circuit, name string, a, b, out, vdd int, sz Sizing, f Factory) {
+	mid := c.Node(name + ".mid")
+	c.AddMOS(name+".MPA", mid, a, vdd, vdd, f(device.PMOS, sz.WP, sz.L))
+	c.AddMOS(name+".MPB", out, b, mid, vdd, f(device.PMOS, sz.WP, sz.L))
+	c.AddMOS(name+".MNA", out, a, spice.Gnd, spice.Gnd, f(device.NMOS, sz.WN, sz.L))
+	c.AddMOS(name+".MNB", out, b, spice.Gnd, spice.Gnd, f(device.NMOS, sz.WN, sz.L))
+}
+
+// AddBufferChain appends n inverters in series from in, returning the final
+// output node. Odd n inverts.
+func AddBufferChain(c *spice.Circuit, name string, in, vdd int, n int, sz Sizing, f Factory) int {
+	node := in
+	for i := 0; i < n; i++ {
+		next := c.Node(fmt.Sprintf("%s.n%d", name, i))
+		AddInverter(c, fmt.Sprintf("%s.inv%d", name, i), node, next, vdd, sz, f)
+		node = next
+	}
+	return node
+}
+
+// NOR2FO builds a fanout-of-k NOR2 bench: input a switches, input b is tied
+// low, the output drives k NOR2 loads.
+func NOR2FO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
+	c := spice.New()
+	vddN := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
+	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
+		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
+		Width: PulseWidth, Period: PulsePeriod,
+	})
+	AddNOR2(c, "XDRV", in, spice.Gnd, out, vddN, sz, f)
+	for i := 0; i < k; i++ {
+		lo := c.Node(loadName(i))
+		AddNOR2(c, "XL"+string(rune('0'+i)), out, out, lo, vddN, sz, f)
+	}
+	return &GateBench{Ckt: c, VddSrc: vs, VinSrc: vi, In: in, Out: out, Vdd: vdd}
+}
+
+// RingOscillator is an odd-stage inverter ring with per-stage load caps,
+// used for frequency/leakage style metrics without an external stimulus.
+type RingOscillator struct {
+	Ckt    *spice.Circuit
+	VddSrc int
+	Stages []int // stage output nodes
+	Vdd    float64
+	N      int
+}
+
+// NewRingOscillator builds an n-stage (odd) ring.
+func NewRingOscillator(n int, vdd float64, sz Sizing, f Factory) *RingOscillator {
+	if n < 3 || n%2 == 0 {
+		panic("circuits: ring oscillator needs an odd stage count >= 3")
+	}
+	c := spice.New()
+	vddN := c.Node("vdd")
+	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = c.Node(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < n; i++ {
+		AddInverter(c, fmt.Sprintf("XS%d", i), nodes[i], nodes[(i+1)%n], vddN, sz, f)
+	}
+	return &RingOscillator{Ckt: c, VddSrc: vs, Stages: nodes, Vdd: vdd, N: n}
+}
+
+// KickIC returns transient initial conditions that break the metastable
+// symmetry: alternating rails with one doubled stage (the odd stage count
+// guarantees oscillation from any non-metastable state).
+func (r *RingOscillator) KickIC() map[int]float64 {
+	ic := make(map[int]float64, r.N)
+	v := 0.0
+	for _, n := range r.Stages {
+		ic[n] = v
+		v = r.Vdd - v
+	}
+	return ic
+}
+
+// Frequency runs a transient and measures the oscillation frequency from
+// the last two rising crossings of stage 0.
+func (r *RingOscillator) Frequency(stop, step float64) (float64, error) {
+	res, err := r.Ckt.Transient(spice.TranOpts{Stop: stop, Step: step, UIC: true, IC: r.KickIC()})
+	if err != nil {
+		return 0, err
+	}
+	v := res.V(r.Stages[0])
+	half := r.Vdd / 2
+	var crossings []float64
+	for i := 1; i < len(res.Time); i++ {
+		if v[i-1] < half && v[i] >= half {
+			f := (half - v[i-1]) / (v[i] - v[i-1])
+			crossings = append(crossings, res.Time[i-1]+f*(res.Time[i]-res.Time[i-1]))
+		}
+	}
+	if len(crossings) < 3 {
+		return 0, fmt.Errorf("circuits: ring did not oscillate (%d crossings)", len(crossings))
+	}
+	// Average the last few periods for a settled estimate.
+	last := crossings[len(crossings)-1]
+	prev := crossings[len(crossings)-2]
+	return 1 / (last - prev), nil
+}

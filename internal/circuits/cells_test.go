@@ -1,0 +1,88 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/spice"
+)
+
+func TestNOR2Switches(t *testing.T) {
+	sz := Sizing{WP: 1200e-9, WN: 300e-9, L: 40e-9} // NOR needs strong series P
+	b := NOR2FO(3, 0.9, sz, nominalVS)
+	res, err := b.Ckt.Transient(spice.TranOpts{Stop: PulsePeriod, Step: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.V(b.Out)
+	min, max := v[0], v[0]
+	for _, x := range v {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	// b tied low, a pulses: out = NOT a, full swing.
+	if min > 0.05 || max < 0.85 {
+		t.Fatalf("NOR2 swing [%g, %g]", min, max)
+	}
+	// Out starts high (a low).
+	if v[0] < 0.85 {
+		t.Fatalf("NOR2 initial out %g", v[0])
+	}
+}
+
+func TestBufferChainPropagates(t *testing.T) {
+	c := spice.New()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	c.AddV("VDD", vdd, spice.Gnd, spice.DC(0.9))
+	c.AddV("VIN", in, spice.Gnd, spice.Pulse{V0: 0, V1: 0.9, Delay: 20e-12, Rise: 10e-12, Fall: 10e-12, Width: 300e-12})
+	sz := Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	out := AddBufferChain(c, "XB", in, vdd, 4, sz, nominalVS) // even: non-inverting
+	res, err := c.Transient(spice.TranOpts{Stop: 200e-12, Step: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the input rise, out follows high with some delay.
+	if vEnd := res.At(out, 200e-12); vEnd < 0.85 {
+		t.Fatalf("chain output %g", vEnd)
+	}
+	tIn, _ := crossTest(res.Time, res.V(in), 0.45, true, 0)
+	tOut, err := crossTest(res.Time, res.V(out), 0.45, true, tIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tOut - tIn; d <= 0 || d > 100e-12 {
+		t.Fatalf("chain delay %g", d)
+	}
+}
+
+func TestRingOscillatorFrequency(t *testing.T) {
+	sz := Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	ro := NewRingOscillator(5, 0.9, sz, nominalVS)
+	f, err := ro.Frequency(1.2e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period ≈ 2·N·tinv with tinv a few ps: expect tens of GHz.
+	if f < 5e9 || f > 200e9 {
+		t.Fatalf("ring frequency %g Hz implausible", f)
+	}
+	// More stages must oscillate slower.
+	ro7 := NewRingOscillator(7, 0.9, sz, nominalVS)
+	f7, err := ro7.Frequency(1.6e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7 >= f {
+		t.Fatalf("7-stage ring %g not slower than 5-stage %g", f7, f)
+	}
+}
+
+func TestRingOscillatorPanicsOnEvenStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for even stage count")
+		}
+	}()
+	NewRingOscillator(4, 0.9, Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}, nominalVS)
+}

@@ -1,0 +1,110 @@
+// Package circuits builds the paper's benchmark circuits — fanout-loaded
+// INV and NAND2 standard cells, the NMOS-pass-transistor master–slave D
+// flip-flop of Fig. 8(a), and the 6T SRAM cell of Fig. 9 — as spice
+// netlists over any compact model (VS or golden) supplied through a device
+// Factory. Every transistor instance is created through the factory, so a
+// statistical factory yields an independently mismatched instance per
+// device, which is exactly the within-die Monte Carlo setting of the paper.
+package circuits
+
+import (
+	"vstat/internal/device"
+	"vstat/internal/spice"
+)
+
+// Factory creates one transistor instance of the given polarity and drawn
+// geometry. Statistical factories draw fresh mismatch deltas on every call;
+// nominal factories return unperturbed cards.
+type Factory func(k device.Kind, w, l float64) device.Device
+
+// Sizing gives the P and N widths and the common gate length of a cell.
+type Sizing struct {
+	WP, WN, L float64
+}
+
+// Scale returns the sizing with both widths multiplied by k.
+func (s Sizing) Scale(k float64) Sizing {
+	return Sizing{WP: s.WP * k, WN: s.WN * k, L: s.L}
+}
+
+// AddInverter appends a static CMOS inverter between in and out.
+func AddInverter(c *spice.Circuit, name string, in, out, vdd int, sz Sizing, f Factory) {
+	c.AddMOS(name+".MP", out, in, vdd, vdd, f(device.PMOS, sz.WP, sz.L))
+	c.AddMOS(name+".MN", out, in, spice.Gnd, spice.Gnd, f(device.NMOS, sz.WN, sz.L))
+}
+
+// AddNAND2 appends a two-input static CMOS NAND gate: parallel PMOS pull-up,
+// series NMOS pull-down (input a on the bottom transistor).
+func AddNAND2(c *spice.Circuit, name string, a, b, out, vdd int, sz Sizing, f Factory) {
+	mid := c.Node(name + ".mid")
+	c.AddMOS(name+".MPA", out, a, vdd, vdd, f(device.PMOS, sz.WP, sz.L))
+	c.AddMOS(name+".MPB", out, b, vdd, vdd, f(device.PMOS, sz.WP, sz.L))
+	c.AddMOS(name+".MNB", out, b, mid, spice.Gnd, f(device.NMOS, sz.WN, sz.L))
+	c.AddMOS(name+".MNA", mid, a, spice.Gnd, spice.Gnd, f(device.NMOS, sz.WN, sz.L))
+}
+
+// GateBench is a complete delay testbench: a driver gate loaded by fanout
+// copies of itself, with supply and input sources ready for transient
+// analysis.
+type GateBench struct {
+	Ckt     *spice.Circuit
+	VddSrc  int // AddV index of the supply (for leakage readback)
+	VinSrc  int // AddV index of the input pulse
+	In, Out int // driver input and output nodes
+	Vdd     float64
+}
+
+// Timing of the default input pulse used by the benches.
+const (
+	// EdgeTime is the input rise/fall time.
+	EdgeTime = 10e-12
+	// PulseDelay is the quiet time before the first input edge.
+	PulseDelay = 30e-12
+	// PulseWidth is the input high time.
+	PulseWidth = 400e-12
+	// PulsePeriod spans one full low-high-low input cycle.
+	PulsePeriod = 900e-12
+)
+
+// InverterFO builds a fanout-of-k inverter bench (paper Fig. 5/6 use k=3):
+// one driver inverter whose output is loaded by k receiver inverters.
+func InverterFO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
+	c := spice.New()
+	vddN := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
+	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
+		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
+		Width: PulseWidth, Period: PulsePeriod,
+	})
+	AddInverter(c, "XDRV", in, out, vddN, sz, f)
+	for i := 0; i < k; i++ {
+		lo := c.Node(loadName(i))
+		AddInverter(c, "XL"+string(rune('0'+i)), out, lo, vddN, sz, f)
+	}
+	return &GateBench{Ckt: c, VddSrc: vs, VinSrc: vi, In: in, Out: out, Vdd: vdd}
+}
+
+// NAND2FO builds a fanout-of-k NAND2 bench (paper Fig. 7): input a switches,
+// input b is tied high, the output drives k NAND2 loads (both load inputs
+// tied to the driven net).
+func NAND2FO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
+	c := spice.New()
+	vddN := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
+	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
+		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
+		Width: PulseWidth, Period: PulsePeriod,
+	})
+	AddNAND2(c, "XDRV", in, vddN, out, vddN, sz, f)
+	for i := 0; i < k; i++ {
+		lo := c.Node(loadName(i))
+		AddNAND2(c, "XL"+string(rune('0'+i)), out, out, lo, vddN, sz, f)
+	}
+	return &GateBench{Ckt: c, VddSrc: vs, VinSrc: vi, In: in, Out: out, Vdd: vdd}
+}
+
+func loadName(i int) string { return "load" + string(rune('0'+i)) }

@@ -1,0 +1,121 @@
+package circuits
+
+import (
+	"vstat/internal/device"
+	"vstat/internal/spice"
+)
+
+// SRAMSizing configures the 6T cell transistor widths; the paper's Fig. 9
+// cell uses N (pull-down) = 150 nm at L = 40 nm. Pull-up and pass-gate
+// follow a standard read-stable ratioing.
+type SRAMSizing struct {
+	WPD, WPU, WPG, L float64
+}
+
+// DefaultSRAMSizing returns the Fig. 9 cell sizing.
+func DefaultSRAMSizing() SRAMSizing {
+	return SRAMSizing{WPD: 150e-9, WPU: 80e-9, WPG: 110e-9, L: 40e-9}
+}
+
+// SRAMCell holds the six transistor instances of one cell, so the same
+// mismatched devices can be re-netlisted for the left and right butterfly
+// half-measurements (device instances are stateless and shareable).
+type SRAMCell struct {
+	Sz  SRAMSizing
+	Vdd float64
+
+	PDL, PDR device.Device // pull-down NMOS, left/right
+	PUL, PUR device.Device // pull-up PMOS
+	PGL, PGR device.Device // pass-gate NMOS
+}
+
+// NewSRAMCell draws the six transistor instances from the factory.
+func NewSRAMCell(vdd float64, sz SRAMSizing, f Factory) *SRAMCell {
+	return &SRAMCell{
+		Sz:  sz,
+		Vdd: vdd,
+		PDL: f(device.NMOS, sz.WPD, sz.L),
+		PDR: f(device.NMOS, sz.WPD, sz.L),
+		PUL: f(device.PMOS, sz.WPU, sz.L),
+		PUR: f(device.PMOS, sz.WPU, sz.L),
+		PGL: f(device.NMOS, sz.WPG, sz.L),
+		PGR: f(device.NMOS, sz.WPG, sz.L),
+	}
+}
+
+// butterflyCircuit nets the full cell with node q forced by a sweepable
+// source, returning the circuit, the source index and the observed node.
+// side selects which storage node is forced: "L" forces q and observes qb,
+// "R" forces qb and observes q. read=true puts the cell in READ condition
+// (word line high, both bitlines held at Vdd); read=false is HOLD (word
+// line off).
+func (s *SRAMCell) butterflyCircuit(side string, read bool) (c *spice.Circuit, force int, observe int) {
+	c = spice.New()
+	vddN := c.Node("vdd")
+	q := c.Node("q")
+	qb := c.Node("qb")
+	wl := c.Node("wl")
+	bl := c.Node("bl")
+	br := c.Node("br")
+
+	c.AddV("VDD", vddN, spice.Gnd, spice.DC(s.Vdd))
+	wlV := 0.0
+	if read {
+		wlV = s.Vdd
+	}
+	c.AddV("VWL", wl, spice.Gnd, spice.DC(wlV))
+	c.AddV("VBL", bl, spice.Gnd, spice.DC(s.Vdd))
+	c.AddV("VBR", br, spice.Gnd, spice.DC(s.Vdd))
+
+	// Cross-coupled inverters.
+	c.AddMOS("PUL", q, qb, vddN, vddN, s.PUL)
+	c.AddMOS("PDL", q, qb, spice.Gnd, spice.Gnd, s.PDL)
+	c.AddMOS("PUR", qb, q, vddN, vddN, s.PUR)
+	c.AddMOS("PDR", qb, q, spice.Gnd, spice.Gnd, s.PDR)
+	// Access transistors.
+	c.AddMOS("PGL", bl, wl, q, spice.Gnd, s.PGL)
+	c.AddMOS("PGR", br, wl, qb, spice.Gnd, s.PGR)
+
+	if side == "L" {
+		force = c.AddV("VFORCE", q, spice.Gnd, spice.DC(0))
+		observe = qb
+	} else {
+		force = c.AddV("VFORCE", qb, spice.Gnd, spice.DC(0))
+		observe = q
+	}
+	return c, force, observe
+}
+
+// ButterflyCurve is one voltage-transfer lobe of the butterfly plot:
+// Out[i] is the response of the opposite storage node when the forced node
+// is held at In[i].
+type ButterflyCurve struct {
+	In, Out []float64
+}
+
+// Butterfly sweeps both half-cells and returns the two transfer curves of
+// the butterfly plot (paper Fig. 9 a/d). n is the number of sweep points.
+func (s *SRAMCell) Butterfly(read bool, n int) (left, right ButterflyCurve, err error) {
+	sweep := make([]float64, n)
+	for i := range sweep {
+		sweep[i] = s.Vdd * float64(i) / float64(n-1)
+	}
+	for _, side := range []string{"L", "R"} {
+		c, force, observe := s.butterflyCircuit(side, read)
+		ops, e := c.DCSweep(force, sweep)
+		if e != nil {
+			return left, right, e
+		}
+		out := make([]float64, n)
+		for i, op := range ops {
+			out[i] = op.V(observe)
+		}
+		cv := ButterflyCurve{In: sweep, Out: out}
+		if side == "L" {
+			left = cv
+		} else {
+			right = cv
+		}
+	}
+	return left, right, nil
+}

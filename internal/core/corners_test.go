@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"vstat/internal/device"
+	"vstat/internal/variation"
+)
+
+func cornersModel() *StatVS {
+	m := DefaultStatVS()
+	m.AlphaN = variation.FromPaperUnits(2.3, 3.71, 3.71, 944, 0.29)
+	m.AlphaP = variation.FromPaperUnits(2.86, 3.66, 3.66, 781, 0.81)
+	return m
+}
+
+func TestCornerOrdering(t *testing.T) {
+	m := cornersModel()
+	w, l, vdd := 600e-9, 40e-9, 0.9
+	idsat := func(c Corner, k device.Kind) float64 {
+		d := m.CornerFactory(c, 3)(k, w, l)
+		if k == device.PMOS {
+			return -d.Eval(0, 0, vdd, vdd).Id
+		}
+		return d.Eval(vdd, vdd, 0, 0).Id
+	}
+	// FF > TT > SS for both polarities.
+	for _, k := range []device.Kind{device.NMOS, device.PMOS} {
+		ff, tt, ss := idsat(FF, k), idsat(TT, k), idsat(SS, k)
+		if !(ff > tt && tt > ss) {
+			t.Fatalf("%v: FF %g, TT %g, SS %g not ordered", k, ff, tt, ss)
+		}
+	}
+	// Skewed corners: FS has fast NMOS, slow PMOS.
+	if !(idsat(FS, device.NMOS) > idsat(TT, device.NMOS)) {
+		t.Fatal("FS NMOS not fast")
+	}
+	if !(idsat(FS, device.PMOS) < idsat(TT, device.PMOS)) {
+		t.Fatal("FS PMOS not slow")
+	}
+	if !(idsat(SF, device.NMOS) < idsat(TT, device.NMOS)) {
+		t.Fatal("SF NMOS not slow")
+	}
+	if !(idsat(SF, device.PMOS) > idsat(TT, device.PMOS)) {
+		t.Fatal("SF PMOS not fast")
+	}
+}
+
+func TestCornerDeltasScaleWithSigma(t *testing.T) {
+	m := cornersModel()
+	d1 := m.CornerDeltas(FF, device.NMOS, 600e-9, 40e-9, 1)
+	d3 := m.CornerDeltas(FF, device.NMOS, 600e-9, 40e-9, 3)
+	if d3.DVT0 != 3*d1.DVT0 || d3.DMu != 3*d1.DMu {
+		t.Fatal("corner deltas must scale linearly with nsigma")
+	}
+	if d1.DVT0 >= 0 {
+		t.Fatal("fast corner must lower VT0")
+	}
+	tt := m.CornerDeltas(TT, device.NMOS, 600e-9, 40e-9, 3)
+	if tt != (device.Deltas{}) {
+		t.Fatal("TT corner must be zero deltas")
+	}
+}
+
+func TestCornerBoundsMCQuantiles(t *testing.T) {
+	// The ±3σ corner Idsat must bound the bulk of a Monte Carlo population.
+	m := cornersModel()
+	w, l, vdd := 600e-9, 40e-9, 0.9
+	fast := m.CornerFactory(FF, 3)(device.NMOS, w, l).Eval(vdd, vdd, 0, 0).Id
+	slow := m.CornerFactory(SS, 3)(device.NMOS, w, l).Eval(vdd, vdd, 0, 0).Id
+	rng := newTestRNG(9)
+	inside := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		id := m.SampleDevice(rng, device.NMOS, w, l).Eval(vdd, vdd, 0, 0).Id
+		if id > slow && id < fast {
+			inside++
+		}
+	}
+	if frac := float64(inside) / n; frac < 0.97 {
+		t.Fatalf("3σ corners contain only %g of MC", frac)
+	}
+}
+
+func TestCornerNamesAndReport(t *testing.T) {
+	names := map[Corner]string{TT: "TT", FF: "FF", SS: "SS", FS: "FS", SF: "SF"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%v", c)
+		}
+	}
+	if len(Corners()) != 5 {
+		t.Fatal("corner list")
+	}
+	rep := cornersModel().CornerReport(600e-9, 40e-9, 0.9, 3)
+	if len(rep) < 50 {
+		t.Fatalf("report too short: %q", rep)
+	}
+}

@@ -1,0 +1,89 @@
+package device_test
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/device"
+	"vstat/internal/vsmodel"
+)
+
+func TestKind(t *testing.T) {
+	if device.NMOS.String() != "NMOS" || device.PMOS.String() != "PMOS" {
+		t.Fatal("Kind.String")
+	}
+	if device.NMOS.Polarity() != 1 || device.PMOS.Polarity() != -1 {
+		t.Fatal("Kind.Polarity")
+	}
+}
+
+func TestChargesOps(t *testing.T) {
+	c := device.Charges{Qd: 1, Qg: 2, Qs: 3, Qb: 4}
+	n := c.Neg()
+	if n.Qd != -1 || n.Qg != -2 || n.Qs != -3 || n.Qb != -4 {
+		t.Fatal("Neg")
+	}
+	s := c.SwapDS()
+	if s.Qd != 3 || s.Qs != 1 || s.Qg != 2 || s.Qb != 4 {
+		t.Fatal("SwapDS")
+	}
+	if c.Sum() != 10 {
+		t.Fatal("Sum")
+	}
+}
+
+func TestEvalDerivsMatchesCentralDifferences(t *testing.T) {
+	n := vsmodel.NMOS40(1e-6)
+	vd, vg, vs, vb := 0.6, 0.7, 0.0, 0.0
+	d := device.EvalDerivs(&n, vd, vg, vs, vb)
+
+	gm := device.Gm(&n, vd, vg, vs, vb)
+	gds := device.Gds(&n, vd, vg, vs, vb)
+	if math.Abs(d.GId[1]-gm) > 0.02*math.Abs(gm) {
+		t.Fatalf("GId[G]=%g vs central gm=%g", d.GId[1], gm)
+	}
+	if math.Abs(d.GId[0]-gds) > 0.02*math.Abs(gds)+1e-9 {
+		t.Fatalf("GId[D]=%g vs central gds=%g", d.GId[0], gds)
+	}
+	cgg := device.Cgg(&n, vd, vg, vs, vb)
+	if math.Abs(d.CQ[1][1]-cgg) > 0.02*math.Abs(cgg) {
+		t.Fatalf("CQ[G][G]=%g vs central Cgg=%g", d.CQ[1][1], cgg)
+	}
+}
+
+func TestCapMatrixColumnSumsZero(t *testing.T) {
+	// Charge neutrality implies each column of ∂Q/∂V sums to ~0.
+	n := vsmodel.NMOS40(1e-6)
+	d := device.EvalDerivs(&n, 0.5, 0.8, 0.1, 0)
+	for j := 0; j < 4; j++ {
+		sum := d.CQ[0][j] + d.CQ[1][j] + d.CQ[2][j] + d.CQ[3][j]
+		if math.Abs(sum) > 1e-18 {
+			t.Fatalf("column %d of cap matrix sums to %g", j, sum)
+		}
+	}
+}
+
+func TestKCLOfDerivRow(t *testing.T) {
+	// ∂Id/∂(all terminals moved together) = 0: current depends on voltage
+	// differences only.
+	n := vsmodel.NMOS40(1e-6)
+	d := device.EvalDerivs(&n, 0.6, 0.7, 0, 0)
+	sum := d.GId[0] + d.GId[1] + d.GId[2] + d.GId[3]
+	scale := math.Abs(d.GId[0]) + math.Abs(d.GId[1]) + math.Abs(d.GId[2]) + math.Abs(d.GId[3])
+	if math.Abs(sum) > 1e-4*scale {
+		t.Fatalf("GId row sums to %g (scale %g)", sum, scale)
+	}
+}
+
+func TestGdsPositiveInSaturation(t *testing.T) {
+	n := vsmodel.NMOS40(1e-6)
+	if g := device.Gds(&n, 0.9, 0.9, 0, 0); g <= 0 {
+		t.Fatalf("gds = %g in saturation", g)
+	}
+	if g := device.Gm(&n, 0.9, 0.9, 0, 0); g <= 0 {
+		t.Fatalf("gm = %g", g)
+	}
+	if c := device.Cgg(&n, 0, 0.9, 0, 0); c <= 0 {
+		t.Fatalf("Cgg = %g", c)
+	}
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every figure result can dump the exact series the paper
+// plots, one file per panel, for external plotting tools.
+
+// writeCSV writes rows (first row = header) to dir/name.
+func writeCSV(dir, name string, header []string, rows [][]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("csv %s: row width %d != header %d", name, len(row), len(header))
+		}
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the Fig. 1 I-V overlay curves.
+func (r Fig1Result) WriteCSV(dir string) error {
+	var rows [][]float64
+	for i := range r.Series.VgGrid {
+		rows = append(rows, []float64{r.Series.VgGrid[i], r.Series.IdVgRef[i], r.Series.IdVgFit[i]})
+	}
+	if err := writeCSV(dir, "fig1_idvg.csv", []string{"vg", "id_golden", "id_vs"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := range r.Series.VdGrid {
+		row := []float64{r.Series.VdGrid[i]}
+		for j := range r.Series.VgLevels {
+			row = append(row, r.Series.IdVdRef[j][i], r.Series.IdVdFit[j][i])
+		}
+		rows = append(rows, row)
+	}
+	header := []string{"vd"}
+	for _, vg := range r.Series.VgLevels {
+		header = append(header,
+			fmt.Sprintf("id_golden_vg%.2f", vg), fmt.Sprintf("id_vs_vg%.2f", vg))
+	}
+	if err := writeCSV(dir, "fig1_idvd.csv", header, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := range r.Series.VgGrid {
+		rows = append(rows, []float64{r.Series.VgGrid[i], r.Series.CggRef[i], r.Series.CggFit[i]})
+	}
+	return writeCSV(dir, "fig1_cgg.csv", []string{"vg", "cgg_golden", "cgg_vs"}, rows)
+}
+
+// WriteCSV dumps the Fig. 2 percent-difference series.
+func (r Fig2Result) WriteCSV(dir string) error {
+	var rows [][]float64
+	for _, row := range r.Rows {
+		rows = append(rows, []float64{row.W, row.DiffVT0, row.DiffL, row.DiffW})
+	}
+	return writeCSV(dir, "fig2.csv", []string{"w_m", "dvt0_pct", "dleff_pct", "dweff_pct"}, rows)
+}
+
+// WriteCSV dumps the Fig. 3 contribution series.
+func (r Fig3Result) WriteCSV(dir string) error {
+	var rows [][]float64
+	for _, row := range r.Rows {
+		rows = append(rows, []float64{row.W, row.TotalPct, row.VT0Pct, row.LWPct, row.MuPct, row.CinvPct, row.GoldenPct})
+	}
+	return writeCSV(dir, "fig3.csv",
+		[]string{"w_m", "total_pct", "vt0_pct", "lw_pct", "mu_pct", "cinv_pct", "golden_pct"}, rows)
+}
+
+// WriteCSV dumps the Fig. 4 scatter and ellipse traces.
+func (r Fig4Result) WriteCSV(dir string) error {
+	var rows [][]float64
+	for i := range r.GoldenIon {
+		rows = append(rows, []float64{r.GoldenIon[i], r.GoldenLog[i], r.VSIon[i], r.VSLog[i]})
+	}
+	if err := writeCSV(dir, "fig4_scatter.csv",
+		[]string{"golden_ion", "golden_log10ioff", "vs_ion", "vs_log10ioff"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	const pts = 90
+	for k := 0; k < 3; k++ {
+		gx, gy := r.GoldenEll[k].Points(pts)
+		vx, vy := r.VSEll[k].Points(pts)
+		for i := 0; i < pts; i++ {
+			rows = append(rows, []float64{float64(k + 1), gx[i], gy[i], vx[i], vy[i]})
+		}
+	}
+	return writeCSV(dir, "fig4_ellipses.csv",
+		[]string{"nsigma", "golden_x", "golden_y", "vs_x", "vs_y"}, rows)
+}
+
+// writeDistCSV dumps a pair of delay distributions (samples and KDE).
+func writeDistCSV(dir, prefix string, golden, vs DelayDist) error {
+	n := len(golden.Samples)
+	if len(vs.Samples) < n {
+		n = len(vs.Samples)
+	}
+	var rows [][]float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, []float64{golden.Samples[i], vs.Samples[i]})
+	}
+	if err := writeCSV(dir, prefix+"_samples.csv", []string{"golden", "vs"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := range golden.KDEx {
+		rows = append(rows, []float64{golden.KDEx[i], golden.KDEy[i], vs.KDEx[i], vs.KDEy[i]})
+	}
+	return writeCSV(dir, prefix+"_kde.csv",
+		[]string{"golden_x", "golden_pdf", "vs_x", "vs_pdf"}, rows)
+}
+
+// WriteCSV dumps one KDE pair per inverter size.
+func (r Fig5Result) WriteCSV(dir string) error {
+	for i, sz := range r.Sizes {
+		if err := writeDistCSV(dir, fmt.Sprintf("fig5_size%d", i), sz.Golden, sz.VS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the leakage-frequency scatter.
+func (r Fig6Result) WriteCSV(dir string) error {
+	var rows [][]float64
+	n := len(r.Golden)
+	if len(r.VS) < n {
+		n = len(r.VS)
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, []float64{r.Golden[i].Leakage, r.Golden[i].Freq, r.VS[i].Leakage, r.VS[i].Freq})
+	}
+	return writeCSV(dir, "fig6_scatter.csv",
+		[]string{"golden_leak", "golden_freq", "vs_leak", "vs_freq"}, rows)
+}
+
+// WriteCSV dumps per-Vdd KDEs and the VS QQ series.
+func (r Fig7Result) WriteCSV(dir string) error {
+	for _, col := range r.Vdds {
+		p := fmt.Sprintf("fig7_vdd%03.0fmv", col.Vdd*1000)
+		if err := writeDistCSV(dir, p, col.Golden, col.VS); err != nil {
+			return err
+		}
+		var rows [][]float64
+		for _, q := range col.VSQQ {
+			rows = append(rows, []float64{q.Theoretical, q.Sample})
+		}
+		if err := writeCSV(dir, p+"_qq.csv", []string{"normal_quantile", "delay"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the setup-time distributions.
+func (r Fig8Result) WriteCSV(dir string) error {
+	return writeDistCSV(dir, "fig8_setup", r.Golden, r.VS)
+}
+
+// WriteCSV dumps butterfly curves, SNM distributions and the QQ series.
+func (r Fig9Result) WriteCSV(dir string) error {
+	dump := func(name string, left, right [2][]float64) error {
+		var rows [][]float64
+		for i := range left[0] {
+			rows = append(rows, []float64{left[0][i], left[1][i], right[0][i], right[1][i]})
+		}
+		return writeCSV(dir, name,
+			[]string{"left_in", "left_out", "right_in", "right_out"}, rows)
+	}
+	if err := dump("fig9_butterfly_read.csv",
+		[2][]float64{r.ReadLeft.In, r.ReadLeft.Out},
+		[2][]float64{r.ReadRight.In, r.ReadRight.Out}); err != nil {
+		return err
+	}
+	if err := dump("fig9_butterfly_hold.csv",
+		[2][]float64{r.HoldLeft.In, r.HoldLeft.Out},
+		[2][]float64{r.HoldRight.In, r.HoldRight.Out}); err != nil {
+		return err
+	}
+	if err := writeDistCSV(dir, "fig9_read_snm", r.GoldenRead, r.VSRead); err != nil {
+		return err
+	}
+	if err := writeDistCSV(dir, "fig9_hold_snm", r.GoldenHold, r.VSHold); err != nil {
+		return err
+	}
+	var rows [][]float64
+	for _, q := range r.VSHoldQQ {
+		rows = append(rows, []float64{q.Theoretical, q.Sample})
+	}
+	return writeCSV(dir, "fig9_hold_qq.csv", []string{"normal_quantile", "snm"}, rows)
+}
+
+// WriteCSV dumps the SSTA comparison rows.
+func (r ExtSSTAResult) WriteCSV(dir string) error {
+	var rows [][]float64
+	for _, row := range r.Rows {
+		rows = append(rows, []float64{row.Vdd, float64(row.Paths), float64(row.Depth),
+			row.GaussMu, row.GaussSigma, row.GaussQ999, row.MCQ999, row.TailErrPct})
+	}
+	return writeCSV(dir, "ext_ssta.csv",
+		[]string{"vdd", "paths", "depth", "gauss_mu", "gauss_sigma", "gauss_q999", "mc_q999", "tail_err_pct"}, rows)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vstat/internal/circuits"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestCSVExportDeviceFigures(t *testing.T) {
+	s := testSuite(t)
+	dir := t.TempDir()
+
+	if err := s.Fig1().WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig1_idvg.csv"))
+	if len(rows) < 10 || len(rows[0]) != 3 {
+		t.Fatalf("fig1_idvg shape %dx%d", len(rows), len(rows[0]))
+	}
+	rows = readCSV(t, filepath.Join(dir, "fig1_idvd.csv"))
+	if len(rows[0]) != 7 { // vd + 3 levels × 2 models
+		t.Fatalf("fig1_idvd header %v", rows[0])
+	}
+
+	f2, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rows := readCSV(t, filepath.Join(dir, "fig2.csv")); len(rows) != len(f2.Rows)+1 {
+		t.Fatalf("fig2 rows %d", len(rows))
+	}
+
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f3.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	f4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	ell := readCSV(t, filepath.Join(dir, "fig4_ellipses.csv"))
+	if len(ell) != 3*90+1 {
+		t.Fatalf("ellipse rows %d", len(ell))
+	}
+}
+
+func TestCSVExportDistributions(t *testing.T) {
+	dir := t.TempDir()
+	// Synthetic distributions exercise the writers without circuit MC.
+	g := newDelayDist([]float64{1, 2, 3, 4, 5})
+	v := newDelayDist([]float64{1.1, 2.1, 3.1, 4.1, 5.1})
+	r5 := Fig5Result{N: 5, Sizes: []Fig5Size{{Label: "x", Golden: g, VS: v}}}
+	if err := r5.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rows := readCSV(t, filepath.Join(dir, "fig5_size0_samples.csv")); len(rows) != 6 {
+		t.Fatalf("fig5 samples %d", len(rows))
+	}
+	if rows := readCSV(t, filepath.Join(dir, "fig5_size0_kde.csv")); len(rows) < 50 {
+		t.Fatalf("fig5 kde %d", len(rows))
+	}
+
+	r6 := Fig6Result{
+		Golden: []Fig6Point{{1e-9, 1e11}, {2e-9, 1.1e11}},
+		VS:     []Fig6Point{{1.5e-9, 0.9e11}, {2.5e-9, 1.2e11}},
+	}
+	if err := r6.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	r8 := Fig8Result{Golden: g, VS: v}
+	if err := r8.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	curve := circuits.ButterflyCurve{In: []float64{0, 0.45, 0.9}, Out: []float64{0.9, 0.45, 0}}
+	r9 := Fig9Result{
+		ReadLeft: curve, ReadRight: curve, HoldLeft: curve, HoldRight: curve,
+		GoldenRead: g, VSRead: v, GoldenHold: g, VSHold: v,
+	}
+	if err := r9.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rows := readCSV(t, filepath.Join(dir, "fig9_butterfly_read.csv")); len(rows) != 4 {
+		t.Fatalf("butterfly rows %d", len(rows))
+	}
+
+	ssta := ExtSSTAResult{Rows: []ExtSSTAVddRow{{Vdd: 0.9, Paths: 16, Depth: 5}}}
+	if err := ssta.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+}

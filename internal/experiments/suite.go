@@ -1,0 +1,224 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a function returning a structured result
+// with a text rendering, so the cmd/vsrepro tool and the benchmark harness
+// print the same rows/series the paper reports.
+//
+// The flow mirrors the paper: the golden (BSIM-like) statistical model
+// plays the industrial design kit; the nominal VS model is fitted to golden
+// I-V/C-V data (Fig. 1); golden Monte Carlo supplies the "measured" target
+// variances that backward propagation of variance maps onto VS mismatch
+// coefficients (Table II); and the resulting statistical VS model is
+// validated against golden Monte Carlo at device level (Fig. 2–4,
+// Table III) and circuit level (Fig. 5–9, Table IV).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"vstat/internal/bpv"
+	"vstat/internal/core"
+	"vstat/internal/device"
+	"vstat/internal/extract"
+	"vstat/internal/montecarlo"
+	"vstat/internal/stats"
+	"vstat/internal/variation"
+)
+
+// Config carries the global experiment settings.
+type Config struct {
+	Seed    int64
+	Workers int     // 0 = GOMAXPROCS
+	Scale   float64 // sample-count scale relative to the paper (1 = paper counts)
+	Vdd     float64
+}
+
+// DefaultConfig returns deterministic settings with paper-scale sampling.
+func DefaultConfig() Config {
+	return Config{Seed: 20130318, Workers: 0, Scale: 1, Vdd: 0.9}
+}
+
+// samples scales a paper sample count, keeping at least 50.
+func (c Config) samples(paper int) int {
+	n := int(float64(paper) * c.Scale)
+	if n < 50 {
+		n = 50
+	}
+	return n
+}
+
+// ExtractionGeometries is the W×L set used for BPV extraction (all at the
+// 40-nm node, plus one longer-channel point for δ(L) leverage).
+var ExtractionGeometries = [][2]float64{
+	{120e-9, 40e-9},
+	{300e-9, 40e-9},
+	{600e-9, 40e-9},
+	{1000e-9, 40e-9},
+	{1500e-9, 40e-9},
+	{600e-9, 60e-9},
+}
+
+// Suite is the shared experimental state: golden model, fitted VS model and
+// extracted coefficients.
+type Suite struct {
+	Cfg    Config
+	Golden *core.StatGolden
+	VS     *core.StatVS
+
+	FitRepN, FitRepP extract.FitReport
+
+	// MeasuredN/P are the golden-MC target variances per geometry.
+	MeasuredN, MeasuredP []bpv.GeometryVariance
+	// ExtractionN/P are the configured BPV problems (reused by Fig. 2/3).
+	ExtractionN, ExtractionP *bpv.Extraction
+}
+
+// NewSuite runs the full extraction pipeline: Fig. 1 nominal fits for both
+// polarities, golden Monte Carlo over the extraction geometries, direct α5
+// measurement, and the joint BPV solve.
+func NewSuite(cfg Config) (*Suite, error) {
+	s := &Suite{Cfg: cfg, Golden: core.DefaultStatGolden(), VS: core.DefaultStatVS()}
+
+	// Nominal extraction (Fig. 1) at the paper's W = 300 nm, followed by a
+	// δ(Leff) roll-up calibration at a second length so the model's local
+	// L-sensitivity is identified, as the paper's emphasis on a
+	// well-characterized nominal model requires.
+	for _, k := range []device.Kind{device.NMOS, device.PMOS} {
+		ref40 := s.Golden.Card(k, 300e-9, 40e-9)
+		ds40 := extract.SampleDevice(&ref40, cfg.Vdd)
+		fitted, rep, err := extract.FitVS(s.VS.Card(k, 300e-9, 40e-9), ds40)
+		if err != nil {
+			return nil, fmt.Errorf("suite: nominal fit %v: %w", k, err)
+		}
+		// Pin the local dVT/dL by calibrating δ(L) against the golden
+		// off-current at a closely spaced second length.
+		ref44 := s.Golden.Card(k, 300e-9, 44e-9)
+		if cal, err := extract.CalibrateLDelta(fitted, &ref44, cfg.Vdd); err == nil {
+			fitted = cal
+		}
+		if k == device.NMOS {
+			s.VS.NMOS = fitted
+			s.FitRepN = rep
+		} else {
+			s.VS.PMOS = fitted
+			s.FitRepP = rep
+		}
+	}
+
+	// Measured variances from golden MC (the "silicon data" substitute),
+	// and direct Cinv (α5) measurement from the golden oxide statistics, as
+	// the paper measures tox rather than extracting it.
+	nMC := cfg.samples(1500)
+	for _, k := range []device.Kind{device.NMOS, device.PMOS} {
+		meas, err := s.measureGolden(k, nMC)
+		if err != nil {
+			return nil, err
+		}
+		alpha5 := s.Golden.Alphas(k).A5
+		ex := &bpv.Extraction{
+			Card:   s.VS.Card(k, 1e-6, 40e-9),
+			Kind:   k,
+			Vdd:    cfg.Vdd,
+			Alpha5: alpha5,
+		}
+		al, err := ex.SolveJoint(meas)
+		if err != nil {
+			return nil, fmt.Errorf("suite: BPV %v: %w", k, err)
+		}
+		if k == device.NMOS {
+			s.MeasuredN, s.ExtractionN = meas, ex
+			s.VS.AlphaN = al
+		} else {
+			s.MeasuredP, s.ExtractionP = meas, ex
+			s.VS.AlphaP = al
+		}
+	}
+	return s, nil
+}
+
+// measureGolden runs device-level golden MC at every extraction geometry.
+func (s *Suite) measureGolden(k device.Kind, n int) ([]bpv.GeometryVariance, error) {
+	tg := bpv.Targets{Vdd: s.Cfg.Vdd}
+	var out []bpv.GeometryVariance
+	for gi, g := range ExtractionGeometries {
+		seed := s.Cfg.Seed + int64(gi)*7919 + int64(k)*104729
+		samples, err := montecarlo.Map(n, seed, s.Cfg.Workers,
+			func(idx int, rng *rand.Rand) ([]float64, error) {
+				d := s.Golden.SampleDevice(rng, k, g[0], g[1])
+				return tg.EvalVec(d), nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("suite: golden MC %v W=%g: %w", k, g[0], err)
+		}
+		out = append(out, bpv.GeometryVariance{
+			W: g[0], L: g[1],
+			SigmaIdsat:   stats.StdDev(montecarlo.Column(samples, 0)),
+			SigmaLogIoff: stats.StdDev(montecarlo.Column(samples, 1)),
+			SigmaCgg:     stats.StdDev(montecarlo.Column(samples, 2)),
+		})
+	}
+	return out, nil
+}
+
+// Table2Result is paper Table II: the extracted standard-deviation
+// coefficients for both polarities, in paper units.
+type Table2Result struct {
+	NMOS, PMOS variation.Alphas
+	// PaperNMOS/PMOS hold the published values for side-by-side reporting.
+	PaperNMOS, PaperPMOS [5]float64
+}
+
+// Table2 reports the extracted α coefficients (paper Table II).
+func (s *Suite) Table2() Table2Result {
+	return Table2Result{
+		NMOS:      s.VS.AlphaN,
+		PMOS:      s.VS.AlphaP,
+		PaperNMOS: [5]float64{2.3, 3.71, 3.71, 944, 0.29},
+		PaperPMOS: [5]float64{2.86, 3.66, 3.66, 781, 0.81},
+	}
+}
+
+// String renders the table.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: extracted standard deviation coefficients (BPV)\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s %14s %14s\n", "coefficient", "NMOS", "PMOS", "paper NMOS", "paper PMOS")
+	n1, n2, n3, n4, n5 := r.NMOS.PaperUnits()
+	p1, p2, p3, p4, p5 := r.PMOS.PaperUnits()
+	rows := []struct {
+		name   string
+		n, p   float64
+		pn, pp float64
+	}{
+		{"alpha1 (V*nm)", n1, p1, r.PaperNMOS[0], r.PaperPMOS[0]},
+		{"alpha2 (nm)", n2, p2, r.PaperNMOS[1], r.PaperPMOS[1]},
+		{"alpha3 (nm)", n3, p3, r.PaperNMOS[2], r.PaperPMOS[2]},
+		{"alpha4 (nm*cm2/Vs)", n4, p4, r.PaperNMOS[3], r.PaperPMOS[3]},
+		{"alpha5 (nm*uF/cm2)", n5, p5, r.PaperNMOS[4], r.PaperPMOS[4]},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s %12.3g %12.3g %14.3g %14.3g\n", row.name, row.n, row.p, row.pn, row.pp)
+	}
+	return b.String()
+}
+
+// Table1Result documents the statistical parameter list of paper Table I.
+type Table1Result struct{}
+
+// String renders paper Table I (the statistical VS parameter list).
+func (Table1Result) String() string {
+	return strings.Join([]string{
+		"Table I: VS model statistical parameters (source -> parameter)",
+		"  LER    -> Leff  (nm)        effective channel length",
+		"  LER    -> Weff  (nm)        effective channel width",
+		"  RDF    -> VT0   (V)         zero-bias threshold voltage",
+		"  OTF    -> Cinv  (uF/cm2)    effective gate-to-channel capacitance",
+		"  stress -> mu    (cm2/V*s)   carrier mobility",
+		"  stress -> vxo   (cm/s)      virtual source velocity (dependent: Eq. 5)",
+		"",
+	}, "\n")
+}
+
+// Table1 returns the parameter-list pseudo-experiment.
+func (s *Suite) Table1() Table1Result { return Table1Result{} }

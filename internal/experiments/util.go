@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"math"
+
+	"vstat/internal/device"
+	"vstat/internal/variation"
+)
+
+// mathHypot is √(a²+b²); named to keep seq_exps readable.
+func mathHypot(a, b float64) float64 { return math.Hypot(a, b) }
+
+// interDie wraps variation.InterDieSigma (paper Eq. 1).
+func interDie(total, within float64) (float64, error) {
+	return variation.InterDieSigma(total, within)
+}
+
+// mathSqrt and mathAbs keep convergence.go free of a direct math import
+// conflict with the package's other files.
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// mathAbs returns |x|.
+func mathAbs(x float64) float64 { return math.Abs(x) }
+
+// nmosKind/pmosKind keep sramac.go terse.
+func nmosKind() device.Kind { return device.NMOS }
+
+// pmosKind returns the p-channel polarity tag.
+func pmosKind() device.Kind { return device.PMOS }

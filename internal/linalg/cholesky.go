@@ -1,0 +1,84 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a (only the
+// lower triangle of a is read). It returns ErrSingular when a is not
+// positive definite.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (shared, do not modify).
+func (c *Cholesky) L() *Matrix { return c.l }
+
+// Solve solves A x = b.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	x := VecClone(b)
+	// L y = b
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	// Lᵀ x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// MulLVec returns L*v; used to colour independent Gaussian samples with a
+// target covariance (v ~ N(0,I) → L v ~ N(0, A)).
+func (c *Cholesky) MulLVec(v []float64) []float64 {
+	n := c.l.Rows
+	if len(v) != n {
+		panic("linalg: MulLVec dimension mismatch")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j <= i; j++ {
+			s += c.l.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigen-decomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// matrix of corresponding eigenvectors as columns.
+//
+// Only the symmetric part (a+aᵀ)/2 is considered. The method is O(n³) per
+// sweep and converges quadratically; matrices in this repository are tiny
+// (2×2 covariance ellipses up to ~6×6 BPV normal matrices).
+func SymEigen(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEigen of non-square matrix")
+	}
+	n := a.Rows
+	// Work on the symmetrized copy.
+	w := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return math.Sqrt(s)
+	}
+	scale := w.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	for sweep := 0; sweep < 100 && offDiag() > 1e-14*scale*float64(n); sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}

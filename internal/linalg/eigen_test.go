@@ -1,0 +1,64 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{3, 0}, {0, 5}})
+	vals, vecs := SymEigen(a)
+	if !almostEq(vals[0], 5, 1e-12) || !almostEq(vals[1], 3, 1e-12) {
+		t.Fatalf("vals %v", vals)
+	}
+	// Leading eigenvector is ±e2.
+	if math.Abs(math.Abs(vecs.At(1, 0))-1) > 1e-10 {
+		t.Fatalf("vecs %v", vecs)
+	}
+}
+
+func TestSymEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEigen(a)
+	if !almostEq(vals[0], 3, 1e-12) || !almostEq(vals[1], 1, 1e-12) {
+		t.Fatalf("vals %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/√2 up to sign.
+	r := vecs.At(0, 0) / vecs.At(1, 0)
+	if !almostEq(r, 1, 1e-9) {
+		t.Fatalf("leading eigenvector ratio %g", r)
+	}
+}
+
+// Property: A v_i = λ_i v_i and Vᵀ V = I for random symmetric matrices.
+func TestSymEigenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		b := randomMatrix(rng, n)
+		a := b.AddMatrix(b.T()).Scale(0.5)
+		vals, vecs := SymEigen(a)
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		for c := 0; c < n; c++ {
+			v := make([]float64, n)
+			for r := 0; r < n; r++ {
+				v[r] = vecs.At(r, c)
+			}
+			av := a.MulVec(v)
+			for r := 0; r < n; r++ {
+				if math.Abs(av[r]-vals[c]*v[r]) > 1e-8*(1+a.MaxAbs()) {
+					t.Fatalf("A v != λ v (col %d): %v vs λ=%g v=%v", c, av, vals[c], v)
+				}
+			}
+			if !almostEq(Norm2(v), 1, 1e-9) {
+				t.Fatalf("eigenvector not unit norm: %v", v)
+			}
+		}
+	}
+}

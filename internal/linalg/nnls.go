@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"math"
+)
+
+// NNLS solves the non-negative least squares problem
+//
+//	min ||A x - b||2  subject to  x >= 0
+//
+// using the active-set algorithm of Lawson & Hanson (1974). BPV extraction
+// uses this to solve for squared mismatch coefficients α², which must be
+// non-negative to be physical (a plain least-squares solve can go negative
+// when a parameter contributes almost nothing to the measured variances).
+func NNLS(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		panic("linalg: NNLS dimension mismatch")
+	}
+	x := make([]float64, n)
+	passive := make([]bool, n) // true: in passive (free) set P
+	w := make([]float64, n)    // gradient Aᵀ(b - A x)
+
+	resid := func() []float64 {
+		r := VecClone(b)
+		for i := 0; i < m; i++ {
+			ri := a.Row(i)
+			for j := 0; j < n; j++ {
+				r[i] -= ri[j] * x[j]
+			}
+		}
+		return r
+	}
+	// Solve the unconstrained LS problem restricted to the passive set.
+	solvePassive := func() ([]float64, []int, error) {
+		var cols []int
+		for j := 0; j < n; j++ {
+			if passive[j] {
+				cols = append(cols, j)
+			}
+		}
+		sub := NewMatrix(m, len(cols))
+		for i := 0; i < m; i++ {
+			for k, j := range cols {
+				sub.Set(i, k, a.At(i, j))
+			}
+		}
+		z, err := LeastSquares(sub, b)
+		return z, cols, err
+	}
+
+	const maxOuter = 300
+	tolScale := 0.0
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > tolScale {
+			tolScale = av
+		}
+	}
+	tol := 1e-12 * (tolScale*NormInf(b) + 1)
+
+	for outer := 0; outer < maxOuter; outer++ {
+		r := resid()
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * r[i]
+			}
+			w[j] = s
+		}
+		// Find the most violated KKT multiplier among the active set.
+		best, bestJ := tol, -1
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > best {
+				best, bestJ = w[j], j
+			}
+		}
+		if bestJ < 0 {
+			return x, nil // KKT satisfied
+		}
+		passive[bestJ] = true
+
+		for inner := 0; inner < maxOuter; inner++ {
+			z, cols, err := solvePassive()
+			if err != nil {
+				// Rank-deficient passive set: drop the variable we just
+				// added and accept the current iterate.
+				passive[bestJ] = false
+				return x, nil
+			}
+			minZ := math.Inf(1)
+			for _, v := range z {
+				if v < minZ {
+					minZ = v
+				}
+			}
+			if minZ > 0 {
+				for j := range x {
+					x[j] = 0
+				}
+				for k, j := range cols {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Step toward z only as far as feasibility allows.
+			alpha := math.Inf(1)
+			for k, j := range cols {
+				if z[k] <= 0 {
+					if d := x[j] - z[k]; d > 0 {
+						if t := x[j] / d; t < alpha {
+							alpha = t
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range cols {
+				x[j] += alpha * (z[k] - x[j])
+			}
+			for _, j := range cols {
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	return x, nil
+}

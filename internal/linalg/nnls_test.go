@@ -1,0 +1,121 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNNLSUnconstrainedInterior(t *testing.T) {
+	// When the unconstrained solution is positive, NNLS must match LS.
+	a := NewMatrixFromRows([][]float64{{2, 0}, {0, 3}, {1, 1}})
+	xTrue := []float64{1.5, 2.5}
+	b := a.MulVec(xTrue)
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if !almostEq(x[i], xTrue[i], 1e-9) {
+			t.Fatalf("got %v want %v", x, xTrue)
+		}
+	}
+}
+
+func TestNNLSActiveConstraint(t *testing.T) {
+	// Classic example where plain LS would produce a negative coordinate.
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1.0001}})
+	b := []float64{1, 0.9} // LS solution has a large negative component
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d]=%g negative", i, v)
+		}
+	}
+}
+
+// Properties: non-negativity always; KKT optimality (gradient ≤ 0 on active
+// set, ≈0 on passive set).
+func TestNNLSKKTProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 3 + r.Intn(10)
+		n := 1 + r.Intn(4)
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := NNLS(a, b)
+		if err != nil {
+			return false
+		}
+		res := VecSub(b, a.MulVec(x))
+		tol := 1e-6 * (1 + Norm2(b))
+		for j := 0; j < n; j++ {
+			if x[j] < 0 {
+				return false
+			}
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = a.At(i, j)
+			}
+			g := Dot(col, res) // gradient of ½||r||² wrt x_j is -g
+			if x[j] > 1e-10 {
+				if math.Abs(g) > tol {
+					return false
+				}
+			} else if g > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNLSRecoversNonNegativeTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		m, n := 12, 4
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = math.Abs(rng.NormFloat64())
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = math.Abs(rng.NormFloat64())
+		}
+		b := a.MulVec(xTrue)
+		x, err := NNLS(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact data: residual must be ~0.
+		res := VecSub(b, a.MulVec(x))
+		if Norm2(res) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("trial %d: residual %g too large", trial, Norm2(res))
+		}
+	}
+}
+
+func TestNNLSZeroRHS(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	x, err := NNLS(a, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("got %v want zeros", x)
+	}
+}

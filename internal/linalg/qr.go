@@ -1,0 +1,111 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+type QR struct {
+	qr    *Matrix   // Householder vectors below diagonal, R on/above
+	rdiag []float64 // diagonal of R
+}
+
+// NewQR factors a (not modified). Requires a.Rows >= a.Cols.
+func NewQR(a *Matrix) *QR {
+	if a.Rows < a.Cols {
+		panic("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n)}
+	qr := f.qr
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Add(k, k, 1)
+			// Apply transformation to remaining columns.
+			for j := k + 1; j < n; j++ {
+				s := 0.0
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Add(i, j, s*qr.At(i, k))
+				}
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entry relative to
+// the largest one.
+func (f *QR) FullRank() bool {
+	max := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return false
+	}
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= 1e-13*max {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ||A x - b||2.
+// It returns ErrSingular when A is rank deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("linalg: QR.Solve dimension mismatch")
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := VecClone(b)
+	qr := f.qr
+	// Compute Q^T b.
+	for k := 0; k < n; k++ {
+		if qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += qr.At(i, k) * y[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * qr.At(i, k)
+		}
+	}
+	// Back substitution R x = (Q^T b)[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||2 via QR in one call.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return NewQR(a).Solve(b)
+}

@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"vstat/internal/spice"
+)
+
+// SlewTime measures the 10%–90% transition time of the first edge of the
+// given direction after tAfter on node v.
+func SlewTime(res *spice.TranResult, node int, vdd float64, rising bool, tAfter float64) (float64, error) {
+	v := res.V(node)
+	lo, hi := 0.1*vdd, 0.9*vdd
+	var t1, t2 float64
+	var err error
+	if rising {
+		t1, err = CrossTime(res.Time, v, lo, true, tAfter)
+		if err != nil {
+			return 0, fmt.Errorf("slew 10%%: %w", err)
+		}
+		t2, err = CrossTime(res.Time, v, hi, true, t1)
+	} else {
+		t1, err = CrossTime(res.Time, v, hi, false, tAfter)
+		if err != nil {
+			return 0, fmt.Errorf("slew 90%%: %w", err)
+		}
+		t2, err = CrossTime(res.Time, v, lo, false, t1)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("slew end: %w", err)
+	}
+	return t2 - t1, nil
+}
+
+// SupplyCharge integrates the charge delivered by the supply source over
+// [t0, t1] (trapezoidal rule on the branch current). The sign convention
+// makes delivered charge positive.
+func SupplyCharge(res *spice.TranResult, vddSrc int, t0, t1 float64) float64 {
+	i := res.SourceI(vddSrc)
+	q := 0.0
+	for k := 1; k < len(res.Time); k++ {
+		ta, tb := res.Time[k-1], res.Time[k]
+		if tb <= t0 || ta >= t1 {
+			continue
+		}
+		// Clip the segment to the window.
+		a, b := math.Max(ta, t0), math.Min(tb, t1)
+		// Interpolate currents at the clipped ends.
+		ia := interpAt(res.Time, i, a)
+		ib := interpAt(res.Time, i, b)
+		q += -0.5 * (ia + ib) * (b - a)
+	}
+	return q
+}
+
+// SwitchingEnergy returns the energy drawn from the supply over a window,
+// E = Vdd · Q_delivered — the per-transition dynamic energy when the window
+// spans exactly one output transition.
+func SwitchingEnergy(res *spice.TranResult, vddSrc int, vdd, t0, t1 float64) float64 {
+	return vdd * SupplyCharge(res, vddSrc, t0, t1)
+}
+
+func interpAt(t, v []float64, x float64) float64 {
+	n := len(t)
+	if x <= t[0] {
+		return v[0]
+	}
+	if x >= t[n-1] {
+		return v[n-1]
+	}
+	h := t[1] - t[0]
+	k := int((x - t[0]) / h)
+	if k >= n-1 {
+		k = n - 2
+	}
+	f := (x - t[k]) / (t[k+1] - t[k])
+	return v[k] + f*(v[k+1]-v[k])
+}

@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/circuits"
+	"vstat/internal/spice"
+)
+
+func TestSlewTimeRC(t *testing.T) {
+	// RC step: 10-90% rise time = ln(9)·RC ≈ 2.197·RC.
+	c := spice.New()
+	in := c.Node("in")
+	out := c.Node("out")
+	R, C := 1000.0, 1e-12
+	c.AddV("VIN", in, spice.Gnd, spice.PWL{T: []float64{0, 1e-12}, V: []float64{0, 1}})
+	c.AddR("R", in, out, R)
+	c.AddC("C", out, spice.Gnd, C)
+	res, err := c.Transient(spice.TranOpts{Stop: 10e-9, Step: 5e-12, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slew, err := SlewTime(res, out, 1.0, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(9) * R * C
+	if math.Abs(slew-want)/want > 0.02 {
+		t.Fatalf("slew %g want %g", slew, want)
+	}
+	if _, err := SlewTime(res, out, 1.0, false, 0); err == nil {
+		t.Fatal("no falling edge: expected error")
+	}
+}
+
+func TestSwitchingEnergyInverter(t *testing.T) {
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	b := circuits.InverterFO(3, 0.9, sz, nominalVS)
+	res, err := b.Ckt.Transient(spice.TranOpts{Stop: circuits.PulsePeriod, Step: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window around the falling input edge (output rises: supply charges
+	// the load through the driver PMOS).
+	tFall := circuits.PulseDelay + circuits.EdgeTime + circuits.PulseWidth
+	e := SwitchingEnergy(res, b.VddSrc, 0.9, tFall-20e-12, tFall+120e-12)
+	// Load: roughly 3 inverter input caps (~0.5 fF each) + self-loading at
+	// 0.9 V: order 1-10 fJ. Assert the physical window.
+	if e < 0.2e-15 || e > 30e-15 {
+		t.Fatalf("switching energy %g J implausible", e)
+	}
+	// The rising-output transition must cost more supply charge than a
+	// same-length quiet window (leakage only).
+	quiet := SwitchingEnergy(res, b.VddSrc, 0.9, 650e-12, 790e-12)
+	if quiet >= e {
+		t.Fatalf("quiet window energy %g not below switching %g", quiet, e)
+	}
+}
+
+func TestSlewShorterForStrongerDriver(t *testing.T) {
+	sz1 := circuits.Sizing{WP: 300e-9, WN: 150e-9, L: 40e-9}
+	sz2 := circuits.Sizing{WP: 1200e-9, WN: 600e-9, L: 40e-9}
+	slew := func(sz circuits.Sizing) float64 {
+		// Fixed external load makes the stronger driver visibly faster.
+		b := circuits.InverterFO(1, 0.9, sz, nominalVS)
+		b.Ckt.AddC("CEXT", b.Out, spice.Gnd, 2e-15)
+		res, err := b.Ckt.Transient(spice.TranOpts{Stop: 200e-12, Step: 0.5e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SlewTime(res, b.Out, 0.9, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if s2, s1 := slew(sz2), slew(sz1); s2 >= s1 {
+		t.Fatalf("stronger driver slew %g not below weaker %g", s2, s1)
+	}
+}

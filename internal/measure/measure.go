@@ -1,0 +1,121 @@
+// Package measure extracts the circuit-level figures of merit the paper
+// reports from simulation results: propagation delay and frequency,
+// leakage, static noise margin from butterfly curves (largest embedded
+// square, Seevinck's construction), and setup/hold times by pass/fail
+// bisection over the data-to-clock offset.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"vstat/internal/spice"
+)
+
+// ErrNoCrossing is returned when a waveform never crosses the requested
+// level in the requested direction.
+var ErrNoCrossing = errors.New("measure: no crossing found")
+
+// CrossTime returns the first time after tAfter at which waveform v crosses
+// the given level in the given direction, linearly interpolated.
+func CrossTime(t, v []float64, level float64, rising bool, tAfter float64) (float64, error) {
+	for i := 1; i < len(t); i++ {
+		if t[i] <= tAfter {
+			continue
+		}
+		a, b := v[i-1], v[i]
+		hit := (rising && a < level && b >= level) || (!rising && a > level && b <= level)
+		if hit {
+			f := (level - a) / (b - a)
+			return t[i-1] + f*(t[i]-t[i-1]), nil
+		}
+	}
+	return 0, ErrNoCrossing
+}
+
+// PropDelay measures the propagation delay between the 50% crossing of the
+// input edge (rising if inRising) and the 50% crossing of the resulting
+// output edge (opposite direction for an inverting stage).
+func PropDelay(res *spice.TranResult, in, out int, vdd float64, inRising, inverting bool, tAfter float64) (float64, error) {
+	tIn, err := CrossTime(res.Time, res.V(in), vdd/2, inRising, tAfter)
+	if err != nil {
+		return 0, fmt.Errorf("input edge: %w", err)
+	}
+	outRising := inRising != inverting
+	tOut, err := CrossTime(res.Time, res.V(out), vdd/2, outRising, tIn)
+	if err != nil {
+		return 0, fmt.Errorf("output edge: %w", err)
+	}
+	return tOut - tIn, nil
+}
+
+// PairDelay measures the average of the output-falling and output-rising
+// propagation delays of an inverting gate over one full input pulse, the
+// per-sample delay statistic used for the paper's Figs. 5–7.
+func PairDelay(res *spice.TranResult, in, out int, vdd float64) (float64, error) {
+	dHL, err := PropDelay(res, in, out, vdd, true, true, 0)
+	if err != nil {
+		return 0, err
+	}
+	// The falling input edge follows the pulse width.
+	tInRise, _ := CrossTime(res.Time, res.V(in), vdd/2, true, 0)
+	dLH, err := PropDelay(res, in, out, vdd, false, true, tInRise)
+	if err != nil {
+		return 0, err
+	}
+	return 0.5 * (dHL + dLH), nil
+}
+
+// Leakage returns the static supply current drawn through the vdd source at
+// the given operating point (positive value).
+func Leakage(op *spice.OPResult, vddSrc int) float64 {
+	return math.Abs(op.SourceI(vddSrc))
+}
+
+// interp1 is a piecewise-linear y(x) interpolator over samples that must be
+// strictly monotone in x (ascending or descending).
+type interp1 struct {
+	x, y []float64 // ascending in x
+}
+
+func newInterp(x, y []float64) (*interp1, error) {
+	n := len(x)
+	if n < 2 || n != len(y) {
+		return nil, errors.New("measure: interpolator needs >= 2 paired points")
+	}
+	asc := x[n-1] > x[0]
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	if asc {
+		copy(xs, x)
+		copy(ys, y)
+	} else {
+		for i := range x {
+			xs[i] = x[n-1-i]
+			ys[i] = y[n-1-i]
+		}
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, errors.New("measure: interpolator abscissa not monotone")
+	}
+	return &interp1{x: xs, y: ys}, nil
+}
+
+// at evaluates the interpolant, clamping outside the domain.
+func (p *interp1) at(x float64) float64 {
+	n := len(p.x)
+	if x <= p.x[0] {
+		return p.y[0]
+	}
+	if x >= p.x[n-1] {
+		return p.y[n-1]
+	}
+	i := sort.SearchFloat64s(p.x, x)
+	f := (x - p.x[i-1]) / (p.x[i] - p.x[i-1])
+	return p.y[i-1] + f*(p.y[i]-p.y[i-1])
+}
+
+func (p *interp1) lo() float64 { return p.x[0] }
+func (p *interp1) hi() float64 { return p.x[len(p.x)-1] }

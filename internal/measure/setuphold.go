@@ -1,0 +1,164 @@
+package measure
+
+import (
+	"errors"
+	"fmt"
+
+	"vstat/internal/circuits"
+	"vstat/internal/spice"
+)
+
+// ErrNoPassRegion is returned when the flip-flop fails even at the largest
+// tested offset (broken register).
+var ErrNoPassRegion = errors.New("measure: no passing data-to-clock offset")
+
+// SetupOpts configures the setup-time search.
+type SetupOpts struct {
+	ClkEdge   float64 // rising clock edge time, s
+	MaxOffset float64 // largest data-to-clock offset tried, s
+	Tol       float64 // bisection resolution, s
+	Step      float64 // transient step, s
+	Settle    float64 // time after the edge at which Q is checked, s
+}
+
+// DefaultSetupOpts returns a search window suited to the 40-nm register.
+func DefaultSetupOpts() SetupOpts {
+	return SetupOpts{
+		ClkEdge:   300e-12,
+		MaxOffset: 150e-12,
+		Tol:       1e-12,
+		Step:      2e-12,
+		Settle:    300e-12,
+	}
+}
+
+// SetupTime finds the minimum time by which a 0→1 data transition must
+// precede the rising clock edge for the register to capture the 1 (checked
+// at ClkEdge+Settle). As in the paper, this needs a full transient per
+// probe, which is what makes register characterization ~20× more expensive
+// than a combinational cell and motivates the ultra-compact VS model.
+func SetupTime(ff *circuits.DFF, o SetupOpts) (float64, error) {
+	passes := func(offset float64) (bool, error) {
+		return setupTrialPasses(ff, o, offset)
+	}
+	// The largest offset must pass and a zero/negative margin must fail.
+	hiPass, err := passes(o.MaxOffset)
+	if err != nil {
+		return 0, err
+	}
+	if !hiPass {
+		return 0, ErrNoPassRegion
+	}
+	lo, hi := -o.MaxOffset/4, o.MaxOffset
+	loPass, err := passes(lo)
+	if err != nil {
+		return 0, err
+	}
+	if loPass {
+		// Captures even with data after the edge: effectively no setup
+		// constraint in the window; report the lower bound.
+		return lo, nil
+	}
+	for hi-lo > o.Tol {
+		mid := 0.5 * (lo + hi)
+		ok, err := passes(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// setupTrialPasses runs one capture trial with the data edge at
+// ClkEdge−offset and reports whether Q latched high.
+func setupTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, error) {
+	vdd := ff.Vdd
+	edge := circuits.EdgeTime
+	tData := o.ClkEdge - offset
+
+	// Data: low, rising at tData, staying high.
+	ff.Ckt.SetVSource(ff.DSrc, spice.PWL{
+		T: []float64{0, tData, tData + edge},
+		V: []float64{0, 0, vdd},
+	})
+	// Clock: low long enough for the master to settle at D=0, one rising
+	// edge at ClkEdge, held high through the check.
+	ff.Ckt.SetVSource(ff.ClkSrc, spice.PWL{
+		T: []float64{0, o.ClkEdge, o.ClkEdge + edge},
+		V: []float64{0, 0, vdd},
+	})
+
+	stop := o.ClkEdge + o.Settle
+	res, err := ff.Ckt.Transient(spice.TranOpts{Stop: stop, Step: o.Step, UIC: true, IC: ff.ICHoldingZero()})
+	if err != nil {
+		return false, fmt.Errorf("setup trial: %w", err)
+	}
+	q := res.At(ff.Q, stop)
+	return q > vdd/2, nil
+}
+
+// HoldTime finds the minimum time the data must remain stable *after* the
+// rising clock edge: data goes high well before the edge, then falls at
+// ClkEdge+offset; the register must still capture the 1. Returned is the
+// smallest passing offset (can be negative when the data may fall before
+// the edge).
+func HoldTime(ff *circuits.DFF, o SetupOpts) (float64, error) {
+	passes := func(offset float64) (bool, error) {
+		return holdTrialPasses(ff, o, offset)
+	}
+	hiPass, err := passes(o.MaxOffset)
+	if err != nil {
+		return 0, err
+	}
+	if !hiPass {
+		return 0, ErrNoPassRegion
+	}
+	lo, hi := -o.MaxOffset, o.MaxOffset
+	loPass, err := passes(lo)
+	if err != nil {
+		return 0, err
+	}
+	if loPass {
+		return lo, nil
+	}
+	for hi-lo > o.Tol {
+		mid := 0.5 * (lo + hi)
+		ok, err := passes(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+func holdTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, error) {
+	vdd := ff.Vdd
+	edge := circuits.EdgeTime
+	tFall := o.ClkEdge + offset
+
+	// Data: high early (ample setup), falling at tFall.
+	ff.Ckt.SetVSource(ff.DSrc, spice.PWL{
+		T: []float64{0, 50e-12, 50e-12 + edge, tFall, tFall + edge},
+		V: []float64{0, 0, vdd, vdd, 0},
+	})
+	ff.Ckt.SetVSource(ff.ClkSrc, spice.PWL{
+		T: []float64{0, o.ClkEdge, o.ClkEdge + edge},
+		V: []float64{0, 0, vdd},
+	})
+	stop := o.ClkEdge + o.Settle
+	res, err := ff.Ckt.Transient(spice.TranOpts{Stop: stop, Step: o.Step, UIC: true, IC: ff.ICHoldingZero()})
+	if err != nil {
+		return false, fmt.Errorf("hold trial: %w", err)
+	}
+	return res.At(ff.Q, stop) > vdd/2, nil
+}

@@ -1,0 +1,77 @@
+package measure
+
+import (
+	"math"
+
+	"vstat/internal/circuits"
+)
+
+// SNMResult carries the static-noise-margin decomposition of a butterfly
+// plot: the maximal square side in each lobe and the cell SNM (their
+// minimum), all in volts.
+type SNMResult struct {
+	Upper, Lower, SNM float64
+}
+
+// SNM computes the static noise margin of a butterfly plot by Seevinck's
+// largest-embedded-square construction. left is the transfer curve
+// qb = f(q) obtained by forcing q; right is q = g(qb) obtained by forcing
+// qb. Plotted on common (q, qb) axes, the two curves enclose two lobes; the
+// SNM is the side of the largest square fitting in the smaller lobe.
+func SNM(left, right circuits.ButterflyCurve) (SNMResult, error) {
+	// Curve A on (x=q, y=qb) axes: y = f(x).
+	fA, err := newInterp(left.In, left.Out)
+	if err != nil {
+		return SNMResult{}, err
+	}
+	// Curve B on the same axes: points (g(v), v) — invert to y = gInv(x).
+	fB, err := newInterp(right.Out, right.In)
+	if err != nil {
+		return SNMResult{}, err
+	}
+	// The two lobes are the regions where one curve runs above the other;
+	// the metastable crossing separates them, so the two orderings of the
+	// same curve pair measure the two lobes.
+	upper := maxSquare(fA, fB)
+	lower := maxSquare(fB, fA)
+
+	return SNMResult{Upper: upper, Lower: lower, SNM: math.Min(upper, lower)}, nil
+}
+
+// maxSquare returns the side of the largest axis-aligned square that fits
+// between a falling upper curve yTop(x) and a falling lower curve yBot(x):
+// for anchor x0, the square [x0, x0+s] × [yTop(x0+s)−s, yTop(x0+s)] fits
+// when yTop(x0+s) − s ≥ yBot(x0); s(x0) solves the equality (monotone in
+// s), and the result is max over x0.
+func maxSquare(top, bot *interp1) float64 {
+	lo := math.Max(top.lo(), bot.lo())
+	hi := math.Min(top.hi(), bot.hi())
+	if hi <= lo {
+		return 0
+	}
+	const anchors = 240
+	best := 0.0
+	span := hi - lo
+	for i := 0; i <= anchors; i++ {
+		x0 := lo + span*float64(i)/anchors
+		g := func(s float64) float64 { return top.at(x0+s) - s - bot.at(x0) }
+		if g(0) <= 0 {
+			continue // outside the lobe
+		}
+		sLo, sHi := 0.0, span
+		if g(sHi) > 0 {
+			best = math.Max(best, sHi)
+			continue
+		}
+		for it := 0; it < 60; it++ {
+			mid := 0.5 * (sLo + sHi)
+			if g(mid) > 0 {
+				sLo = mid
+			} else {
+				sHi = mid
+			}
+		}
+		best = math.Max(best, sLo)
+	}
+	return best
+}

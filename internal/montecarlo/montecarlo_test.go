@@ -1,0 +1,115 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"vstat/internal/stats"
+)
+
+func TestMapOrderAndDeterminism(t *testing.T) {
+	fn := func(idx int, rng *rand.Rand) (float64, error) {
+		return float64(idx) + rng.Float64()*1e-3, nil
+	}
+	a, err := Map(100, 42, 4, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(100, 42, 13, fn) // different worker count
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across worker counts: %g vs %g", i, a[i], b[i])
+		}
+		if math.Floor(a[i]) != float64(i) {
+			t.Fatalf("sample order broken at %d: %g", i, a[i])
+		}
+	}
+	c, _ := Map(100, 43, 4, fn)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(50, 1, 8, func(idx int, rng *rand.Rand) (int, error) {
+		if idx == 33 {
+			return 0, boom
+		}
+		return idx, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("expected wrapped boom, got %v", err)
+	}
+}
+
+func TestMapRunsAllSamples(t *testing.T) {
+	var count int64
+	_, err := Map(257, 7, 16, func(idx int, rng *rand.Rand) (struct{}, error) {
+		atomic.AddInt64(&count, 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 257 {
+		t.Fatalf("ran %d samples", count)
+	}
+}
+
+func TestMapEmptyAndDefaults(t *testing.T) {
+	out, err := Map(0, 1, 0, func(int, *rand.Rand) (int, error) { return 1, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty run: %v %v", out, err)
+	}
+	// workers <= 0 defaults to GOMAXPROCS; n < workers clamps.
+	out2, err := Map(3, 1, -1, func(i int, _ *rand.Rand) (int, error) { return i, nil })
+	if err != nil || len(out2) != 3 {
+		t.Fatalf("default workers: %v %v", out2, err)
+	}
+}
+
+func TestSampleRNGIndependence(t *testing.T) {
+	// Gaussian draws across samples must be uncorrelated and standard.
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = SampleRNG(99, i).NormFloat64()
+	}
+	if m := stats.Mean(xs); math.Abs(m) > 0.03 {
+		t.Fatalf("cross-sample mean %g", m)
+	}
+	if sd := stats.StdDev(xs); math.Abs(sd-1) > 0.03 {
+		t.Fatalf("cross-sample std %g", sd)
+	}
+	// Lag-1 correlation of the per-sample first draws.
+	if r := stats.Correlation(xs[:n-1], xs[1:]); math.Abs(r) > 0.03 {
+		t.Fatalf("lag-1 correlation %g", r)
+	}
+}
+
+func TestScalarsAndColumn(t *testing.T) {
+	xs, err := Scalars(10, 5, 2, func(i int, _ *rand.Rand) (float64, error) {
+		return float64(i * i), nil
+	})
+	if err != nil || xs[3] != 9 {
+		t.Fatalf("Scalars: %v %v", xs, err)
+	}
+	col := Column([][]float64{{1, 2}, {3, 4}, {5, 6}}, 1)
+	if col[0] != 2 || col[2] != 6 {
+		t.Fatalf("Column: %v", col)
+	}
+}

@@ -1,0 +1,214 @@
+// Package optimize provides the small optimization and root-finding kernel
+// used by the VS-model tool chain: Levenberg–Marquardt nonlinear least
+// squares (nominal VS parameter extraction against golden-model I-V data),
+// Nelder–Mead simplex (derivative-free refinement), and 1-D root
+// finding/minimization (setup/hold bisection, SNM search).
+package optimize
+
+import (
+	"errors"
+	"math"
+
+	"vstat/internal/linalg"
+)
+
+// ResidualFunc evaluates the residual vector r(x) of a least-squares problem
+// min ½||r(x)||². The returned slice must have a fixed length across calls.
+type ResidualFunc func(x []float64) []float64
+
+// LMOptions configures LevenbergMarquardt.
+type LMOptions struct {
+	MaxIter  int     // maximum outer iterations (default 200)
+	TolF     float64 // relative reduction of ||r||² to declare convergence (default 1e-12)
+	TolX     float64 // relative step-size convergence threshold (default 1e-10)
+	InitMu   float64 // initial damping (default 1e-3)
+	FDStep   float64 // relative finite-difference step for the Jacobian (default 1e-6)
+	Lower    []float64
+	Upper    []float64 // optional box constraints (projected steps)
+	MaxFails int       // consecutive rejected steps before giving up (default 30)
+}
+
+func (o *LMOptions) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-12
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-10
+	}
+	if o.InitMu <= 0 {
+		o.InitMu = 1e-3
+	}
+	if o.FDStep <= 0 {
+		o.FDStep = 1e-6
+	}
+	if o.MaxFails <= 0 {
+		o.MaxFails = 30
+	}
+}
+
+// LMResult reports the outcome of LevenbergMarquardt.
+type LMResult struct {
+	X          []float64
+	Cost       float64 // ½||r||²
+	Iterations int
+	Converged  bool
+}
+
+// ErrLMStalled is returned when damping grows without producing an
+// acceptable step.
+var ErrLMStalled = errors.New("optimize: Levenberg-Marquardt stalled")
+
+// LevenbergMarquardt minimizes ½||r(x)||² starting at x0, using a numeric
+// forward-difference Jacobian and the Marquardt diagonal scaling.
+func LevenbergMarquardt(f ResidualFunc, x0 []float64, opts LMOptions) (LMResult, error) {
+	opts.fill()
+	n := len(x0)
+	x := clamp(linalg.VecClone(x0), opts.Lower, opts.Upper)
+	r := f(x)
+	m := len(r)
+	cost := 0.5 * linalg.Dot(r, r)
+	mu := opts.InitMu
+	res := LMResult{X: x, Cost: cost}
+
+	jac := linalg.NewMatrix(m, n)
+	fails := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Numeric Jacobian (forward differences).
+		for j := 0; j < n; j++ {
+			h := opts.FDStep * (math.Abs(x[j]) + opts.FDStep)
+			xj := x[j]
+			x[j] = xj + h
+			if opts.Upper != nil && x[j] > opts.Upper[j] {
+				// step backward instead when at the upper bound
+				x[j] = xj - h
+				h = -h
+			}
+			rp := f(x)
+			x[j] = xj
+			for i := 0; i < m; i++ {
+				jac.Set(i, j, (rp[i]-r[i])/h)
+			}
+		}
+		// Normal equations with Marquardt damping: (JᵀJ + µ diag(JᵀJ)) δ = -Jᵀr.
+		jtj := linalg.NewMatrix(n, n)
+		jtr := make([]float64, n)
+		for i := 0; i < m; i++ {
+			ri := jac.Row(i)
+			for a := 0; a < n; a++ {
+				jtr[a] -= ri[a] * r[i]
+				for b := a; b < n; b++ {
+					jtj.Add(a, b, ri[a]*ri[b])
+				}
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < a; b++ {
+				jtj.Set(a, b, jtj.At(b, a))
+			}
+		}
+		gradNorm := linalg.NormInf(jtr)
+		if gradNorm < 1e-15*(1+cost) {
+			res.Converged = true
+			break
+		}
+
+		accepted := false
+		for try := 0; try < 40; try++ {
+			a := jtj.Clone()
+			for d := 0; d < n; d++ {
+				damp := mu * jtj.At(d, d)
+				if damp <= 0 {
+					damp = mu
+				}
+				a.Add(d, d, damp)
+			}
+			step, err := linalg.SolveLinear(a, jtr)
+			if err != nil {
+				mu *= 10
+				continue
+			}
+			xNew := clamp(addVec(x, step), opts.Lower, opts.Upper)
+			if vecEqual(xNew, x) {
+				// The projected step is zero: x sits on an active bound and
+				// the model step points outside the feasible box.
+				res.Converged = true
+				accepted = true
+				break
+			}
+			rNew := f(xNew)
+			costNew := 0.5 * linalg.Dot(rNew, rNew)
+			if costNew < cost && !math.IsNaN(costNew) {
+				// Accept.
+				relStep := linalg.Norm2(linalg.VecSub(xNew, x)) / (1 + linalg.Norm2(x))
+				relF := (cost - costNew) / (1 + cost)
+				x = xNew
+				r = rNew
+				cost = costNew
+				mu = math.Max(mu/3, 1e-14)
+				accepted = true
+				fails = 0
+				if relF < opts.TolF && relStep < opts.TolX {
+					res.Converged = true
+				}
+				break
+			}
+			mu *= 10
+			if mu > 1e14 {
+				break
+			}
+		}
+		res.X = x
+		res.Cost = cost
+		if res.Converged {
+			break
+		}
+		if !accepted {
+			fails++
+			if fails >= opts.MaxFails || mu > 1e14 {
+				return res, ErrLMStalled
+			}
+		}
+	}
+	res.X = x
+	res.Cost = cost
+	return res, nil
+}
+
+func vecEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func addVec(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func clamp(x, lo, hi []float64) []float64 {
+	if lo != nil {
+		for i := range x {
+			if x[i] < lo[i] {
+				x[i] = lo[i]
+			}
+		}
+	}
+	if hi != nil {
+		for i := range x {
+			if x[i] > hi[i] {
+				x[i] = hi[i]
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,142 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+
+	"vstat/internal/linalg"
+)
+
+// NMOptions configures NelderMead.
+type NMOptions struct {
+	MaxIter int     // default 500*n
+	TolF    float64 // simplex function-value spread (default 1e-12)
+	TolX    float64 // simplex diameter (default 1e-10)
+	Scale   float64 // initial simplex edge relative to |x0| (default 0.05)
+}
+
+// NelderMead minimizes f starting from x0 using the downhill simplex method
+// with standard (1, 2, 0.5, 0.5) reflection/expansion/contraction/shrink
+// coefficients. It is derivative-free and tolerant of mild noise, which
+// makes it a good polishing stage after Levenberg–Marquardt on simulator-
+// in-the-loop objectives.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float64, float64) {
+	n := len(x0)
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500 * (n + 1)
+	}
+	if opts.TolF <= 0 {
+		opts.TolF = 1e-12
+	}
+	if opts.TolX <= 0 {
+		opts.TolX = 1e-10
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 0.05
+	}
+
+	// Initial simplex: x0 plus per-coordinate perturbations.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	pts[0] = linalg.VecClone(x0)
+	for i := 1; i <= n; i++ {
+		p := linalg.VecClone(x0)
+		h := opts.Scale * math.Abs(p[i-1])
+		if h == 0 {
+			h = opts.Scale
+		}
+		p[i-1] += h
+		pts[i] = p
+	}
+	for i := range pts {
+		vals[i] = f(pts[i])
+	}
+
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+		np := make([][]float64, n+1)
+		nv := make([]float64, n+1)
+		for k, i := range idx {
+			np[k] = pts[i]
+			nv[k] = vals[i]
+		}
+		copy(pts, np)
+		copy(vals, nv)
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		order()
+		// Convergence: function spread and simplex diameter.
+		if math.Abs(vals[n]-vals[0]) <= opts.TolF*(1+math.Abs(vals[0])) {
+			diam := 0.0
+			for i := 1; i <= n; i++ {
+				d := linalg.Norm2(linalg.VecSub(pts[i], pts[0]))
+				if d > diam {
+					diam = d
+				}
+			}
+			if diam <= opts.TolX*(1+linalg.Norm2(pts[0])) {
+				break
+			}
+		}
+		// Centroid of all but the worst point.
+		c := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				c[j] += pts[i][j]
+			}
+		}
+		for j := range c {
+			c[j] /= float64(n)
+		}
+		worst := pts[n]
+		reflect := func(coef float64) []float64 {
+			p := make([]float64, n)
+			for j := range p {
+				p[j] = c[j] + coef*(c[j]-worst[j])
+			}
+			return p
+		}
+		xr := reflect(1)
+		fr := f(xr)
+		switch {
+		case fr < vals[0]:
+			// Try expansion.
+			xe := reflect(2)
+			fe := f(xe)
+			if fe < fr {
+				pts[n], vals[n] = xe, fe
+			} else {
+				pts[n], vals[n] = xr, fr
+			}
+		case fr < vals[n-1]:
+			pts[n], vals[n] = xr, fr
+		default:
+			// Contraction.
+			var xc []float64
+			if fr < vals[n] {
+				xc = reflect(0.5) // outside
+			} else {
+				xc = reflect(-0.5) // inside
+			}
+			fc := f(xc)
+			if fc < math.Min(fr, vals[n]) {
+				pts[n], vals[n] = xc, fc
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[0][j] + 0.5*(pts[i][j]-pts[0][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	return pts[0], vals[0]
+}

@@ -1,0 +1,127 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is called without a sign
+// change on the given interval.
+var ErrNoBracket = errors.New("optimize: interval does not bracket a root")
+
+// Bisect finds a root of f on [a, b] (f(a) and f(b) of opposite sign) to the
+// absolute tolerance tol. It is used by pass/fail searches such as setup and
+// hold time extraction, where f is a ±1 pass/fail indicator and robustness
+// matters more than order of convergence.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200 && math.Abs(b-a) > tol; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f on a bracketing interval [a, b] using Brent's
+// method (inverse quadratic interpolation with bisection fallback).
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for iter := 0; iter < 200; iter++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				// Secant.
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				// Inverse quadratic.
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, nil
+}
+
+// GoldenSection minimizes a unimodal f on [a, b] to tolerance tol and
+// returns the minimizer.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for math.Abs(b-a) > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}

@@ -1,0 +1,146 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"vstat/internal/device"
+	"vstat/internal/linalg"
+)
+
+// ACResult holds complex node voltages per analysis frequency for a
+// unit-magnitude AC excitation.
+type ACResult struct {
+	c     *Circuit
+	Freqs []float64
+	// xs[k] is the complex solution vector at Freqs[k].
+	xs [][]complex128
+}
+
+// V returns the complex node voltage at frequency index k.
+func (r *ACResult) V(node, k int) complex128 {
+	if node == Gnd {
+		return 0
+	}
+	return r.xs[k][node]
+}
+
+// VName returns the complex voltage of a named node at frequency index k.
+func (r *ACResult) VName(name string, k int) complex128 {
+	idx, ok := r.c.nodeIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", name))
+	}
+	return r.V(idx, k)
+}
+
+// MagDB returns 20·log10|V(node)| at frequency index k.
+func (r *ACResult) MagDB(node, k int) float64 {
+	v := r.V(node, k)
+	return 20 * math.Log10(cmplxAbs(v))
+}
+
+func cmplxAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+
+// AC runs small-signal analysis: it linearizes every device at the DC
+// operating point (conductances from ∂Id/∂V, capacitances from ∂Q/∂V) and
+// solves (G + jωC)·x = b at each frequency, with a unit AC source replacing
+// the waveform of the voltage source acSrc. Independent sources other than
+// acSrc are AC-shorted (V) or AC-opened (I), as in SPICE.
+func (c *Circuit) AC(acSrc int, freqs []float64) (*ACResult, error) {
+	op, err := c.OP()
+	if err != nil {
+		return nil, fmt.Errorf("spice: AC operating point: %w", err)
+	}
+	n := c.unknowns()
+	nNodes := len(c.nodeNames)
+
+	// Real conductance and capacitance matrices from linearization.
+	g := linalg.NewMatrix(n, n)
+	cm := linalg.NewMatrix(n, n)
+	addG := func(row, col int, v float64) {
+		if row != Gnd && col != Gnd {
+			g.Add(row, col, v)
+		}
+	}
+	addC := func(row, col int, v float64) {
+		if row != Gnd && col != Gnd {
+			cm.Add(row, col, v)
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		g.Add(i, i, c.Gmin)
+	}
+	for i := range c.rs {
+		r := &c.rs[i]
+		addG(r.a, r.a, r.g)
+		addG(r.a, r.b, -r.g)
+		addG(r.b, r.a, -r.g)
+		addG(r.b, r.b, r.g)
+	}
+	for i := range c.cs {
+		cp := &c.cs[i]
+		addC(cp.a, cp.a, cp.c)
+		addC(cp.a, cp.b, -cp.c)
+		addC(cp.b, cp.a, -cp.c)
+		addC(cp.b, cp.b, cp.c)
+	}
+	for i := range c.vs {
+		v := &c.vs[i]
+		br := nNodes + v.branch
+		addG(v.p, br, 1)
+		addG(v.n, br, -1)
+		addG(br, v.p, 1)
+		addG(br, v.n, -1)
+	}
+	for i := range c.mos {
+		m := &c.mos[i]
+		term := [4]int{m.d, m.g, m.s, m.b}
+		dv := device.EvalDerivs(m.dev,
+			op.V(m.d), op.V(m.g), op.V(m.s), op.V(m.b))
+		for j := 0; j < 4; j++ {
+			addG(m.d, term[j], dv.GId[j])
+			addG(m.s, term[j], -dv.GId[j])
+			for k := 0; k < 4; k++ {
+				addC(term[k], term[j], dv.CQ[k][j])
+			}
+		}
+	}
+
+	// RHS: unit excitation on the chosen source's branch row.
+	b := make([]complex128, n)
+	b[nNodes+c.vs[acSrc].branch] = 1
+
+	res := &ACResult{c: c, Freqs: freqs}
+	a := linalg.NewCMatrix(n, n)
+	for _, f := range freqs {
+		w := 2 * math.Pi * f
+		for i := 0; i < n; i++ {
+			gr := g.Row(i)
+			cr := cm.Row(i)
+			ar := a.Row(i)
+			for j := 0; j < n; j++ {
+				ar[j] = complex(gr[j], w*cr[j])
+			}
+		}
+		x, err := linalg.SolveCLinear(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
+		}
+		res.xs = append(res.xs, x)
+	}
+	return res, nil
+}
+
+// LogSpace returns n log-spaced frequencies from f0 to f1 inclusive.
+func LogSpace(f0, f1 float64, n int) []float64 {
+	if n < 2 {
+		return []float64{f0}
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log10(f0), math.Log10(f1)
+	for i := range out {
+		out[i] = math.Pow(10, l0+(l1-l0)*float64(i)/float64(n-1))
+	}
+	return out
+}

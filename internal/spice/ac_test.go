@@ -1,0 +1,156 @@
+package spice
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"vstat/internal/vsmodel"
+)
+
+func TestACLowPassTransfer(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	src := c.AddV("VIN", in, Gnd, DC(0))
+	R, C := 1000.0, 1e-9 // pole at 1/(2πRC) ≈ 159 kHz
+	c.AddR("R", in, out, R)
+	c.AddC("C", out, Gnd, C)
+
+	freqs := LogSpace(1e3, 1e8, 41)
+	res, err := c.AC(src, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, f := range freqs {
+		w := 2 * math.Pi * f
+		want := 1 / cmplx.Abs(complex(1, w*R*C))
+		got := cmplx.Abs(res.V(out, k))
+		if math.Abs(got-want) > 1e-3*want+1e-9 {
+			t.Fatalf("f=%g: |H| = %g want %g", f, got, want)
+		}
+		// Phase check: arctan(−ωRC).
+		wantPh := -math.Atan(w * R * C)
+		gotPh := cmplx.Phase(res.V(out, k))
+		if math.Abs(gotPh-wantPh) > 1e-3 {
+			t.Fatalf("f=%g: phase %g want %g", f, gotPh, wantPh)
+		}
+	}
+	// -3 dB point.
+	f3 := 1 / (2 * math.Pi * R * C)
+	res3, err := c.AC(src, []float64{f3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db := res3.MagDB(out, 0); math.Abs(db+3.0103) > 0.01 {
+		t.Fatalf("-3dB point: %g dB", db)
+	}
+}
+
+func TestACInverterGain(t *testing.T) {
+	// Small-signal gain of a self-biased inverter ≈ −(gmn+gmp)/(gdsn+gdsp);
+	// AC at low frequency must match the DC transfer slope.
+	build := func() (*Circuit, int, int, int) {
+		c := New()
+		vdd := c.Node("vdd")
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddV("VDD", vdd, Gnd, DC(0.9))
+		src := c.AddV("VIN", in, Gnd, DC(0.45))
+		n := vsmodel.NMOS40(300e-9)
+		p := vsmodel.PMOS40(600e-9)
+		c.AddMOS("MN", out, in, Gnd, Gnd, &n)
+		c.AddMOS("MP", out, in, vdd, vdd, &p)
+		return c, src, in, out
+	}
+	// Find the input bias where out crosses mid-rail (high gain point).
+	c, src, _, out := build()
+	var vBias float64
+	for v := 0.3; v <= 0.6; v += 0.002 {
+		c.SetVSource(src, DC(v))
+		op, err := c.OP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.V(out) < 0.45 {
+			vBias = v
+			break
+		}
+	}
+	c.SetVSource(src, DC(vBias))
+	res, err := c.AC(src, []float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := cmplx.Abs(res.V(out, 0))
+	if gain < 3 || gain > 200 {
+		t.Fatalf("inverter AC gain %g implausible", gain)
+	}
+	// Compare against the DC slope.
+	h := 1e-4
+	c.SetVSource(src, DC(vBias-h))
+	op1, _ := c.OP()
+	c.SetVSource(src, DC(vBias+h))
+	op2, _ := c.OP()
+	slope := math.Abs(op2.V(out)-op1.V(out)) / (2 * h)
+	if math.Abs(gain-slope)/slope > 0.05 {
+		t.Fatalf("AC gain %g vs DC slope %g", gain, slope)
+	}
+	// Gain must roll off at very high frequency.
+	resHi, err := c.AC(src, []float64{1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi := cmplx.Abs(resHi.V(out, 0)); hi > gain/2 {
+		t.Fatalf("no high-frequency rolloff: %g vs %g", hi, gain)
+	}
+}
+
+func TestACSRAMLoopStable(t *testing.T) {
+	// SRAM cell at its stable point: AC disturbance at a bitline couples
+	// only weakly into the cell (the paper's Table IV "SRAM AC" workload).
+	c := New()
+	vdd := c.Node("vdd")
+	q := c.Node("q")
+	qb := c.Node("qb")
+	bl := c.Node("bl")
+	c.AddV("VDD", vdd, Gnd, DC(0.9))
+	blSrc := c.AddV("VBL", bl, Gnd, DC(0.9))
+	c.AddV("VWL", c.Node("wl"), Gnd, DC(0.9))
+	pul := vsmodel.PMOS40(80e-9)
+	pur := vsmodel.PMOS40(80e-9)
+	pdl := vsmodel.NMOS40(150e-9)
+	pdr := vsmodel.NMOS40(150e-9)
+	pgl := vsmodel.NMOS40(110e-9)
+	c.AddMOS("PUL", q, qb, vdd, vdd, &pul)
+	c.AddMOS("PDL", q, qb, Gnd, Gnd, &pdl)
+	c.AddMOS("PUR", qb, q, vdd, vdd, &pur)
+	c.AddMOS("PDR", qb, q, Gnd, Gnd, &pdr)
+	c.AddMOS("PGL", bl, c.Node("wl"), q, Gnd, &pgl)
+	// Hold q high via initial OP convergence: add a weak helper that the
+	// DC solve uses to pick the q=1 state.
+	c.AddR("RINIT", vdd, q, 1e7)
+
+	res, err := c.AC(blSrc, LogSpace(1e6, 1e10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Freqs {
+		if g := cmplx.Abs(res.V(qb, k)); g > 2 {
+			t.Fatalf("bitline-to-cell AC gain %g at %g Hz implausible", g, res.Freqs[k])
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	fs := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(fs[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("LogSpace %v", fs)
+		}
+	}
+	if len(LogSpace(5, 10, 1)) != 1 {
+		t.Fatal("degenerate LogSpace")
+	}
+}

@@ -1,0 +1,140 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdaptiveOpts configures TransientAdaptive.
+type AdaptiveOpts struct {
+	Stop    float64 // end time, s
+	MaxStep float64 // largest allowed step, s
+	MinStep float64 // smallest allowed step (default MaxStep/1024)
+	// TolV is the per-node local-truncation proxy: the allowed difference
+	// between the linear prediction and the converged solution (default
+	// 1 mV). Larger values take bigger steps through quiet regions.
+	TolV float64
+	Trap bool
+	UIC  bool
+	IC   map[int]float64
+}
+
+// TransientAdaptive runs an implicit transient with local-truncation-error
+// step control: each step starts from the linear extrapolation of the
+// previous two points, and the max-norm gap between that prediction and the
+// converged solution drives the step size (reject and halve above 4×TolV,
+// grow by 1.4× below TolV/4). Quiet stretches of a waveform cost almost
+// nothing, while edges are resolved down to MinStep.
+//
+// The resulting time grid is non-uniform; TranResult.At interpolates it
+// transparently.
+func (c *Circuit) TransientAdaptive(opts AdaptiveOpts) (*TranResult, error) {
+	if opts.Stop <= 0 || opts.MaxStep <= 0 {
+		return nil, fmt.Errorf("spice: invalid adaptive window stop=%g maxstep=%g", opts.Stop, opts.MaxStep)
+	}
+	if opts.MinStep <= 0 {
+		opts.MinStep = opts.MaxStep / 1024
+	}
+	if opts.TolV <= 0 {
+		opts.TolV = 1e-3
+	}
+	n := c.unknowns()
+	nNodes := len(c.nodeNames)
+	x := make([]float64, n)
+	if opts.UIC {
+		for node, v := range opts.IC {
+			if node != Gnd {
+				x[node] = v
+			}
+		}
+	} else {
+		op, err := c.OP()
+		if err != nil {
+			return nil, fmt.Errorf("spice: adaptive transient initial OP: %w", err)
+		}
+		copy(x, op.x)
+	}
+
+	ts := &tranState{h: opts.MinStep, trap: opts.Trap, firstBE: true}
+	c.initTranHistory(x, ts)
+
+	res := &TranResult{c: c}
+	snap := func(t float64) {
+		xc := make([]float64, n)
+		copy(xc, x)
+		res.Time = append(res.Time, t)
+		res.xs = append(res.xs, xc)
+	}
+	snap(0)
+
+	xPrev := make([]float64, n)
+	copy(xPrev, x)
+	tPrev := 0.0
+	t := 0.0
+	h := opts.MinStep // conservative start resolves the initial corner
+	pred := make([]float64, n)
+	work := make([]float64, n)
+
+	for t < opts.Stop-1e-21 {
+		if t+h > opts.Stop {
+			h = opts.Stop - t
+		}
+		// Predict along the last segment's slope.
+		if t > 0 && t > tPrev {
+			f := h / (t - tPrev)
+			for i := range pred {
+				pred[i] = x[i] + f*(x[i]-xPrev[i])
+			}
+		} else {
+			copy(pred, x)
+		}
+		copy(work, pred)
+		ts.h = h
+		ctx := assembleCtx{t: t + h, srcScale: 1, tran: ts}
+		err := c.newton(work, &ctx)
+
+		// Error proxy: prediction gap over the node voltages.
+		gap := 0.0
+		if err == nil {
+			for i := 0; i < nNodes; i++ {
+				if d := math.Abs(work[i] - pred[i]); d > gap {
+					gap = d
+				}
+			}
+		}
+
+		if err != nil || gap > 4*opts.TolV {
+			// Reject: shrink and retry (accept unconditionally at MinStep
+			// to guarantee progress; the rescue ladder handles corners).
+			if h > opts.MinStep {
+				h = math.Max(h/2, opts.MinStep)
+				continue
+			}
+			if err != nil {
+				copy(work, x)
+				if err2 := c.rescueStep(work, t, h, ts); err2 != nil {
+					return nil, fmt.Errorf("spice: adaptive transient failed at t=%g: %w", t+h, err)
+				}
+				// rescueStep already updated the charge history.
+				copy(xPrev, x)
+				copy(x, work)
+				tPrev, t = t, t+h
+				ts.firstBE = false
+				snap(t)
+				continue
+			}
+		}
+
+		// Accept.
+		c.updateTranHistory(work, ts)
+		copy(xPrev, x)
+		copy(x, work)
+		tPrev, t = t, t+h
+		ts.firstBE = false
+		snap(t)
+		if gap < opts.TolV/4 && h < opts.MaxStep {
+			h = math.Min(h*1.4, opts.MaxStep)
+		}
+	}
+	return res, nil
+}

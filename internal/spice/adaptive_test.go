@@ -1,0 +1,124 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/vsmodel"
+)
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	R, C := 1000.0, 1e-9 // τ = 1 µs
+	c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 1, Delay: 0, Rise: 1e-9, Fall: 1e-9, Width: 1})
+	c.AddR("R", in, out, R)
+	c.AddC("C", out, Gnd, C)
+	res, err := c.TransientAdaptive(AdaptiveOpts{
+		Stop: 5e-6, MaxStep: 100e-9, TolV: 2e-4, UIC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := R * C
+	for _, tm := range []float64{0.5e-6, 1e-6, 2e-6, 4e-6} {
+		want := 1 - math.Exp(-tm/tau)
+		got := res.At(out, tm)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("t=%g: %g want %g", tm, got, want)
+		}
+	}
+}
+
+func TestAdaptiveUsesFewerStepsOnQuietTail(t *testing.T) {
+	build := func() (*Circuit, int) {
+		c := New()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 1, Delay: 10e-12, Rise: 10e-12, Fall: 10e-12, Width: 1})
+		c.AddR("R", in, out, 1000)
+		c.AddC("C", out, Gnd, 100e-15) // τ = 100 ps, then a long quiet tail
+		return c, out
+	}
+	cA, _ := build()
+	resA, err := cA.TransientAdaptive(AdaptiveOpts{Stop: 10e-9, MaxStep: 500e-12, MinStep: 1e-12, TolV: 1e-3, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cF, _ := build()
+	resF, err := cF.Transient(TranOpts{Stop: 10e-9, Step: 1e-12, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Time) >= len(resF.Time)/5 {
+		t.Fatalf("adaptive used %d steps vs fixed %d — too many", len(resA.Time), len(resF.Time))
+	}
+	// And still agrees at the end.
+	if d := math.Abs(resA.At(0, 10e-9) - resF.At(0, 10e-9)); d > 2e-3 {
+		t.Fatalf("endpoint mismatch %g", d)
+	}
+}
+
+func TestAdaptiveInverterDelayMatchesFixed(t *testing.T) {
+	build := func() (*Circuit, int, int) {
+		c := New()
+		vdd := c.Node("vdd")
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddV("VDD", vdd, Gnd, DC(0.9))
+		c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 0.9, Delay: 30e-12, Rise: 10e-12, Fall: 10e-12, Width: 200e-12})
+		n := vsmodel.NMOS40(300e-9)
+		p := vsmodel.PMOS40(600e-9)
+		c.AddMOS("MN", out, in, Gnd, Gnd, &n)
+		c.AddMOS("MP", out, in, vdd, vdd, &p)
+		c.AddC("CL", out, Gnd, 2e-15)
+		return c, in, out
+	}
+	delay := func(res *TranResult, in, out int) float64 {
+		tIn := math.NaN()
+		v := res.V(in)
+		for k := 1; k < len(res.Time); k++ {
+			if v[k-1] < 0.45 && v[k] >= 0.45 {
+				tIn = res.Time[k]
+				break
+			}
+		}
+		vo := res.V(out)
+		for k := 1; k < len(res.Time); k++ {
+			if res.Time[k] > tIn && vo[k-1] > 0.45 && vo[k] <= 0.45 {
+				f := (0.45 - vo[k-1]) / (vo[k] - vo[k-1])
+				return res.Time[k-1] + f*(res.Time[k]-res.Time[k-1]) - tIn
+			}
+		}
+		return math.NaN()
+	}
+	cA, inA, outA := build()
+	resA, err := cA.TransientAdaptive(AdaptiveOpts{Stop: 300e-12, MaxStep: 5e-12, MinStep: 0.1e-12, TolV: 2e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cF, inF, outF := build()
+	resF, err := cF.Transient(TranOpts{Stop: 300e-12, Step: 0.5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA, dF := delay(resA, inA, outA), delay(resF, inF, outF)
+	if math.IsNaN(dA) || math.IsNaN(dF) {
+		t.Fatalf("delay NaN: %g %g", dA, dF)
+	}
+	if math.Abs(dA-dF)/dF > 0.1 {
+		t.Fatalf("adaptive delay %g vs fixed %g", dA, dF)
+	}
+}
+
+func TestAdaptiveInvalidOpts(t *testing.T) {
+	c := New()
+	c.AddR("R", c.Node("a"), Gnd, 100)
+	if _, err := c.TransientAdaptive(AdaptiveOpts{Stop: 0, MaxStep: 1e-12}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := c.TransientAdaptive(AdaptiveOpts{Stop: 1e-9, MaxStep: 0}); err == nil {
+		t.Fatal("expected error")
+	}
+}

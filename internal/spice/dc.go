@@ -1,0 +1,121 @@
+package spice
+
+import (
+	"fmt"
+)
+
+// OPResult is a converged DC operating point.
+type OPResult struct {
+	c *Circuit
+	x []float64
+}
+
+// V returns the voltage of a node index (0 for ground).
+func (r *OPResult) V(node int) float64 { return nv(r.x, node) }
+
+// VName returns the voltage of a named node.
+func (r *OPResult) VName(name string) float64 {
+	idx, ok := r.c.nodeIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", name))
+	}
+	return nv(r.x, idx)
+}
+
+// SourceI returns the branch current of a voltage source (by index from
+// AddV): positive current flows from the + terminal through the source to
+// the − terminal, i.e. a supply delivering power has negative SourceI.
+func (r *OPResult) SourceI(src int) float64 {
+	return r.x[len(r.c.nodeNames)+src]
+}
+
+// Raw returns the raw unknown vector (nodes then branch currents).
+func (r *OPResult) Raw() []float64 { return r.x }
+
+// OP computes the DC operating point at t=0. It first attempts plain Newton
+// from the zero (or warm) state, then gmin stepping, then source stepping.
+func (c *Circuit) OP() (*OPResult, error) {
+	return c.op(nil)
+}
+
+// OPFrom computes the operating point warm-started from a previous solution
+// (e.g. during a DC sweep).
+func (c *Circuit) OPFrom(prev *OPResult) (*OPResult, error) {
+	if prev == nil {
+		return c.op(nil)
+	}
+	guess := make([]float64, len(prev.x))
+	copy(guess, prev.x)
+	return c.op(guess)
+}
+
+func (c *Circuit) op(guess []float64) (*OPResult, error) {
+	n := c.unknowns()
+	x := make([]float64, n)
+	if guess != nil && len(guess) == n {
+		copy(x, guess)
+	}
+
+	// 1. Plain Newton.
+	ctx := assembleCtx{srcScale: 1}
+	if err := c.newton(x, &ctx); err == nil {
+		return &OPResult{c: c, x: x}, nil
+	}
+
+	// 2. Gmin stepping: solve with a large artificial conductance to ground
+	// and relax it, warm-starting each stage.
+	for i := range x {
+		x[i] = 0
+	}
+	if guess != nil && len(guess) == n {
+		copy(x, guess)
+	}
+	ok := true
+	for _, gm := range []float64{1e-3, 1e-5, 1e-7, 1e-9, 0} {
+		ctx := assembleCtx{srcScale: 1, gminExtra: gm}
+		if err := c.newton(x, &ctx); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return &OPResult{c: c, x: x}, nil
+	}
+
+	// 3. Source stepping: ramp all sources from 10% to 100%.
+	for i := range x {
+		x[i] = 0
+	}
+	for _, lam := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1} {
+		ctx := assembleCtx{srcScale: lam, gminExtra: 1e-9}
+		if err := c.newton(x, &ctx); err != nil {
+			return nil, fmt.Errorf("spice: source stepping failed at λ=%g: %w", lam, err)
+		}
+	}
+	ctx = assembleCtx{srcScale: 1}
+	if err := c.newton(x, &ctx); err != nil {
+		return nil, err
+	}
+	return &OPResult{c: c, x: x}, nil
+}
+
+// DCSweep solves the operating point for each value assigned to the voltage
+// source src (index from AddV), warm-starting from the previous point. The
+// source's waveform is restored afterwards.
+func (c *Circuit) DCSweep(src int, values []float64) ([]*OPResult, error) {
+	saved := c.vs[src].wave
+	defer func() { c.vs[src].wave = saved }()
+
+	out := make([]*OPResult, 0, len(values))
+	var prev *OPResult
+	for _, v := range values {
+		c.vs[src].wave = DC(v)
+		op, err := c.OPFrom(prev)
+		if err != nil {
+			return nil, fmt.Errorf("spice: DC sweep failed at %g V: %w", v, err)
+		}
+		out = append(out, op)
+		prev = op
+	}
+	return out, nil
+}

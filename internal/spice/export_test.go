@@ -1,0 +1,9 @@
+package spice
+
+import "vstat/internal/linalg"
+
+// matrixAlias lets white-box tests reuse linalg.Matrix without importing it
+// in the test file signature.
+type matrixAlias = linalg.Matrix
+
+func newMatrixForTest(n int) *matrixAlias { return linalg.NewMatrix(n, n) }

@@ -1,0 +1,295 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vstat/internal/device"
+	"vstat/internal/linalg"
+)
+
+// Newton solver tolerances.
+const (
+	tolV   = 1e-9  // V, max node-voltage update
+	tolI   = 1e-10 // A, max KCL residual
+	vLimit = 0.3   // V, per-iteration node update clamp
+)
+
+// ErrNoConvergence is returned when every convergence aid fails.
+var ErrNoConvergence = errors.New("spice: Newton iteration failed to converge")
+
+// tranState carries the charge/current history of the implicit integrator.
+type tranState struct {
+	h        float64      // current timestep
+	trap     bool         // trapezoidal (else backward Euler)
+	firstBE  bool         // force BE on the first step after (re)initialization
+	qPrevMos [][4]float64 // per MOSFET terminal charges at t_n
+	iPrevMos [][4]float64 // per MOSFET terminal charge-currents at t_n
+	qPrevCap []float64    // per capacitor charge at t_n
+	iPrevCap []float64    // per capacitor current at t_n
+}
+
+// assembleCtx selects the analysis terms for one Newton solve.
+type assembleCtx struct {
+	t         float64    // source evaluation time
+	srcScale  float64    // source-stepping scale factor (1 = full)
+	gminExtra float64    // gmin-stepping additional node-to-ground conductance
+	tran      *tranState // nil for DC
+}
+
+// assemble fills the residual F(x) (sum of currents leaving each node, plus
+// source constraint rows) and, when wantJ is set, its Jacobian. Residual-only
+// assembly is much cheaper (one model evaluation per device instead of
+// five), enabling chord-Newton iterations on a frozen Jacobian.
+func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx, wantJ bool) {
+	for i := range f {
+		f[i] = 0
+	}
+	if wantJ {
+		jac.Zero()
+	}
+	nNodes := len(c.nodeNames)
+
+	addF := func(node int, v float64) {
+		if node != Gnd {
+			f[node] += v
+		}
+	}
+	addJ := func(row, col int, v float64) {
+		if row != Gnd && col != Gnd {
+			jac.Add(row, col, v)
+		}
+	}
+	if !wantJ {
+		addJ = func(int, int, float64) {}
+	}
+
+	// Global gmin to ground.
+	g := c.Gmin + ctx.gminExtra
+	for n := 0; n < nNodes; n++ {
+		f[n] += g * x[n]
+		jac.Add(n, n, g)
+	}
+
+	// Resistors.
+	for i := range c.rs {
+		r := &c.rs[i]
+		iv := r.g * (nv(x, r.a) - nv(x, r.b))
+		addF(r.a, iv)
+		addF(r.b, -iv)
+		addJ(r.a, r.a, r.g)
+		addJ(r.a, r.b, -r.g)
+		addJ(r.b, r.a, -r.g)
+		addJ(r.b, r.b, r.g)
+	}
+
+	// Voltage sources: branch current unknowns follow the node block.
+	for i := range c.vs {
+		v := &c.vs[i]
+		br := nNodes + v.branch
+		ib := x[br]
+		addF(v.p, ib)
+		addF(v.n, -ib)
+		addJ(v.p, br, 1)
+		addJ(v.n, br, -1)
+		f[br] = nv(x, v.p) - nv(x, v.n) - ctx.srcScale*v.wave.At(ctx.t)
+		addJ(br, v.p, 1)
+		addJ(br, v.n, -1)
+	}
+
+	// Current sources.
+	for i := range c.is {
+		s := &c.is[i]
+		iv := ctx.srcScale * s.wave.At(ctx.t)
+		addF(s.p, iv)
+		addF(s.n, -iv)
+	}
+
+	// Capacitors: open in DC, companion charge terms in transient.
+	if ctx.tran != nil {
+		ts := ctx.tran
+		for i := range c.cs {
+			cp := &c.cs[i]
+			q := cp.c * (nv(x, cp.a) - nv(x, cp.b))
+			var iq, geq float64
+			if ts.trap && !ts.firstBE {
+				iq = 2*(q-ts.qPrevCap[i])/ts.h - ts.iPrevCap[i]
+				geq = 2 * cp.c / ts.h
+			} else {
+				iq = (q - ts.qPrevCap[i]) / ts.h
+				geq = cp.c / ts.h
+			}
+			addF(cp.a, iq)
+			addF(cp.b, -iq)
+			addJ(cp.a, cp.a, geq)
+			addJ(cp.a, cp.b, -geq)
+			addJ(cp.b, cp.a, -geq)
+			addJ(cp.b, cp.b, geq)
+		}
+	}
+
+	// MOSFETs: DC channel current always; terminal charge currents in
+	// transient.
+	for i := range c.mos {
+		m := &c.mos[i]
+		term := [4]int{m.d, m.g, m.s, m.b}
+		var ev device.Eval
+		var dv device.Derivs
+		if wantJ {
+			dv = device.EvalDerivs(m.dev,
+				nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+			ev = dv.Eval
+		} else {
+			ev = m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		}
+		addF(m.d, ev.Id)
+		addF(m.s, -ev.Id)
+		if wantJ {
+			for j := 0; j < 4; j++ {
+				addJ(m.d, term[j], dv.GId[j])
+				addJ(m.s, term[j], -dv.GId[j])
+			}
+		}
+		if ctx.tran != nil {
+			ts := ctx.tran
+			q := [4]float64{ev.Q.Qd, ev.Q.Qg, ev.Q.Qs, ev.Q.Qb}
+			fac := 1 / ts.h
+			if ts.trap && !ts.firstBE {
+				fac = 2 / ts.h
+			}
+			for k := 0; k < 4; k++ {
+				var iq float64
+				if ts.trap && !ts.firstBE {
+					iq = 2*(q[k]-ts.qPrevMos[i][k])/ts.h - ts.iPrevMos[i][k]
+				} else {
+					iq = (q[k] - ts.qPrevMos[i][k]) / ts.h
+				}
+				addF(term[k], iq)
+				if wantJ {
+					for j := 0; j < 4; j++ {
+						addJ(term[k], term[j], fac*dv.CQ[k][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// updateTranHistory recomputes the charge/current history after a converged
+// timestep at solution x.
+func (c *Circuit) updateTranHistory(x []float64, ts *tranState) {
+	for i := range c.cs {
+		cp := &c.cs[i]
+		q := cp.c * (nv(x, cp.a) - nv(x, cp.b))
+		var iq float64
+		if ts.trap && !ts.firstBE {
+			iq = 2*(q-ts.qPrevCap[i])/ts.h - ts.iPrevCap[i]
+		} else {
+			iq = (q - ts.qPrevCap[i]) / ts.h
+		}
+		ts.qPrevCap[i] = q
+		ts.iPrevCap[i] = iq
+	}
+	for i := range c.mos {
+		m := &c.mos[i]
+		e := m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		q := [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
+		for k := 0; k < 4; k++ {
+			var iq float64
+			if ts.trap && !ts.firstBE {
+				iq = 2*(q[k]-ts.qPrevMos[i][k])/ts.h - ts.iPrevMos[i][k]
+			} else {
+				iq = (q[k] - ts.qPrevMos[i][k]) / ts.h
+			}
+			ts.qPrevMos[i][k] = q[k]
+			ts.iPrevMos[i][k] = iq
+		}
+	}
+}
+
+// initTranHistory seeds the charge history from the state x with zero
+// charge currents.
+func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
+	ts.qPrevCap = make([]float64, len(c.cs))
+	ts.iPrevCap = make([]float64, len(c.cs))
+	ts.qPrevMos = make([][4]float64, len(c.mos))
+	ts.iPrevMos = make([][4]float64, len(c.mos))
+	for i := range c.cs {
+		cp := &c.cs[i]
+		ts.qPrevCap[i] = cp.c * (nv(x, cp.a) - nv(x, cp.b))
+	}
+	for i := range c.mos {
+		m := &c.mos[i]
+		e := m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		ts.qPrevMos[i] = [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
+	}
+}
+
+// newton runs damped Newton iteration on the system selected by ctx,
+// starting from and updating x in place.
+func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
+	n := c.unknowns()
+	nNodes := len(c.nodeNames)
+	// Newton scratch buffers live on the circuit (one goroutine per
+	// circuit), so transient loops do not re-allocate per step.
+	if len(c.nwF) != n {
+		c.nwF = make([]float64, n)
+		c.nwScratch = make([]float64, n)
+		c.nwJac = linalg.NewMatrix(n, n)
+	}
+	f, jac, scratch := c.nwF, c.nwJac, c.nwScratch
+
+	maxIter := c.MaxNewton
+	if maxIter <= 0 {
+		maxIter = 150
+	}
+	var lu *linalg.LU
+	prevDv := math.Inf(1)
+	forceJ := true
+	for iter := 0; iter < maxIter; iter++ {
+		// Chord Newton: refresh the (expensive, finite-differenced)
+		// Jacobian on the first iteration and whenever contraction slows;
+		// in between, re-use the factored Jacobian with fresh residuals.
+		wantJ := lu == nil || forceJ || prevDv > 0.2
+		c.assemble(x, f, jac, ctx, wantJ)
+		if wantJ {
+			var err error
+			lu, err = linalg.NewLU(jac)
+			if err != nil {
+				return fmt.Errorf("spice: singular Jacobian: %w", err)
+			}
+		}
+		dx := lu.SolvePermuting(f, scratch)
+
+		// Voltage limiting on node entries.
+		maxDv := 0.0
+		for i := 0; i < nNodes; i++ {
+			if dx[i] > vLimit {
+				dx[i] = vLimit
+			} else if dx[i] < -vLimit {
+				dx[i] = -vLimit
+			}
+			if a := math.Abs(dx[i]); a > maxDv {
+				maxDv = a
+			}
+		}
+		for i := range x {
+			x[i] -= dx[i]
+		}
+
+		maxF := 0.0
+		for i := 0; i < nNodes; i++ {
+			if a := math.Abs(f[i]); a > maxF {
+				maxF = a
+			}
+		}
+		if maxDv < tolV && maxF < tolI {
+			return nil
+		}
+		// A stale Jacobian must still contract; refresh when it stalls.
+		forceJ = !wantJ && maxDv > 0.5*prevDv
+		prevDv = maxDv
+	}
+	return ErrNoConvergence
+}

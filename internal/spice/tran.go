@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TranOpts configures a transient analysis.
+type TranOpts struct {
+	Stop float64 // end time, s
+	Step float64 // fixed timestep, s
+
+	// Trap selects trapezoidal integration; default is backward Euler.
+	// The first step after initialization is always BE.
+	Trap bool
+
+	// UIC skips the initial DC operating point and starts from the node
+	// voltages in IC (unset nodes start at 0), like SPICE's .tran UIC.
+	UIC bool
+	IC  map[int]float64 // initial node voltages (used when UIC)
+}
+
+// TranResult holds the sampled waveforms of a transient run.
+type TranResult struct {
+	c    *Circuit
+	Time []float64
+	// xs[k] is the full unknown vector at Time[k].
+	xs [][]float64
+}
+
+// V returns the waveform of a node index.
+func (r *TranResult) V(node int) []float64 {
+	out := make([]float64, len(r.Time))
+	for k, x := range r.xs {
+		out[k] = nv(x, node)
+	}
+	return out
+}
+
+// VName returns the waveform of a named node.
+func (r *TranResult) VName(name string) []float64 {
+	idx, ok := r.c.nodeIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", name))
+	}
+	return r.V(idx)
+}
+
+// SourceI returns the branch-current waveform of a voltage source index.
+func (r *TranResult) SourceI(src int) []float64 {
+	out := make([]float64, len(r.Time))
+	off := len(r.c.nodeNames) + src
+	for k, x := range r.xs {
+		out[k] = x[off]
+	}
+	return out
+}
+
+// At returns the interpolated node voltage at time t. The time grid may be
+// non-uniform (adaptive stepping), so the bracketing step is found by
+// binary search.
+func (r *TranResult) At(node int, t float64) float64 {
+	n := len(r.Time)
+	if n == 0 {
+		return math.NaN()
+	}
+	if t <= r.Time[0] {
+		return nv(r.xs[0], node)
+	}
+	if t >= r.Time[n-1] {
+		return nv(r.xs[n-1], node)
+	}
+	k := sort.SearchFloat64s(r.Time, t)
+	if k > 0 {
+		k--
+	}
+	if k >= n-1 {
+		k = n - 2
+	}
+	f := (t - r.Time[k]) / (r.Time[k+1] - r.Time[k])
+	v0, v1 := nv(r.xs[k], node), nv(r.xs[k+1], node)
+	return v0 + f*(v1-v0)
+}
+
+// Transient runs a fixed-step implicit transient analysis.
+func (c *Circuit) Transient(opts TranOpts) (*TranResult, error) {
+	if opts.Stop <= 0 || opts.Step <= 0 {
+		return nil, fmt.Errorf("spice: invalid transient window stop=%g step=%g", opts.Stop, opts.Step)
+	}
+	n := c.unknowns()
+	x := make([]float64, n)
+
+	if opts.UIC {
+		for node, v := range opts.IC {
+			if node != Gnd {
+				x[node] = v
+			}
+		}
+	} else {
+		op, err := c.OP()
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient initial OP: %w", err)
+		}
+		copy(x, op.x)
+	}
+
+	ts := &tranState{h: opts.Step, trap: opts.Trap, firstBE: true}
+	c.initTranHistory(x, ts)
+
+	steps := int(math.Ceil(opts.Stop/opts.Step + 1e-9))
+	res := &TranResult{c: c, Time: make([]float64, 0, steps+1), xs: make([][]float64, 0, steps+1)}
+	snap := func(t float64) {
+		xc := make([]float64, n)
+		copy(xc, x)
+		res.Time = append(res.Time, t)
+		res.xs = append(res.xs, xc)
+	}
+	snap(0)
+
+	t := 0.0
+	xPrev := make([]float64, n)
+	copy(xPrev, x)
+	pred := make([]float64, n)
+	for k := 0; k < steps; k++ {
+		t = float64(k+1) * opts.Step
+		// Linear predictor: start Newton from the extrapolated trajectory,
+		// which typically saves an iteration per step.
+		if k > 0 {
+			for i := range pred {
+				pred[i] = 2*x[i] - xPrev[i]
+			}
+			copy(xPrev, x)
+			copy(x, pred)
+		} else {
+			copy(xPrev, x)
+		}
+		ctx := assembleCtx{t: t, srcScale: 1, tran: ts}
+		if err := c.newton(x, &ctx); err != nil {
+			// Retry the step from the unextrapolated state with several
+			// smaller backward-Euler sub-steps, a cheap and robust rescue
+			// for sharp source corners.
+			copy(x, xPrev)
+			if err2 := c.rescueStep(x, t-opts.Step, opts.Step, ts); err2 != nil {
+				return nil, fmt.Errorf("spice: transient failed at t=%g: %w", t, err)
+			}
+		} else {
+			c.updateTranHistory(x, ts)
+		}
+		ts.firstBE = false
+		snap(t)
+	}
+	return res, nil
+}
+
+// rescueStep retries a failed step as several smaller backward-Euler steps.
+func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState) error {
+	const pieces = 8
+	sub := h / pieces
+	savedH, savedTrap, savedFirst := ts.h, ts.trap, ts.firstBE
+	ts.h, ts.trap, ts.firstBE = sub, false, true
+	defer func() { ts.h, ts.trap, ts.firstBE = savedH, savedTrap, savedFirst }()
+	for i := 1; i <= pieces; i++ {
+		ctx := assembleCtx{t: t0 + float64(i)*sub, srcScale: 1, tran: ts}
+		if err := c.newton(x, &ctx); err != nil {
+			return err
+		}
+		c.updateTranHistory(x, ts)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+// Package ssta implements a small block-based statistical static timing
+// analyzer over a gate-level timing graph, in two modes:
+//
+//   - Gaussian (first-order canonical) propagation with Clark's MAX
+//     approximation — the classic SSTA the paper's reference [14] builds on;
+//   - Monte Carlo propagation that resamples the true per-gate delay
+//     populations.
+//
+// The pair quantifies the paper's low-power observation: when gate delays
+// turn non-Gaussian at low Vdd (paper Fig. 7), Gaussian SSTA loses tail
+// accuracy even though each underlying process parameter is an independent
+// Gaussian. Within-die random mismatch makes gate delays independent, which
+// is the regime this analyzer targets (reconvergent-fanout correlation is
+// deliberately out of scope and documented as such).
+package ssta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vstat/internal/stats"
+)
+
+// DelayDist is an edge delay model.
+type DelayDist interface {
+	// MeanSigma returns the Gaussian summary used by analytic SSTA.
+	MeanSigma() (mu, sigma float64)
+	// Sample draws one delay realization for Monte Carlo SSTA.
+	Sample(rng *rand.Rand) float64
+}
+
+// Gaussian is an analytic normal delay.
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// MeanSigma returns the parameters.
+func (g Gaussian) MeanSigma() (float64, float64) { return g.Mu, g.Sigma }
+
+// Sample draws from N(Mu, Sigma²).
+func (g Gaussian) Sample(rng *rand.Rand) float64 { return g.Mu + g.Sigma*rng.NormFloat64() }
+
+// Empirical wraps a measured delay population (e.g. circuit Monte Carlo
+// samples); Sample bootstraps from it, preserving non-Gaussian shape.
+type Empirical struct {
+	Samples []float64
+	mu, sd  float64
+	init    bool
+}
+
+// NewEmpirical precomputes the Gaussian summary.
+func NewEmpirical(samples []float64) *Empirical {
+	return &Empirical{
+		Samples: samples,
+		mu:      stats.Mean(samples),
+		sd:      stats.StdDev(samples),
+		init:    true,
+	}
+}
+
+// MeanSigma returns the sample mean and standard deviation.
+func (e *Empirical) MeanSigma() (float64, float64) {
+	if !e.init {
+		e.mu, e.sd = stats.Mean(e.Samples), stats.StdDev(e.Samples)
+		e.init = true
+	}
+	return e.mu, e.sd
+}
+
+// Sample bootstraps one delay.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	return e.Samples[rng.Intn(len(e.Samples))]
+}
+
+// NodeID identifies a timing node.
+type NodeID int
+
+type edge struct {
+	from, to NodeID
+	d        DelayDist
+}
+
+// Graph is a timing DAG: arrival time at a node is the max over incoming
+// (arrival(from) + edge delay); nodes without incoming edges arrive at 0.
+type Graph struct {
+	names []string
+	edges []edge
+	in    map[NodeID][]int // incoming edge indices per node
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{in: map[NodeID][]int{}}
+}
+
+// AddNode creates a named timing node.
+func (g *Graph) AddNode(name string) NodeID {
+	g.names = append(g.names, name)
+	return NodeID(len(g.names) - 1)
+}
+
+// AddEdge adds a timing arc with the given delay distribution.
+func (g *Graph) AddEdge(from, to NodeID, d DelayDist) {
+	idx := len(g.edges)
+	g.edges = append(g.edges, edge{from: from, to: to, d: d})
+	g.in[to] = append(g.in[to], idx)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// ErrCycle is returned when the graph is not a DAG.
+var ErrCycle = errors.New("ssta: timing graph has a cycle")
+
+// topo returns a topological order of the nodes.
+func (g *Graph) topo() ([]NodeID, error) {
+	n := len(g.names)
+	indeg := make([]int, n)
+	out := map[NodeID][]NodeID{}
+	for _, e := range g.edges {
+		indeg[e.to]++
+		out[e.from] = append(out[e.from], e.to)
+	}
+	var queue []NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	var order []NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// ArrivalGauss is the Gaussian arrival-time summary at a node.
+type ArrivalGauss struct {
+	Mu, Sigma float64
+}
+
+// PropagateGaussian runs first-order Gaussian SSTA: arrival distributions
+// are kept normal, sums add means/variances (independent edges), and max is
+// Clark's approximation with zero correlation.
+func (g *Graph) PropagateGaussian() (map[NodeID]ArrivalGauss, error) {
+	order, err := g.topo()
+	if err != nil {
+		return nil, err
+	}
+	arr := make(map[NodeID]ArrivalGauss, len(order))
+	for _, v := range order {
+		ins := g.in[v]
+		if len(ins) == 0 {
+			arr[v] = ArrivalGauss{}
+			continue
+		}
+		var acc ArrivalGauss
+		for k, ei := range ins {
+			e := g.edges[ei]
+			mu, sd := e.d.MeanSigma()
+			a := arr[e.from]
+			cand := ArrivalGauss{Mu: a.Mu + mu, Sigma: math.Hypot(a.Sigma, sd)}
+			if k == 0 {
+				acc = cand
+			} else {
+				acc = clarkMax(acc, cand)
+			}
+		}
+		arr[v] = acc
+	}
+	return arr, nil
+}
+
+// clarkMax approximates max(X, Y) of independent Gaussians as a Gaussian
+// via Clark's moment formulas (1961).
+func clarkMax(x, y ArrivalGauss) ArrivalGauss {
+	theta := math.Hypot(x.Sigma, y.Sigma)
+	if theta == 0 {
+		return ArrivalGauss{Mu: math.Max(x.Mu, y.Mu)}
+	}
+	alpha := (x.Mu - y.Mu) / theta
+	phi := stats.NormalPDF(alpha, 0, 1)
+	cdfA := stats.NormalCDF(alpha, 0, 1)
+	cdfB := 1 - cdfA
+	m := x.Mu*cdfA + y.Mu*cdfB + theta*phi
+	m2 := (x.Mu*x.Mu+x.Sigma*x.Sigma)*cdfA +
+		(y.Mu*y.Mu+y.Sigma*y.Sigma)*cdfB +
+		(x.Mu+y.Mu)*theta*phi
+	v := m2 - m*m
+	if v < 0 {
+		v = 0
+	}
+	return ArrivalGauss{Mu: m, Sigma: math.Sqrt(v)}
+}
+
+// PropagateMC Monte Carlos the graph: every trial draws one realization per
+// edge (independent within-die mismatch) and computes exact max/plus
+// arrival times. It returns the sampled arrival population per node of
+// interest.
+func (g *Graph) PropagateMC(sinks []NodeID, n int, seed int64) (map[NodeID][]float64, error) {
+	order, err := g.topo()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID][]float64, len(sinks))
+	for _, s := range sinks {
+		out[s] = make([]float64, n)
+	}
+	arr := make([]float64, len(g.names))
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < n; trial++ {
+		for _, v := range order {
+			ins := g.in[v]
+			if len(ins) == 0 {
+				arr[v] = 0
+				continue
+			}
+			best := math.Inf(-1)
+			for _, ei := range ins {
+				e := g.edges[ei]
+				if t := arr[e.from] + e.d.Sample(rng); t > best {
+					best = t
+				}
+			}
+			arr[v] = best
+		}
+		for _, s := range sinks {
+			out[s][trial] = arr[s]
+		}
+	}
+	return out, nil
+}
+
+// Chain builds a linear pipeline of n stages sharing a delay distribution
+// and returns the graph with its source and sink.
+func Chain(n int, d DelayDist) (*Graph, NodeID, NodeID) {
+	g := New()
+	src := g.AddNode("src")
+	prev := src
+	for i := 0; i < n; i++ {
+		v := g.AddNode(fmt.Sprintf("s%d", i))
+		g.AddEdge(prev, v, d)
+		prev = v
+	}
+	return g, src, prev
+}
+
+// Balanced builds a complete binary reconvergence tree of the given depth
+// feeding a single sink (2^depth parallel paths of `depth` stages), the
+// worst case for MAX-dominated statistics.
+func Balanced(depth int, d DelayDist) (*Graph, NodeID) {
+	g := New()
+	src := g.AddNode("src")
+	leaves := []NodeID{src}
+	for level := 0; level < depth; level++ {
+		var next []NodeID
+		for i, v := range leaves {
+			a := g.AddNode(fmt.Sprintf("l%d.%da", level, i))
+			b := g.AddNode(fmt.Sprintf("l%d.%db", level, i))
+			g.AddEdge(v, a, d)
+			g.AddEdge(v, b, d)
+			next = append(next, a, b)
+		}
+		leaves = next
+	}
+	sink := g.AddNode("sink")
+	for _, v := range leaves {
+		g.AddEdge(v, sink, d)
+	}
+	return g, sink
+}

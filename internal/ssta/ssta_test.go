@@ -1,0 +1,167 @@
+package ssta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vstat/internal/stats"
+)
+
+func TestChainGaussianSums(t *testing.T) {
+	// A pure chain has no MAX: arrival is the exact sum of Gaussians.
+	g, _, sink := Chain(10, Gaussian{Mu: 5e-12, Sigma: 0.5e-12})
+	arr, err := g.PropagateGaussian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arr[sink]
+	if math.Abs(a.Mu-50e-12) > 1e-18 {
+		t.Fatalf("chain mean %g", a.Mu)
+	}
+	want := 0.5e-12 * math.Sqrt(10)
+	if math.Abs(a.Sigma-want) > 1e-18 {
+		t.Fatalf("chain sigma %g want %g", a.Sigma, want)
+	}
+}
+
+func TestChainMCMatchesGaussian(t *testing.T) {
+	d := Gaussian{Mu: 5e-12, Sigma: 0.5e-12}
+	g, _, sink := Chain(8, d)
+	arr, _ := g.PropagateGaussian()
+	mc, err := g.PropagateMC([]NodeID{sink}, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := stats.Mean(mc[sink])
+	sd := stats.StdDev(mc[sink])
+	if math.Abs(mu-arr[sink].Mu) > 3*sd/math.Sqrt(20000) {
+		t.Fatalf("MC mean %g vs analytic %g", mu, arr[sink].Mu)
+	}
+	if math.Abs(sd-arr[sink].Sigma)/arr[sink].Sigma > 0.03 {
+		t.Fatalf("MC sigma %g vs analytic %g", sd, arr[sink].Sigma)
+	}
+}
+
+// Property: Clark's max matches Monte Carlo for independent Gaussians.
+func TestClarkMaxProperty(t *testing.T) {
+	f := func(s1, s2 uint8, dm int8) bool {
+		x := ArrivalGauss{Mu: 0, Sigma: 0.1 + float64(s1)/256}
+		y := ArrivalGauss{Mu: float64(dm) / 64, Sigma: 0.1 + float64(s2)/256}
+		c := clarkMax(x, y)
+		rng := rand.New(rand.NewSource(int64(s1)*7 + int64(s2)*13 + int64(dm)))
+		n := 40000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := math.Max(x.Mu+x.Sigma*rng.NormFloat64(), y.Mu+y.Sigma*rng.NormFloat64())
+			sum += v
+			sum2 += v * v
+		}
+		mu := sum / float64(n)
+		sd := math.Sqrt(sum2/float64(n) - mu*mu)
+		// Clark is exact for the first two moments of the max of two
+		// Gaussians; tolerance covers MC noise only.
+		return math.Abs(mu-c.Mu) < 0.02 && math.Abs(sd-c.Sigma) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClarkMaxDegenerate(t *testing.T) {
+	c := clarkMax(ArrivalGauss{Mu: 3}, ArrivalGauss{Mu: 5})
+	if c.Mu != 5 || c.Sigma != 0 {
+		t.Fatalf("deterministic max: %+v", c)
+	}
+}
+
+func TestBalancedTreeMaxRaisesMean(t *testing.T) {
+	// With many parallel equal paths, the expected max exceeds a single
+	// path's mean — the MAX penalty SSTA exists to capture.
+	d := Gaussian{Mu: 5e-12, Sigma: 0.8e-12}
+	g, sink := Balanced(3, d) // 8 parallel 3-stage paths + sink edge
+	arr, err := g.PropagateGaussian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singlePath := 4 * 5e-12
+	if arr[sink].Mu <= singlePath {
+		t.Fatalf("tree mean %g not above single path %g", arr[sink].Mu, singlePath)
+	}
+	// MC agrees on the mean within a few percent (Clark is approximate
+	// under reconvergence, but close for balanced trees).
+	mc, err := g.PropagateMC([]NodeID{sink}, 8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := stats.Mean(mc[sink])
+	if math.Abs(mu-arr[sink].Mu)/mu > 0.04 {
+		t.Fatalf("tree MC mean %g vs Clark %g", mu, arr[sink].Mu)
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = 10 + rng.ExpFloat64() // skewed
+	}
+	e := NewEmpirical(samples)
+	mu, sd := e.MeanSigma()
+	if math.Abs(mu-stats.Mean(samples)) > 1e-12 || math.Abs(sd-stats.StdDev(samples)) > 1e-12 {
+		t.Fatal("empirical summary")
+	}
+	// Bootstrap preserves the skew that a Gaussian summary loses.
+	g, _, sink := Chain(1, e)
+	mc, err := g.PropagateMC([]NodeID{sink}, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk := stats.Skewness(mc[sink]); sk < 1 {
+		t.Fatalf("bootstrap lost skew: %g", sk)
+	}
+	// Lazy-init path of MeanSigma.
+	lazy := &Empirical{Samples: samples}
+	lm, _ := lazy.MeanSigma()
+	if math.Abs(lm-mu) > 1e-12 {
+		t.Fatal("lazy init")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, Gaussian{Mu: 1})
+	g.AddEdge(b, a, Gaussian{Mu: 1})
+	if _, err := g.PropagateGaussian(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if _, err := g.PropagateMC([]NodeID{a}, 10, 1); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+}
+
+// The paper's point, end to end: with skewed per-gate delays the Gaussian
+// SSTA underestimates the high quantiles that MC sees.
+func TestGaussianSSTAUnderestimatesSkewedTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 4000)
+	for i := range samples {
+		// Lognormal-ish gate delay, like NAND2 at 0.55 V.
+		samples[i] = 10e-12 * math.Exp(0.35*rng.NormFloat64())
+	}
+	e := NewEmpirical(samples)
+	g, _, sink := Chain(6, e)
+	arr, _ := g.PropagateGaussian()
+	mc, err := g.PropagateMC([]NodeID{sink}, 30000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q999MC := stats.Quantile(mc[sink], 0.999)
+	q999G := arr[sink].Mu + 3.090*arr[sink].Sigma
+	if q999MC <= q999G {
+		t.Fatalf("expected MC 99.9%% tail %g above Gaussian prediction %g", q999MC, q999G)
+	}
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a (1-alpha) percentile-bootstrap confidence
+// interval for an arbitrary statistic of the sample. Monte Carlo σ
+// estimates in the experiment tables carry sampling noise; the interval
+// makes "VS matches golden" claims quantitative.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, alpha float64, seed int64) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 || resamples < 2 {
+		return math.NaN(), math.NaN()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, resamples)
+	buf := make([]float64, n)
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(n)]
+		}
+		vals[r] = stat(buf)
+	}
+	sort.Float64s(vals)
+	return quantileSorted(vals, alpha/2), quantileSorted(vals, 1-alpha/2)
+}
+
+// StdDevCI is BootstrapCI specialized to the sample standard deviation with
+// a 95 % level and 400 resamples — the tolerance band used when comparing
+// the VS and golden Monte Carlo σ's.
+func StdDevCI(xs []float64, seed int64) (lo, hi float64) {
+	return BootstrapCI(xs, StdDev, 400, 0.05, seed)
+}

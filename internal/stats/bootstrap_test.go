@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	// Repeated draws: the 95% CI for σ should contain the true σ in
+	// roughly 95% of trials (allow 85%+ with modest counts).
+	rng := rand.New(rand.NewSource(4))
+	trueSD := 2.0
+	hits, trials := 0, 60
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = trueSD * rng.NormFloat64()
+		}
+		lo, hi := StdDevCI(xs, int64(trial))
+		if lo <= trueSD && trueSD <= hi {
+			hits++
+		}
+		if lo >= hi || lo <= 0 {
+			t.Fatalf("degenerate CI [%g, %g]", lo, hi)
+		}
+	}
+	if frac := float64(hits) / float64(trials); frac < 0.85 {
+		t.Fatalf("CI coverage %g", frac)
+	}
+}
+
+func TestBootstrapCIWidthShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	width := func(n int) float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		lo, hi := StdDevCI(xs, 1)
+		return hi - lo
+	}
+	if w4 := width(4000); w4 >= width(100)/3 {
+		t.Fatalf("CI width did not shrink with N: %g", w4)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if lo, _ := BootstrapCI(nil, Mean, 100, 0.05, 1); !math.IsNaN(lo) {
+		t.Fatal("empty input should give NaN")
+	}
+	if lo, _ := BootstrapCI([]float64{1, 2}, Mean, 1, 0.05, 1); !math.IsNaN(lo) {
+		t.Fatal("too few resamples should give NaN")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a1, b1 := BootstrapCI(xs, Mean, 200, 0.1, 42)
+	a2, b2 := BootstrapCI(xs, Mean, 200, 0.1, 42)
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("same seed must reproduce the CI")
+	}
+}

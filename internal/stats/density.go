@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// HistogramBin is one bin of a Histogram.
+type HistogramBin struct {
+	Lo, Hi  float64
+	Count   int
+	Density float64 // count / (n * width): integrates to 1
+}
+
+// Histogram bins xs into nbins equal-width bins spanning [min, max].
+// The final bin is closed on both ends so the maximum lands inside.
+func Histogram(xs []float64, nbins int) []HistogramBin {
+	if len(xs) == 0 || nbins <= 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1 // all-equal data: single degenerate span
+	}
+	w := (hi - lo) / float64(nbins)
+	bins := make([]HistogramBin, nbins)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*w
+		bins[i].Hi = bins[i].Lo + w
+	}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		bins[i].Count++
+	}
+	n := float64(len(xs))
+	for i := range bins {
+		bins[i].Density = float64(bins[i].Count) / (n * w)
+	}
+	return bins
+}
+
+// KDE is a Gaussian kernel density estimate.
+type KDE struct {
+	xs []float64
+	h  float64 // bandwidth
+}
+
+// NewKDE builds a Gaussian KDE with Silverman's rule-of-thumb bandwidth,
+// the same default as MATLAB's ksdensity that the paper's PDF figures use.
+func NewKDE(xs []float64) *KDE {
+	n := len(xs)
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	sd := StdDev(s)
+	iqr := quantileSorted(s, 0.75) - quantileSorted(s, 0.25)
+	sigma := sd
+	if iqr > 0 && iqr/1.349 < sigma {
+		sigma = iqr / 1.349
+	}
+	if sigma <= 0 || math.IsNaN(sigma) {
+		sigma = 1
+	}
+	h := 0.9 * sigma * math.Pow(float64(n), -0.2)
+	return &KDE{xs: s, h: h}
+}
+
+// Bandwidth returns the kernel bandwidth in data units.
+func (k *KDE) Bandwidth() float64 { return k.h }
+
+// PDF evaluates the density estimate at x.
+func (k *KDE) PDF(x float64) float64 {
+	if len(k.xs) == 0 {
+		return math.NaN()
+	}
+	// Samples are sorted: restrict to the ±6h window.
+	lo := sort.SearchFloat64s(k.xs, x-6*k.h)
+	hi := sort.SearchFloat64s(k.xs, x+6*k.h)
+	s := 0.0
+	inv := 1 / k.h
+	for _, xi := range k.xs[lo:hi] {
+		z := (x - xi) * inv
+		s += math.Exp(-0.5 * z * z)
+	}
+	return s / (float64(len(k.xs)) * k.h * math.Sqrt(2*math.Pi))
+}
+
+// Curve evaluates the KDE on a uniform grid of npts spanning the data range
+// extended by three bandwidths, returning x and density series. This is the
+// series plotted in the paper's probability-density figures.
+func (k *KDE) Curve(npts int) (xs, ys []float64) {
+	if len(k.xs) == 0 || npts < 2 {
+		return nil, nil
+	}
+	lo := k.xs[0] - 3*k.h
+	hi := k.xs[len(k.xs)-1] + 3*k.h
+	xs = make([]float64, npts)
+	ys = make([]float64, npts)
+	for i := 0; i < npts; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(npts-1)
+		xs[i] = x
+		ys[i] = k.PDF(x)
+	}
+	return xs, ys
+}
+
+// QQPoint is one point of a quantile-quantile series: the theoretical
+// standard-normal quantile paired with the matching sample order statistic.
+type QQPoint struct {
+	Theoretical float64 // standard normal quantile
+	Sample      float64 // observed order statistic
+}
+
+// QQNormal returns the quantile-quantile series of xs against the standard
+// normal, using the (i-0.5)/n plotting positions of MATLAB's qqplot.
+// A linear series indicates Gaussian data; curvature is the non-Gaussian
+// signature the paper highlights at low Vdd (Fig. 7) and for SRAM hold SNM
+// (Fig. 9f).
+func QQNormal(xs []float64) []QQPoint {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	out := make([]QQPoint, n)
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		out[i] = QQPoint{Theoretical: StdNormalQuantile(p), Sample: s[i]}
+	}
+	return out
+}
+
+// QQNonlinearity quantifies the deviation of a QQ series from the straight
+// line fit through its inter-quartile range, normalized by the sample
+// standard deviation. Gaussian data gives values near zero; heavy tails or
+// skew push it up. Used to assert the 0.9 V vs 0.55 V contrast in Fig. 7.
+func QQNonlinearity(xs []float64) float64 {
+	pts := QQNormal(xs)
+	n := len(pts)
+	if n < 8 {
+		return math.NaN()
+	}
+	// Robust line through the 25th and 75th percentile points.
+	q1t, q3t := StdNormalQuantile(0.25), StdNormalQuantile(0.75)
+	q1s := Quantile(xs, 0.25)
+	q3s := Quantile(xs, 0.75)
+	slope := (q3s - q1s) / (q3t - q1t)
+	inter := q1s - slope*q1t
+	sd := StdDev(xs)
+	if sd == 0 {
+		return math.NaN()
+	}
+	// RMS deviation over the central 99% (extreme order statistics are
+	// noisy even for Gaussian samples).
+	loIdx := int(0.005 * float64(n))
+	hiIdx := n - loIdx
+	var s float64
+	var cnt int
+	for _, p := range pts[loIdx:hiIdx] {
+		d := p.Sample - (inter + slope*p.Theoretical)
+		s += d * d
+		cnt++
+	}
+	return math.Sqrt(s/float64(cnt)) / sd
+}

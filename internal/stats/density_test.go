@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	bins := Histogram(xs, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins %d", len(bins))
+	}
+	if bins[0].Count != 3 || bins[1].Count != 2 {
+		t.Fatalf("counts %d %d", bins[0].Count, bins[1].Count)
+	}
+	// Density integrates to 1.
+	total := 0.0
+	for _, b := range bins {
+		total += b.Density * (b.Hi - b.Lo)
+	}
+	if !feq(total, 1, 1e-12) {
+		t.Fatalf("density integral %g", total)
+	}
+	if Histogram(nil, 3) != nil || Histogram(xs, 0) != nil {
+		t.Fatal("degenerate histogram should be nil")
+	}
+}
+
+func TestHistogramAllEqual(t *testing.T) {
+	bins := Histogram([]float64{2, 2, 2}, 4)
+	n := 0
+	for _, b := range bins {
+		n += b.Count
+	}
+	if n != 3 {
+		t.Fatalf("lost samples: %d", n)
+	}
+}
+
+func TestKDEGaussianRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 8000)
+	for i := range xs {
+		xs[i] = 2 + 0.5*rng.NormFloat64()
+	}
+	k := NewKDE(xs)
+	// Peak near the true density value at the mean.
+	want := NormalPDF(2, 2, 0.5)
+	if got := k.PDF(2); math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("KDE peak %g want %g", got, want)
+	}
+	// KDE integrates to ~1 over its curve.
+	cx, cy := k.Curve(400)
+	integral := 0.0
+	for i := 1; i < len(cx); i++ {
+		integral += 0.5 * (cy[i] + cy[i-1]) * (cx[i] - cx[i-1])
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Fatalf("KDE integral %g", integral)
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatal("bandwidth must be positive")
+	}
+}
+
+func TestQQNormalGaussianIsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 10 + 3*rng.NormFloat64()
+	}
+	nl := QQNonlinearity(xs)
+	if nl > 0.05 {
+		t.Fatalf("Gaussian QQ nonlinearity %g too high", nl)
+	}
+	// Strongly skewed data must score much higher.
+	ys := make([]float64, 4000)
+	for i := range ys {
+		e := rng.ExpFloat64()
+		ys[i] = e * e
+	}
+	nl2 := QQNonlinearity(ys)
+	if nl2 < 3*nl {
+		t.Fatalf("skewed QQ nonlinearity %g not >> Gaussian %g", nl2, nl)
+	}
+}
+
+func TestQQNormalSeries(t *testing.T) {
+	pts := QQNormal([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len %d", len(pts))
+	}
+	// Samples sorted ascending, theoretical quantiles ascending.
+	if pts[0].Sample != 1 || pts[2].Sample != 3 {
+		t.Fatalf("samples %v", pts)
+	}
+	if !(pts[0].Theoretical < pts[1].Theoretical && pts[1].Theoretical < pts[2].Theoretical) {
+		t.Fatalf("theoretical not increasing: %v", pts)
+	}
+	if QQNormal(nil) != nil {
+		t.Fatal("empty QQ should be nil")
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+
+	"vstat/internal/linalg"
+)
+
+// Ellipse describes a confidence ellipse of a 2-D Gaussian: centre, semi-axes
+// and orientation of the major axis. Paper Fig. 4 overlays the 1σ/2σ/3σ
+// ellipses of the (Ion, log10 Ioff) cloud for the VS and BSIM models.
+type Ellipse struct {
+	CX, CY float64 // centre
+	A, B   float64 // semi-major / semi-minor axis lengths
+	Theta  float64 // rotation of the major axis, radians from +x
+}
+
+// ConfidenceEllipse fits a bivariate Gaussian to the paired samples and
+// returns the ellipse containing the given number of standard deviations
+// (nsigma=1,2,3 for the paper's 1σ/2σ/3σ contours).
+//
+// The contour at k σ is the set {x : (x-µ)ᵀ Σ⁻¹ (x-µ) = k²}; its semi-axes
+// are k·√λ_i along the eigenvectors of Σ.
+func ConfidenceEllipse(xs, ys []float64, nsigma float64) Ellipse {
+	cxx := Variance(xs)
+	cyy := Variance(ys)
+	cxy := Covariance(xs, ys)
+	cov := linalg.NewMatrixFromRows([][]float64{{cxx, cxy}, {cxy, cyy}})
+	vals, vecs := linalg.SymEigen(cov)
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return Ellipse{
+		CX:    Mean(xs),
+		CY:    Mean(ys),
+		A:     nsigma * math.Sqrt(vals[0]),
+		B:     nsigma * math.Sqrt(vals[1]),
+		Theta: math.Atan2(vecs.At(1, 0), vecs.At(0, 0)),
+	}
+}
+
+// Contains reports whether point (x, y) lies inside the ellipse.
+func (e Ellipse) Contains(x, y float64) bool {
+	dx, dy := x-e.CX, y-e.CY
+	c, s := math.Cos(e.Theta), math.Sin(e.Theta)
+	u := c*dx + s*dy
+	v := -s*dx + c*dy
+	if e.A == 0 || e.B == 0 {
+		return false
+	}
+	return (u/e.A)*(u/e.A)+(v/e.B)*(v/e.B) <= 1
+}
+
+// Points returns n points tracing the ellipse boundary for plotting.
+func (e Ellipse) Points(n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	c, s := math.Cos(e.Theta), math.Sin(e.Theta)
+	for i := 0; i < n; i++ {
+		t := 2 * math.Pi * float64(i) / float64(n)
+		u := e.A * math.Cos(t)
+		v := e.B * math.Sin(t)
+		xs[i] = e.CX + c*u - s*v
+		ys[i] = e.CY + s*u + c*v
+	}
+	return xs, ys
+}
+
+// SigmaCoverage returns the theoretical probability mass of a bivariate
+// Gaussian inside its k-sigma ellipse: 1 - exp(-k²/2).
+func SigmaCoverage(nsigma float64) float64 {
+	return 1 - math.Exp(-nsigma*nsigma/2)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEllipseAxisAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1 + 3*rng.NormFloat64()
+		ys[i] = -2 + 1*rng.NormFloat64()
+	}
+	e := ConfidenceEllipse(xs, ys, 1)
+	if math.Abs(e.CX-1) > 0.1 || math.Abs(e.CY+2) > 0.05 {
+		t.Fatalf("centre (%g,%g)", e.CX, e.CY)
+	}
+	if math.Abs(e.A-3) > 0.15 || math.Abs(e.B-1) > 0.05 {
+		t.Fatalf("axes (%g,%g) want (3,1)", e.A, e.B)
+	}
+	// Major axis along x.
+	if m := math.Abs(math.Mod(e.Theta, math.Pi)); m > 0.05 && math.Abs(m-math.Pi) > 0.05 {
+		t.Fatalf("theta %g", e.Theta)
+	}
+}
+
+// Property-style check: the k-sigma ellipse of Gaussian data contains
+// approximately 1-exp(-k²/2) of the samples.
+func TestEllipseCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 30000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		// Correlated pair.
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		xs[i] = a
+		ys[i] = 0.6*a + 0.8*b
+	}
+	for _, k := range []float64{1, 2, 3} {
+		e := ConfidenceEllipse(xs, ys, k)
+		in := 0
+		for i := range xs {
+			if e.Contains(xs[i], ys[i]) {
+				in++
+			}
+		}
+		frac := float64(in) / float64(n)
+		want := SigmaCoverage(k)
+		if math.Abs(frac-want) > 0.01 {
+			t.Fatalf("k=%g coverage %g want %g", k, frac, want)
+		}
+	}
+}
+
+func TestEllipsePointsOnBoundary(t *testing.T) {
+	e := Ellipse{CX: 1, CY: 2, A: 3, B: 1, Theta: math.Pi / 6}
+	xs, ys := e.Points(64)
+	if len(xs) != 64 {
+		t.Fatalf("points %d", len(xs))
+	}
+	for i := range xs {
+		// Boundary points satisfy the quadratic form = 1.
+		dx, dy := xs[i]-e.CX, ys[i]-e.CY
+		c, s := math.Cos(e.Theta), math.Sin(e.Theta)
+		u := c*dx + s*dy
+		v := -s*dx + c*dy
+		q := (u/e.A)*(u/e.A) + (v/e.B)*(v/e.B)
+		if math.Abs(q-1) > 1e-12 {
+			t.Fatalf("point %d off boundary: %g", i, q)
+		}
+	}
+}
+
+func TestSigmaCoverage(t *testing.T) {
+	if !feq(SigmaCoverage(1), 0.3934693402873666, 1e-12) {
+		t.Fatal("1σ coverage")
+	}
+	if !feq(SigmaCoverage(3), 0.988891003461758, 1e-9) {
+		t.Fatal("3σ coverage")
+	}
+}

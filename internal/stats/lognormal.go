@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LognormalFit holds the maximum-likelihood parameters of a lognormal
+// distribution: ln X ~ N(Mu, Sigma²). Leakage currents under threshold-
+// voltage mismatch are the canonical lognormal population (paper Fig. 6's
+// 37× spread).
+type LognormalFit struct {
+	Mu, Sigma float64
+}
+
+// FitLognormal fits by moments of ln(x); non-positive samples are rejected
+// by returning NaN parameters.
+func FitLognormal(xs []float64) LognormalFit {
+	logs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x <= 0 {
+			return LognormalFit{Mu: math.NaN(), Sigma: math.NaN()}
+		}
+		logs = append(logs, math.Log(x))
+	}
+	return LognormalFit{Mu: Mean(logs), Sigma: StdDev(logs)}
+}
+
+// Median returns exp(µ).
+func (f LognormalFit) Median() float64 { return math.Exp(f.Mu) }
+
+// Mean returns exp(µ+σ²/2).
+func (f LognormalFit) Mean() float64 { return math.Exp(f.Mu + f.Sigma*f.Sigma/2) }
+
+// Quantile returns the p-th quantile.
+func (f LognormalFit) Quantile(p float64) float64 {
+	return math.Exp(f.Mu + f.Sigma*StdNormalQuantile(p))
+}
+
+// CDF returns P(X ≤ x).
+func (f LognormalFit) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF(math.Log(x), f.Mu, f.Sigma)
+}
+
+// SpreadRatio returns the ratio between the two symmetric tail quantiles,
+// e.g. SpreadRatio(0.999) = q99.9/q0.1 — a robust version of the max/min
+// spread the paper quotes for leakage.
+func (f LognormalFit) SpreadRatio(p float64) float64 {
+	return f.Quantile(p) / f.Quantile(1-p)
+}
+
+// YieldEstimate computes the fraction of samples inside a box of limits:
+// frequency at least fMin and leakage at most leakMax — the parametric
+// yield the paper says the statistical VS model can predict (Fig. 6).
+func YieldEstimate(freq, leak []float64, fMin, leakMax float64) float64 {
+	if len(freq) != len(leak) {
+		panic("stats: YieldEstimate length mismatch")
+	}
+	if len(freq) == 0 {
+		return math.NaN()
+	}
+	pass := 0
+	for i := range freq {
+		if freq[i] >= fMin && leak[i] <= leakMax {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(freq))
+}
+
+// EmpiricalCDF returns a function evaluating the sample CDF of xs.
+func EmpiricalCDF(xs []float64) func(float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	return func(x float64) float64 {
+		if len(s) == 0 {
+			return math.NaN()
+		}
+		return float64(sort.SearchFloat64s(s, math.Nextafter(x, math.Inf(1)))) / n
+	}
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the sample and
+// a reference CDF — used to quantify how lognormal the leakage population is
+// and how Gaussian the delay populations are.
+func KSDistance(xs []float64, cdf func(float64) float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		d = math.Max(d, math.Max(math.Abs(f-lo), math.Abs(f-hi)))
+	}
+	return d
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitLognormalRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mu, sigma := -17.0, 0.8 // ~4e-8 median, leakage-like
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	f := FitLognormal(xs)
+	if math.Abs(f.Mu-mu) > 0.02 || math.Abs(f.Sigma-sigma) > 0.02 {
+		t.Fatalf("fit (%g, %g) want (%g, %g)", f.Mu, f.Sigma, mu, sigma)
+	}
+	if math.Abs(f.Median()-math.Exp(mu)) > 0.05*math.Exp(mu) {
+		t.Fatalf("median %g", f.Median())
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(f.Mean()-want) > 0.05*want {
+		t.Fatalf("mean %g want %g", f.Mean(), want)
+	}
+	// Quantile/CDF inverse property.
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if q := f.CDF(f.Quantile(p)); math.Abs(q-p) > 1e-12 {
+			t.Fatalf("CDF(Q(%g)) = %g", p, q)
+		}
+	}
+	// Spread ratio: q99.9/q0.1 = exp(2·σ·z(0.999)).
+	wantSpread := math.Exp(2 * f.Sigma * StdNormalQuantile(0.999))
+	if r := f.SpreadRatio(0.999); math.Abs(r-wantSpread) > 1e-9*wantSpread {
+		t.Fatalf("spread %g want %g", r, wantSpread)
+	}
+}
+
+func TestFitLognormalRejectsNonPositive(t *testing.T) {
+	f := FitLognormal([]float64{1, 2, 0})
+	if !math.IsNaN(f.Mu) {
+		t.Fatal("expected NaN for non-positive sample")
+	}
+}
+
+func TestYieldEstimate(t *testing.T) {
+	freq := []float64{1, 2, 3, 4}
+	leak := []float64{10, 20, 30, 40}
+	if y := YieldEstimate(freq, leak, 2, 30); y != 0.5 { // samples 2 and 3 pass
+		t.Fatalf("yield %g", y)
+	}
+	if y := YieldEstimate(freq, leak, 0, 100); y != 1 {
+		t.Fatalf("yield %g", y)
+	}
+	if !math.IsNaN(YieldEstimate(nil, nil, 0, 0)) {
+		t.Fatal("empty yield should be NaN")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{1, 2, 3, 4})
+	cases := map[float64]float64{0: 0, 1: 0.25, 2.5: 0.5, 4: 1, 5: 1}
+	for x, want := range cases {
+		if got := cdf(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cdf(%g) = %g want %g", x, got, want)
+		}
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// Against its own distribution: small.
+	d := KSDistance(xs, func(x float64) float64 { return NormalCDF(x, 0, 1) })
+	if d > 0.03 {
+		t.Fatalf("KS against true dist %g", d)
+	}
+	// Against a shifted distribution: large.
+	d2 := KSDistance(xs, func(x float64) float64 { return NormalCDF(x, 1, 1) })
+	if d2 < 0.3 {
+		t.Fatalf("KS against shifted dist %g", d2)
+	}
+	if !math.IsNaN(KSDistance(nil, nil)) {
+		t.Fatal("empty KS should be NaN")
+	}
+}

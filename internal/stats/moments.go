@@ -1,0 +1,256 @@
+// Package stats implements the descriptive and distributional statistics
+// used throughout the statistical-VS-model reproduction: moments, quantiles,
+// histograms and kernel density estimates (for the paper's PDF figures),
+// normal-distribution utilities and QQ series (for the quantile-quantile
+// plots), normality tests (to quantify the non-Gaussian delay behaviour at
+// low Vdd), covariance/correlation, and 2-D confidence ellipses (for the
+// Ion–Ioff scatter of Fig. 4).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance; NaN for n < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	// Two-pass with compensation for numerical stability.
+	var s, comp float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+		comp += d
+	}
+	return (s - comp*comp/float64(n)) / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Skewness returns the bias-adjusted sample skewness (g1 with the standard
+// small-sample correction); NaN for n < 3 or zero variance.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 <= 0 {
+		return math.NaN()
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// ExcessKurtosis returns the bias-adjusted sample excess kurtosis; NaN for
+// n < 4 or zero variance.
+func ExcessKurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	if m2 <= 0 {
+		return math.NaN()
+	}
+	g2 := m4/(m2*m2) - 3
+	return ((n+1)*g2 + 6) * (n - 1) / ((n - 2) * (n - 3))
+}
+
+// Min returns the smallest element; NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the MATLAB/NumPy default).
+// xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// QuantilesSorted sorts xs in place once and evaluates many quantiles.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Covariance returns the unbiased sample covariance of paired samples.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) {
+		panic("stats: Covariance length mismatch")
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation coefficient.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Running accumulates streaming mean/variance via Welford's algorithm,
+// so Monte Carlo loops can track statistics without storing samples.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Push adds one observation.
+func (r *Running) Push(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations pushed so far.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (NaN if empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running unbiased variance (NaN for n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (NaN if empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation (NaN if empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestMeanVarKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !feq(Mean(xs), 5, 1e-15) {
+		t.Fatalf("mean %g", Mean(xs))
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7
+	if !feq(Variance(xs), 32.0/7, 1e-12) {
+		t.Fatalf("var %g", Variance(xs))
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("expected NaN for degenerate inputs")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+	if !math.IsNaN(Skewness([]float64{1, 2})) {
+		t.Fatal("Skewness n<3 should be NaN")
+	}
+	if !math.IsNaN(ExcessKurtosis([]float64{1, 2, 3})) {
+		t.Fatal("Kurtosis n<4 should be NaN")
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewKurtGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	if s := Skewness(xs); math.Abs(s) > 0.05 {
+		t.Fatalf("Gaussian skewness %g", s)
+	}
+	if k := ExcessKurtosis(xs); math.Abs(k) > 0.1 {
+		t.Fatalf("Gaussian excess kurtosis %g", k)
+	}
+	// Exponential data: skewness 2, excess kurtosis 6.
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	if s := Skewness(xs); math.Abs(s-2) > 0.2 {
+		t.Fatalf("exponential skewness %g want ~2", s)
+	}
+	if k := ExcessKurtosis(xs); math.Abs(k-6) > 1.2 {
+		t.Fatalf("exponential kurtosis %g want ~6", k)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 %g", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 %g", q)
+	}
+	if q := Median(xs); !feq(q, 2.5, 1e-15) {
+		t.Fatalf("median %g", q)
+	}
+	if q := Quantile(xs, 0.25); !feq(q, 1.75, 1e-15) {
+		t.Fatalf("q25 %g", q)
+	}
+	got := Quantiles(xs, []float64{0, 0.5, 1})
+	if got[0] != 1 || got[2] != 4 {
+		t.Fatalf("Quantiles %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.05 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10} // perfectly correlated
+	if r := Correlation(xs, ys); !feq(r, 1, 1e-12) {
+		t.Fatalf("corr %g", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Correlation(xs, neg); !feq(r, -1, 1e-12) {
+		t.Fatalf("anticorr %g", r)
+	}
+	if c := Covariance(xs, ys); !feq(c, 5, 1e-12) {
+		t.Fatalf("cov %g", c)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		r.Push(xs[i])
+	}
+	if !feq(r.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("running mean %g batch %g", r.Mean(), Mean(xs))
+	}
+	if !feq(r.Variance(), Variance(xs), 1e-10) {
+		t.Fatalf("running var %g batch %g", r.Variance(), Variance(xs))
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Fatal("running min/max mismatch")
+	}
+	if r.N() != len(xs) {
+		t.Fatal("running N mismatch")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) || !math.IsNaN(r.Min()) {
+		t.Fatal("empty Running should report NaN")
+	}
+}

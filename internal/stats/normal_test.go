@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDFCDFKnown(t *testing.T) {
+	if !feq(NormalPDF(0, 0, 1), 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Fatal("pdf(0)")
+	}
+	if !feq(NormalCDF(0, 0, 1), 0.5, 1e-15) {
+		t.Fatal("cdf(0)")
+	}
+	if !feq(NormalCDF(1.959963984540054, 0, 1), 0.975, 1e-9) {
+		t.Fatal("cdf(1.96)")
+	}
+	if !feq(NormalCDF(10, 5, 2), NormalCDF(2.5, 0, 1), 1e-15) {
+		t.Fatal("cdf scaling")
+	}
+	if !math.IsNaN(NormalPDF(0, 0, -1)) {
+		t.Fatal("pdf with bad sigma")
+	}
+}
+
+func TestStdNormalQuantileKnown(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959963984540054,
+		0.9999: 3.719016485455709,
+		0.0001: -3.719016485455709,
+		0.025:  -1.959963984540054,
+	}
+	for p, want := range cases {
+		if got := StdNormalQuantile(p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("quantile(%g) = %g want %g", p, got, want)
+		}
+	}
+	if !math.IsInf(StdNormalQuantile(0), -1) || !math.IsInf(StdNormalQuantile(1), 1) {
+		t.Fatal("endpoints")
+	}
+	if !math.IsNaN(StdNormalQuantile(-0.1)) || !math.IsNaN(StdNormalQuantile(1.1)) {
+		t.Fatal("out of range")
+	}
+}
+
+// Property: quantile and CDF are inverses.
+func TestQuantileCDFRoundTripProperty(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 1)
+		if p < 1e-10 || p > 1-1e-10 {
+			return true
+		}
+		x := StdNormalQuantile(p)
+		return math.Abs(NormalCDF(x, 0, 1)-p) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileScaling(t *testing.T) {
+	if !feq(NormalQuantile(0.975, 10, 2), 10+2*1.959963984540054, 1e-9) {
+		t.Fatal("scaled quantile")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// k=2: CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.1, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("chi2 cdf(%g;2) = %g want %g", x, got, want)
+		}
+	}
+	// k=1: CDF(x) = erf(sqrt(x/2)).
+	for _, x := range []float64{0.5, 1, 4} {
+		want := math.Erf(math.Sqrt(x / 2))
+		if got := ChiSquareCDF(x, 1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("chi2 cdf(%g;1) = %g want %g", x, got, want)
+		}
+	}
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Fatal("negative x")
+	}
+}
+
+func TestJarqueBera(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	gauss := make([]float64, 5000)
+	for i := range gauss {
+		gauss[i] = rng.NormFloat64()
+	}
+	stat, p := JarqueBera(gauss)
+	if p < 0.001 {
+		t.Fatalf("JB rejects Gaussian data: stat=%g p=%g", stat, p)
+	}
+	exp := make([]float64, 5000)
+	for i := range exp {
+		exp[i] = rng.ExpFloat64()
+	}
+	stat, p = JarqueBera(exp)
+	if p > 1e-6 {
+		t.Fatalf("JB fails to reject exponential data: stat=%g p=%g", stat, p)
+	}
+}
+
+func TestAndersonDarling(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	gauss := make([]float64, 2000)
+	for i := range gauss {
+		gauss[i] = 5 + 2*rng.NormFloat64()
+	}
+	if a2 := AndersonDarling(gauss); a2 > 1.5 {
+		t.Fatalf("AD too large for Gaussian: %g", a2)
+	}
+	unif := make([]float64, 2000)
+	for i := range unif {
+		unif[i] = rng.Float64()
+	}
+	if a2 := AndersonDarling(unif); a2 < 1.035 {
+		t.Fatalf("AD fails to flag uniform data: %g", a2)
+	}
+}

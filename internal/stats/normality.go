@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// JarqueBera returns the Jarque–Bera statistic and its asymptotic p-value
+// (chi-square with 2 dof) for the null hypothesis that xs is Gaussian.
+// Large statistics / small p-values indicate non-Gaussian data.
+func JarqueBera(xs []float64) (stat, pvalue float64) {
+	n := float64(len(xs))
+	if n < 8 {
+		return math.NaN(), math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if m2 <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	s := m3 / math.Pow(m2, 1.5)
+	k := m4 / (m2 * m2)
+	stat = n / 6 * (s*s + (k-3)*(k-3)/4)
+	pvalue = 1 - ChiSquareCDF(stat, 2)
+	return stat, pvalue
+}
+
+// AndersonDarling returns the Anderson–Darling A² statistic (adjusted for
+// estimated mean and variance, the "case 3" statistic A*²) against the
+// normal distribution. Common critical values: 0.631 (10%), 0.752 (5%),
+// 1.035 (1%).
+func AndersonDarling(xs []float64) float64 {
+	n := len(xs)
+	if n < 8 {
+		return math.NaN()
+	}
+	mu, sd := Mean(xs), StdDev(xs)
+	if sd == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	a2 := 0.0
+	fn := float64(n)
+	for i := 0; i < n; i++ {
+		zi := NormalCDF(s[i], mu, sd)
+		zn := NormalCDF(s[n-1-i], mu, sd)
+		// Clamp to avoid log(0) from extreme order statistics.
+		zi = math.Min(math.Max(zi, 1e-300), 1-1e-16)
+		zn = math.Min(math.Max(zn, 1e-300), 1-1e-16)
+		a2 += (2*float64(i) + 1) * (math.Log(zi) + math.Log(1-zn))
+	}
+	a2 = -fn - a2/fn
+	// Small-sample adjustment (D'Agostino & Stephens).
+	return a2 * (1 + 0.75/fn + 2.25/(fn*fn))
+}

@@ -1,0 +1,138 @@
+// Package variation implements the local (within-die) mismatch model of the
+// paper: Pelgrom-style geometry scaling of the five independent statistical
+// VS parameters (Table I), Gaussian sampling of per-device deltas, the
+// paper-unit conversions for the α coefficients of Table II, and the
+// within-die / inter-die variance decomposition of paper Eq. (1).
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vstat/internal/device"
+)
+
+// Alphas are the mismatch standard-deviation coefficients of paper Eq. (8):
+//
+//	σ_VT0  = A1 / √(W·L)
+//	σ_Leff = A2 · √(L/W)
+//	σ_Weff = A3 · √(W/L)
+//	σ_µ    = A4 / √(W·L)
+//	σ_Cinv = A5 / √(W·L)
+//
+// All fields are SI (W, L in meters): A1 in V·m, A2/A3 in m, A4 in
+// m·m²/(V·s), A5 in m·F/m². Use FromPaperUnits/PaperUnits to convert to the
+// customary units of paper Table II (V·nm, nm, nm·cm²/Vs, nm·µF/cm²).
+type Alphas struct {
+	A1, A2, A3, A4, A5 float64
+}
+
+// Unit conversion factors between paper units and SI for each coefficient.
+const (
+	a1PaperToSI = 1e-9        // V·nm → V·m
+	a2PaperToSI = 1e-9        // nm → m
+	a4PaperToSI = 1e-9 * 1e-4 // nm·cm²/Vs → m·m²/Vs
+	a5PaperToSI = 1e-9 * 1e-2 // nm·µF/cm² → m·F/m²
+)
+
+// FromPaperUnits builds Alphas from coefficients expressed in the units of
+// paper Table II: a1 in V·nm, a2 and a3 in nm, a4 in nm·cm²/(V·s), a5 in
+// nm·µF/cm².
+func FromPaperUnits(a1, a2, a3, a4, a5 float64) Alphas {
+	return Alphas{
+		A1: a1 * a1PaperToSI,
+		A2: a2 * a2PaperToSI,
+		A3: a3 * a2PaperToSI,
+		A4: a4 * a4PaperToSI,
+		A5: a5 * a5PaperToSI,
+	}
+}
+
+// PaperUnits returns the coefficients in paper Table II units
+// (a1 V·nm, a2/a3 nm, a4 nm·cm²/Vs, a5 nm·µF/cm²).
+func (a Alphas) PaperUnits() (a1, a2, a3, a4, a5 float64) {
+	return a.A1 / a1PaperToSI, a.A2 / a2PaperToSI, a.A3 / a2PaperToSI,
+		a.A4 / a4PaperToSI, a.A5 / a5PaperToSI
+}
+
+// String formats the coefficients in paper units.
+func (a Alphas) String() string {
+	a1, a2, a3, a4, a5 := a.PaperUnits()
+	return fmt.Sprintf("α1=%.3g V·nm α2=%.3g nm α3=%.3g nm α4=%.3g nm·cm²/Vs α5=%.3g nm·µF/cm²",
+		a1, a2, a3, a4, a5)
+}
+
+// Sigmas are the per-geometry mismatch standard deviations in SI units.
+type Sigmas struct {
+	VT0  float64 // V
+	L    float64 // m
+	W    float64 // m
+	Mu   float64 // m²/(V·s)
+	Cinv float64 // F/m²
+}
+
+// Sigmas evaluates the geometry scaling laws at drawn width w and length l
+// (meters).
+func (a Alphas) Sigmas(w, l float64) Sigmas {
+	if w <= 0 || l <= 0 {
+		panic("variation: non-positive geometry")
+	}
+	sqrtWL := math.Sqrt(w * l)
+	return Sigmas{
+		VT0:  a.A1 / sqrtWL,
+		L:    a.A2 * math.Sqrt(l/w),
+		W:    a.A3 * math.Sqrt(w/l),
+		Mu:   a.A4 / sqrtWL,
+		Cinv: a.A5 / sqrtWL,
+	}
+}
+
+// Sample draws one set of independent Gaussian local-mismatch deltas for a
+// device of drawn geometry (w, l). Every transistor instance in a Monte
+// Carlo sample gets its own independent draw, reflecting the uncorrelated
+// nature of within-die random variation (RDF, LER, OTF, stress — paper
+// Table I).
+func (a Alphas) Sample(rng *rand.Rand, w, l float64) device.Deltas {
+	s := a.Sigmas(w, l)
+	return device.Deltas{
+		DVT0:  rng.NormFloat64() * s.VT0,
+		DL:    rng.NormFloat64() * s.L,
+		DW:    rng.NormFloat64() * s.W,
+		DMu:   rng.NormFloat64() * s.Mu,
+		DCinv: rng.NormFloat64() * s.Cinv,
+	}
+}
+
+// GoldenTruthNMOS/PMOS are the ground-truth mismatch coefficients assigned
+// to the golden model's native parameter set (Vth0, ΔL, ΔW, U0, Cox). They
+// play the role of the silicon/industrial-kit statistics the paper measures
+// and then backward-propagates onto VS parameters. Magnitudes follow paper
+// Table II, with A4 rescaled to the golden model's higher low-field mobility
+// so the *relative* σµ/µ matches, and A5 rescaled to its Cox.
+func GoldenTruthNMOS() Alphas { return FromPaperUnits(2.30, 3.71, 3.71, 1246, 0.32) }
+
+// GoldenTruthPMOS returns the PMOS ground-truth coefficients.
+func GoldenTruthPMOS() Alphas { return FromPaperUnits(2.86, 3.66, 3.66, 586, 0.89) }
+
+// GoldenTruth returns the ground-truth coefficients for the given polarity.
+func GoldenTruth(k device.Kind) Alphas {
+	if k == device.PMOS {
+		return GoldenTruthPMOS()
+	}
+	return GoldenTruthNMOS()
+}
+
+// InterDieSigma implements paper Eq. (1): the inter-die (global) component
+// of an electrical metric's variation given its total and within-die
+// standard deviations, σ²_inter = σ²_total − σ²_within. It returns an error
+// when the within-die component exceeds the total (inconsistent inputs).
+func InterDieSigma(total, within float64) (float64, error) {
+	if total < 0 || within < 0 {
+		return 0, fmt.Errorf("variation: negative sigma (total=%g, within=%g)", total, within)
+	}
+	if within > total {
+		return 0, fmt.Errorf("variation: within-die σ %g exceeds total σ %g", within, total)
+	}
+	return math.Sqrt(total*total - within*within), nil
+}

@@ -1,0 +1,94 @@
+package vsmodel
+
+import "vstat/internal/device"
+
+// Default 40-nm-class parameter cards. The values are representative of the
+// bulk CMOS node the paper targets (Vdd = 0.9 V, L = 40 nm): NMOS drive
+// current in the 700–800 µA/µm range with Ioff of tens of nA/µm, PMOS at
+// roughly 60 % of the NMOS drive. They serve as the starting point for the
+// Fig. 1 extraction against the golden model; the extraction refines VT0,
+// Cinv, vxo, µ, δ and Rs.
+
+// NMOS40 returns the nominal 40-nm NMOS card at drawn width w (meters).
+func NMOS40(w float64) Params {
+	return Params{
+		TypeK: device.NMOS,
+		W:     w,
+		Lgdr:  40 * Nm,
+		DLg:   5 * Nm,
+		DWg:   0,
+
+		Cinv:   1.55 * MuFPerCm2,
+		VT0:    0.445,
+		Delta0: 0.125,
+		LDelta: 16 * Nm,
+		LRef:   35 * Nm,
+		N0:     1.35,
+		Nd:     0.08,
+		Vxo:    1.15e7 * CmPerS,
+		Mu:     250 * Cm2PerVs,
+		Rs0:    90e-6,
+		Rd0:    90e-6,
+		Beta:   1.8,
+		Alpha:  3.5,
+		PhiT:   PhiT300,
+
+		GammaB: 0.2,
+		PhiB:   0.9,
+
+		Cof: 0.15e-9, // 0.15 fF/µm per edge
+
+		AlphaVel:  0.5,
+		GammaVel:  0.45,
+		LambdaMFP: 11 * Nm,
+		LCrit:     10 * Nm,
+		SDelta:    2.0,
+	}
+}
+
+// PMOS40 returns the nominal 40-nm PMOS card at drawn width w (meters).
+// Parameters are expressed in the n-equivalent space (positive VT0); the
+// evaluator maps polarities.
+func PMOS40(w float64) Params {
+	return Params{
+		TypeK: device.PMOS,
+		W:     w,
+		Lgdr:  40 * Nm,
+		DLg:   5 * Nm,
+		DWg:   0,
+
+		Cinv:   1.48 * MuFPerCm2,
+		VT0:    0.425,
+		Delta0: 0.14,
+		LDelta: 16 * Nm,
+		LRef:   35 * Nm,
+		N0:     1.4,
+		Nd:     0.08,
+		Vxo:    0.72e7 * CmPerS,
+		Mu:     140 * Cm2PerVs,
+		Rs0:    110e-6,
+		Rd0:    110e-6,
+		Beta:   1.6,
+		Alpha:  3.5,
+		PhiT:   PhiT300,
+
+		GammaB: 0.2,
+		PhiB:   0.9,
+
+		Cof: 0.15e-9,
+
+		AlphaVel:  0.5,
+		GammaVel:  0.45,
+		LambdaMFP: 9 * Nm,
+		LCrit:     10 * Nm,
+		SDelta:    2.0,
+	}
+}
+
+// Card returns the nominal card for the given polarity and drawn width.
+func Card(k device.Kind, w float64) Params {
+	if k == device.PMOS {
+		return PMOS40(w)
+	}
+	return NMOS40(w)
+}

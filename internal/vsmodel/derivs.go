@@ -1,0 +1,162 @@
+package vsmodel
+
+import "vstat/internal/device"
+
+// EvalDerivs4 implements the fast native-derivative path used by the
+// circuit simulator: instead of re-solving the series-resistance implicit
+// equation once per perturbed terminal (4 full solves), it solves once and
+// derives all terminal sensitivities by the implicit function theorem.
+//
+// With F the core current at the internal bias u = (vgsi, vdsi, vbsi) and
+// the solved current I satisfying I = F(u(I, v)), the terminal derivative
+// follows from
+//
+//	dI·D = Fg·dvgs + Fd·dvds + Fb·dvbs,
+//	D = 1 + Fg·rs + Fd·(rs+rd) + Fb·rs,
+//
+// and the charge derivatives chain through the internal-voltage shifts the
+// current feedback induces. Only three cheap core evaluations (finite
+// differences of F, qixo, fsat at the internal point) are needed on top of
+// the solve.
+func (p *Params) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
+	pol := p.TypeK.Polarity()
+	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
+	swap := false
+	if nvd < nvs {
+		nvd, nvs = nvs, nvd
+		swap = true
+	}
+	vgs := nvg - nvs
+	vds := nvd - nvs
+	vbs := nvb - nvs
+	vgd := nvg - nvd
+
+	w := p.Weff()
+	leff := p.Leff()
+	if w <= 0 {
+		return device.Derivs{}
+	}
+	rs := p.Rs0 / w
+	rd := p.Rd0 / w
+	delta := p.Delta(leff)
+	vdsats := p.Vxo * leff / p.Mu
+
+	// Solve once for the operating state.
+	id, qixo, fsat, _ := p.solveSeries(vgs, vds, vbs)
+	vgsi := vgs - id*rs
+	vdsi := vds - id*(rs+rd)
+	if vdsi < 0 {
+		vdsi = 0
+	}
+	vbsi := vbs - id*rs
+
+	// Core partials at the internal bias by forward differences: a clean
+	// base evaluation plus one per internal voltage.
+	const h = device.FDStep
+	f0, q0, s0 := p.coreBiasPre(vgsi, vdsi, vbsi, delta, vdsats)
+	fg, qg, sg := p.coreBiasPre(vgsi+h, vdsi, vbsi, delta, vdsats)
+	fd, qd, sd := p.coreBiasPre(vgsi, vdsi+h, vbsi, delta, vdsats)
+	fb, qb, sb := p.coreBiasPre(vgsi, vdsi, vbsi+h, delta, vdsats)
+	Fg := w * (fg - f0) / h
+	Fd := w * (fd - f0) / h
+	Fb := w * (fb - f0) / h
+	qixoG := (qg - q0) / h
+	qixoD := (qd - q0) / h
+	qixoB := (qb - q0) / h
+	fsatG := (sg - s0) / h
+	fsatD := (sd - s0) / h
+	fsatB := (sb - s0) / h
+
+	den := 1 + Fg*rs + Fd*(rs+rd) + Fb*rs
+	// ∂I/∂(vgs, vds, vbs).
+	iG := Fg / den
+	iD := Fd / den
+	iB := Fb / den
+
+	// Internal-voltage sensitivities to the source-referred externals:
+	// dvgsi/dx = [x==vgs] − rs·∂I/∂x, etc.
+	dI := [3]float64{iG, iD, iB} // x order: vgs, vds, vbs
+	var dvgsi, dvdsi, dvbsi [3]float64
+	for x := 0; x < 3; x++ {
+		dvgsi[x] = -rs * dI[x]
+		dvdsi[x] = -(rs + rd) * dI[x]
+		dvbsi[x] = -rs * dI[x]
+	}
+	dvgsi[0]++
+	dvdsi[1]++
+	dvbsi[2]++
+
+	// Chain core quantities to source-referred externals.
+	var dQixo, dFsat [3]float64
+	for x := 0; x < 3; x++ {
+		dQixo[x] = qixoG*dvgsi[x] + qixoD*dvdsi[x] + qixoB*dvbsi[x]
+		dFsat[x] = fsatG*dvgsi[x] + fsatD*dvdsi[x] + fsatB*dvbsi[x]
+	}
+
+	// Terminal mapping (n-equivalent, unswapped): rows of
+	// ∂(vgs, vds, vbs, vgd)/∂(vd, vg, vs, vb).
+	dvgsT := [4]float64{0, 1, -1, 0}
+	dvdsT := [4]float64{1, 0, -1, 0}
+	dvbsT := [4]float64{0, 0, -1, 1}
+	dvgdT := [4]float64{-1, 1, 0, 0}
+
+	// Charge assembly pieces.
+	wl := w * leff
+	qInv := wl * qixo * (1 - fsat/3)
+	qdFrac := 0.5 - fsat/10
+	qsFrac := 0.5 + fsat/10
+	covW := p.Cof * w
+
+	var der device.Derivs
+	// Values (n-equivalent, unswapped).
+	der.Id = id
+	der.Q = device.Charges{
+		Qg: qInv + covW*vgs + covW*vgd,
+		Qd: -qdFrac*qInv - covW*vgd,
+		Qs: -qsFrac*qInv - covW*vgs,
+		Qb: 0,
+	}
+
+	for t := 0; t < 4; t++ { // terminal order D, G, S, B
+		// ∂I/∂terminal.
+		gi := iG*dvgsT[t] + iD*dvdsT[t] + iB*dvbsT[t]
+		der.GId[t] = gi
+		// ∂qInv/∂terminal and ∂fsat/∂terminal.
+		dq := dQixo[0]*dvgsT[t] + dQixo[1]*dvdsT[t] + dQixo[2]*dvbsT[t]
+		df := dFsat[0]*dvgsT[t] + dFsat[1]*dvdsT[t] + dFsat[2]*dvbsT[t]
+		dqInv := wl * (dq*(1-fsat/3) - qixo*df/3)
+		// Rows: Qd, Qg, Qs, Qb.
+		der.CQ[1][t] = dqInv + covW*(dvgsT[t]+dvgdT[t])
+		der.CQ[0][t] = -qdFrac*dqInv + qInv*df/10 - covW*dvgdT[t]
+		der.CQ[2][t] = -qsFrac*dqInv - qInv*df/10 - covW*dvgsT[t]
+		der.CQ[3][t] = 0
+	}
+
+	if swap {
+		der = swapDerivs(der)
+	}
+	if pol < 0 {
+		der.Id = -der.Id
+		der.Q = der.Q.Neg()
+		// Derivatives are invariant under simultaneous sign flips of
+		// currents/charges and voltages.
+	}
+	return der
+}
+
+// swapDerivs exchanges the drain and source roles of a derivative bundle:
+// the current negates, charges swap, and both rows and columns of the
+// capacitance matrix permute.
+func swapDerivs(d device.Derivs) device.Derivs {
+	var out device.Derivs
+	out.Id = -d.Id
+	out.Q = d.Q.SwapDS()
+	perm := [4]int{2, 1, 0, 3}
+	for t := 0; t < 4; t++ {
+		out.GId[t] = -d.GId[perm[t]]
+		for k := 0; k < 4; k++ {
+			out.CQ[k][t] = d.CQ[perm[k]][perm[t]]
+		}
+	}
+	return out
+}

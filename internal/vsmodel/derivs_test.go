@@ -1,0 +1,100 @@
+package vsmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vstat/internal/device"
+)
+
+// The native implicit-function-theorem derivatives must match brute-force
+// finite differences of Eval across the whole operating space, for both
+// polarities and both source/drain orientations.
+func TestNativeDerivsMatchFD(t *testing.T) {
+	n := NMOS40(600e-9)
+	p := PMOS40(600e-9)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 400; trial++ {
+		var d device.Device
+		if trial%2 == 0 {
+			d = &n
+		} else {
+			d = &p
+		}
+		vd := rng.Float64()*1.8 - 0.45 // includes swapped-orientation region
+		vg := rng.Float64() * 0.9
+		vs := rng.Float64() * 0.9
+		vb := 0.0
+
+		nat := d.(device.NativeDerivs).EvalDerivs4(vd, vg, vs, vb)
+		fd := device.EvalDerivsFD(d, vd, vg, vs, vb)
+
+		// Values must agree exactly (same solve).
+		if math.Abs(nat.Id-fd.Id) > 1e-9*(1+math.Abs(fd.Id)) {
+			t.Fatalf("trial %d: Id %g vs %g", trial, nat.Id, fd.Id)
+		}
+		if math.Abs(nat.Q.Qg-fd.Q.Qg) > 1e-9*(1+math.Abs(fd.Q.Qg)) {
+			t.Fatalf("trial %d: Qg %g vs %g", trial, nat.Q.Qg, fd.Q.Qg)
+		}
+		// Conductances: FD carries O(h) truncation; compare at 3 % of the
+		// row scale.
+		gScale := 0.0
+		for _, v := range fd.GId {
+			gScale += math.Abs(v)
+		}
+		for j := 0; j < 4; j++ {
+			if math.Abs(nat.GId[j]-fd.GId[j]) > 0.03*gScale+1e-12 {
+				t.Fatalf("trial %d (vd=%.3f vg=%.3f vs=%.3f): GId[%d] native %g vs FD %g",
+					trial, vd, vg, vs, j, nat.GId[j], fd.GId[j])
+			}
+		}
+		for k := 0; k < 4; k++ {
+			cScale := 0.0
+			for _, v := range fd.CQ[k] {
+				cScale += math.Abs(v)
+			}
+			for j := 0; j < 4; j++ {
+				if math.Abs(nat.CQ[k][j]-fd.CQ[k][j]) > 0.03*cScale+1e-22 {
+					t.Fatalf("trial %d: CQ[%d][%d] native %g vs FD %g",
+						trial, k, j, nat.CQ[k][j], fd.CQ[k][j])
+				}
+			}
+		}
+	}
+}
+
+func TestNativeDerivsInvariances(t *testing.T) {
+	n := NMOS40(600e-9)
+	d := n.EvalDerivs4(0.7, 0.8, 0.1, 0)
+	// Translation invariance: each derivative row sums to ~0.
+	sum := d.GId[0] + d.GId[1] + d.GId[2] + d.GId[3]
+	scale := math.Abs(d.GId[0]) + math.Abs(d.GId[1]) + math.Abs(d.GId[2]) + math.Abs(d.GId[3])
+	if math.Abs(sum) > 1e-9*scale {
+		t.Fatalf("GId row sum %g", sum)
+	}
+	for k := 0; k < 4; k++ {
+		s := d.CQ[k][0] + d.CQ[k][1] + d.CQ[k][2] + d.CQ[k][3]
+		if math.Abs(s) > 1e-20 {
+			t.Fatalf("CQ row %d sum %g", k, s)
+		}
+	}
+	// Charge neutrality columns: ΣQ rows = 0 per column.
+	for j := 0; j < 4; j++ {
+		s := d.CQ[0][j] + d.CQ[1][j] + d.CQ[2][j] + d.CQ[3][j]
+		if math.Abs(s) > 1e-20 {
+			t.Fatalf("CQ column %d sum %g", j, s)
+		}
+	}
+}
+
+func TestEvalDerivsPrefersNative(t *testing.T) {
+	// device.EvalDerivs on a VS card must route to the native path: verify
+	// by cost proxy — the native result equals EvalDerivs4 bit-for-bit.
+	n := NMOS40(600e-9)
+	a := device.EvalDerivs(&n, 0.6, 0.7, 0, 0)
+	b := n.EvalDerivs4(0.6, 0.7, 0, 0)
+	if a != b {
+		t.Fatal("EvalDerivs did not use the native path")
+	}
+}

@@ -1,0 +1,143 @@
+package vsmodel
+
+import (
+	"math"
+
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"vstat/internal/device"
+)
+
+// Property: the series-resistance solution satisfies its own implicit
+// equation — re-evaluating the core at the degraded internal bias must give
+// back the solved current.
+func TestSeriesSolveSelfConsistency(t *testing.T) {
+	n := NMOS40(600e-9)
+	f := func(a, b uint8) bool {
+		vgs := float64(a) / 255 * 0.9
+		vds := float64(b) / 255 * 0.9
+		id, _, _, _ := n.solveSeries(vgs, vds, 0)
+		w := n.Weff()
+		rs := n.Rs0 / w
+		rd := n.Rd0 / w
+		vgsi := vgs - id*rs
+		vdsi := vds - id*(rs+rd)
+		if vdsi < 0 {
+			vdsi = 0
+		}
+		perW, _, _ := n.coreBias(vgsi, vdsi, -id*rs)
+		back := w * perW
+		return math.Abs(back-id) <= 1e-12+1e-6*math.Abs(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The solved current must never exceed the undegraded core current, and the
+// degradation must deepen with larger access resistance.
+func TestSeriesDegradationMonotoneInRs(t *testing.T) {
+	base := NMOS40(600e-9)
+	prev := math.Inf(1)
+	for _, rs := range []float64{0, 50e-6, 100e-6, 200e-6} {
+		n := base
+		n.Rs0, n.Rd0 = rs, rs
+		id := n.Eval(0.9, 0.9, 0, 0).Id
+		if id > prev {
+			t.Fatalf("Id should fall with Rs: %g after %g (Rs=%g)", id, prev, rs)
+		}
+		prev = id
+	}
+}
+
+// Smoothness of the solved current: the series solver's tolerance must not
+// introduce kinks visible to the simulator's finite differences.
+func TestSeriesSolveSmoothness(t *testing.T) {
+	n := NMOS40(600e-9)
+	h := 1e-4
+	for vg := 0.2; vg < 0.9; vg += 0.007 {
+		i0 := n.Eval(0.9, vg-h, 0, 0).Id
+		i1 := n.Eval(0.9, vg, 0, 0).Id
+		i2 := n.Eval(0.9, vg+h, 0, 0).Id
+		// Relative jump of the forward difference between adjacent steps.
+		d1 := i1 - i0
+		d2 := i2 - i1
+		if math.Abs(d2-d1) > 0.05*math.Abs(d1)+1e-12 {
+			t.Fatalf("gm kink at Vg=%g: %g vs %g", vg, d1, d2)
+		}
+	}
+}
+
+func TestFsatBounds(t *testing.T) {
+	n := NMOS40(600e-9)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		vgs := rng.Float64() * 0.9
+		vds := rng.Float64() * 0.9
+		_, _, fsat, _ := n.solveSeries(vgs, vds, 0)
+		if fsat < 0 || fsat >= 1 {
+			t.Fatalf("Fsat = %g out of [0,1) at (%g,%g)", fsat, vgs, vds)
+		}
+	}
+	if _, _, fsat, _ := n.solveSeries(0.9, 0, 0); fsat != 0 {
+		t.Fatalf("Fsat(Vds=0) = %g", fsat)
+	}
+}
+
+func TestAppliedDeltasRecorded(t *testing.T) {
+	n := NMOS40(600e-9)
+	d := n.ApplyDeltas(deltaVT(0.01))
+	if d.Applied.DVT0 != 0.01 {
+		t.Fatalf("Applied not recorded: %+v", d.Applied)
+	}
+}
+
+func TestZeroWidthDegenerate(t *testing.T) {
+	n := NMOS40(600e-9)
+	n.DWg = n.W // Weff = 0
+	e := n.Eval(0.9, 0.9, 0, 0)
+	if e.Id != 0 {
+		t.Fatalf("zero-width device conducts: %g", e.Id)
+	}
+}
+
+// Cross-check the secant series solve against brute-force scanning of the
+// implicit equation.
+func TestSeriesSolveMatchesBruteForce(t *testing.T) {
+	n := NMOS40(600e-9)
+	for _, bias := range [][2]float64{{0.9, 0.9}, {0.9, 0.05}, {0.6, 0.45}, {0.3, 0.9}} {
+		vgs, vds := bias[0], bias[1]
+		id, _, _, _ := n.solveSeries(vgs, vds, 0)
+		w := n.Weff()
+		rs := n.Rs0 / w
+		rd := n.Rd0 / w
+		g := func(i float64) float64 {
+			vgsi := vgs - i*rs
+			vdsi := vds - i*(rs+rd)
+			if vdsi < 0 {
+				vdsi = 0
+			}
+			perW, _, _ := n.coreBias(vgsi, vdsi, -i*rs)
+			return i - w*perW
+		}
+		// Bisection to high precision.
+		lo, hi := 0.0, -g(0)
+		for k := 0; k < 200; k++ {
+			mid := 0.5 * (lo + hi)
+			if g(mid) > 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		ref := 0.5 * (lo + hi)
+		if math.Abs(id-ref) > 1e-12+1e-6*ref {
+			t.Fatalf("bias %v: secant %g vs bisect %g", bias, id, ref)
+		}
+	}
+}
+
+func deltaVT(v float64) device.Deltas {
+	return device.Deltas{DVT0: v}
+}

@@ -1,0 +1,381 @@
+// Package vsmodel implements the MIT Virtual Source (VS) ultra-compact,
+// charge-based MOSFET model of Khakifirooz, Nayfeh and Antoniadis (IEEE TED
+// 2009) with the charge partitioning of Wei et al. (IEEE TED 2012) — the
+// nominal device model that the DATE 2013 paper "Statistical Modeling with
+// the Virtual Source MOSFET Model" extends statistically.
+//
+// The model computes the drain current as the product of the areal inversion
+// charge density at the virtual source, Qixo, and the virtual-source
+// injection velocity vxo, blended across operating regions by the empirical
+// saturation function Fsat:
+//
+//	Id = W · Fsat(Vds/Vdsat) · Qixo · vxo                     (paper Eq. 2-3)
+//	VT = VT0 − δ(Leff)·Vds (+ body effect)                     (paper Eq. 4)
+//
+// The statistical hooks required by the paper live here too:
+//
+//   - DIBL is an explicit function of effective channel length, δ(Leff), so
+//     length mismatch modulates both threshold and injection velocity;
+//   - ApplyDeltas maps the five independent statistical parameters of paper
+//     Table I (ΔVT0, ΔLeff, ΔWeff, Δµ, ΔCinv) onto a perturbed parameter
+//     card, propagating Δµ and Δδ(Leff) into Δvxo through paper Eq. (5).
+package vsmodel
+
+import (
+	"math"
+
+	"vstat/internal/device"
+)
+
+// Physical constants / unit conversions.
+const (
+	// PhiT300 is the thermal voltage kT/q at 300 K, volts.
+	PhiT300 = 0.02585
+
+	// CmPerS converts cm/s to m/s.
+	CmPerS = 1e-2
+	// Cm2PerVs converts cm²/(V·s) to m²/(V·s).
+	Cm2PerVs = 1e-4
+	// MuFPerCm2 converts µF/cm² to F/m².
+	MuFPerCm2 = 1e-2
+	// Nm converts nm to m.
+	Nm = 1e-9
+)
+
+// Params is a Virtual Source model card bound to a geometry. All fields are
+// SI. The struct has value semantics: statistical instances are cheap
+// perturbed copies.
+type Params struct {
+	TypeK device.Kind
+
+	// Geometry.
+	W    float64 // drawn width, m
+	Lgdr float64 // drawn gate length, m
+	DLg  float64 // length offset: Leff = Lgdr − DLg, m
+	DWg  float64 // width offset: Weff = W − DWg, m
+
+	// DC parameters (the paper's 11-parameter DC set).
+	Cinv   float64 // effective gate-to-channel capacitance, F/m²
+	VT0    float64 // threshold voltage at Vds=0, nominal Leff, V
+	Delta0 float64 // DIBL coefficient at Leff = LRef, V/V
+	LDelta float64 // exponential length scale of δ(Leff), m
+	LRef   float64 // reference channel length for δ and vxo, m
+	N0     float64 // subthreshold ideality factor
+	Nd     float64 // punch-through factor: n = N0 + Nd·Vds
+	Vxo    float64 // virtual-source injection velocity, m/s
+	Mu     float64 // low-field effective mobility, m²/(V·s)
+	Rs0    float64 // source access resistance, Ω·m (divide by W)
+	Rd0    float64 // drain access resistance, Ω·m
+	Beta   float64 // Fsat transition exponent (≈1.8 NMOS, 1.6 PMOS)
+	Alpha  float64 // weak/strong inversion transition parameter (≈3.5)
+	PhiT   float64 // thermal voltage, V
+
+	// Body effect.
+	GammaB float64 // body factor, √V
+	PhiB   float64 // surface potential parameter, V
+
+	// Charge / capacitance parameters.
+	Cof float64 // gate overlap + outer-fringe capacitance per edge, F/m
+
+	// Statistical velocity coupling, paper Eq. (5)-(6).
+	AlphaVel  float64 // power-law index α ≈ 0.5
+	GammaVel  float64 // power-law index γ ≈ 0.45
+	LambdaMFP float64 // carrier mean free path λ, m
+	LCrit     float64 // backscattering critical length ℓ at nominal Leff, m
+	SDelta    float64 // ∂vxo/(vxo·∂δ) ≈ 2
+
+	// Deltas actually applied to this instance (kept for inspection).
+	Applied device.Deltas
+}
+
+// Kind returns the channel polarity.
+func (p *Params) Kind() device.Kind { return p.TypeK }
+
+// Width returns the drawn width in meters.
+func (p *Params) Width() float64 { return p.W }
+
+// Length returns the drawn gate length in meters.
+func (p *Params) Length() float64 { return p.Lgdr }
+
+// Leff returns the effective channel length.
+func (p *Params) Leff() float64 { return p.Lgdr - p.DLg }
+
+// Weff returns the effective channel width.
+func (p *Params) Weff() float64 { return p.W - p.DWg }
+
+// Delta returns the DIBL coefficient δ(Leff) for the given effective length:
+// an exponential roll-up toward short channels,
+//
+//	δ(L) = Delta0 · exp((LRef − L)/LDelta).
+func (p *Params) Delta(leff float64) float64 {
+	return p.Delta0 * math.Exp((p.LRef-leff)/p.LDelta)
+}
+
+// BallisticEfficiency returns B = λ/(λ+2ℓ), paper Eq. (6).
+func (p *Params) BallisticEfficiency() float64 {
+	return p.LambdaMFP / (p.LambdaMFP + 2*p.LCrit)
+}
+
+// MuVeloCoupling returns the mobility-to-velocity sensitivity factor of
+// paper Eq. (5): α + (1−B)(1−α+γ).
+func (p *Params) MuVeloCoupling() float64 {
+	b := p.BallisticEfficiency()
+	return p.AlphaVel + (1-b)*(1-p.AlphaVel+p.GammaVel)
+}
+
+// ApplyDeltas returns a perturbed copy of the card implementing the paper's
+// statistical parameter mapping: the five independent Gaussian deltas of
+// Table I perturb their own parameters directly, and the dependent physical
+// responses follow — δ re-evaluates at the new Leff, and vxo shifts per
+// Eq. (5) with both the mobility and the Δδ(Leff) contributions.
+func (p Params) ApplyDeltas(d device.Deltas) Params {
+	leffOld := p.Leff()
+	deltaOld := p.Delta(leffOld)
+
+	// Independent statistical parameters (Table I).
+	p.VT0 += d.DVT0
+	p.DLg -= d.DL // Leff = Lgdr − DLg, so ΔLeff = −ΔDLg
+	p.DWg -= d.DW
+	p.Cinv += d.DCinv
+	muOld := p.Mu
+	p.Mu += d.DMu
+
+	// Dependent response: Δvxo/vxo = A_µ·Δµ/µ + S_δ·Δδ (paper Eq. 5).
+	deltaNew := p.Delta(p.Leff())
+	rel := p.MuVeloCoupling()*(d.DMu/muOld) + p.SDelta*(deltaNew-deltaOld)
+	p.Vxo *= 1 + rel
+
+	p.Applied = d
+	return p
+}
+
+// WithDeltas implements device.Varier, returning an independent statistical
+// instance.
+func (p *Params) WithDeltas(d device.Deltas) device.Device {
+	q := p.ApplyDeltas(d)
+	return &q
+}
+
+// WithGeometry returns a copy of the card re-targeted to a new drawn W/L.
+func (p Params) WithGeometry(w, l float64) Params {
+	p.W = w
+	p.Lgdr = l
+	return p
+}
+
+// coreBias computes the intrinsic (post-series-resistance) drain current per
+// unit width for an n-equivalent device with source-referred internal
+// voltages vgsi, vdsi (vdsi ≥ 0) and body vbsi. It also returns the virtual
+// source charge density and the saturation function value for the charge
+// model.
+func (p *Params) coreBias(vgsi, vdsi, vbsi float64) (idPerW, qixo, fsat float64) {
+	leff := p.Leff()
+	return p.coreBiasPre(vgsi, vdsi, vbsi, p.Delta(leff), p.Vxo*leff/p.Mu)
+}
+
+// coreBiasPre is coreBias with the bias-independent quantities δ(Leff) and
+// the strong-inversion saturation voltage precomputed, so the series-
+// resistance root finder does not recompute exponentials that only depend
+// on geometry.
+func (p *Params) coreBiasPre(vgsi, vdsi, vbsi, delta, vdsats float64) (idPerW, qixo, fsat float64) {
+	phit := p.PhiT
+
+	// Body-corrected, DIBL-corrected threshold.
+	vbsEff := vbsi
+	if max := p.PhiB - 0.05; vbsEff > max {
+		vbsEff = max // clamp to keep sqrt real; deep forward body bias is outside model validity
+	}
+	vt := p.VT0 - delta*vdsi
+	if p.GammaB != 0 {
+		vt += p.GammaB * (math.Sqrt(p.PhiB-vbsEff) - math.Sqrt(p.PhiB))
+	}
+
+	n := p.N0 + p.Nd*vdsi
+	nphit := n * phit
+	aphit := p.Alpha * phit
+
+	// Inversion transition function FF: →1 in weak inversion, →0 in strong.
+	ff := logistic((vt - aphit/2 - vgsi) / aphit)
+
+	// Virtual-source charge density (paper's charge expression).
+	qixo = p.Cinv * nphit * softplus((vgsi-(vt-p.Alpha*phit*ff))/nphit)
+
+	// Saturation voltage blends the strong-inversion value vxo·Leff/µ with
+	// the thermal value φt in weak inversion.
+	vdsat := vdsats*(1-ff) + phit*ff
+
+	// Saturation function Fsat (paper Eq. 3), written with explicit
+	// exp/log so the two pow calls collapse to one exp+log pair each.
+	x := vdsi / vdsat
+	if x > 0 {
+		t := math.Exp(p.Beta * math.Log(x))
+		fsat = x * math.Exp(-math.Log1p(t)/p.Beta)
+	} else {
+		fsat = 0
+	}
+
+	idPerW = fsat * qixo * p.Vxo
+	return idPerW, qixo, fsat
+}
+
+// solveSeries solves the series-resistance feedback self-consistently for an
+// n-equivalent device with external source-referred voltages (vds ≥ 0):
+// the internal voltages are vgsi = vgs − Id·Rs and vdsi = vds − Id·(Rs+Rd).
+// It returns the converged drain current (A), charge density and saturation
+// measure at the internal bias.
+//
+// The root of g(I) = I − F(I), with F the core current at the degraded
+// internal bias, is found by a bracket-safeguarded secant iteration on
+// [0, F(0)]. F is monotone decreasing in I so the bracket always holds, and
+// unlike plain fixed-point iteration the solve stays convergent in the deep
+// linear region where gds·(Rs+Rd) exceeds unity. The tolerance is relative
+// (~1e-9 of the drive current), far tighter than the simulator's Newton
+// residual tolerance but loose enough that the secant typically converges
+// in about six core evaluations.
+func (p *Params) solveSeries(vgs, vds, vbs float64) (id, qixo, fsat, vdsi float64) {
+	w := p.Weff()
+	if w <= 0 {
+		return 0, 0, 0, vds
+	}
+	rs := p.Rs0 / w
+	rd := p.Rd0 / w
+	leff := p.Leff()
+	delta := p.Delta(leff)
+	vdsats := p.Vxo * leff / p.Mu
+
+	eval := func(i float64) (f, q, fs, vdsiOut float64) {
+		vgsi := vgs - i*rs
+		vdsiOut = vds - i*(rs+rd)
+		if vdsiOut < 0 {
+			vdsiOut = 0
+		}
+		vbsi := vbs - i*rs
+		perW, q, fs := p.coreBiasPre(vgsi, vdsiOut, vbsi, delta, vdsats)
+		return w * perW, q, fs, vdsiOut
+	}
+
+	f0, q0, fs0, v0 := eval(0)
+	if rs == 0 && rd == 0 {
+		return f0, q0, fs0, v0
+	}
+	tol := 1e-13 + 1e-9*f0
+	if f0 <= tol {
+		return f0, q0, fs0, v0
+	}
+
+	// g(I) = I − F(I): g(0) = −F(0) < 0, g(F(0)) ≥ 0.
+	a, ga := 0.0, -f0
+	b := f0
+	fb, qb, fsb, vb := eval(b)
+	gb := b - fb
+	id, qixo, fsat, vdsi = fb, qb, fsb, vb
+	if gb <= tol {
+		return b, qb, fsb, vb // degradation negligible at the bound
+	}
+	// Secant iterations from the bracket endpoints, safeguarded by
+	// bisection whenever the secant step leaves the bracket.
+	x0, g0 := a, ga
+	x1, g1 := b, gb
+	for it := 0; it < 60; it++ {
+		x := x1 - g1*(x1-x0)/(g1-g0)
+		if !(x > a && x < b) {
+			x = 0.5 * (a + b)
+		}
+		fx, qx, fsx, vx := eval(x)
+		gx := x - fx
+		id, qixo, fsat, vdsi = fx, qx, fsx, vx
+		if math.Abs(gx) <= tol || b-a <= 1e-15*(1+b) {
+			return x, qx, fsx, vx
+		}
+		if gx > 0 {
+			b = x
+		} else {
+			a = x
+		}
+		x0, g0 = x1, g1
+		x1, g1 = x, gx
+	}
+	return id, qixo, fsat, vdsi
+}
+
+// Eval implements device.Device. It maps PMOS onto the equivalent n-channel
+// problem, swaps source and drain for negative Vds (the VS model is written
+// source-referenced with Vds ≥ 0), and assembles terminal charges.
+func (p *Params) Eval(vd, vg, vs, vb float64) device.Eval {
+	pol := p.TypeK.Polarity()
+	// n-equivalent absolute voltages.
+	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
+
+	swap := false
+	if nvd < nvs {
+		nvd, nvs = nvs, nvd
+		swap = true
+	}
+	vgs := nvg - nvs
+	vds := nvd - nvs
+	vbs := nvb - nvs
+
+	id, qixo, fsat, _ := p.solveSeries(vgs, vds, vbs)
+	q := p.charges(vgs, nvg-nvd, qixo, fsat)
+
+	if swap {
+		id = -id
+		q = q.SwapDS()
+	}
+	if pol < 0 {
+		id = -id
+		q = q.Neg()
+	}
+	return device.Eval{Id: id, Q: q}
+}
+
+// charges assembles the terminal charges for the n-equivalent, unswapped
+// orientation. vgd = Vg−Vd is needed for the drain overlap charge.
+//
+// The intrinsic channel charge uses the virtual-source density Qixo with the
+// average-along-the-channel factor (1 − Fsat/3), which interpolates between
+// the uniform-channel limit at Vds=0 and the 2/3 saturation limit, and a
+// Ward–Dutton-like partition sliding from 50/50 at Vds=0 to the classic
+// 40/60 drain/source split in saturation (exact at both endpoints for a
+// square-law device).
+func (p *Params) charges(vgs, vgd, qixo, fsat float64) device.Charges {
+	w := p.Weff()
+	leff := p.Leff()
+	qInv := w * leff * qixo * (1 - fsat/3)
+	qdFrac := 0.5 - fsat/10 // 0.5 → 0.4
+	qsFrac := 0.5 + fsat/10 // 0.5 → 0.6
+
+	// Overlap/fringe charges, one per edge.
+	covW := p.Cof * w
+	qovS := covW * vgs
+	qovD := covW * vgd
+
+	return device.Charges{
+		Qg: qInv + qovS + qovD,
+		Qd: -qdFrac*qInv - qovD,
+		Qs: -qsFrac*qInv - qovS,
+		Qb: 0,
+	}
+}
+
+// logistic returns 1/(1+e^{-x}) with guard against overflow.
+func logistic(x float64) float64 {
+	if x > 40 {
+		return 1
+	}
+	if x < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// softplus returns ln(1+e^{x}) with guards against overflow/underflow.
+func softplus(x float64) float64 {
+	if x > 40 {
+		return x
+	}
+	if x < -40 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}

@@ -1,0 +1,320 @@
+package vsmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vstat/internal/device"
+)
+
+const (
+	wTest = 1e-6 // 1 µm
+	vdd   = 0.9
+)
+
+func TestZeroVdsZeroCurrent(t *testing.T) {
+	n := NMOS40(wTest)
+	for _, vg := range []float64{0, 0.3, 0.6, 0.9} {
+		if id := n.Eval(0, vg, 0, 0).Id; id != 0 {
+			t.Fatalf("Id(Vds=0, Vg=%g) = %g, want 0", vg, id)
+		}
+	}
+}
+
+func TestNominalOperatingWindow(t *testing.T) {
+	n := NMOS40(wTest)
+	ion := n.Eval(vdd, vdd, 0, 0).Id
+	ioff := n.Eval(vdd, 0, 0, 0).Id
+	if ion < 500e-6 || ion > 1100e-6 {
+		t.Fatalf("NMOS Ion = %g µA/µm outside 40-nm window", ion*1e6)
+	}
+	if ioff < 5e-9 || ioff > 400e-9 {
+		t.Fatalf("NMOS Ioff = %g nA/µm outside window", ioff*1e9)
+	}
+	p := PMOS40(wTest)
+	ionP := -p.Eval(0, 0, vdd, vdd).Id // source at Vdd, drain pulled low
+	if ionP < 250e-6 || ionP > 800e-6 {
+		t.Fatalf("PMOS Ion = %g µA/µm outside window", ionP*1e6)
+	}
+	if r := ionP / ion; r < 0.4 || r > 0.9 {
+		t.Fatalf("P/N drive ratio %g unrealistic", r)
+	}
+}
+
+func TestMonotoneInVgsAndVds(t *testing.T) {
+	n := NMOS40(wTest)
+	prev := -1.0
+	for vg := 0.0; vg <= 0.9; vg += 0.01 {
+		id := n.Eval(vdd, vg, 0, 0).Id
+		if id < prev {
+			t.Fatalf("Id not monotone in Vgs at %g", vg)
+		}
+		prev = id
+	}
+	prev = -1
+	for vd := 0.0; vd <= 0.9; vd += 0.01 {
+		id := n.Eval(vd, vdd, 0, 0).Id
+		if id < prev {
+			t.Fatalf("Id not monotone in Vds at %g", vd)
+		}
+		prev = id
+	}
+}
+
+func TestSourceDrainSwapAntisymmetry(t *testing.T) {
+	n := NMOS40(wTest)
+	for _, v := range [][2]float64{{0.9, 0}, {0.3, 0.5}, {0.05, 0.9}} {
+		a := n.Eval(v[0], 0.7, v[1], 0).Id
+		b := n.Eval(v[1], 0.7, v[0], 0).Id
+		if math.Abs(a+b) > 1e-12*(1+math.Abs(a)) {
+			t.Fatalf("swap antisymmetry broken: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	// A PMOS with an NMOS-identical card must be the exact mirror.
+	n := NMOS40(wTest)
+	p := n
+	p.TypeK = device.PMOS
+	for _, bias := range [][4]float64{{0.9, 0.9, 0, 0}, {0.2, 0.6, 0, 0}, {0.9, 0.4, 0.3, 0}} {
+		en := n.Eval(bias[0], bias[1], bias[2], bias[3])
+		ep := p.Eval(-bias[0], -bias[1], -bias[2], -bias[3])
+		if math.Abs(en.Id+ep.Id) > 1e-15+1e-12*math.Abs(en.Id) {
+			t.Fatalf("PMOS mirror current broken: %g vs %g", en.Id, ep.Id)
+		}
+		if math.Abs(en.Q.Qg+ep.Q.Qg) > 1e-25+1e-12*math.Abs(en.Q.Qg) {
+			t.Fatalf("PMOS mirror charge broken: %g vs %g", en.Q.Qg, ep.Q.Qg)
+		}
+	}
+}
+
+func TestChargeNeutrality(t *testing.T) {
+	n := NMOS40(wTest)
+	p := PMOS40(wTest)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		vd, vg, vs, vb := rng.Float64(), rng.Float64(), rng.Float64(), 0.0
+		for _, d := range []device.Device{&n, &p} {
+			q := d.Eval(vd, vg, vs, vb).Q
+			if math.Abs(q.Sum()) > 1e-22 {
+				t.Fatalf("charge not neutral: sum=%g at (%g,%g,%g)", q.Sum(), vd, vg, vs)
+			}
+		}
+	}
+}
+
+func TestGmSmoothAcrossInversion(t *testing.T) {
+	// gm must be continuous through the weak/strong inversion transition:
+	// second differences of Id over a fine Vg grid stay bounded relative to
+	// the local gm scale.
+	n := NMOS40(wTest)
+	h := 1e-3
+	for vg := 0.1; vg <= 0.8; vg += h {
+		i0 := n.Eval(vdd, vg-h, 0, 0).Id
+		i1 := n.Eval(vdd, vg, 0, 0).Id
+		i2 := n.Eval(vdd, vg+h, 0, 0).Id
+		d2 := (i2 - 2*i1 + i0) / (h * h)
+		// d²I/dV² bounded by a loose physical scale: Cinv·vxo·W/φt-ish.
+		bound := 10 * n.Cinv * n.Vxo * n.W / n.PhiT
+		if math.Abs(d2) > bound {
+			t.Fatalf("Id curvature %g too large at Vg=%g (bound %g)", d2, vg, bound)
+		}
+	}
+}
+
+func TestDIBLShiftsSubthresholdCurrent(t *testing.T) {
+	n := NMOS40(wTest)
+	iLo := n.Eval(0.1, 0, 0, 0).Id
+	iHi := n.Eval(vdd, 0, 0, 0).Id
+	if iHi <= iLo {
+		t.Fatal("DIBL should raise subthreshold current at high Vds")
+	}
+	// Ratio ≈ exp(δ·ΔVds/(n·φt)) within a factor ~2 (Fsat and n(Vds) also move).
+	delta := n.Delta(n.Leff())
+	want := math.Exp(delta * (vdd - 0.1) / (n.N0 * n.PhiT))
+	got := iHi / iLo
+	if got < want/2.5 || got > want*2.5 {
+		t.Fatalf("DIBL ratio %g far from theory %g", got, want)
+	}
+}
+
+func TestSubthresholdSwing(t *testing.T) {
+	n := NMOS40(wTest)
+	i1 := n.Eval(vdd, 0.00, 0, 0).Id
+	i2 := n.Eval(vdd, 0.10, 0, 0).Id
+	ss := 0.1 / math.Log10(i2/i1) * 1e3 // mV/dec
+	want := n.N0 * n.PhiT * math.Ln10 * 1e3
+	if math.Abs(ss-want) > 12 {
+		t.Fatalf("SS = %g mV/dec, want ≈ %g", ss, want)
+	}
+}
+
+func TestBodyEffectRaisesVT(t *testing.T) {
+	n := NMOS40(wTest)
+	// Reverse body bias (Vb < Vs) must decrease current.
+	i0 := n.Eval(vdd, 0.4, 0, 0).Id
+	iRev := n.Eval(vdd, 0.4, 0, -0.5).Id
+	if iRev >= i0 {
+		t.Fatalf("reverse body bias did not reduce current: %g vs %g", iRev, i0)
+	}
+}
+
+func TestSeriesResistanceReducesIon(t *testing.T) {
+	n := NMOS40(wTest)
+	nr := n
+	nr.Rs0, nr.Rd0 = 0, 0
+	withR := n.Eval(vdd, vdd, 0, 0).Id
+	noR := nr.Eval(vdd, vdd, 0, 0).Id
+	if withR >= noR {
+		t.Fatal("series resistance should reduce Ion")
+	}
+	if withR < 0.6*noR {
+		t.Fatalf("series degradation implausibly strong: %g vs %g", withR, noR)
+	}
+}
+
+func TestDeltaLengthDependence(t *testing.T) {
+	n := NMOS40(wTest)
+	if n.Delta(30*Nm) <= n.Delta(40*Nm) {
+		t.Fatal("DIBL must increase toward short channels")
+	}
+	if math.Abs(n.Delta(n.LRef)-n.Delta0) > 1e-15 {
+		t.Fatal("Delta(LRef) must equal Delta0")
+	}
+}
+
+func TestBallisticEfficiencyAndCoupling(t *testing.T) {
+	n := NMOS40(wTest)
+	b := n.BallisticEfficiency()
+	if b <= 0 || b >= 1 {
+		t.Fatalf("B = %g outside (0,1)", b)
+	}
+	want := n.LambdaMFP / (n.LambdaMFP + 2*n.LCrit)
+	if math.Abs(b-want) > 1e-15 {
+		t.Fatalf("B formula mismatch")
+	}
+	a := n.MuVeloCoupling()
+	wantA := n.AlphaVel + (1-b)*(1-n.AlphaVel+n.GammaVel)
+	if math.Abs(a-wantA) > 1e-15 {
+		t.Fatalf("coupling formula mismatch")
+	}
+}
+
+func TestApplyDeltasDirections(t *testing.T) {
+	n := NMOS40(wTest)
+	ioff := func(d device.Device) float64 { return d.Eval(vdd, 0, 0, 0).Id }
+	ion := func(d device.Device) float64 { return d.Eval(vdd, vdd, 0, 0).Id }
+
+	up := n.ApplyDeltas(device.Deltas{DVT0: 0.02})
+	if ioff(&up) >= ioff(&n) {
+		t.Fatal("raising VT0 must cut Ioff")
+	}
+	longer := n.ApplyDeltas(device.Deltas{DL: 2 * Nm})
+	if longer.Leff() <= n.Leff() {
+		t.Fatal("DL>0 must lengthen channel")
+	}
+	// Longer channel → smaller δ → smaller vxo (paper Eq. 5).
+	if longer.Vxo >= n.Vxo {
+		t.Fatalf("vxo should fall with longer channel: %g vs %g", longer.Vxo, n.Vxo)
+	}
+	faster := n.ApplyDeltas(device.Deltas{DMu: 0.1 * n.Mu})
+	if faster.Vxo <= n.Vxo {
+		t.Fatal("vxo should rise with mobility")
+	}
+	// Coupling magnitude: Δvxo/vxo = A_µ·Δµ/µ.
+	rel := faster.Vxo/n.Vxo - 1
+	if math.Abs(rel-0.1*n.MuVeloCoupling()) > 1e-12 {
+		t.Fatalf("vxo-µ coupling %g want %g", rel, 0.1*n.MuVeloCoupling())
+	}
+	wider := n.ApplyDeltas(device.Deltas{DW: 50 * Nm})
+	if ion(&wider) <= ion(&n) {
+		t.Fatal("wider device must drive more current")
+	}
+	same := n.ApplyDeltas(device.Deltas{})
+	if same.VT0 != n.VT0 || same.Vxo != n.Vxo || ion(&same) != ion(&n) {
+		t.Fatal("zero deltas must be identity")
+	}
+}
+
+func TestWithDeltasIndependentInstance(t *testing.T) {
+	n := NMOS40(wTest)
+	d := n.WithDeltas(device.Deltas{DVT0: 0.05})
+	if d.Eval(vdd, vdd, 0, 0).Id == n.Eval(vdd, vdd, 0, 0).Id {
+		t.Fatal("WithDeltas returned an unperturbed instance")
+	}
+	// Original untouched.
+	if n.VT0 != 0.445 {
+		t.Fatalf("WithDeltas mutated the nominal card: VT0=%g", n.VT0)
+	}
+}
+
+func TestEvalPropertyRandomBias(t *testing.T) {
+	n := NMOS40(wTest)
+	f := func(a, b, c uint8) bool {
+		vd := float64(a) / 255 * 1.1
+		vg := float64(b) / 255 * 1.1
+		vs := float64(c) / 255 * 1.1
+		e := n.Eval(vd, vg, vs, 0)
+		if math.IsNaN(e.Id) || math.IsInf(e.Id, 0) {
+			return false
+		}
+		// Current sign must follow Vds sign.
+		if vd > vs && e.Id < 0 {
+			return false
+		}
+		if vd < vs && e.Id > 0 {
+			return false
+		}
+		for _, q := range []float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb} {
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCggStrongInversionMagnitude(t *testing.T) {
+	n := NMOS40(wTest)
+	cgg := device.Cgg(&n, 0, vdd, 0, 0)
+	intrinsic := n.Weff() * n.Leff() * n.Cinv
+	overlap := 2 * n.Cof * n.Weff()
+	want := intrinsic + overlap
+	if math.Abs(cgg-want)/want > 0.15 {
+		t.Fatalf("Cgg = %g F, want ≈ %g", cgg, want)
+	}
+}
+
+func TestWithGeometry(t *testing.T) {
+	n := NMOS40(wTest)
+	g := n.WithGeometry(2e-6, 60*Nm)
+	if g.W != 2e-6 || g.Lgdr != 60*Nm {
+		t.Fatal("WithGeometry did not retarget")
+	}
+	if g.VT0 != n.VT0 {
+		t.Fatal("WithGeometry must preserve the card")
+	}
+	if g.Eval(vdd, vdd, 0, 0).Id <= n.Eval(vdd, vdd, 0, 0).Id {
+		t.Fatal("double width should out-drive despite longer channel here")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := NMOS40(wTest)
+	if n.Kind() != device.NMOS || n.Width() != wTest || n.Length() != 40*Nm {
+		t.Fatal("accessors wrong")
+	}
+	if n.Leff() != 35*Nm {
+		t.Fatalf("Leff = %g", n.Leff())
+	}
+	p := PMOS40(wTest)
+	if p.Kind() != device.PMOS {
+		t.Fatal("PMOS kind")
+	}
+}
