@@ -1,0 +1,28 @@
+# Build/test tiers and the benchmark runner. Plain GNU make, Go stdlib only.
+
+GO ?= go
+
+.PHONY: tier1 tier2 bench bench-mc race
+
+# Tier 1: the build + test gate every change must keep green (ROADMAP.md).
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Tier 2: static analysis plus the race detector over the full tree,
+# including the pooled parallel Monte Carlo engine.
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Race detector over just the concurrency-bearing packages (quick).
+race:
+	$(GO) test -race ./internal/montecarlo/ ./internal/experiments/ -run 'TestMap|TestPooled' -count=1
+
+# Benchmark runner: the paper-figure per-sample benches plus the pooled
+# vs rebuild Monte Carlo pairs (the speedup evidence for the pooled engine).
+bench:
+	$(GO) test -bench=BenchmarkFig5 -benchmem -run xxx .
+	$(GO) test -bench=BenchmarkMC -benchmem -run xxx .
+
+# Machine-readable perf record for the MC units; writes BENCH_mc.json.
+bench-mc:
+	$(GO) run ./cmd/vsbench -n 64 -mode both

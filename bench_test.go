@@ -227,6 +227,61 @@ func BenchmarkFig9SRAMGolden(b *testing.B)   { benchSRAM(b, getSuite(b).Golden) 
 func BenchmarkTable4SRAMVS(b *testing.B)     { benchSRAM(b, getSuite(b).VS) }
 func BenchmarkTable4SRAMGolden(b *testing.B) { benchSRAM(b, getSuite(b).Golden) }
 
+// ---- Pooled Monte Carlo engine: rebuild-per-sample vs pooled templates ----
+//
+// The paired benchmarks behind the pooled-engine speedup claim. Each
+// iteration does identical per-sample work — statistical device draw,
+// fixed-step transient, pair delay — and the variants differ only in the
+// engine: Rebuild constructs the bench from scratch (the pre-pooling
+// per-sample cost), Pooled re-stamps a per-worker template (bit-identical
+// delays, ~no allocation), PooledFast adds the carried-Jacobian fast solver
+// (delays match to the fast tolerance floor).
+
+func pooledBenchSizing() circuits.Sizing {
+	return circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+}
+
+func benchPooledGateDelay(b *testing.B, bch *circuits.PooledGate, m core.StatModel, vdd float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bch.Restat(m.Statistical(rng))
+		res, err := bch.Transient(560e-12, 1.5e-12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := measure.PairDelay(res, bch.In, bch.Out, vdd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPooledInv(b *testing.B, fast bool) {
+	m := core.DefaultStatVS()
+	bch, err := circuits.NewPooledInverterFO(3, 0.9, pooledBenchSizing(), m.Nominal(), fast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPooledGateDelay(b, bch, m, 0.9)
+}
+
+func benchPooledNand2(b *testing.B, fast bool) {
+	m := core.DefaultStatVS()
+	bch, err := circuits.NewPooledNAND2FO(3, 0.9, pooledBenchSizing(), m.Nominal(), fast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPooledGateDelay(b, bch, m, 0.9)
+}
+
+func BenchmarkMCInvFO3Rebuild(b *testing.B)      { benchInvDelay(b, core.DefaultStatVS()) }
+func BenchmarkMCInvFO3Pooled(b *testing.B)       { benchPooledInv(b, false) }
+func BenchmarkMCInvFO3PooledFast(b *testing.B)   { benchPooledInv(b, true) }
+func BenchmarkMCNand2FO3Rebuild(b *testing.B)    { benchNAND2Delay(b, core.DefaultStatVS(), 0.9) }
+func BenchmarkMCNand2FO3Pooled(b *testing.B)     { benchPooledNand2(b, false) }
+func BenchmarkMCNand2FO3PooledFast(b *testing.B) { benchPooledNand2(b, true) }
+
 // ---- Ablations (DESIGN.md §5) ----
 
 // Raw model evaluation cost: the purest form of the paper's Table IV claim

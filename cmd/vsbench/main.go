@@ -1,0 +1,282 @@
+// Command vsbench profiles the pooled Monte Carlo engine and writes a
+// machine-readable perf record. Each MC unit (INV FO3 delay, NAND2 FO3
+// delay, DFF setup time, SRAM SNM) runs n pooled samples while measuring
+// wall time, heap traffic, and the solver-effort counters, then the whole
+// record lands in BENCH_mc.json.
+//
+// Usage:
+//
+//	vsbench [-n 64] [-workers 1] [-mode exact|fast|both] [-out BENCH_mc.json]
+//
+// The default single worker keeps the per-sample allocation figures free of
+// scheduler noise; raise -workers to measure parallel throughput instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/measure"
+	"vstat/internal/montecarlo"
+	"vstat/internal/spice"
+)
+
+// unitRecord is one (unit, mode) row of BENCH_mc.json.
+type unitRecord struct {
+	Unit                 string  `json:"unit"`
+	Mode                 string  `json:"mode"`
+	Samples              int     `json:"samples"`
+	Workers              int     `json:"workers"`
+	NsPerSample          float64 `json:"ns_per_sample"`
+	BytesPerSample       float64 `json:"bytes_per_sample"`
+	AllocsPerSample      float64 `json:"allocs_per_sample"`
+	NewtonItersPerStep   float64 `json:"newton_iters_per_step"`
+	JacRefreshPerStep    float64 `json:"jac_refresh_per_step"`
+	NewtonItersPerSample float64 `json:"newton_iters_per_sample"`
+	TranStepsPerSample   float64 `json:"tran_steps_per_sample"`
+	Rescues              int64   `json:"rescues"`
+}
+
+// benchFile is the whole BENCH_mc.json document.
+type benchFile struct {
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	Vdd       float64      `json:"vdd"`
+	Seed      int64        `json:"seed"`
+	Units     []unitRecord `json:"units"`
+}
+
+// statsPool collects solver-counter readers from the per-worker templates so
+// the run can be summed after the MC drains.
+type statsPool struct {
+	mu      sync.Mutex
+	readers []func() spice.SolverStats
+}
+
+func (p *statsPool) add(f func() spice.SolverStats) {
+	p.mu.Lock()
+	p.readers = append(p.readers, f)
+	p.mu.Unlock()
+}
+
+func (p *statsPool) total() spice.SolverStats {
+	var t spice.SolverStats
+	for _, f := range p.readers {
+		s := f()
+		t.NewtonIters += s.NewtonIters
+		t.JacRefreshes += s.JacRefreshes
+		t.TranSteps += s.TranSteps
+		t.Rescues += s.Rescues
+	}
+	return t
+}
+
+// unitFn runs one n-sample pooled MC and reports the summed solver stats.
+type unitFn func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error)
+
+// Gate transient window, matching the experiments' delay MCs.
+const (
+	gateTranStop = 560e-12
+	gateTranStep = 1.5e-12
+)
+
+func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
+	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
+	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+		var pool statsPool
+		_, err := montecarlo.MapPooled(n, seed, workers,
+			func(int) (*circuits.PooledGate, error) {
+				b, err := build(vdd, sz, m.Nominal(), fast)
+				if err != nil {
+					return nil, err
+				}
+				pool.add(b.Ckt.Stats)
+				return b, nil
+			},
+			func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
+				b.Restat(m.Statistical(rng))
+				res, err := b.Transient(gateTranStop, gateTranStep)
+				if err != nil {
+					return 0, err
+				}
+				return measure.PairDelay(res, b.In, b.Out, vdd)
+			})
+		return pool.total(), err
+	}
+}
+
+func dffUnit(m core.StatModel, vdd float64) unitFn {
+	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+		opts := measure.DefaultSetupOpts()
+		var pool statsPool
+		_, err := montecarlo.MapPooled(n, seed, workers,
+			func(int) (*circuits.PooledDFF, error) {
+				ff := circuits.NewPooledDFF(vdd, circuits.DefaultDFFSizing(), m.Nominal(), fast)
+				pool.add(ff.Ckt.Stats)
+				return ff, nil
+			},
+			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
+				ff.Restat(m.Statistical(rng))
+				o := opts
+				o.Res, o.Fast = &ff.Res, ff.Fast
+				return measure.SetupTime(ff.DFF, o)
+			})
+		return pool.total(), err
+	}
+}
+
+func sramUnit(m core.StatModel, vdd float64) unitFn {
+	const points = 61 // butterfly sweep resolution, matching Fig. 9
+	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+		var pool statsPool
+		_, err := montecarlo.MapPooled(n, seed, workers,
+			func(int) (*circuits.PooledSRAM, error) {
+				cell := circuits.NewPooledSRAM(vdd, circuits.DefaultSRAMSizing(), m.Nominal(), points, fast)
+				pool.add(cell.Stats)
+				return cell, nil
+			},
+			func(cell *circuits.PooledSRAM, idx int, rng *rand.Rand) ([2]float64, error) {
+				cell.Restat(m.Statistical(rng))
+				rl, rr, err := cell.Butterfly(true)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				read, err := measure.SNM(rl, rr)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				hl, hr, err := cell.Butterfly(false)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				hold, err := measure.SNM(hl, hr)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				return [2]float64{read.SNM, hold.SNM}, nil
+			})
+		return pool.total(), err
+	}
+}
+
+// runUnit times one unit and turns the raw counters into a record.
+func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int) (unitRecord, error) {
+	fast := mode == "fast"
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	stats, err := fn(n, seed, workers, fast)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return unitRecord{}, fmt.Errorf("%s (%s): %w", name, mode, err)
+	}
+	rec := unitRecord{
+		Unit:                 name,
+		Mode:                 mode,
+		Samples:              n,
+		Workers:              workers,
+		NsPerSample:          float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerSample:       float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		AllocsPerSample:      float64(after.Mallocs-before.Mallocs) / float64(n),
+		NewtonItersPerSample: float64(stats.NewtonIters) / float64(n),
+		TranStepsPerSample:   float64(stats.TranSteps) / float64(n),
+		Rescues:              stats.Rescues,
+	}
+	if stats.TranSteps > 0 {
+		rec.NewtonItersPerStep = float64(stats.NewtonIters) / float64(stats.TranSteps)
+		rec.JacRefreshPerStep = float64(stats.JacRefreshes) / float64(stats.TranSteps)
+	}
+	return rec, nil
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "Monte Carlo samples per unit")
+		workers = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
+		mode    = flag.String("mode", "both", "solver path: exact, fast, or both")
+		out     = flag.String("out", "BENCH_mc.json", "output JSON path")
+		seed    = flag.Int64("seed", 20130318, "master random seed")
+		vdd     = flag.Float64("vdd", 0.9, "nominal supply voltage")
+	)
+	flag.Parse()
+
+	if *n < 1 {
+		fmt.Fprintf(os.Stderr, "vsbench: -n must be at least 1 (got %d)\n", *n)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "vsbench: -workers must be at least 1 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+
+	var modes []string
+	switch *mode {
+	case "exact":
+		modes = []string{"exact"}
+	case "fast":
+		modes = []string{"fast"}
+	case "both":
+		modes = []string{"exact", "fast"}
+	default:
+		fmt.Fprintf(os.Stderr, "vsbench: unknown -mode %q (want exact, fast, or both)\n", *mode)
+		os.Exit(2)
+	}
+
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	units := []struct {
+		name string
+		fn   unitFn
+	}{
+		{"INV_FO3", gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+			return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
+		})},
+		{"NAND2_FO3", gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+			return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
+		})},
+		{"DFF", dffUnit(m, *vdd)},
+		{"SRAM", sramUnit(m, *vdd)},
+	}
+
+	doc := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Vdd:       *vdd,
+		Seed:      *seed,
+	}
+	for _, u := range units {
+		for _, md := range modes {
+			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %-5s  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
+				rec.Unit, rec.Mode, rec.NsPerSample/1e3, rec.BytesPerSample, rec.AllocsPerSample,
+				rec.NewtonItersPerStep)
+			doc.Units = append(doc.Units, rec)
+		}
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d unit records)\n", *out, len(doc.Units))
+}

@@ -37,10 +37,7 @@ func NOR2FO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
 	in := c.Node("in")
 	out := c.Node("out")
 	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
-	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
-		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
-		Width: PulseWidth, Period: PulsePeriod,
-	})
+	vi := c.AddV("VIN", in, spice.Gnd, DefaultPulse(vdd))
 	AddNOR2(c, "XDRV", in, spice.Gnd, out, vddN, sz, f)
 	for i := 0; i < k; i++ {
 		lo := c.Node(loadName(i))
@@ -97,6 +94,12 @@ func (r *RingOscillator) Frequency(stop, step float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return r.frequencyFrom(res)
+}
+
+// frequencyFrom extracts the settled oscillation frequency from a finished
+// transient of this ring.
+func (r *RingOscillator) frequencyFrom(res *spice.TranResult) (float64, error) {
 	v := res.V(r.Stages[0])
 	half := r.Vdd / 2
 	var crossings []float64

@@ -66,6 +66,16 @@ const (
 	PulsePeriod = 900e-12
 )
 
+// DefaultPulse returns the standard low-high-low input pulse of the gate
+// benches, exported so pooled benches can reinstall it after a DC override
+// (e.g. the Fig. 6 leakage measurement).
+func DefaultPulse(vdd float64) spice.Pulse {
+	return spice.Pulse{
+		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
+		Width: PulseWidth, Period: PulsePeriod,
+	}
+}
+
 // InverterFO builds a fanout-of-k inverter bench (paper Fig. 5/6 use k=3):
 // one driver inverter whose output is loaded by k receiver inverters.
 func InverterFO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
@@ -74,10 +84,7 @@ func InverterFO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
 	in := c.Node("in")
 	out := c.Node("out")
 	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
-	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
-		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
-		Width: PulseWidth, Period: PulsePeriod,
-	})
+	vi := c.AddV("VIN", in, spice.Gnd, DefaultPulse(vdd))
 	AddInverter(c, "XDRV", in, out, vddN, sz, f)
 	for i := 0; i < k; i++ {
 		lo := c.Node(loadName(i))
@@ -95,10 +102,7 @@ func NAND2FO(k int, vdd float64, sz Sizing, f Factory) *GateBench {
 	in := c.Node("in")
 	out := c.Node("out")
 	vs := c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
-	vi := c.AddV("VIN", in, spice.Gnd, spice.Pulse{
-		V0: 0, V1: vdd, Delay: PulseDelay, Rise: EdgeTime, Fall: EdgeTime,
-		Width: PulseWidth, Period: PulsePeriod,
-	})
+	vi := c.AddV("VIN", in, spice.Gnd, DefaultPulse(vdd))
 	AddNAND2(c, "XDRV", in, vddN, out, vddN, sz, f)
 	for i := 0; i < k; i++ {
 		lo := c.Node(loadName(i))

@@ -91,17 +91,12 @@ func (s *Suite) Fig5() (Fig5Result, error) {
 	res := Fig5Result{N: n}
 	for si, cfgSz := range Fig5Sizings {
 		seed := s.Cfg.Seed + int64(1000*si)
-		g, err := montecarlo.Scalars(n, seed, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) (float64, error) {
-				return invDelaySample(s.Golden, rng, s.Cfg.Vdd, cfgSz.Sz)
-			})
+		build := pooledInvFO3(s.Cfg.Vdd, cfgSz.Sz)
+		g, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build)
 		if err != nil {
 			return res, fmt.Errorf("fig5 golden %s: %w", cfgSz.Label, err)
 		}
-		v, err := montecarlo.Scalars(n, seed+500009, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) (float64, error) {
-				return invDelaySample(s.VS, rng, s.Cfg.Vdd, cfgSz.Sz)
-			})
+		v, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build)
 		if err != nil {
 			return res, fmt.Errorf("fig5 vs %s: %w", cfgSz.Label, err)
 		}
@@ -149,32 +144,39 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	res := Fig6Result{N: n}
 
-	sample := func(m core.StatModel) func(int, *rand.Rand) (Fig6Point, error) {
-		return func(idx int, rng *rand.Rand) (Fig6Point, error) {
-			b := circuits.InverterFO(3, s.Cfg.Vdd, sz, m.Statistical(rng))
-			tr, err := b.Ckt.Transient(spice.TranOpts{Stop: gateTranStop, Step: gateTranStep})
-			if err != nil {
-				return Fig6Point{}, err
-			}
-			d, err := measure.PairDelay(tr, b.In, b.Out, s.Cfg.Vdd)
-			if err != nil {
-				return Fig6Point{}, err
-			}
-			// Static leakage with the input low.
-			b.Ckt.SetVSource(b.VinSrc, spice.DC(0))
-			op, err := b.Ckt.OP()
-			if err != nil {
-				return Fig6Point{}, err
-			}
-			return Fig6Point{Leakage: measure.Leakage(op, b.VddSrc), Freq: 1 / d}, nil
-		}
+	run := func(m core.StatModel, seed int64) ([]Fig6Point, error) {
+		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*circuits.PooledGate, error) {
+				return circuits.NewPooledInverterFO(3, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC)
+			},
+			func(b *circuits.PooledGate, idx int, rng *rand.Rand) (Fig6Point, error) {
+				b.Restat(m.Statistical(rng))
+				// The previous sample's leakage measurement left the input
+				// source at DC 0; reinstall the bench pulse.
+				b.Ckt.SetVSource(b.VinSrc, circuits.DefaultPulse(s.Cfg.Vdd))
+				tr, err := b.Transient(gateTranStop, gateTranStep)
+				if err != nil {
+					return Fig6Point{}, err
+				}
+				d, err := measure.PairDelay(tr, b.In, b.Out, s.Cfg.Vdd)
+				if err != nil {
+					return Fig6Point{}, err
+				}
+				// Static leakage with the input low.
+				b.Ckt.SetVSource(b.VinSrc, spice.DC(0))
+				op, err := b.Ckt.OP()
+				if err != nil {
+					return Fig6Point{}, err
+				}
+				return Fig6Point{Leakage: measure.Leakage(op, b.VddSrc), Freq: 1 / d}, nil
+			})
 	}
 	var err error
-	res.Golden, err = montecarlo.Map(n, s.Cfg.Seed+61, s.Cfg.Workers, sample(s.Golden))
+	res.Golden, err = run(s.Golden, s.Cfg.Seed+61)
 	if err != nil {
 		return res, fmt.Errorf("fig6 golden: %w", err)
 	}
-	res.VS, err = montecarlo.Map(n, s.Cfg.Seed+62, s.Cfg.Workers, sample(s.VS))
+	res.VS, err = run(s.VS, s.Cfg.Seed+62)
 	if err != nil {
 		return res, fmt.Errorf("fig6 vs: %w", err)
 	}
@@ -245,17 +247,12 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 	res := Fig7Result{N: n}
 	for vi, vdd := range Fig7Supplies {
 		seed := s.Cfg.Seed + int64(7000+100*vi)
-		g, err := montecarlo.Scalars(n, seed, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) (float64, error) {
-				return nandDelaySample(s.Golden, rng, vdd, sz)
-			})
+		build := pooledNand2FO3(vdd, sz)
+		g, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Golden, s.Cfg.FastMC, vdd, build)
 		if err != nil {
 			return res, fmt.Errorf("fig7 golden %g V: %w", vdd, err)
 		}
-		v, err := montecarlo.Scalars(n, seed+500009, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) (float64, error) {
-				return nandDelaySample(s.VS, rng, vdd, sz)
-			})
+		v, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.VS, s.Cfg.FastMC, vdd, build)
 		if err != nil {
 			return res, fmt.Errorf("fig7 vs %g V: %w", vdd, err)
 		}

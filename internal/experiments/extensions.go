@@ -119,10 +119,8 @@ func (s *Suite) ExtCorners() (ExtCornersResult, error) {
 		return res, err
 	}
 
-	delays, err := montecarlo.Scalars(res.N, s.Cfg.Seed+777, s.Cfg.Workers,
-		func(idx int, rng *rand.Rand) (float64, error) {
-			return invDelaySample(s.VS, rng, s.Cfg.Vdd, sz)
-		})
+	delays, err := pooledDelayMC(res.N, s.Cfg.Seed+777, s.Cfg.Workers,
+		s.VS, s.Cfg.FastMC, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz))
 	if err != nil {
 		return res, err
 	}
@@ -216,17 +214,23 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 	n := s.Cfg.samples(250)
 	opts := measure.DefaultSetupOpts()
 	res := Fig8HoldResult{N: n}
-	sample := func(m core.StatModel) func(int, *rand.Rand) (float64, error) {
-		return func(idx int, rng *rand.Rand) (float64, error) {
-			ff := circuits.NewDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Statistical(rng))
-			return measure.HoldTime(ff, opts)
-		}
+	run := func(m core.StatModel, seed int64) ([]float64, error) {
+		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*circuits.PooledDFF, error) {
+				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
+			},
+			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
+				ff.Restat(m.Statistical(rng))
+				o := opts
+				o.Res, o.Fast = &ff.Res, ff.Fast
+				return measure.HoldTime(ff.DFF, o)
+			})
 	}
-	g, err := montecarlo.Scalars(n, s.Cfg.Seed+83, s.Cfg.Workers, sample(s.Golden))
+	g, err := run(s.Golden, s.Cfg.Seed+83)
 	if err != nil {
 		return res, fmt.Errorf("fig8 hold golden: %w", err)
 	}
-	v, err := montecarlo.Scalars(n, s.Cfg.Seed+84, s.Cfg.Workers, sample(s.VS))
+	v, err := run(s.VS, s.Cfg.Seed+84)
 	if err != nil {
 		return res, fmt.Errorf("fig8 hold vs: %w", err)
 	}
@@ -257,17 +261,21 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 	n := s.Cfg.samples(500)
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	res := ExtRingResult{N: n}
-	sample := func(m core.StatModel) func(int, *rand.Rand) (float64, error) {
-		return func(idx int, rng *rand.Rand) (float64, error) {
-			ro := circuits.NewRingOscillator(5, s.Cfg.Vdd, sz, m.Statistical(rng))
-			return ro.Frequency(1.2e-9, 1.5e-12)
-		}
+	run := func(m core.StatModel, seed int64) ([]float64, error) {
+		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*circuits.PooledRing, error) {
+				return circuits.NewPooledRing(5, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC), nil
+			},
+			func(ro *circuits.PooledRing, idx int, rng *rand.Rand) (float64, error) {
+				ro.Restat(m.Statistical(rng))
+				return ro.Frequency(1.2e-9, 1.5e-12)
+			})
 	}
-	g, err := montecarlo.Scalars(n, s.Cfg.Seed+901, s.Cfg.Workers, sample(s.Golden))
+	g, err := run(s.Golden, s.Cfg.Seed+901)
 	if err != nil {
 		return res, fmt.Errorf("ring golden: %w", err)
 	}
-	v, err := montecarlo.Scalars(n, s.Cfg.Seed+902, s.Cfg.Workers, sample(s.VS))
+	v, err := run(s.VS, s.Cfg.Seed+902)
 	if err != nil {
 		return res, fmt.Errorf("ring vs: %w", err)
 	}

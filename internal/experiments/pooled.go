@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/measure"
+	"vstat/internal/montecarlo"
+)
+
+// This file hosts the pooled Monte Carlo plumbing shared by the circuit
+// experiments: each worker builds one bench template (netlist, node map,
+// solver scratch) from the model's nominal factory, and every sample
+// re-stamps the template's device cards from the statistical factory before
+// running the measurement. Device draws replay in build order, so the
+// per-sample RNG stream — and with it every sampled metric — stays
+// bit-identical to the old rebuild-per-sample code for any worker count.
+
+// gateBuilder constructs one pooled gate bench template.
+type gateBuilder func(nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)
+
+// pooledInvFO3 returns the INV FO3 builder at the given supply and sizing.
+func pooledInvFO3(vdd float64, sz circuits.Sizing) gateBuilder {
+	return func(f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+		return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
+	}
+}
+
+// pooledNand2FO3 returns the NAND2 FO3 builder at the given supply and
+// sizing.
+func pooledNand2FO3(vdd float64, sz circuits.Sizing) gateBuilder {
+	return func(f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+		return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
+	}
+}
+
+// pooledDelayMC runs an n-sample pair-delay Monte Carlo over per-worker
+// pooled benches.
+func pooledDelayMC(n int, seed int64, workers int, m core.StatModel, fast bool,
+	vdd float64, build gateBuilder) ([]float64, error) {
+	return montecarlo.MapPooled(n, seed, workers,
+		func(int) (*circuits.PooledGate, error) { return build(m.Nominal(), fast) },
+		func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
+			b.Restat(m.Statistical(rng))
+			res, err := b.Transient(gateTranStop, gateTranStep)
+			if err != nil {
+				return 0, err
+			}
+			return measure.PairDelay(res, b.In, b.Out, vdd)
+		})
+}

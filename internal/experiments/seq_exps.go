@@ -32,17 +32,23 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 	for r := opts.MaxOffset * 1.25; r > opts.Tol; r /= 2 {
 		res.TrialsPerSample++
 	}
-	sample := func(m core.StatModel) func(int, *rand.Rand) (float64, error) {
-		return func(idx int, rng *rand.Rand) (float64, error) {
-			ff := circuits.NewDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Statistical(rng))
-			return measure.SetupTime(ff, opts)
-		}
+	run := func(m core.StatModel, seed int64) ([]float64, error) {
+		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*circuits.PooledDFF, error) {
+				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
+			},
+			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
+				ff.Restat(m.Statistical(rng))
+				o := opts
+				o.Res, o.Fast = &ff.Res, ff.Fast
+				return measure.SetupTime(ff.DFF, o)
+			})
 	}
-	g, err := montecarlo.Scalars(n, s.Cfg.Seed+81, s.Cfg.Workers, sample(s.Golden))
+	g, err := run(s.Golden, s.Cfg.Seed+81)
 	if err != nil {
 		return res, fmt.Errorf("fig8 golden: %w", err)
 	}
-	v, err := montecarlo.Scalars(n, s.Cfg.Seed+82, s.Cfg.Workers, sample(s.VS))
+	v, err := run(s.VS, s.Cfg.Seed+82)
 	if err != nil {
 		return res, fmt.Errorf("fig8 vs: %w", err)
 	}
@@ -81,7 +87,8 @@ type Fig9Result struct {
 // butterflyPoints is the DC sweep resolution of the SNM extraction.
 const butterflyPoints = 61
 
-// snmSample builds one mismatched cell and extracts both SNMs.
+// snmSample builds one mismatched cell and extracts both SNMs (the unpooled
+// reference path, kept for determinism tests).
 func snmSample(m core.StatModel, rng *rand.Rand, vdd float64) (read, hold float64, err error) {
 	cell := circuits.NewSRAMCell(vdd, circuits.DefaultSRAMSizing(), m.Statistical(rng))
 	rl, rr, err := cell.Butterfly(true, butterflyPoints)
@@ -93,6 +100,29 @@ func snmSample(m core.StatModel, rng *rand.Rand, vdd float64) (read, hold float6
 		return 0, 0, err
 	}
 	hl, hr, err := cell.Butterfly(false, butterflyPoints)
+	if err != nil {
+		return 0, 0, err
+	}
+	hres, err := measure.SNM(hl, hr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rres.SNM, hres.SNM, nil
+}
+
+// pooledSNMSample re-stamps the pooled cell and extracts both SNMs with the
+// same draw and sweep order as snmSample.
+func pooledSNMSample(cell *circuits.PooledSRAM, m core.StatModel, rng *rand.Rand) (read, hold float64, err error) {
+	cell.Restat(m.Statistical(rng))
+	rl, rr, err := cell.Butterfly(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	rres, err := measure.SNM(rl, rr)
+	if err != nil {
+		return 0, 0, err
+	}
+	hl, hr, err := cell.Butterfly(false)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -121,9 +151,13 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 	}
 
 	run := func(m core.StatModel, seed int64) (read, hold []float64, err error) {
-		pairs, err := montecarlo.Map(n, seed, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) ([2]float64, error) {
-				r, h, err := snmSample(m, rng, s.Cfg.Vdd)
+		pairs, err := montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*circuits.PooledSRAM, error) {
+				return circuits.NewPooledSRAM(s.Cfg.Vdd, circuits.DefaultSRAMSizing(),
+					m.Nominal(), butterflyPoints, s.Cfg.FastMC), nil
+			},
+			func(cell *circuits.PooledSRAM, idx int, rng *rand.Rand) ([2]float64, error) {
+				r, h, err := pooledSNMSample(cell, m, rng)
 				return [2]float64{r, h}, err
 			})
 		if err != nil {

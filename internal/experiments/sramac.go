@@ -22,12 +22,39 @@ type ExtSRAMACResult struct {
 	Golden, VS DelayDist // |v(qb)/v(bl)| populations (container reuse)
 }
 
-// sramACSample builds one mismatched cell, biases it in READ condition with
-// q held high, and measures the bitline→qb AC coupling magnitude.
-func sramACSample(m core.StatModel, rng *rand.Rand, vdd, freq float64) (float64, error) {
+// sramACBench is the pooled small-signal testbench: netlist built once per
+// worker, device cards re-stamped per sample.
+type sramACBench struct {
+	c     *spice.Circuit
+	rec   circuits.Recorder
+	blSrc int
+	qb    int
+}
+
+// newSRAMACBench nets the READ-biased cell once with nominal devices.
+func newSRAMACBench(vdd float64, nominal circuits.Factory) *sramACBench {
+	b := &sramACBench{}
+	f := b.rec.Wrap(nominal)
+	b.c, b.blSrc, b.qb = sramACNetlist(vdd, f)
+	return b
+}
+
+// sample re-stamps the bench and measures the coupling magnitude.
+func (b *sramACBench) sample(m core.StatModel, rng *rand.Rand, freq float64) (float64, error) {
+	b.rec.Restamp(b.c, m.Statistical(rng))
+	res, err := b.c.AC(b.blSrc, []float64{freq})
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Abs(res.V(b.qb, 0)), nil
+}
+
+// sramACNetlist nets one cell biased in READ condition with q held high,
+// returning the circuit, the bitline source index, and the observed node.
+// Factory draws happen in AddMOS order (PUL, PDL, PUR, PDR, PGL, PGR).
+func sramACNetlist(vdd float64, f circuits.Factory) (c *spice.Circuit, blSrc, qbNode int) {
 	sz := circuits.DefaultSRAMSizing()
-	f := m.Statistical(rng)
-	c := spice.New()
+	c = spice.New()
 	vddN := c.Node("vdd")
 	q := c.Node("q")
 	qb := c.Node("qb")
@@ -36,7 +63,7 @@ func sramACSample(m core.StatModel, rng *rand.Rand, vdd, freq float64) (float64,
 	br := c.Node("br")
 	c.AddV("VDD", vddN, spice.Gnd, spice.DC(vdd))
 	c.AddV("VWL", wl, spice.Gnd, spice.DC(vdd))
-	blSrc := c.AddV("VBL", bl, spice.Gnd, spice.DC(vdd))
+	blSrc = c.AddV("VBL", bl, spice.Gnd, spice.DC(vdd))
 	c.AddV("VBR", br, spice.Gnd, spice.DC(vdd))
 	c.AddMOS("PUL", q, qb, vddN, vddN, f(pmosKind(), sz.WPU, sz.L))
 	c.AddMOS("PDL", q, qb, spice.Gnd, spice.Gnd, f(nmosKind(), sz.WPD, sz.L))
@@ -46,13 +73,7 @@ func sramACSample(m core.StatModel, rng *rand.Rand, vdd, freq float64) (float64,
 	c.AddMOS("PGR", br, wl, qb, spice.Gnd, f(nmosKind(), sz.WPG, sz.L))
 	// Weak helper resistor picks the q=1 stable state for the OP.
 	c.AddR("RINIT", vddN, q, 1e7)
-
-	res, err := c.AC(blSrc, []float64{freq})
-	if err != nil {
-		return 0, err
-	}
-	v := res.V(qb, 0)
-	return cmplx.Abs(v), nil
+	return c, blSrc, qb
 }
 
 // ExtSRAMAC Monte Carlos the AC coupling with both models.
@@ -61,9 +82,10 @@ func (s *Suite) ExtSRAMAC() (ExtSRAMACResult, error) {
 	const freq = 1e9 // mid-band: above leakage corner, below cell poles
 	res := ExtSRAMACResult{N: n, Freq: freq}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		return montecarlo.Scalars(n, seed, s.Cfg.Workers,
-			func(idx int, rng *rand.Rand) (float64, error) {
-				return sramACSample(m, rng, s.Cfg.Vdd, freq)
+		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+			func(int) (*sramACBench, error) { return newSRAMACBench(s.Cfg.Vdd, m.Nominal()), nil },
+			func(b *sramACBench, idx int, rng *rand.Rand) (float64, error) {
+				return b.sample(m, rng, freq)
 			})
 	}
 	g, err := run(s.Golden, s.Cfg.Seed+951)

@@ -32,6 +32,13 @@ type Config struct {
 	Workers int     // 0 = GOMAXPROCS
 	Scale   float64 // sample-count scale relative to the paper (1 = paper counts)
 	Vdd     float64
+
+	// FastMC selects the carried-Jacobian / warm-started solver path for
+	// the circuit Monte Carlo experiments. Default false keeps every
+	// sampled metric bit-identical to the classic rebuild-per-sample
+	// implementation; true trades that for a measurable speedup with
+	// waveform deviations bounded by the Newton tolerances.
+	FastMC bool
 }
 
 // DefaultConfig returns deterministic settings with paper-scale sampling.

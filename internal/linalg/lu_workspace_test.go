@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randomSPDish(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n)) // diagonal dominance keeps it well-conditioned
+	}
+	return a
+}
+
+func TestFactorMatchesNewLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 16} {
+		a := randomSPDish(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fresh, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewLUWorkspace(n)
+		if err := ws.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		// Same pivots, same factors, bit-identical solves.
+		xf, xw := fresh.Solve(b), ws.Solve(b)
+		for i := range xf {
+			if xf[i] != xw[i] {
+				t.Fatalf("n=%d: workspace solve differs at %d: %g vs %g", n, i, xw[i], xf[i])
+			}
+		}
+		if fresh.Det() != ws.Det() {
+			t.Fatalf("n=%d: det %g vs %g", n, ws.Det(), fresh.Det())
+		}
+	}
+}
+
+func TestFactorReuseAndAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 12
+	ws := NewLUWorkspace(n)
+	b := make([]float64, n)
+	scratch := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Refactoring a sequence of matrices into one workspace must match fresh
+	// factorizations each time (no state leaks between Factor calls).
+	for trial := 0; trial < 4; trial++ {
+		a := randomSPDish(rng, n)
+		if err := ws.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xw := ws.SolvePermuting(b, scratch)
+		xf := fresh.Solve(b)
+		for i := range xf {
+			if xw[i] != xf[i] {
+				t.Fatalf("trial %d: reused workspace differs at %d", trial, i)
+			}
+		}
+	}
+	a := randomSPDish(rng, n)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := ws.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.SolvePermuting(b, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("Factor+SolvePermuting allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewMatrix(3, 3) // all zeros
+	ws := NewLUWorkspace(3)
+	if err := ws.Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("singular factor returned %v", err)
+	}
+	// The workspace must recover on the next successful Factor.
+	rng := rand.New(rand.NewSource(9))
+	good := randomSPDish(rng, 3)
+	if err := ws.Factor(good); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewLU(good)
+	b := []float64{1, 2, 3}
+	xw, xf := ws.Solve(b), fresh.Solve(b)
+	for i := range xf {
+		if xw[i] != xf[i] {
+			t.Fatalf("post-singular reuse differs at %d", i)
+		}
+	}
+}
+
+func TestFactorDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched workspace did not panic")
+		}
+	}()
+	ws := NewLUWorkspace(3)
+	ws.Factor(NewMatrix(4, 4))
+}

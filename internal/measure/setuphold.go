@@ -19,6 +19,13 @@ type SetupOpts struct {
 	Tol       float64 // bisection resolution, s
 	Step      float64 // transient step, s
 	Settle    float64 // time after the edge at which Q is checked, s
+
+	// Res, when non-nil, is a reusable transient result refilled by every
+	// bisection trial (the pooled Monte Carlo path); nil keeps the classic
+	// allocate-per-trial behavior.
+	Res *spice.TranResult
+	// Fast selects the carried-Jacobian transient path for the trials.
+	Fast bool
 }
 
 // DefaultSetupOpts returns a search window suited to the 40-nm register.
@@ -94,12 +101,26 @@ func setupTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, erro
 	})
 
 	stop := o.ClkEdge + o.Settle
-	res, err := ff.Ckt.Transient(spice.TranOpts{Stop: stop, Step: o.Step, UIC: true, IC: ff.ICHoldingZero()})
+	res, err := o.runTrial(ff, stop)
 	if err != nil {
 		return false, fmt.Errorf("setup trial: %w", err)
 	}
 	q := res.At(ff.Q, stop)
 	return q > vdd/2, nil
+}
+
+// runTrial runs one capture transient, into o.Res when pooling is active.
+func (o SetupOpts) runTrial(ff *circuits.DFF, stop float64) (*spice.TranResult, error) {
+	opts := spice.TranOpts{
+		Stop: stop, Step: o.Step, UIC: true, IC: ff.ICHoldingZero(), Fast: o.Fast,
+	}
+	if o.Res != nil {
+		if err := ff.Ckt.TransientInto(opts, o.Res); err != nil {
+			return nil, err
+		}
+		return o.Res, nil
+	}
+	return ff.Ckt.Transient(opts)
 }
 
 // HoldTime finds the minimum time the data must remain stable *after* the
@@ -156,7 +177,7 @@ func holdTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, error
 		V: []float64{0, 0, vdd},
 	})
 	stop := o.ClkEdge + o.Settle
-	res, err := ff.Ckt.Transient(spice.TranOpts{Stop: stop, Step: o.Step, UIC: true, IC: ff.ICHoldingZero()})
+	res, err := o.runTrial(ff, stop)
 	if err != nil {
 		return false, fmt.Errorf("hold trial: %w", err)
 	}

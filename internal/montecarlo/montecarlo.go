@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // splitmix64 advances and hashes a 64-bit state; used to derive independent
@@ -28,8 +29,27 @@ func SampleRNG(seed int64, idx int) *rand.Rand {
 }
 
 // Map runs fn for samples 0..n-1 on a bounded worker pool and returns the
-// results in sample order. The first error aborts the run.
+// results in sample order. Work is claimed from an atomic counter (no O(n)
+// queue fill before work starts); each sample's PRNG depends only on (seed,
+// idx), so results are bit-identical for any worker count. The first error
+// (by sample index) aborts the run.
 func Map[T any](n int, seed int64, workers int, fn func(idx int, rng *rand.Rand) (T, error)) ([]T, error) {
+	return MapPooled(n, seed, workers,
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, idx int, rng *rand.Rand) (T, error) { return fn(idx, rng) })
+}
+
+// MapPooled is Map with per-worker pooled state: newState builds one S per
+// worker (a circuit template with preallocated solver scratch, say), and fn
+// re-stamps and evaluates sample idx against its worker's state. Sample
+// idx's PRNG is derived from (seed, idx) alone and the per-worker state must
+// not leak sample-dependent results across samples, so output stays
+// bit-identical for any worker count and scheduling. A newState error aborts
+// before any samples run on that worker; sample errors are reported for the
+// lowest failing index.
+func MapPooled[S, T any](n int, seed int64, workers int,
+	newState func(worker int) (S, error),
+	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -41,24 +61,35 @@ func Map[T any](n int, seed int64, workers int, fn func(idx int, rng *rand.Rand)
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	stateErrs := make([]error, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for idx := range next {
-				res, err := fn(idx, SampleRNG(seed, idx))
+			st, err := newState(w)
+			if err != nil {
+				stateErrs[w] = err
+				return
+			}
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				res, err := fn(st, idx, SampleRNG(seed, idx))
 				out[idx] = res
 				errs[idx] = err
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for w, err := range stateErrs {
+		if err != nil {
+			return nil, fmt.Errorf("montecarlo: worker %d state: %w", w, err)
+		}
+	}
 	for idx, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("montecarlo: sample %d: %w", idx, err)

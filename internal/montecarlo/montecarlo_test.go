@@ -82,6 +82,100 @@ func TestMapEmptyAndDefaults(t *testing.T) {
 	}
 }
 
+func TestMapPooledMatchesMapAcrossWorkerCounts(t *testing.T) {
+	fn := func(idx int, rng *rand.Rand) (float64, error) {
+		return float64(idx) + rng.Float64()*1e-3, nil
+	}
+	want, err := Map(100, 42, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created atomic.Int64
+	for _, workers := range []int{1, 4, 13} {
+		created.Store(0)
+		got, err := MapPooled(100, 42, workers,
+			func(w int) (int, error) { created.Add(1); return w, nil },
+			func(st int, idx int, rng *rand.Rand) (float64, error) { return fn(idx, rng) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(created.Load()) != workers {
+			t.Fatalf("workers=%d built %d states", workers, created.Load())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d sample %d differs: %g vs %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPooledStateErrorAborts(t *testing.T) {
+	boom := errors.New("no bench")
+	var ran atomic.Int64
+	_, err := MapPooled(40, 1, 3,
+		func(w int) (int, error) {
+			if w == 1 {
+				return 0, boom
+			}
+			return w, nil
+		},
+		func(st int, idx int, _ *rand.Rand) (int, error) {
+			ran.Add(1)
+			return idx, nil
+		})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("expected wrapped state error, got %v", err)
+	}
+	// The healthy workers still drain the queue; the failed worker claims
+	// no samples.
+	if ran.Load() != 40 {
+		t.Fatalf("healthy workers ran %d of 40 samples", ran.Load())
+	}
+}
+
+func TestMapPooledSampleErrorByLowestIndex(t *testing.T) {
+	early, late := errors.New("early"), errors.New("late")
+	_, err := MapPooled(50, 1, 8,
+		func(w int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, idx int, _ *rand.Rand) (int, error) {
+			switch idx {
+			case 12:
+				return 0, early
+			case 40:
+				return 0, late
+			}
+			return idx, nil
+		})
+	if err == nil || !errors.Is(err, early) {
+		t.Fatalf("expected lowest-index error, got %v", err)
+	}
+}
+
+func TestMapPooledStateIsPerWorkerNotPerSample(t *testing.T) {
+	// Each worker must see one persistent state across all its samples —
+	// that is the entire point of pooling.
+	type counter struct{ calls int }
+	outs, err := MapPooled(64, 9, 4,
+		func(w int) (*counter, error) { return &counter{}, nil },
+		func(st *counter, idx int, _ *rand.Rand) (int, error) {
+			st.calls++
+			return st.calls, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, c := range outs {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 64/4 {
+		t.Fatalf("max per-state call count %d; states are not persisting across samples", max)
+	}
+}
+
 func TestSampleRNGIndependence(t *testing.T) {
 	// Gaussian draws across samples must be uncorrelated and standard.
 	n := 20000

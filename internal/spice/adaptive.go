@@ -112,7 +112,7 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts) (*TranResult, error) {
 			}
 			if err != nil {
 				copy(work, x)
-				if err2 := c.rescueStep(work, t, h, ts); err2 != nil {
+				if err2 := c.rescueStep(work, t, h, ts, false); err2 != nil {
 					return nil, fmt.Errorf("spice: adaptive transient failed at t=%g: %w", t+h, err)
 				}
 				// rescueStep already updated the charge history.

@@ -140,6 +140,26 @@ type Circuit struct {
 	// Newton scratch buffers (see newton); sized on first solve.
 	nwF, nwScratch []float64
 	nwJac          *linalg.Matrix
+
+	// Carried Jacobian factorization (see newton): nwLU is the reusable
+	// workspace, luValid/luKey gate its reuse across solves.
+	nwLU    *linalg.LU
+	luValid bool
+	luKey   luKey
+
+	// evCache holds per-MOSFET model evaluations from the last fast-path
+	// assemble, consumed by updateTranHistoryFast.
+	evCache []device.Eval
+
+	// Transient step scratch (see TransientInto) and reusable integrator
+	// history, so pooled Monte Carlo samples allocate nothing per transient.
+	trX, trPrev, trPrev2, trPred []float64
+	trState                      tranState
+
+	// DC sweep scratch (see DCSweepObserve).
+	swX, swGuess []float64
+
+	stats SolverStats
 }
 
 // New returns an empty circuit.
@@ -179,6 +199,7 @@ func (c *Circuit) AddR(name string, a, b int, ohms float64) {
 	if ohms <= 0 {
 		panic(fmt.Sprintf("spice: resistor %s with non-positive value %g", name, ohms))
 	}
+	c.luValid = false
 	c.rs = append(c.rs, resistor{name: name, a: a, b: b, g: 1 / ohms})
 }
 
@@ -187,6 +208,7 @@ func (c *Circuit) AddC(name string, a, b int, farads float64) {
 	if farads < 0 {
 		panic(fmt.Sprintf("spice: capacitor %s with negative value %g", name, farads))
 	}
+	c.luValid = false
 	c.cs = append(c.cs, capacitor{name: name, a: a, b: b, c: farads})
 }
 
@@ -205,7 +227,19 @@ func (c *Circuit) AddI(name string, p, n int, w Waveform) {
 
 // AddMOS adds a four-terminal MOSFET instance.
 func (c *Circuit) AddMOS(name string, d, g, s, b int, dev device.Device) {
+	c.luValid = false
 	c.mos = append(c.mos, mosfet{name: name, d: d, g: g, s: s, b: b, dev: dev})
+}
+
+// NumMOS returns the number of MOSFET instances, in AddMOS order.
+func (c *Circuit) NumMOS() int { return len(c.mos) }
+
+// SetMOSDevice replaces the device model of the i-th MOSFET (AddMOS order)
+// in place, keeping topology, node names, and solver scratch. This is the
+// re-stamp path for pooled Monte Carlo: swap parameter cards, not netlists.
+func (c *Circuit) SetMOSDevice(i int, dev device.Device) {
+	c.mos[i].dev = dev
+	c.luValid = false
 }
 
 // VSourceIndex returns the source index of the named voltage source, or -1.

@@ -50,16 +50,32 @@ func (c *Circuit) OPFrom(prev *OPResult) (*OPResult, error) {
 }
 
 func (c *Circuit) op(guess []float64) (*OPResult, error) {
+	x := make([]float64, c.unknowns())
+	if err := c.solveOPInto(x, guess, false); err != nil {
+		return nil, err
+	}
+	return &OPResult{c: c, x: x}, nil
+}
+
+// solveOPInto computes the DC operating point into x without allocating:
+// plain Newton from the guess (or zero) state, then gmin stepping, then
+// source stepping. guess must not alias x. When carry is set, plain Newton
+// runs in the fast-MC configuration: it may start from a Jacobian
+// factorization carried over from a previous solve and uses the relaxed
+// fast-path tolerances (see newton).
+func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	n := c.unknowns()
-	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0
+	}
 	if guess != nil && len(guess) == n {
 		copy(x, guess)
 	}
 
 	// 1. Plain Newton.
-	ctx := assembleCtx{srcScale: 1}
+	ctx := assembleCtx{srcScale: 1, carry: carry, fast: carry}
 	if err := c.newton(x, &ctx); err == nil {
-		return &OPResult{c: c, x: x}, nil
+		return nil
 	}
 
 	// 2. Gmin stepping: solve with a large artificial conductance to ground
@@ -79,7 +95,7 @@ func (c *Circuit) op(guess []float64) (*OPResult, error) {
 		}
 	}
 	if ok {
-		return &OPResult{c: c, x: x}, nil
+		return nil
 	}
 
 	// 3. Source stepping: ramp all sources from 10% to 100%.
@@ -89,14 +105,11 @@ func (c *Circuit) op(guess []float64) (*OPResult, error) {
 	for _, lam := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1} {
 		ctx := assembleCtx{srcScale: lam, gminExtra: 1e-9}
 		if err := c.newton(x, &ctx); err != nil {
-			return nil, fmt.Errorf("spice: source stepping failed at λ=%g: %w", lam, err)
+			return fmt.Errorf("spice: source stepping failed at λ=%g: %w", lam, err)
 		}
 	}
 	ctx = assembleCtx{srcScale: 1}
-	if err := c.newton(x, &ctx); err != nil {
-		return nil, err
-	}
-	return &OPResult{c: c, x: x}, nil
+	return c.newton(x, &ctx)
 }
 
 // DCSweep solves the operating point for each value assigned to the voltage
@@ -118,4 +131,35 @@ func (c *Circuit) DCSweep(src int, values []float64) ([]*OPResult, error) {
 		prev = op
 	}
 	return out, nil
+}
+
+// DCSweepObserve is the allocation-free DC sweep: it solves the operating
+// point for each value assigned to voltage source src, warm-starting from
+// the previous point exactly like DCSweep, and records the voltage of node
+// observe into out (which must have len(values) entries). The solve reuses
+// circuit-owned sweep scratch; carry enables the carried-Jacobian fast path
+// between sweep points. The source's waveform is restored afterwards.
+func (c *Circuit) DCSweepObserve(src int, values []float64, observe int, out []float64, carry bool) error {
+	if len(out) < len(values) {
+		return fmt.Errorf("spice: DCSweepObserve out has %d entries for %d values", len(out), len(values))
+	}
+	saved := c.vs[src].wave
+	defer func() { c.vs[src].wave = saved }()
+
+	n := c.unknowns()
+	if len(c.swX) != n {
+		c.swX = make([]float64, n)
+		c.swGuess = make([]float64, n)
+	}
+	var guess []float64
+	for k, v := range values {
+		c.vs[src].wave = DC(v)
+		if err := c.solveOPInto(c.swX, guess, carry); err != nil {
+			return fmt.Errorf("spice: DC sweep failed at %g V: %w", v, err)
+		}
+		copy(c.swGuess, c.swX)
+		guess = c.swGuess
+		out[k] = nv(c.swX, observe)
+	}
+	return nil
 }

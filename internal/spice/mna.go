@@ -14,6 +14,15 @@ const (
 	tolV   = 1e-9  // V, max node-voltage update
 	tolI   = 1e-10 // A, max KCL residual
 	vLimit = 0.3   // V, per-iteration node update clamp
+
+	// Fast-path tolerances: chord Newton converges linearly, so every
+	// decade of tolerance costs roughly one residual pass per timestep.
+	// 1 µV is the classic SPICE VNTOL default — error orders of magnitude
+	// below any measured delay or noise margin (a 1 µV edge shift moves a
+	// gate delay by femtoseconds at the benches' V/ns slew rates, and the
+	// implicit integrator damps rather than accumulates it).
+	tolVFast = 1e-6 // V
+	tolIFast = 1e-7 // A
 )
 
 // ErrNoConvergence is returned when every convergence aid fails.
@@ -36,7 +45,44 @@ type assembleCtx struct {
 	srcScale  float64    // source-stepping scale factor (1 = full)
 	gminExtra float64    // gmin-stepping additional node-to-ground conductance
 	tran      *tranState // nil for DC
+	carry     bool       // allow reusing a Jacobian factored by a previous solve
+	fast      bool       // cache device evaluations for the fast history update
 }
+
+// luKey identifies the analysis configuration a factored Jacobian belongs
+// to; a carried factorization is only reused when the key matches exactly.
+type luKey struct {
+	h         float64
+	trapPhase bool
+	tran      bool
+	gmin      float64
+	scale     float64
+}
+
+func ctxKey(ctx *assembleCtx) luKey {
+	k := luKey{gmin: ctx.gminExtra, scale: ctx.srcScale}
+	if ctx.tran != nil {
+		k.tran = true
+		k.h = ctx.tran.h
+		k.trapPhase = ctx.tran.trap && !ctx.tran.firstBE
+	}
+	return k
+}
+
+// SolverStats counts Newton work since the last ResetStats, for perf
+// tracking (cmd/vsbench) and regression tests.
+type SolverStats struct {
+	NewtonIters  int64 // linear solves (chord or full Newton iterations)
+	JacRefreshes int64 // Jacobian assemblies + LU factorizations
+	TranSteps    int64 // accepted transient timesteps
+	Rescues      int64 // timesteps that fell back to the BE sub-step ladder
+}
+
+// Stats returns the accumulated solver counters.
+func (c *Circuit) Stats() SolverStats { return c.stats }
+
+// ResetStats zeroes the solver counters.
+func (c *Circuit) ResetStats() { c.stats = SolverStats{} }
 
 // assemble fills the residual F(x) (sum of currents leaving each node, plus
 // source constraint rows) and, when wantJ is set, its Jacobian. Residual-only
@@ -65,11 +111,12 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 		addJ = func(int, int, float64) {}
 	}
 
-	// Global gmin to ground.
+	// Global gmin to ground. Routed through addJ so residual-only passes
+	// leave the frozen chord-Newton Jacobian untouched.
 	g := c.Gmin + ctx.gminExtra
 	for n := 0; n < nNodes; n++ {
 		f[n] += g * x[n]
-		jac.Add(n, n, g)
+		addJ(n, n, g)
 	}
 
 	// Resistors.
@@ -131,6 +178,10 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 
 	// MOSFETs: DC channel current always; terminal charge currents in
 	// transient.
+	cacheEv := ctx.fast && ctx.tran != nil
+	if cacheEv && len(c.evCache) != len(c.mos) {
+		c.evCache = make([]device.Eval, len(c.mos))
+	}
 	for i := range c.mos {
 		m := &c.mos[i]
 		term := [4]int{m.d, m.g, m.s, m.b}
@@ -142,6 +193,9 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 			ev = dv.Eval
 		} else {
 			ev = m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		}
+		if cacheEv {
+			c.evCache[i] = ev
 		}
 		addF(m.d, ev.Id)
 		addF(m.s, -ev.Id)
@@ -208,13 +262,62 @@ func (c *Circuit) updateTranHistory(x []float64, ts *tranState) {
 	}
 }
 
+// updateTranHistoryFast is updateTranHistory with the MOSFET terminal
+// charges taken from the evaluations cached by the last assemble pass
+// instead of re-evaluating every device model. The cached evaluations are at
+// the pre-final-update Newton state, which differs from the converged x by
+// less than tolV per node, so the charge error is far below tolI; the
+// capacitor charges are linear in x and recomputed exactly. Only the
+// opt-in fast transient path uses it.
+func (c *Circuit) updateTranHistoryFast(x []float64, ts *tranState) {
+	for i := range c.cs {
+		cp := &c.cs[i]
+		q := cp.c * (nv(x, cp.a) - nv(x, cp.b))
+		var iq float64
+		if ts.trap && !ts.firstBE {
+			iq = 2*(q-ts.qPrevCap[i])/ts.h - ts.iPrevCap[i]
+		} else {
+			iq = (q - ts.qPrevCap[i]) / ts.h
+		}
+		ts.qPrevCap[i] = q
+		ts.iPrevCap[i] = iq
+	}
+	for i := range c.mos {
+		e := &c.evCache[i]
+		q := [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
+		for k := 0; k < 4; k++ {
+			var iq float64
+			if ts.trap && !ts.firstBE {
+				iq = 2*(q[k]-ts.qPrevMos[i][k])/ts.h - ts.iPrevMos[i][k]
+			} else {
+				iq = (q[k] - ts.qPrevMos[i][k]) / ts.h
+			}
+			ts.qPrevMos[i][k] = q[k]
+			ts.iPrevMos[i][k] = iq
+		}
+	}
+}
+
 // initTranHistory seeds the charge history from the state x with zero
-// charge currents.
+// charge currents. Existing history slices are reused when the element
+// counts match, so pooled transients allocate nothing here.
 func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
-	ts.qPrevCap = make([]float64, len(c.cs))
-	ts.iPrevCap = make([]float64, len(c.cs))
-	ts.qPrevMos = make([][4]float64, len(c.mos))
-	ts.iPrevMos = make([][4]float64, len(c.mos))
+	if len(ts.qPrevCap) != len(c.cs) {
+		ts.qPrevCap = make([]float64, len(c.cs))
+		ts.iPrevCap = make([]float64, len(c.cs))
+	} else {
+		for i := range ts.iPrevCap {
+			ts.iPrevCap[i] = 0
+		}
+	}
+	if len(ts.qPrevMos) != len(c.mos) {
+		ts.qPrevMos = make([][4]float64, len(c.mos))
+		ts.iPrevMos = make([][4]float64, len(c.mos))
+	} else {
+		for i := range ts.iPrevMos {
+			ts.iPrevMos[i] = [4]float64{}
+		}
+	}
 	for i := range c.cs {
 		cp := &c.cs[i]
 		ts.qPrevCap[i] = cp.c * (nv(x, cp.a) - nv(x, cp.b))
@@ -228,6 +331,13 @@ func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
 
 // newton runs damped Newton iteration on the system selected by ctx,
 // starting from and updating x in place.
+//
+// When ctx.carry is set and the circuit holds a valid factorization from a
+// previous solve with the same luKey, the iteration starts as chord Newton
+// on that carried factorization; the stall detector refreshes the Jacobian
+// as soon as the frozen factors stop contracting, so correctness never
+// depends on the carried factors being fresh (convergence is always judged
+// on the true residual).
 func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 	n := c.unknowns()
 	nNodes := len(c.nodeNames)
@@ -237,6 +347,8 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 		c.nwF = make([]float64, n)
 		c.nwScratch = make([]float64, n)
 		c.nwJac = linalg.NewMatrix(n, n)
+		c.nwLU = linalg.NewLUWorkspace(n)
+		c.luValid = false
 	}
 	f, jac, scratch := c.nwF, c.nwJac, c.nwScratch
 
@@ -244,9 +356,23 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 	if maxIter <= 0 {
 		maxIter = 150
 	}
+	key := ctxKey(ctx)
+	tv, ti := tolV, tolI
+	if ctx.fast {
+		tv, ti = tolVFast, tolIFast
+	}
 	var lu *linalg.LU
 	prevDv := math.Inf(1)
 	forceJ := true
+	if ctx.carry && c.luValid && c.luKey == key {
+		// Start as chord Newton on the carried factorization: prevDv below
+		// the refresh threshold, no forced refresh. The first update that
+		// moves any node by more than 50 mV triggers a refresh.
+		lu = c.nwLU
+		prevDv = 0.1
+		forceJ = false
+	}
+	c.luValid = false
 	for iter := 0; iter < maxIter; iter++ {
 		// Chord Newton: refresh the (expensive, finite-differenced)
 		// Jacobian on the first iteration and whenever contraction slows;
@@ -254,12 +380,13 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 		wantJ := lu == nil || forceJ || prevDv > 0.2
 		c.assemble(x, f, jac, ctx, wantJ)
 		if wantJ {
-			var err error
-			lu, err = linalg.NewLU(jac)
-			if err != nil {
+			if err := c.nwLU.Factor(jac); err != nil {
 				return fmt.Errorf("spice: singular Jacobian: %w", err)
 			}
+			lu = c.nwLU
+			c.stats.JacRefreshes++
 		}
+		c.stats.NewtonIters++
 		dx := lu.SolvePermuting(f, scratch)
 
 		// Voltage limiting on node entries.
@@ -284,11 +411,24 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 				maxF = a
 			}
 		}
-		if maxDv < tolV && maxF < tolI {
+		if maxDv < tv && maxF < ti {
+			c.luValid = true
+			c.luKey = key
 			return nil
 		}
 		// A stale Jacobian must still contract; refresh when it stalls.
 		forceJ = !wantJ && maxDv > 0.5*prevDv
+		if ctx.fast && !wantJ && !forceJ && maxDv > tv {
+			// Chord contraction is linear, so the remaining iteration count
+			// is predictable from the observed ratio. Refresh unless the
+			// frozen factors will finish within a few more passes — this
+			// catches switching edges on their first slow iteration instead
+			// of grinding toward tolerance at ratio ~0.4.
+			rho := maxDv / prevDv
+			if rho > 0.04 && math.Log(tv/maxDv) < 3*math.Log(rho) {
+				forceJ = true
+			}
+		}
 		prevDv = maxDv
 	}
 	return ErrNoConvergence

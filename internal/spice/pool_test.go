@@ -1,0 +1,162 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/vsmodel"
+)
+
+// testInverter nets a VS-model inverter with a pulse input and load cap,
+// exercising every assemble stamp family (MOS, cap, resistor, sources).
+func testInverter() (c *Circuit, out int) {
+	c = New()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out = c.Node("out")
+	c.AddV("VDD", vdd, Gnd, DC(0.9))
+	c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 0.9, Delay: 20e-12, Rise: 10e-12, Fall: 10e-12, Width: 200e-12})
+	n := vsmodel.NMOS40(300e-9)
+	p := vsmodel.PMOS40(600e-9)
+	c.AddMOS("MN", out, in, Gnd, Gnd, &n)
+	c.AddMOS("MP", out, in, vdd, vdd, &p)
+	c.AddR("RL", out, Gnd, 1e8)
+	c.AddC("CL", out, Gnd, 2e-15)
+	return c, out
+}
+
+func TestResidualOnlyAssembleLeavesJacUntouched(t *testing.T) {
+	c, _ := testInverter()
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.unknowns()
+	f := make([]float64, n)
+	jac := newZeroMatrix(n)
+	// Poison the Jacobian; a residual-only pass must not write a single
+	// entry (the gmin stamp used to leak through).
+	const sentinel = 1.25e300
+	for i := range jac.Data {
+		jac.Data[i] = sentinel
+	}
+	ctx := assembleCtx{srcScale: 1, gminExtra: 1e-3}
+	c.assemble(op.x, f, jac, &ctx, false)
+	for i, v := range jac.Data {
+		if v != sentinel {
+			t.Fatalf("residual-only assemble wrote jac entry %d: %g", i, v)
+		}
+	}
+	// And the full pass must overwrite all of it back to finite stamps.
+	c.assemble(op.x, f, jac, &ctx, true)
+	for i, v := range jac.Data {
+		if v == sentinel {
+			t.Fatalf("full assemble left jac entry %d at the sentinel", i)
+		}
+	}
+}
+
+func TestTransientIntoReusesStorageAllocFree(t *testing.T) {
+	c, _ := testInverter()
+	opts := TranOpts{Stop: 100e-12, Step: 1e-12}
+	var res TranResult
+	// Warm once so scratch, integrator history, and waveform rows exist.
+	if err := c.TransientInto(opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	row0 := &res.xs[0][0]
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := c.TransientInto(opts, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("repeat TransientInto allocates %.1f objects per run, want 0", allocs)
+	}
+	if &res.xs[0][0] != row0 {
+		t.Fatal("TransientInto reallocated waveform storage")
+	}
+	// Fast mode on the same circuit must stay allocation-free too.
+	fast := opts
+	fast.Fast = true
+	if err := c.TransientInto(fast, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(5, func() {
+		if err := c.TransientInto(fast, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fast TransientInto allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestFastTransientMatchesExact(t *testing.T) {
+	cExact, out := testInverter()
+	exact, err := cExact.Transient(TranOpts{Stop: 400e-12, Step: 1.5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFast, _ := testInverter()
+	var res TranResult
+	if err := cFast.TransientInto(TranOpts{Stop: 400e-12, Step: 1.5e-12, Fast: true}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Time) != len(exact.Time) {
+		t.Fatalf("step counts differ: %d vs %d", len(res.Time), len(exact.Time))
+	}
+	ve, vf := exact.V(out), res.V(out)
+	worst := 0.0
+	for k := range ve {
+		if d := math.Abs(ve[k] - vf[k]); d > worst {
+			worst = d
+		}
+	}
+	// The fast path promises waveform agreement at its tolerance floor
+	// (tolVFast = 1 µV) plus bounded accumulation; a few tolerances of
+	// headroom still catches any real integration error.
+	if worst > 5e-6 {
+		t.Fatalf("fast waveform deviates by %g V from exact", worst)
+	}
+	// Second run on the same circuit (carried factors, reused history) must
+	// not drift: fast mode may not leak state across samples beyond the
+	// tolerance floor.
+	var res2 TranResult
+	if err := cFast.TransientInto(TranOpts{Stop: 400e-12, Step: 1.5e-12, Fast: true}, &res2); err != nil {
+		t.Fatal(err)
+	}
+	v2 := res2.V(out)
+	for k := range vf {
+		if d := math.Abs(v2[k] - ve[k]); d > 5e-6 {
+			t.Fatalf("repeat fast run deviates by %g V at step %d", d, k)
+		}
+	}
+}
+
+func TestCarriedFactorsInvalidatedByDeviceSwap(t *testing.T) {
+	// A fast DC solve leaves carried factors behind; swapping a device card
+	// must invalidate them so the next solve does not converge against the
+	// old geometry's Jacobian.
+	c, out := testInverter()
+	x := make([]float64, c.unknowns())
+	if err := c.solveOPInto(x, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	wide := vsmodel.NMOS40(900e-9) // 3x the template width
+	c.SetMOSDevice(0, &wide)
+	if err := c.solveOPInto(x, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a freshly built circuit with the same wide NMOS.
+	ref, refOut := testInverter()
+	wide2 := vsmodel.NMOS40(900e-9)
+	ref.SetMOSDevice(0, &wide2)
+	op, err := ref.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(nv(x, out) - op.V(refOut)); d > 1e-6 {
+		t.Fatalf("restamped fast OP differs from fresh solve by %g V", d)
+	}
+}

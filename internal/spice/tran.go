@@ -19,14 +19,66 @@ type TranOpts struct {
 	// voltages in IC (unset nodes start at 0), like SPICE's .tran UIC.
 	UIC bool
 	IC  map[int]float64 // initial node voltages (used when UIC)
+
+	// Guess warm-starts the initial DC operating point (ignored with UIC).
+	// Pooled Monte Carlo passes the nominal operating point here: the
+	// statistical perturbations are small, so Newton converges in a few
+	// iterations instead of walking in from zero.
+	Guess []float64
+
+	// Fast enables the pooled-MC fast path: the Jacobian factorization is
+	// carried across timesteps (and refreshed only when the chord iteration
+	// stops contracting fast enough), the predictor extrapolates
+	// quadratically, the Newton tolerances relax to the fast-path pair
+	// (1 µV / 0.1 µA — the classic SPICE VNTOL class), and the charge
+	// history update reuses the device evaluations cached by the last
+	// Newton assembly instead of re-evaluating every model. Convergence is
+	// still judged on the true residual each step, so accuracy is bounded
+	// by those tolerances; waveforms differ from the exact path at the
+	// tolerance floor (~1 µV).
+	// Leave unset for bit-identical results with the classic path.
+	Fast bool
 }
 
-// TranResult holds the sampled waveforms of a transient run.
+// TranResult holds the sampled waveforms of a transient run. A TranResult
+// can be reused across runs via TransientInto, which rewinds it and refills
+// the existing storage without re-allocating.
 type TranResult struct {
 	c    *Circuit
 	Time []float64
 	// xs[k] is the full unknown vector at Time[k].
 	xs [][]float64
+}
+
+// reset rewinds the result for reuse, keeping the backing storage.
+func (r *TranResult) reset(c *Circuit, capHint int) {
+	r.c = c
+	if cap(r.Time) < capHint {
+		r.Time = make([]float64, 0, capHint)
+	} else {
+		r.Time = r.Time[:0]
+	}
+	if cap(r.xs) < capHint {
+		r.xs = make([][]float64, 0, capHint)
+	} else {
+		r.xs = r.xs[:0]
+	}
+}
+
+// snap appends a copy of x at time t, reusing a row retained from a
+// previous run when one is available.
+func (r *TranResult) snap(t float64, x []float64) {
+	r.Time = append(r.Time, t)
+	k := len(r.xs)
+	if k < cap(r.xs) {
+		r.xs = r.xs[:k+1]
+		if len(r.xs[k]) != len(x) {
+			r.xs[k] = make([]float64, len(x))
+		}
+	} else {
+		r.xs = append(r.xs, make([]float64, len(x)))
+	}
+	copy(r.xs[k], x)
 }
 
 // V returns the waveform of a node index.
@@ -85,11 +137,32 @@ func (r *TranResult) At(node int, t float64) float64 {
 
 // Transient runs a fixed-step implicit transient analysis.
 func (c *Circuit) Transient(opts TranOpts) (*TranResult, error) {
+	res := &TranResult{}
+	if err := c.TransientInto(opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TransientInto runs a fixed-step implicit transient analysis into res,
+// reusing the circuit's step scratch, integrator history, and the result's
+// waveform storage. Back-to-back runs on the same circuit (the pooled Monte
+// Carlo hot path) allocate nothing after the first.
+func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 	if opts.Stop <= 0 || opts.Step <= 0 {
-		return nil, fmt.Errorf("spice: invalid transient window stop=%g step=%g", opts.Stop, opts.Step)
+		return fmt.Errorf("spice: invalid transient window stop=%g step=%g", opts.Stop, opts.Step)
 	}
 	n := c.unknowns()
-	x := make([]float64, n)
+	if len(c.trX) != n {
+		c.trX = make([]float64, n)
+		c.trPrev = make([]float64, n)
+		c.trPrev2 = make([]float64, n)
+		c.trPred = make([]float64, n)
+	}
+	x, xPrev, xPrev2, pred := c.trX, c.trPrev, c.trPrev2, c.trPred
+	for i := range x {
+		x[i] = 0
+	}
 
 	if opts.UIC {
 		for node, v := range opts.IC {
@@ -98,74 +171,82 @@ func (c *Circuit) Transient(opts TranOpts) (*TranResult, error) {
 			}
 		}
 	} else {
-		op, err := c.OP()
-		if err != nil {
-			return nil, fmt.Errorf("spice: transient initial OP: %w", err)
+		if err := c.solveOPInto(x, opts.Guess, opts.Fast); err != nil {
+			return fmt.Errorf("spice: transient initial OP: %w", err)
 		}
-		copy(x, op.x)
 	}
 
-	ts := &tranState{h: opts.Step, trap: opts.Trap, firstBE: true}
+	ts := &c.trState
+	ts.h, ts.trap, ts.firstBE = opts.Step, opts.Trap, true
 	c.initTranHistory(x, ts)
 
 	steps := int(math.Ceil(opts.Stop/opts.Step + 1e-9))
-	res := &TranResult{c: c, Time: make([]float64, 0, steps+1), xs: make([][]float64, 0, steps+1)}
-	snap := func(t float64) {
-		xc := make([]float64, n)
-		copy(xc, x)
-		res.Time = append(res.Time, t)
-		res.xs = append(res.xs, xc)
-	}
-	snap(0)
+	res.reset(c, steps+1)
+	res.snap(0, x)
 
 	t := 0.0
-	xPrev := make([]float64, n)
 	copy(xPrev, x)
-	pred := make([]float64, n)
 	for k := 0; k < steps; k++ {
 		t = float64(k+1) * opts.Step
-		// Linear predictor: start Newton from the extrapolated trajectory,
-		// which typically saves an iteration per step.
+		// Predictor: start Newton from the extrapolated trajectory, which
+		// typically saves an iteration per step. The fast path extrapolates
+		// quadratically — a smaller starting error keeps the chord iteration
+		// on the carried Jacobian to one or two passes on quiet stretches.
 		if k > 0 {
-			for i := range pred {
-				pred[i] = 2*x[i] - xPrev[i]
+			if opts.Fast && k > 1 {
+				for i := range pred {
+					pred[i] = 3*(x[i]-xPrev[i]) + xPrev2[i]
+				}
+			} else {
+				for i := range pred {
+					pred[i] = 2*x[i] - xPrev[i]
+				}
 			}
+			copy(xPrev2, xPrev)
 			copy(xPrev, x)
 			copy(x, pred)
 		} else {
 			copy(xPrev, x)
 		}
-		ctx := assembleCtx{t: t, srcScale: 1, tran: ts}
+		ctx := assembleCtx{t: t, srcScale: 1, tran: ts, carry: opts.Fast, fast: opts.Fast}
 		if err := c.newton(x, &ctx); err != nil {
 			// Retry the step from the unextrapolated state with several
 			// smaller backward-Euler sub-steps, a cheap and robust rescue
 			// for sharp source corners.
 			copy(x, xPrev)
-			if err2 := c.rescueStep(x, t-opts.Step, opts.Step, ts); err2 != nil {
-				return nil, fmt.Errorf("spice: transient failed at t=%g: %w", t, err)
+			if err2 := c.rescueStep(x, t-opts.Step, opts.Step, ts, opts.Fast); err2 != nil {
+				return fmt.Errorf("spice: transient failed at t=%g: %w", t, err)
 			}
+		} else if opts.Fast {
+			c.updateTranHistoryFast(x, ts)
 		} else {
 			c.updateTranHistory(x, ts)
 		}
 		ts.firstBE = false
-		snap(t)
+		c.stats.TranSteps++
+		res.snap(t, x)
 	}
-	return res, nil
+	return nil
 }
 
 // rescueStep retries a failed step as several smaller backward-Euler steps.
-func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState) error {
+func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState, fast bool) error {
 	const pieces = 8
 	sub := h / pieces
 	savedH, savedTrap, savedFirst := ts.h, ts.trap, ts.firstBE
 	ts.h, ts.trap, ts.firstBE = sub, false, true
 	defer func() { ts.h, ts.trap, ts.firstBE = savedH, savedTrap, savedFirst }()
+	c.stats.Rescues++
 	for i := 1; i <= pieces; i++ {
-		ctx := assembleCtx{t: t0 + float64(i)*sub, srcScale: 1, tran: ts}
+		ctx := assembleCtx{t: t0 + float64(i)*sub, srcScale: 1, tran: ts, carry: fast, fast: fast}
 		if err := c.newton(x, &ctx); err != nil {
 			return err
 		}
-		c.updateTranHistory(x, ts)
+		if fast {
+			c.updateTranHistoryFast(x, ts)
+		} else {
+			c.updateTranHistory(x, ts)
+		}
 	}
 	return nil
 }
