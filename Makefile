@@ -2,20 +2,28 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race
+.PHONY: tier1 tier2 bench bench-mc race vet
 
-# Tier 1: the build + test gate every change must keep green (ROADMAP.md).
-tier1:
+# Tier 1: the build + vet + test gate every change must keep green
+# (ROADMAP.md).
+tier1: vet
 	$(GO) build ./... && $(GO) test ./...
 
-# Tier 2: static analysis plus the race detector over the full tree,
-# including the pooled parallel Monte Carlo engine.
-tier2:
-	$(GO) vet ./... && $(GO) test -race ./...
+# Static analysis alone (also the first rung of tier1).
+vet:
+	$(GO) vet ./...
 
-# Race detector over just the concurrency-bearing packages (quick).
+# Tier 2: the race detector over the full tree, including the pooled
+# parallel Monte Carlo engine.
+tier2: vet
+	$(GO) test -race ./...
+
+# Race detector over the concurrency-bearing packages: the Monte Carlo
+# driver (failure policies, panic recovery, report aggregation), the solver
+# rescue ladder, and the pooled experiment plumbing.
 race:
-	$(GO) test -race ./internal/montecarlo/ ./internal/experiments/ -run 'TestMap|TestPooled' -count=1
+	$(GO) test -race ./internal/montecarlo/ ./internal/spice/ -count=1
+	$(GO) test -race ./internal/experiments/ -run 'TestMap|TestPooled|TestFault|TestFail' -count=1
 
 # Benchmark runner: the paper-figure per-sample benches plus the pooled
 # vs rebuild Monte Carlo pairs (the speedup evidence for the pooled engine).

@@ -43,6 +43,14 @@ type unitRecord struct {
 	NewtonItersPerSample float64 `json:"newton_iters_per_sample"`
 	TranStepsPerSample   float64 `json:"tran_steps_per_sample"`
 	Rescues              int64   `json:"rescues"`
+
+	// Run health (see montecarlo.RunReport).
+	Attempted  int              `json:"attempted"`
+	Succeeded  int              `json:"succeeded"`
+	Failed     int              `json:"failed"`
+	Panics     int              `json:"panics,omitempty"`
+	RescuedBy  map[string]int64 `json:"rescued_by_stage,omitempty"`
+	FailedIdxs []int            `json:"failed_sample_idxs,omitempty"`
 }
 
 // benchFile is the whole BENCH_mc.json document.
@@ -70,17 +78,14 @@ func (p *statsPool) add(f func() spice.SolverStats) {
 func (p *statsPool) total() spice.SolverStats {
 	var t spice.SolverStats
 	for _, f := range p.readers {
-		s := f()
-		t.NewtonIters += s.NewtonIters
-		t.JacRefreshes += s.JacRefreshes
-		t.TranSteps += s.TranSteps
-		t.Rescues += s.Rescues
+		t = t.Add(f())
 	}
 	return t
 }
 
-// unitFn runs one n-sample pooled MC and reports the summed solver stats.
-type unitFn func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error)
+// unitFn runs one n-sample pooled MC and reports the summed solver stats
+// plus the run's health report.
+type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error)
 
 // Gate transient window, matching the experiments' delay MCs.
 const (
@@ -90,9 +95,9 @@ const (
 
 func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
-	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
-		_, err := montecarlo.MapPooled(n, seed, workers,
+		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (*circuits.PooledGate, error) {
 				b, err := build(vdd, sz, m.Nominal(), fast)
 				if err != nil {
@@ -109,15 +114,15 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 				}
 				return measure.PairDelay(res, b.In, b.Out, vdd)
 			})
-		return pool.total(), err
+		return pool.total(), rep, err
 	}
 }
 
 func dffUnit(m core.StatModel, vdd float64) unitFn {
-	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
 		opts := measure.DefaultSetupOpts()
 		var pool statsPool
-		_, err := montecarlo.MapPooled(n, seed, workers,
+		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (*circuits.PooledDFF, error) {
 				ff := circuits.NewPooledDFF(vdd, circuits.DefaultDFFSizing(), m.Nominal(), fast)
 				pool.add(ff.Ckt.Stats)
@@ -129,15 +134,15 @@ func dffUnit(m core.StatModel, vdd float64) unitFn {
 				o.Res, o.Fast = &ff.Res, ff.Fast
 				return measure.SetupTime(ff.DFF, o)
 			})
-		return pool.total(), err
+		return pool.total(), rep, err
 	}
 }
 
 func sramUnit(m core.StatModel, vdd float64) unitFn {
 	const points = 61 // butterfly sweep resolution, matching Fig. 9
-	return func(n int, seed int64, workers int, fast bool) (spice.SolverStats, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
-		_, err := montecarlo.MapPooled(n, seed, workers,
+		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (*circuits.PooledSRAM, error) {
 				cell := circuits.NewPooledSRAM(vdd, circuits.DefaultSRAMSizing(), m.Nominal(), points, fast)
 				pool.add(cell.Stats)
@@ -163,18 +168,18 @@ func sramUnit(m core.StatModel, vdd float64) unitFn {
 				}
 				return [2]float64{read.SNM, hold.SNM}, nil
 			})
-		return pool.total(), err
+		return pool.total(), rep, err
 	}
 }
 
 // runUnit times one unit and turns the raw counters into a record.
-func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int) (unitRecord, error) {
+func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy) (unitRecord, error) {
 	fast := mode == "fast"
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	stats, err := fn(n, seed, workers, fast)
+	stats, rep, err := fn(n, seed, workers, pol, fast)
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	if err != nil {
@@ -196,19 +201,31 @@ func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int) (unit
 		rec.NewtonItersPerStep = float64(stats.NewtonIters) / float64(stats.TranSteps)
 		rec.JacRefreshPerStep = float64(stats.JacRefreshes) / float64(stats.TranSteps)
 	}
+	rec.Attempted, rec.Succeeded, rec.Failed, rec.Panics = rep.Attempted, rep.Succeeded, rep.Failed, rep.Panics
+	rec.RescuedBy = rep.Rescued
+	for _, f := range rep.Failures {
+		rec.FailedIdxs = append(rec.FailedIdxs, f.Idx)
+	}
 	return rec, nil
 }
 
 func main() {
 	var (
-		n       = flag.Int("n", 64, "Monte Carlo samples per unit")
-		workers = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
-		mode    = flag.String("mode", "both", "solver path: exact, fast, or both")
-		out     = flag.String("out", "BENCH_mc.json", "output JSON path")
-		seed    = flag.Int64("seed", 20130318, "master random seed")
-		vdd     = flag.Float64("vdd", 0.9, "nominal supply voltage")
+		n        = flag.Int("n", 64, "Monte Carlo samples per unit")
+		workers  = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
+		mode     = flag.String("mode", "both", "solver path: exact, fast, or both")
+		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
+		seed     = flag.Int64("seed", 20130318, "master random seed")
+		vdd      = flag.Float64("vdd", 0.9, "nominal supply voltage")
+		skip     = flag.Bool("skip-failed", false, "isolate failing samples instead of aborting the unit")
+		failFrac = flag.Float64("max-fail-frac", 0, "with -skip-failed, abort once this failure fraction is exceeded (0 = no cap)")
 	)
 	flag.Parse()
+
+	pol := montecarlo.Policy{}
+	if *skip {
+		pol = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
+	}
 
 	if *n < 1 {
 		fmt.Fprintf(os.Stderr, "vsbench: -n must be at least 1 (got %d)\n", *n)
@@ -256,7 +273,7 @@ func main() {
 	}
 	for _, u := range units {
 		for _, md := range modes {
-			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers)
+			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers, pol)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
 				os.Exit(1)
@@ -264,6 +281,10 @@ func main() {
 			fmt.Printf("%-10s %-5s  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
 				rec.Unit, rec.Mode, rec.NsPerSample/1e3, rec.BytesPerSample, rec.AllocsPerSample,
 				rec.NewtonItersPerStep)
+			if rec.Failed > 0 || len(rec.RescuedBy) > 0 {
+				fmt.Printf("%-10s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",
+					rec.Unit, rec.Mode, rec.Attempted, rec.Succeeded, rec.Failed, rec.RescuedBy)
+			}
 			doc.Units = append(doc.Units, rec)
 		}
 	}

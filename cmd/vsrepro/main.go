@@ -19,21 +19,27 @@ import (
 
 	"vstat/internal/cards"
 	"vstat/internal/experiments"
+	"vstat/internal/montecarlo"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table4, fig1..fig9, eq1, fig8hold, ext-*), 'all' (paper set) or 'ext' (extensions)")
-		scale   = flag.Float64("scale", 0.2, "Monte Carlo sample scale vs paper counts")
-		seed    = flag.Int64("seed", 20130318, "master random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		vdd     = flag.Float64("vdd", 0.9, "nominal supply voltage")
-		outCard = flag.String("o", "", "save the extracted statistical VS model card (JSON) to this path")
-		csvDir  = flag.String("csv", "", "also dump each figure's plot series as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment id (table1..table4, fig1..fig9, eq1, fig8hold, ext-*), 'all' (paper set) or 'ext' (extensions)")
+		scale    = flag.Float64("scale", 0.2, "Monte Carlo sample scale vs paper counts")
+		seed     = flag.Int64("seed", 20130318, "master random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		vdd      = flag.Float64("vdd", 0.9, "nominal supply voltage")
+		outCard  = flag.String("o", "", "save the extracted statistical VS model card (JSON) to this path")
+		csvDir   = flag.String("csv", "", "also dump each figure's plot series as CSV into this directory")
+		skip     = flag.Bool("skip-failed", false, "isolate non-convergent Monte Carlo samples instead of aborting the experiment; dropped samples are reported in each figure's run-health line")
+		failFrac = flag.Float64("max-fail-frac", 0.01, "with -skip-failed, abort an experiment once this failure fraction is exceeded (0 = no cap)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Workers: *workers, Scale: *scale, Vdd: *vdd}
+	if *skip {
+		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
+	}
 	fmt.Printf("vsrepro: building extraction suite (scale=%g, seed=%d)\n", *scale, *seed)
 	t0 := time.Now()
 	suite, err := experiments.NewSuite(cfg)

@@ -104,6 +104,12 @@ func NewPooledNAND2FO(k int, vdd float64, sz Sizing, nominal Factory, fast bool)
 // fresh mismatch per device) without touching topology or scratch.
 func (p *PooledGate) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 
+// RescueCounts implements montecarlo.RescueReporter: the nonzero
+// rescue-ladder counters accumulated by this worker's template circuit.
+func (p *PooledGate) RescueCounts() map[string]int64 {
+	return p.Ckt.Stats().RescueCounts()
+}
+
 // Transient runs the bench transient into the reusable result.
 func (p *PooledGate) Transient(stop, step float64) (*spice.TranResult, error) {
 	opts := spice.TranOpts{Stop: stop, Step: step}
@@ -141,6 +147,11 @@ func NewPooledDFF(vdd float64, sz DFFSizing, nominal Factory, fast bool) *Pooled
 // Restat re-stamps every transistor from f.
 func (p *PooledDFF) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 
+// RescueCounts implements montecarlo.RescueReporter.
+func (p *PooledDFF) RescueCounts() map[string]int64 {
+	return p.Ckt.Stats().RescueCounts()
+}
+
 // PooledRing is a reusable ring-oscillator bench.
 type PooledRing struct {
 	*RingOscillator
@@ -158,6 +169,11 @@ func NewPooledRing(n int, vdd float64, sz Sizing, nominal Factory, fast bool) *P
 
 // Restat re-stamps every transistor from f.
 func (p *PooledRing) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
+
+// RescueCounts implements montecarlo.RescueReporter.
+func (p *PooledRing) RescueCounts() map[string]int64 {
+	return p.Ckt.Stats().RescueCounts()
+}
 
 // Frequency measures the oscillation frequency like
 // RingOscillator.Frequency, but reuses the pooled transient storage.
@@ -232,13 +248,12 @@ func (p *PooledSRAM) Restat(f Factory) {
 
 // Stats returns the summed solver counters of both half-circuits.
 func (p *PooledSRAM) Stats() spice.SolverStats {
-	l, r := p.cL.Stats(), p.cR.Stats()
-	return spice.SolverStats{
-		NewtonIters:  l.NewtonIters + r.NewtonIters,
-		JacRefreshes: l.JacRefreshes + r.JacRefreshes,
-		TranSteps:    l.TranSteps + r.TranSteps,
-		Rescues:      l.Rescues + r.Rescues,
-	}
+	return p.cL.Stats().Add(p.cR.Stats())
+}
+
+// RescueCounts implements montecarlo.RescueReporter over both half-circuits.
+func (p *PooledSRAM) RescueCounts() map[string]int64 {
+	return p.Stats().RescueCounts()
 }
 
 // ResetStats zeroes the solver counters of both half-circuits.

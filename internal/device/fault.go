@@ -1,0 +1,90 @@
+package device
+
+import "math"
+
+// FaultMode selects how a FaultCard misbehaves inside its active window.
+type FaultMode int
+
+const (
+	// FaultNaN makes Eval return NaN current and charges, modeling a
+	// parameter card driven outside its model's domain (exp overflow,
+	// sqrt of a negative surface potential, ...).
+	FaultNaN FaultMode = iota
+	// FaultNoConverge makes Eval return a large current whose sign flips
+	// on every call, so Newton's residual oscillates and never meets
+	// tolerance — a deterministic stand-in for the far-tail samples where
+	// the iteration limit cycles.
+	FaultNoConverge
+	// FaultPanic makes Eval panic, exercising the Monte Carlo driver's
+	// per-sample panic isolation.
+	FaultPanic
+)
+
+// FaultCard wraps a Device and deterministically injects a fault during an
+// evaluation-count window: calls [After, Until) misbehave per Mode, all
+// other calls pass through to the wrapped model untouched. It exists to
+// test the solver rescue ladder and the Monte Carlo failure policies with
+// reproducible failures at chosen samples and chosen depths into a solve.
+//
+// The wrapper deliberately does not forward the NativeDerivs fast path:
+// the simulator falls back to finite differences, so the call counter
+// advances by a fixed number of Eval calls per Newton iteration and the
+// window placement is predictable. A FaultCard counts calls in plain
+// (non-atomic) fields and must not be shared across goroutines; give each
+// Monte Carlo sample its own card via Fresh.
+type FaultCard struct {
+	Inner Device
+	Mode  FaultMode
+	// After is the number of clean Eval calls before the fault window
+	// opens (0 faults immediately).
+	After int64
+	// Until closes the window: calls numbered >= Until behave normally
+	// again. Until <= 0 keeps the window open forever.
+	Until int64
+
+	calls int64
+}
+
+// Fresh returns a copy with the call counter rewound, for handing the same
+// fault program to multiple samples.
+func (f *FaultCard) Fresh() *FaultCard {
+	c := *f
+	c.calls = 0
+	return &c
+}
+
+// Calls returns how many Eval calls the card has seen.
+func (f *FaultCard) Calls() int64 { return f.calls }
+
+// Kind returns the wrapped device's kind.
+func (f *FaultCard) Kind() Kind { return f.Inner.Kind() }
+
+// Width returns the wrapped device's drawn width.
+func (f *FaultCard) Width() float64 { return f.Inner.Width() }
+
+// Length returns the wrapped device's drawn length.
+func (f *FaultCard) Length() float64 { return f.Inner.Length() }
+
+// Eval evaluates the wrapped model, misbehaving inside the fault window.
+func (f *FaultCard) Eval(vd, vg, vs, vb float64) Eval {
+	n := f.calls
+	f.calls++
+	if n < f.After || (f.Until > 0 && n >= f.Until) {
+		return f.Inner.Eval(vd, vg, vs, vb)
+	}
+	switch f.Mode {
+	case FaultNoConverge:
+		id := 1.0
+		if n&1 == 1 {
+			id = -1.0
+		}
+		e := f.Inner.Eval(vd, vg, vs, vb)
+		e.Id = id
+		return e
+	case FaultPanic:
+		panic("device: injected fault panic")
+	default:
+		nan := math.NaN()
+		return Eval{Id: nan, Q: Charges{Qd: nan, Qg: nan, Qs: nan, Qb: nan}}
+	}
+}

@@ -1,0 +1,85 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// constDevice is a minimal Device with a fixed evaluation.
+type constDevice struct{ id float64 }
+
+func (d constDevice) Kind() Kind      { return NMOS }
+func (d constDevice) Width() float64  { return 1e-6 }
+func (d constDevice) Length() float64 { return 40e-9 }
+func (d constDevice) Eval(vd, vg, vs, vb float64) Eval {
+	return Eval{Id: d.id, Q: Charges{Qd: 1e-18}}
+}
+
+func TestFaultCardWindow(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultNaN, After: 2, Until: 4}
+	for i := 0; i < 6; i++ {
+		e := f.Eval(0.9, 0.9, 0, 0)
+		inWindow := i >= 2 && i < 4
+		if got := math.IsNaN(e.Id); got != inWindow {
+			t.Fatalf("call %d: NaN=%v, want %v", i, got, inWindow)
+		}
+	}
+	if f.Calls() != 6 {
+		t.Fatalf("Calls = %d", f.Calls())
+	}
+}
+
+func TestFaultCardPermanentWindow(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultNaN} // Until=0: forever
+	for i := 0; i < 3; i++ {
+		if !math.IsNaN(f.Eval(0, 0, 0, 0).Id) {
+			t.Fatalf("call %d should fault", i)
+		}
+	}
+}
+
+func TestFaultCardNoConvergeAlternates(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultNoConverge}
+	a := f.Eval(0, 0, 0, 0).Id
+	b := f.Eval(0, 0, 0, 0).Id
+	if a != 1.0 || b != -1.0 {
+		t.Fatalf("alternating injected current: got %g, %g", a, b)
+	}
+}
+
+func TestFaultCardFresh(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultNaN, After: 1}
+	f.Eval(0, 0, 0, 0) // consume the clean call
+	if !math.IsNaN(f.Eval(0, 0, 0, 0).Id) {
+		t.Fatal("original card should now fault")
+	}
+	g := f.Fresh()
+	if g.Calls() != 0 {
+		t.Fatalf("Fresh calls = %d", g.Calls())
+	}
+	if math.IsNaN(g.Eval(0, 0, 0, 0).Id) {
+		t.Fatal("fresh card faulted on its first (clean) call")
+	}
+}
+
+func TestFaultCardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := &FaultCard{Inner: constDevice{}, Mode: FaultPanic}
+	f.Eval(0, 0, 0, 0)
+}
+
+func TestFaultCardForwardsGeometry(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}}
+	if f.Kind() != NMOS || f.Width() != 1e-6 || f.Length() != 40e-9 {
+		t.Fatal("geometry not forwarded")
+	}
+	// The wrapper must NOT implement NativeDerivs: window placement relies
+	// on the finite-difference eval cadence.
+	if _, ok := any(f).(NativeDerivs); ok {
+		t.Fatal("FaultCard must not forward the native-derivative fast path")
+	}
+}

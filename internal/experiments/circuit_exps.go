@@ -73,6 +73,9 @@ type Fig5Size struct {
 type Fig5Result struct {
 	N     int
 	Sizes []Fig5Size
+
+	// Health aggregates the Monte Carlo run reports of all six populations.
+	Health Health
 }
 
 // Fig5Sizings are the paper's 1×/2×/4× inverter sizes (P/N widths).
@@ -92,11 +95,13 @@ func (s *Suite) Fig5() (Fig5Result, error) {
 	for si, cfgSz := range Fig5Sizings {
 		seed := s.Cfg.Seed + int64(1000*si)
 		build := pooledInvFO3(s.Cfg.Vdd, cfgSz.Sz)
-		g, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 golden %s: %w", cfgSz.Label, err)
 		}
-		v, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 vs %s: %w", cfgSz.Label, err)
 		}
@@ -120,6 +125,7 @@ func (r Fig5Result) String() string {
 			sz.VS.Mean*1e12, sz.VS.SD*1e12,
 			100*(sz.VS.Mean-sz.Golden.Mean)/sz.Golden.Mean)
 	}
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 
@@ -136,6 +142,7 @@ type Fig6Result struct {
 	Golden, VS                           []Fig6Point
 	GoldenLeakSpread, VSLeakSpread       float64 // max/min leakage
 	GoldenFreqSpreadPct, VSFreqSpreadPct float64 // (max−min)/mean, %
+	Health                               Health
 }
 
 // Fig6 runs the leakage-frequency Monte Carlo.
@@ -145,7 +152,7 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 	res := Fig6Result{N: n}
 
 	run := func(m core.StatModel, seed int64) ([]Fig6Point, error) {
-		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
 			func(int) (*circuits.PooledGate, error) {
 				return circuits.NewPooledInverterFO(3, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC)
 			},
@@ -170,6 +177,11 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 				}
 				return Fig6Point{Leakage: measure.Leakage(op, b.VddSrc), Freq: 1 / d}, nil
 			})
+		res.Health.Merge(rep)
+		if err != nil {
+			return nil, err
+		}
+		return montecarlo.Compact(out, rep), nil
 	}
 	var err error
 	res.Golden, err = run(s.Golden, s.Cfg.Seed+61)
@@ -215,6 +227,7 @@ func (r Fig6Result) String() string {
 	fmt.Fprintf(&b, "  VS    : leakage spread %.1fx, frequency spread %.1f %% of mean\n",
 		r.VSLeakSpread, r.VSFreqSpreadPct)
 	fmt.Fprintf(&b, "  (paper: 37x leakage spread; 45%% / 50%% frequency spread)\n")
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 
@@ -233,8 +246,9 @@ type Fig7Vdd struct {
 // Fig7Result is paper Fig. 7: NAND2 FO3 delay PDFs and QQ plots at
 // Vdd ∈ {0.9, 0.7, 0.55} V, showing the non-Gaussian onset at low voltage.
 type Fig7Result struct {
-	N    int
-	Vdds []Fig7Vdd
+	N      int
+	Vdds   []Fig7Vdd
+	Health Health
 }
 
 // Fig7Supplies are the paper's supply points.
@@ -248,11 +262,13 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 	for vi, vdd := range Fig7Supplies {
 		seed := s.Cfg.Seed + int64(7000+100*vi)
 		build := pooledNand2FO3(vdd, sz)
-		g, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Golden, s.Cfg.FastMC, vdd, build)
+		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, vdd, build)
+		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 golden %g V: %w", vdd, err)
 		}
-		v, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.VS, s.Cfg.FastMC, vdd, build)
+		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, vdd, build)
+		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 vs %g V: %w", vdd, err)
 		}
@@ -284,5 +300,6 @@ func (r Fig7Result) String() string {
 			c.VS.Mean*1e12, c.VS.SD*1e12, c.GoldenQQNL, c.VSQQNL, c.GoldenAD, c.VSAD)
 	}
 	fmt.Fprintf(&b, "  (qqNL and AD grow at low Vdd: the delay turns non-Gaussian, as the paper's QQ plots show)\n")
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }

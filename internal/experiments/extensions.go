@@ -93,6 +93,7 @@ type ExtCornersResult struct {
 	TT, FF, SS            float64 // corner delays
 	MCQ001, MCMed, MCQ999 float64
 	CoveragePct           float64 // fraction of MC inside [FF, SS] corner delays
+	Health                Health
 }
 
 // ExtCorners runs the corner ablation.
@@ -119,8 +120,9 @@ func (s *Suite) ExtCorners() (ExtCornersResult, error) {
 		return res, err
 	}
 
-	delays, err := pooledDelayMC(res.N, s.Cfg.Seed+777, s.Cfg.Workers,
+	delays, rep, err := pooledDelayMC(res.N, s.Cfg.Seed+777, s.Cfg.Workers, s.Cfg.Policy,
 		s.VS, s.Cfg.FastMC, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz))
+	res.Health.Merge(rep)
 	if err != nil {
 		return res, err
 	}
@@ -145,6 +147,7 @@ func (r ExtCornersResult) String() string {
 	fmt.Fprintf(&b, "  MC: q0.1%% %.2f ps  median %.2f ps  q99.9%% %.2f ps\n",
 		r.MCQ001*1e12, r.MCMed*1e12, r.MCQ999*1e12)
 	fmt.Fprintf(&b, "  MC fraction inside [FF, SS]: %.2f %%\n", r.CoveragePct)
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 
@@ -207,6 +210,7 @@ func (r ExtYieldResult) String() string {
 type Fig8HoldResult struct {
 	N          int
 	Golden, VS DelayDist
+	Health     Health
 }
 
 // Fig8Hold Monte Carlos the register hold time with both models.
@@ -215,7 +219,7 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 	opts := measure.DefaultSetupOpts()
 	res := Fig8HoldResult{N: n}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
 			func(int) (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
 			},
@@ -225,6 +229,11 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 				o.Res, o.Fast = &ff.Res, ff.Fast
 				return measure.HoldTime(ff.DFF, o)
 			})
+		res.Health.Merge(rep)
+		if err != nil {
+			return nil, err
+		}
+		return montecarlo.Compact(out, rep), nil
 	}
 	g, err := run(s.Golden, s.Cfg.Seed+83)
 	if err != nil {
@@ -245,6 +254,7 @@ func (r Fig8HoldResult) String() string {
 	fmt.Fprintf(&b, "Fig. 8 extension: DFF hold time, N=%d per model\n", r.N)
 	fmt.Fprintf(&b, "  golden: mean %.2f ps  sd %.2f ps\n", r.Golden.Mean*1e12, r.Golden.SD*1e12)
 	fmt.Fprintf(&b, "  VS    : mean %.2f ps  sd %.2f ps\n", r.VS.Mean*1e12, r.VS.SD*1e12)
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 
@@ -253,6 +263,7 @@ func (r Fig8HoldResult) String() string {
 type ExtRingResult struct {
 	N          int
 	Golden, VS DelayDist // frequencies, Hz (container reuse)
+	Health     Health
 	_          [0]device.Kind
 }
 
@@ -262,7 +273,7 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	res := ExtRingResult{N: n}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
 			func(int) (*circuits.PooledRing, error) {
 				return circuits.NewPooledRing(5, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC), nil
 			},
@@ -270,6 +281,11 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 				ro.Restat(m.Statistical(rng))
 				return ro.Frequency(1.2e-9, 1.5e-12)
 			})
+		res.Health.Merge(rep)
+		if err != nil {
+			return nil, err
+		}
+		return montecarlo.Compact(out, rep), nil
 	}
 	g, err := run(s.Golden, s.Cfg.Seed+901)
 	if err != nil {
@@ -290,5 +306,6 @@ func (r ExtRingResult) String() string {
 	fmt.Fprintf(&b, "Extension: 5-stage ring oscillator frequency, N=%d per model\n", r.N)
 	fmt.Fprintf(&b, "  golden: mean %.3f GHz  sd %.3f GHz\n", r.Golden.Mean/1e9, r.Golden.SD/1e9)
 	fmt.Fprintf(&b, "  VS    : mean %.3f GHz  sd %.3f GHz\n", r.VS.Mean/1e9, r.VS.SD/1e9)
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }

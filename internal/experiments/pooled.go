@@ -36,10 +36,12 @@ func pooledNand2FO3(vdd float64, sz circuits.Sizing) gateBuilder {
 }
 
 // pooledDelayMC runs an n-sample pair-delay Monte Carlo over per-worker
-// pooled benches.
-func pooledDelayMC(n int, seed int64, workers int, m core.StatModel, fast bool,
-	vdd float64, build gateBuilder) ([]float64, error) {
-	return montecarlo.MapPooled(n, seed, workers,
+// pooled benches under the configured failure policy. The returned slice
+// holds only the successful samples (failed ones are compacted away and
+// recorded in the report).
+func pooledDelayMC(n int, seed int64, workers int, pol montecarlo.Policy,
+	m core.StatModel, fast bool, vdd float64, build gateBuilder) ([]float64, montecarlo.RunReport, error) {
+	out, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 		func(int) (*circuits.PooledGate, error) { return build(m.Nominal(), fast) },
 		func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
 			b.Restat(m.Statistical(rng))
@@ -49,4 +51,8 @@ func pooledDelayMC(n int, seed int64, workers int, m core.StatModel, fast bool,
 			}
 			return measure.PairDelay(res, b.In, b.Out, vdd)
 		})
+	if err != nil {
+		return nil, rep, err
+	}
+	return montecarlo.Compact(out, rep), rep, nil
 }

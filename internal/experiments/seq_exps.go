@@ -20,6 +20,7 @@ type Fig8Result struct {
 	// TrialsPerSample is the bisection cost (the ~20× characterization
 	// overhead the paper highlights for register timing).
 	TrialsPerSample int
+	Health          Health
 }
 
 // Fig8 runs the setup-time Monte Carlo.
@@ -33,7 +34,7 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 		res.TrialsPerSample++
 	}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
 			func(int) (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
 			},
@@ -43,6 +44,11 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 				o.Res, o.Fast = &ff.Res, ff.Fast
 				return measure.SetupTime(ff.DFF, o)
 			})
+		res.Health.Merge(rep)
+		if err != nil {
+			return nil, err
+		}
+		return montecarlo.Compact(out, rep), nil
 	}
 	g, err := run(s.Golden, s.Cfg.Seed+81)
 	if err != nil {
@@ -65,6 +71,7 @@ func (r Fig8Result) String() string {
 	fmt.Fprintf(&b, "  VS    : mean %.2f ps  sd %.2f ps\n", r.VS.Mean*1e12, r.VS.SD*1e12)
 	fmt.Fprintf(&b, "  bisection cost: ~%d transients per sample (the paper's ~20x register overhead)\n",
 		r.TrialsPerSample)
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 
@@ -82,6 +89,7 @@ type Fig9Result struct {
 	VSHoldQQ           []stats.QQPoint
 	VSHoldQQNL         float64
 	GoldenHoldQQNL     float64
+	Health             Health
 }
 
 // butterflyPoints is the DC sweep resolution of the SNM extraction.
@@ -151,7 +159,7 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 	}
 
 	run := func(m core.StatModel, seed int64) (read, hold []float64, err error) {
-		pairs, err := montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+		pairs, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
 			func(int) (*circuits.PooledSRAM, error) {
 				return circuits.NewPooledSRAM(s.Cfg.Vdd, circuits.DefaultSRAMSizing(),
 					m.Nominal(), butterflyPoints, s.Cfg.FastMC), nil
@@ -160,11 +168,13 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 				r, h, err := pooledSNMSample(cell, m, rng)
 				return [2]float64{r, h}, err
 			})
+		res.Health.Merge(rep)
 		if err != nil {
 			return nil, nil, err
 		}
-		read = make([]float64, n)
-		hold = make([]float64, n)
+		pairs = montecarlo.Compact(pairs, rep)
+		read = make([]float64, len(pairs))
+		hold = make([]float64, len(pairs))
 		for i, p := range pairs {
 			read[i], hold[i] = p[0], p[1]
 		}
@@ -199,6 +209,7 @@ func (r Fig9Result) String() string {
 		"HOLD", r.GoldenHold.Mean*1e3, r.GoldenHold.SD*1e3, r.VSHold.Mean*1e3, r.VSHold.SD*1e3)
 	fmt.Fprintf(&b, "  HOLD SNM QQ nonlinearity: golden %.4f, VS %.4f (slightly non-Gaussian, Fig. 9f)\n",
 		r.GoldenHoldQQNL, r.VSHoldQQNL)
+	b.WriteString(healthLine(r.Health))
 	return b.String()
 }
 

@@ -39,6 +39,27 @@ type Config struct {
 	// implementation; true trades that for a measurable speedup with
 	// waveform deviations bounded by the Newton tolerances.
 	FastMC bool
+
+	// Policy selects how circuit Monte Carlo runs treat failing samples.
+	// The zero value (FailFast) aborts an experiment on the first bad
+	// sample; montecarlo.SkipUpTo tolerates a bounded failure fraction,
+	// drops those samples from the reported statistics, and records them
+	// in each figure's Health report.
+	Policy montecarlo.Policy
+}
+
+// Health is one experiment's aggregated Monte Carlo run report; a zero
+// Health means every sample of every constituent run converged without
+// rescue work.
+type Health = montecarlo.RunReport
+
+// healthLine renders a non-clean health report as an indented trailer line
+// for the figure String() methods, and nothing for a clean run.
+func healthLine(h Health) string {
+	if h.Clean() {
+		return ""
+	}
+	return fmt.Sprintf("  run health: %s\n", h.String())
 }
 
 // DefaultConfig returns deterministic settings with paper-scale sampling.

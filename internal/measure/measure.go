@@ -18,14 +18,29 @@ import (
 // level in the requested direction.
 var ErrNoCrossing = errors.New("measure: no crossing found")
 
+// ErrNonFinite is returned when a waveform handed to an extraction contains
+// NaN or Inf samples. Without the explicit check a NaN fails every
+// comparison and would surface as a misleading ErrNoCrossing — or worse,
+// silently pass a monotonicity check — so extractions reject it by name.
+var ErrNonFinite = errors.New("measure: non-finite sample in waveform")
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // CrossTime returns the first time after tAfter at which waveform v crosses
-// the given level in the given direction, linearly interpolated.
+// the given level in the given direction, linearly interpolated. Non-finite
+// samples in the searched window are reported as ErrNonFinite rather than
+// silently failing every crossing comparison.
 func CrossTime(t, v []float64, level float64, rising bool, tAfter float64) (float64, error) {
 	for i := 1; i < len(t); i++ {
 		if t[i] <= tAfter {
 			continue
 		}
 		a, b := v[i-1], v[i]
+		if !finite(a) || !finite(b) {
+			return 0, fmt.Errorf("sample near t=%g: %w", t[i], ErrNonFinite)
+		}
 		hit := (rising && a < level && b >= level) || (!rising && a > level && b <= level)
 		if hit {
 			f := (level - a) / (b - a)
@@ -95,6 +110,14 @@ func newInterp(x, y []float64) (*interp1, error) {
 		for i := range x {
 			xs[i] = x[n-1-i]
 			ys[i] = y[n-1-i]
+		}
+	}
+	// Scan before the monotonicity check: NaN compares false against
+	// everything, so a poisoned abscissa would sail through
+	// sort.Float64sAreSorted and corrupt every later lookup.
+	for i := range xs {
+		if !finite(xs[i]) || !finite(ys[i]) {
+			return nil, fmt.Errorf("interpolator point %d: %w", i, ErrNonFinite)
 		}
 	}
 	if !sort.Float64sAreSorted(xs) {

@@ -1,0 +1,64 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCrossTimeNaNInWindowRejected(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	vs := []float64{0, 0.2, math.NaN(), 0.8, 1}
+	_, err := CrossTime(ts, vs, 0.5, true, 0)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite (NaN fails every comparison and "+
+			"would otherwise masquerade as ErrNoCrossing)", err)
+	}
+}
+
+func TestCrossTimeInfRejected(t *testing.T) {
+	ts := []float64{0, 1, 2}
+	vs := []float64{0, math.Inf(1), 1}
+	if _, err := CrossTime(ts, vs, 0.5, true, 0); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestCrossTimeNaNBeforeWindowIgnored(t *testing.T) {
+	// A poisoned sample strictly before tAfter is outside the searched
+	// window and must not block the extraction.
+	ts := []float64{0, 1, 2, 3, 4}
+	vs := []float64{math.NaN(), math.NaN(), 0, 0.6, 1}
+	got, err := CrossTime(ts, vs, 0.3, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("crossing at %g, want 2.5", got)
+	}
+}
+
+func TestCrossTimeCleanStillNoCrossing(t *testing.T) {
+	ts := []float64{0, 1, 2}
+	vs := []float64{0, 0.1, 0.2}
+	if _, err := CrossTime(ts, vs, 0.5, true, 0); !errors.Is(err, ErrNoCrossing) {
+		t.Fatalf("err = %v, want ErrNoCrossing", err)
+	}
+}
+
+func TestNewInterpNaNAbscissaRejected(t *testing.T) {
+	// NaN silently passes sort.Float64sAreSorted (every comparison is
+	// false), so without the explicit scan this would build a corrupt
+	// interpolator instead of failing.
+	_, err := newInterp([]float64{0, math.NaN(), 2}, []float64{1, 2, 3})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestNewInterpNaNOrdinateRejected(t *testing.T) {
+	_, err := newInterp([]float64{0, 1, 2}, []float64{1, math.NaN(), 3})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}

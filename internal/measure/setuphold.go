@@ -106,6 +106,11 @@ func setupTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, erro
 		return false, fmt.Errorf("setup trial: %w", err)
 	}
 	q := res.At(ff.Q, stop)
+	// NaN compares false and would silently read as "capture failed",
+	// steering the bisection instead of surfacing the broken trial.
+	if !finite(q) {
+		return false, fmt.Errorf("setup trial Q at t=%g: %w", stop, ErrNonFinite)
+	}
 	return q > vdd/2, nil
 }
 
@@ -181,5 +186,9 @@ func holdTrialPasses(ff *circuits.DFF, o SetupOpts, offset float64) (bool, error
 	if err != nil {
 		return false, fmt.Errorf("hold trial: %w", err)
 	}
-	return res.At(ff.Q, stop) > vdd/2, nil
+	q := res.At(ff.Q, stop)
+	if !finite(q) {
+		return false, fmt.Errorf("hold trial Q at t=%g: %w", stop, ErrNonFinite)
+	}
+	return q > vdd/2, nil
 }

@@ -2,12 +2,22 @@
 // driver used by every statistical experiment in the repository. Each
 // sample gets its own PRNG seeded by a splitmix64 hash of (seed, index), so
 // results are bit-reproducible regardless of worker count or scheduling.
+//
+// Failure handling is policy-driven: FailFast (the default) aborts the run
+// on the lowest failing sample index, while SkipAndRecord isolates
+// non-convergent, NaN-producing, or even panicking samples — the far-tail
+// draws a variability study most needs to survive — records them in a
+// RunReport, and lets the rest of the population complete bit-identically.
 package montecarlo
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -28,13 +38,164 @@ func SampleRNG(seed int64, idx int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(s)))
 }
 
+// FailurePolicy selects how sample failures are handled.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the run on the first failure; the error reported is
+	// the one with the lowest sample index among the samples that ran.
+	// This is the zero value, preserving the classic Map/MapPooled
+	// contract.
+	FailFast FailurePolicy = iota
+	// SkipAndRecord isolates failing samples: their errors are recorded in
+	// the RunReport, their output slots keep the zero value (drop them
+	// with Compact), and the remaining samples complete unaffected.
+	SkipAndRecord
+)
+
+// Policy bundles the failure policy with its parameters. The zero value is
+// FailFast.
+type Policy struct {
+	OnFailure FailurePolicy
+	// MaxFailFrac caps the tolerated failure fraction under SkipAndRecord:
+	// once more than MaxFailFrac·n samples have failed, the run stops
+	// claiming new samples and returns ErrTooManyFailures (a run that
+	// broken signals a modeling or bench bug, not far-tail statistics).
+	// <= 0 means no cap. Whether a given (seed, n) run trips is
+	// deterministic and independent of worker count, although which
+	// samples were still attempted after the trip is not.
+	MaxFailFrac float64
+}
+
+// SkipUpTo returns a SkipAndRecord policy capped at the given failure
+// fraction.
+func SkipUpTo(frac float64) Policy {
+	return Policy{OnFailure: SkipAndRecord, MaxFailFrac: frac}
+}
+
+// ErrTooManyFailures reports a SkipAndRecord run whose failure fraction
+// exceeded Policy.MaxFailFrac.
+var ErrTooManyFailures = errors.New("montecarlo: failure fraction exceeds policy cap")
+
+// PanicError wraps a recovered per-sample panic. The worker that caught it
+// survives and keeps claiming samples; the panic is reported like any other
+// sample error, with the stack preserved for debugging.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the recovered panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("montecarlo: sample panicked: %v", e.Value)
+}
+
+// SampleFailure is one failed sample of a run: its index and the error
+// (possibly a *PanicError or, from the spice layer, a *ConvergenceError).
+type SampleFailure struct {
+	Idx int
+	Err error
+}
+
+// RunReport is the health record of one Monte Carlo run: how many samples
+// were attempted, how many succeeded, which failed and why, and how much
+// solver rescue work (per ladder stage) the run needed. For a completed
+// (non-aborted) run every field is invariant under worker count.
+type RunReport struct {
+	Attempted int // samples that started running
+	Succeeded int // samples that returned a result
+	Failed    int // samples that returned an error (including panics)
+	Panics    int // failed samples whose error was a recovered panic
+
+	// CapTripped marks a SkipAndRecord run aborted by MaxFailFrac.
+	CapTripped bool
+
+	// Failures lists every failed sample in ascending index order.
+	Failures []SampleFailure
+
+	// Rescued sums the per-ladder-stage rescue counters reported by the
+	// per-worker states (see RescueReporter), keyed by stage name.
+	Rescued map[string]int64
+}
+
+// RescueReporter is implemented by pooled worker states (circuit bench
+// templates) that track solver rescue-ladder counters; MapPooledReport sums
+// them across workers into RunReport.Rescued after the run drains.
+type RescueReporter interface {
+	RescueCounts() map[string]int64
+}
+
+// Merge accumulates another run's report into r (used by experiments that
+// aggregate several Monte Carlo runs into one figure).
+func (r *RunReport) Merge(o RunReport) {
+	r.Attempted += o.Attempted
+	r.Succeeded += o.Succeeded
+	r.Failed += o.Failed
+	r.Panics += o.Panics
+	r.CapTripped = r.CapTripped || o.CapTripped
+	r.Failures = append(r.Failures, o.Failures...)
+	if len(o.Rescued) > 0 {
+		if r.Rescued == nil {
+			r.Rescued = make(map[string]int64, len(o.Rescued))
+		}
+		for k, v := range o.Rescued {
+			r.Rescued[k] += v
+		}
+	}
+}
+
+// Clean reports a run with no failures and no rescue work.
+func (r RunReport) Clean() bool {
+	return r.Failed == 0 && !r.CapTripped && len(r.Rescued) == 0
+}
+
+// FailFrac returns the failed fraction of attempted samples (0 for an
+// empty run).
+func (r RunReport) FailFrac() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Attempted)
+}
+
+// String renders a one-line health summary, e.g.
+// "attempted 1000, succeeded 999, failed 1 (1 panic), rescued[dc-gmin]=3".
+func (r RunReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attempted %d, succeeded %d, failed %d", r.Attempted, r.Succeeded, r.Failed)
+	if r.Panics > 0 {
+		fmt.Fprintf(&b, " (%d panics)", r.Panics)
+	}
+	if r.CapTripped {
+		b.WriteString(", failure cap tripped")
+	}
+	if len(r.Rescued) > 0 {
+		keys := make([]string, 0, len(r.Rescued))
+		for k := range r.Rescued {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ", rescued[%s]=%d", k, r.Rescued[k])
+		}
+	}
+	return b.String()
+}
+
 // Map runs fn for samples 0..n-1 on a bounded worker pool and returns the
 // results in sample order. Work is claimed from an atomic counter (no O(n)
 // queue fill before work starts); each sample's PRNG depends only on (seed,
 // idx), so results are bit-identical for any worker count. The first error
 // (by sample index) aborts the run.
 func Map[T any](n int, seed int64, workers int, fn func(idx int, rng *rand.Rand) (T, error)) ([]T, error) {
-	return MapPooled(n, seed, workers,
+	out, _, err := MapReport(n, seed, workers, Policy{}, fn)
+	return out, err
+}
+
+// MapReport is Map with an explicit failure policy and a RunReport.
+func MapReport[T any](n int, seed int64, workers int, pol Policy,
+	fn func(idx int, rng *rand.Rand) (T, error)) ([]T, RunReport, error) {
+	return MapPooledReport(n, seed, workers, pol,
 		func(int) (struct{}, error) { return struct{}{}, nil },
 		func(_ struct{}, idx int, rng *rand.Rand) (T, error) { return fn(idx, rng) })
 }
@@ -50,8 +211,24 @@ func Map[T any](n int, seed int64, workers int, fn func(idx int, rng *rand.Rand)
 func MapPooled[S, T any](n int, seed int64, workers int,
 	newState func(worker int) (S, error),
 	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, error) {
+	out, _, err := MapPooledReport(n, seed, workers, Policy{}, newState, fn)
+	return out, err
+}
+
+// MapPooledReport is MapPooled with an explicit failure policy and a
+// RunReport. Each sample runs under panic recovery: a panicking sample is
+// converted into a per-sample *PanicError without killing the process, the
+// worker, or the pool, and the worker's pooled state stays usable for the
+// next sample. Under SkipAndRecord the returned slice keeps the zero value
+// at failed indices (drop them with Compact); under FailFast (or a tripped
+// failure cap) the slice is nil and the error describes the failure, with
+// the RunReport still populated for diagnosis.
+func MapPooledReport[S, T any](n int, seed int64, workers int, pol Policy,
+	newState func(worker int) (S, error),
+	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, RunReport, error) {
+	rep := RunReport{}
 	if n <= 0 {
-		return nil, nil
+		return nil, rep, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -59,43 +236,148 @@ func MapPooled[S, T any](n int, seed int64, workers int,
 	if workers > n {
 		workers = n
 	}
+
+	// failLimit is the largest failure count that does NOT abort the run:
+	// 0 under FailFast, ⌊MaxFailFrac·n⌋ under a capped SkipAndRecord,
+	// n (never trips) otherwise. Because every sample's outcome depends
+	// only on (seed, idx), whether a run trips is deterministic even though
+	// the trip races worker scheduling: any failure that trips one
+	// schedule exists in every schedule.
+	failLimit := int64(n)
+	switch {
+	case pol.OnFailure == FailFast:
+		failLimit = 0
+	case pol.MaxFailFrac > 0:
+		failLimit = int64(pol.MaxFailFrac * float64(n))
+	}
+
 	out := make([]T, n)
 	errs := make([]error, n)
+	ran := make([]bool, n)
+	states := make([]S, workers)
+	haveState := make([]bool, workers)
 	stateErrs := make([]error, workers)
-	var next atomic.Int64
+	var next, failed atomic.Int64
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st, err := newState(w)
+			st, err := safeState(newState, w)
 			if err != nil {
 				stateErrs[w] = err
 				return
 			}
-			for {
+			states[w], haveState[w] = st, true
+			for !abort.Load() {
 				idx := int(next.Add(1)) - 1
 				if idx >= n {
 					return
 				}
-				res, err := fn(st, idx, SampleRNG(seed, idx))
+				ran[idx] = true
+				res, err := safeSample(fn, st, idx, SampleRNG(seed, idx))
 				out[idx] = res
 				errs[idx] = err
+				if err != nil && failed.Add(1) > failLimit {
+					abort.Store(true)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
 	for w, err := range stateErrs {
 		if err != nil {
-			return nil, fmt.Errorf("montecarlo: worker %d state: %w", w, err)
+			return nil, rep, fmt.Errorf("montecarlo: worker %d state: %w", w, err)
 		}
 	}
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("montecarlo: sample %d: %w", idx, err)
+
+	for idx := range errs {
+		if !ran[idx] {
+			continue
+		}
+		rep.Attempted++
+		switch err := errs[idx]; {
+		case err == nil:
+			rep.Succeeded++
+		default:
+			rep.Failed++
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				rep.Panics++
+			}
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: err})
 		}
 	}
-	return out, nil
+	for w := range states {
+		if !haveState[w] {
+			continue
+		}
+		if rr, ok := any(states[w]).(RescueReporter); ok {
+			for k, v := range rr.RescueCounts() {
+				if v == 0 {
+					continue
+				}
+				if rep.Rescued == nil {
+					rep.Rescued = make(map[string]int64)
+				}
+				rep.Rescued[k] += v
+			}
+		}
+	}
+
+	if int64(rep.Failed) > failLimit {
+		if pol.OnFailure == FailFast {
+			f := rep.Failures[0]
+			return nil, rep, fmt.Errorf("montecarlo: sample %d: %w", f.Idx, f.Err)
+		}
+		rep.CapTripped = true
+		return nil, rep, fmt.Errorf("montecarlo: %d of %d attempted samples failed (cap %g): %w",
+			rep.Failed, rep.Attempted, pol.MaxFailFrac, ErrTooManyFailures)
+	}
+	return out, rep, nil
+}
+
+// safeState builds one worker state under panic recovery.
+func safeState[S any](newState func(worker int) (S, error), w int) (st S, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return newState(w)
+}
+
+// safeSample evaluates one sample under panic recovery.
+func safeSample[S, T any](fn func(st S, idx int, rng *rand.Rand) (T, error),
+	st S, idx int, rng *rand.Rand) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(st, idx, rng)
+}
+
+// Compact returns the successful samples of out in sample order, dropping
+// the entries the report records as failed (whose slots hold zero values
+// under SkipAndRecord). When nothing failed, out is returned unchanged.
+func Compact[T any](out []T, rep RunReport) []T {
+	if len(rep.Failures) == 0 {
+		return out
+	}
+	bad := make(map[int]bool, len(rep.Failures))
+	for _, f := range rep.Failures {
+		bad[f.Idx] = true
+	}
+	kept := make([]T, 0, len(out)-len(bad))
+	for i, v := range out {
+		if !bad[i] {
+			kept = append(kept, v)
+		}
+	}
+	return kept
 }
 
 // Scalars runs a scalar-valued Monte Carlo and returns the sample vector.

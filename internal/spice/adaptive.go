@@ -90,8 +90,9 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts) (*TranResult, error) {
 		}
 		copy(work, pred)
 		ts.h = h
+		c.saveTranHistory(ts)
 		ctx := assembleCtx{t: t + h, srcScale: 1, tran: ts}
-		err := c.newton(work, &ctx)
+		err := c.stepSolve(work, &ctx)
 
 		// Error proxy: prediction gap over the node voltages.
 		gap := 0.0
@@ -112,8 +113,8 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts) (*TranResult, error) {
 			}
 			if err != nil {
 				copy(work, x)
-				if err2 := c.rescueStep(work, t, h, ts, false); err2 != nil {
-					return nil, fmt.Errorf("spice: adaptive transient failed at t=%g: %w", t+h, err)
+				if err2 := c.rescueLadder(x, work, t, h, ts, false); err2 != nil {
+					return nil, fmt.Errorf("spice: adaptive transient failed at t=%g: %w", t+h, asError(err2))
 				}
 				// rescueStep already updated the charge history.
 				copy(xPrev, x)
@@ -125,8 +126,19 @@ func (c *Circuit) TransientAdaptive(opts AdaptiveOpts) (*TranResult, error) {
 			}
 		}
 
-		// Accept.
+		// Accept (unless the history update surfaced a NaN/Inf model
+		// evaluation, which would poison every later step).
 		c.updateTranHistory(work, ts)
+		if !c.tranHistoryFinite(ts) {
+			c.stats.NonFiniteRejects++
+			c.restoreTranHistory(ts)
+			if h > opts.MinStep {
+				h = math.Max(h/2, opts.MinStep)
+				continue
+			}
+			cerr := &ConvergenceError{Err: ErrNonFiniteSolution}
+			return nil, fmt.Errorf("spice: adaptive transient failed at t=%g: %w", t+h, asError(cerr.at(StageTran, t+h)))
+		}
 		copy(xPrev, x)
 		copy(x, work)
 		tPrev, t = t, t+h

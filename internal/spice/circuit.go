@@ -159,6 +159,14 @@ type Circuit struct {
 	// DC sweep scratch (see DCSweepObserve).
 	swX, swGuess []float64
 
+	// Pseudo-transient continuation scratch (see pseudoTransientInto).
+	ptRef, ptSave []float64
+
+	// Charge-history snapshot scratch (see saveTranHistory), so rescue
+	// retries never allocate on the transient hot path.
+	hsQMos, hsIMos [][4]float64
+	hsQCap, hsICap []float64
+
 	stats SolverStats
 }
 

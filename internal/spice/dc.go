@@ -58,58 +58,133 @@ func (c *Circuit) op(guess []float64) (*OPResult, error) {
 }
 
 // solveOPInto computes the DC operating point into x without allocating:
-// plain Newton from the guess (or zero) state, then gmin stepping, then
-// source stepping. guess must not alias x. When carry is set, plain Newton
-// runs in the fast-MC configuration: it may start from a Jacobian
-// factorization carried over from a previous solve and uses the relaxed
-// fast-path tolerances (see newton).
+// plain Newton from the guess (or zero) state, then the bounded rescue
+// ladder — gmin stepping, source stepping, pseudo-transient ramp. Each
+// successful rung is counted in SolverStats so Monte Carlo run reports can
+// attribute rescues per ladder stage; when every rung fails, the returned
+// error is the last rung's typed *ConvergenceError. guess must not alias x.
+// When carry is set, plain Newton runs in the fast-MC configuration: it may
+// start from a Jacobian factorization carried over from a previous solve
+// and uses the relaxed fast-path tolerances (see newton).
 func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	n := c.unknowns()
-	for i := range x {
-		x[i] = 0
+	reset := func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if guess != nil && len(guess) == n {
+			copy(x, guess)
+		}
 	}
-	if guess != nil && len(guess) == n {
-		copy(x, guess)
-	}
+	reset()
 
 	// 1. Plain Newton.
 	ctx := assembleCtx{srcScale: 1, carry: carry, fast: carry}
-	if err := c.newton(x, &ctx); err == nil {
+	if cerr := c.newton(x, &ctx); cerr == nil {
 		return nil
 	}
 
-	// 2. Gmin stepping: solve with a large artificial conductance to ground
-	// and relax it, warm-starting each stage.
+	// 2. Gmin stepping.
+	reset()
+	if cerr := c.gminStepInto(x); cerr == nil {
+		c.stats.DCGminRescues++
+		return nil
+	}
+
+	// 3. Source stepping always ramps from the zero state.
 	for i := range x {
 		x[i] = 0
 	}
-	if guess != nil && len(guess) == n {
-		copy(x, guess)
+	if cerr := c.sourceStepInto(x); cerr == nil {
+		c.stats.DCSourceRescues++
+		return nil
 	}
-	ok := true
+
+	// 4. Pseudo-transient ramp.
+	reset()
+	cerr := c.pseudoTransientInto(x)
+	if cerr == nil {
+		c.stats.DCPseudoRescues++
+		return nil
+	}
+	return cerr
+}
+
+// gminStepInto solves with a large artificial conductance to ground and
+// relaxes it, warm-starting each stage.
+func (c *Circuit) gminStepInto(x []float64) *ConvergenceError {
 	for _, gm := range []float64{1e-3, 1e-5, 1e-7, 1e-9, 0} {
 		ctx := assembleCtx{srcScale: 1, gminExtra: gm}
-		if err := c.newton(x, &ctx); err != nil {
-			ok = false
-			break
+		if cerr := c.newton(x, &ctx); cerr != nil {
+			return cerr.at(StageDCGmin, 0)
 		}
 	}
-	if ok {
-		return nil
-	}
+	return nil
+}
 
-	// 3. Source stepping: ramp all sources from 10% to 100%.
-	for i := range x {
-		x[i] = 0
-	}
+// sourceStepInto ramps all sources from 10% to 100%, warm-starting each λ.
+func (c *Circuit) sourceStepInto(x []float64) *ConvergenceError {
 	for _, lam := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1} {
 		ctx := assembleCtx{srcScale: lam, gminExtra: 1e-9}
-		if err := c.newton(x, &ctx); err != nil {
-			return fmt.Errorf("spice: source stepping failed at λ=%g: %w", lam, err)
+		if cerr := c.newton(x, &ctx); cerr != nil {
+			cerr.Err = fmt.Errorf("at λ=%g: %w", lam, cerr.Err)
+			return cerr.at(StageDCSource, 0)
 		}
 	}
-	ctx = assembleCtx{srcScale: 1}
-	return c.newton(x, &ctx)
+	ctx := assembleCtx{srcScale: 1}
+	return c.newton(x, &ctx).at(StageDCSource, 0)
+}
+
+// pseudoTransientInto is the last DC rescue rung: backward-Euler
+// pseudo-transient continuation. Each sub-solve anchors every node to the
+// previous pseudo-state through a conductance g (the companion of a
+// grounded pseudo-capacitance Cp with g = Cp/h); a large g makes the solve
+// nearly trivial, and each accepted pseudo-step relaxes g geometrically so
+// the anchor walks toward the true operating point. A failed sub-solve
+// tightens the anchor and retries within a bounded budget — which also
+// rides out transiently ill-behaved model evaluations — and the rung only
+// succeeds on a final anchor-free solve.
+func (c *Circuit) pseudoTransientInto(x []float64) *ConvergenceError {
+	n := c.unknowns()
+	if len(c.ptRef) != n {
+		c.ptRef = make([]float64, n)
+		c.ptSave = make([]float64, n)
+	}
+	copy(c.ptRef, x)
+	const (
+		gStart = 1.0   // initial anchor conductance, S
+		gCeil  = 1e6   // tightest anchor tried after failures
+		gFloor = 1e-12 // at/below this the anchor is dropped (exact solve)
+		budget = 60    // total sub-solves allowed
+	)
+	g := gStart
+	var last *ConvergenceError
+	for tries := 0; tries < budget; tries++ {
+		ctx := assembleCtx{srcScale: 1, ptG: g, ptRef: c.ptRef}
+		if g <= gFloor {
+			ctx.ptG = 0
+		}
+		copy(c.ptSave, x)
+		cerr := c.newton(x, &ctx)
+		if cerr != nil {
+			last = cerr
+			copy(x, c.ptSave) // restart this pseudo-step from the anchor
+			if g = g * 16; g > gCeil {
+				g = gCeil
+			}
+			continue
+		}
+		if ctx.ptG == 0 {
+			return nil // anchor-free solve converged: true operating point
+		}
+		copy(c.ptRef, x) // accept the pseudo-step, advance the anchor
+		g /= 4
+	}
+	if last == nil {
+		last = &ConvergenceError{Err: ErrNoConvergence}
+	}
+	last.Err = fmt.Errorf("pseudo-transient budget exhausted: %w", last.Err)
+	return last.at(StageDCPseudo, 0)
 }
 
 // DCSweep solves the operating point for each value assigned to the voltage

@@ -1,0 +1,115 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNonFiniteSolution is returned when a Newton iterate, a candidate
+// solution vector, or the implicit-integrator charge history turns NaN/Inf.
+// Such vectors are rejected before they can enter the charge history, so a
+// single ill-behaved model evaluation cannot silently poison the rest of a
+// transient (or, downstream, a Monte Carlo population).
+var ErrNonFiniteSolution = errors.New("spice: non-finite solution vector")
+
+// Stage identifies the analysis phase (and rescue-ladder rung) a solve
+// failed in or was rescued by.
+type Stage string
+
+// Ladder stages, in escalation order. DC solves climb
+// dc-newton → dc-gmin → dc-source → dc-pseudo-tran; transient steps climb
+// tran → tran-halve (backward-Euler sub-stepping with a halving budget),
+// with an additional fast→exact fallback rung in fast mode.
+const (
+	StageDCNewton  Stage = "dc-newton"
+	StageDCGmin    Stage = "dc-gmin"
+	StageDCSource  Stage = "dc-source"
+	StageDCPseudo  Stage = "dc-pseudo-tran"
+	StageTran      Stage = "tran"
+	StageTranHalve Stage = "tran-halve"
+)
+
+// ConvergenceError is the typed failure of one Newton solve (or of a whole
+// rescue ladder, in which case Stage names the last rung tried). It
+// preserves where the solver got stuck: the analysis stage, the simulation
+// time, the iteration budget spent, and the worst node with its KCL
+// residual at the last iterate — the facts a variability study needs to
+// classify and report a failed sample without re-running it.
+type ConvergenceError struct {
+	Stage    Stage   // analysis stage / last rescue rung tried
+	Time     float64 // simulation time of the failing solve (0 for DC)
+	Iters    int     // Newton iterations spent in the failing solve
+	Node     string  // worst node (largest KCL residual) at the last iterate
+	Residual float64 // that node's residual, A
+	DeltaV   float64 // last Newton update max-norm over nodes, V
+	Err      error   // underlying cause (ErrNoConvergence, ErrNonFiniteSolution, factorization error)
+}
+
+// Error renders the failure with its location and worst-node diagnosis.
+func (e *ConvergenceError) Error() string {
+	msg := fmt.Sprintf("spice: %s failed", e.Stage)
+	if e.Stage == StageTran || e.Stage == StageTranHalve {
+		msg += fmt.Sprintf(" at t=%.4g", e.Time)
+	}
+	if e.Iters > 0 {
+		msg += fmt.Sprintf(" after %d iterations", e.Iters)
+	}
+	if e.Node != "" {
+		msg += fmt.Sprintf(" (worst node %q: residual %.3g A, Δv %.3g V)", e.Node, e.Residual, e.DeltaV)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ConvergenceError) Unwrap() error { return e.Err }
+
+// at tags the error with the stage and simulation time it surfaced from,
+// returning e for chaining. Nil-safe.
+func (e *ConvergenceError) at(st Stage, t float64) *ConvergenceError {
+	if e != nil {
+		e.Stage = st
+		e.Time = t
+	}
+	return e
+}
+
+// asError converts a typed *ConvergenceError to a plain error without the
+// typed-nil-in-interface trap.
+func asError(e *ConvergenceError) error {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// firstNonFinite returns the index of the first NaN/Inf entry of x, or -1.
+func firstNonFinite(x []float64) int {
+	for i, v := range x {
+		if !finite(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// unknownName names entry i of the unknown vector: a node name for the node
+// block, "I(name)" for a voltage-source branch current.
+func (c *Circuit) unknownName(i int) string {
+	if i < len(c.nodeNames) {
+		return c.nodeNames[i]
+	}
+	br := i - len(c.nodeNames)
+	if br < len(c.vs) {
+		return "I(" + c.vs[br].name + ")"
+	}
+	return fmt.Sprintf("x[%d]", i)
+}

@@ -44,6 +44,8 @@ type assembleCtx struct {
 	t         float64    // source evaluation time
 	srcScale  float64    // source-stepping scale factor (1 = full)
 	gminExtra float64    // gmin-stepping additional node-to-ground conductance
+	ptG       float64    // pseudo-transient anchor conductance (0 = off)
+	ptRef     []float64  // pseudo-transient anchor state (previous pseudo-step)
 	tran      *tranState // nil for DC
 	carry     bool       // allow reusing a Jacobian factored by a previous solve
 	fast      bool       // cache device evaluations for the fast history update
@@ -56,11 +58,12 @@ type luKey struct {
 	trapPhase bool
 	tran      bool
 	gmin      float64
+	pt        float64
 	scale     float64
 }
 
 func ctxKey(ctx *assembleCtx) luKey {
-	k := luKey{gmin: ctx.gminExtra, scale: ctx.srcScale}
+	k := luKey{gmin: ctx.gminExtra, pt: ctx.ptG, scale: ctx.srcScale}
 	if ctx.tran != nil {
 		k.tran = true
 		k.h = ctx.tran.h
@@ -70,12 +73,61 @@ func ctxKey(ctx *assembleCtx) luKey {
 }
 
 // SolverStats counts Newton work since the last ResetStats, for perf
-// tracking (cmd/vsbench) and regression tests.
+// tracking (cmd/vsbench) and regression tests. The rescue counters below
+// the first block record which rung of the convergence rescue ladder saved
+// (or rejected) a solve; Monte Carlo drivers aggregate them into RunReports
+// via RescueCounts.
 type SolverStats struct {
 	NewtonIters  int64 // linear solves (chord or full Newton iterations)
 	JacRefreshes int64 // Jacobian assemblies + LU factorizations
 	TranSteps    int64 // accepted transient timesteps
 	Rescues      int64 // timesteps that fell back to the BE sub-step ladder
+
+	DCGminRescues    int64 // DC solves rescued by gmin stepping
+	DCSourceRescues  int64 // DC solves rescued by source stepping
+	DCPseudoRescues  int64 // DC solves rescued by the pseudo-transient ramp
+	TranHalvings     int64 // timestep-halving rescue levels entered
+	FastFallbacks    int64 // fast→exact fallbacks (carried chord Jacobian dropped)
+	NonFiniteRejects int64 // NaN/Inf iterates, candidates, or histories rejected
+}
+
+// RescueCounts returns the nonzero rescue-ladder counters keyed by stage
+// name, the form montecarlo.RunReport aggregates across workers. Only
+// counters whose per-sample increments depend solely on the sample (not on
+// worker scheduling or template construction) are included, so the summed
+// map is invariant under worker count.
+func (s SolverStats) RescueCounts() map[string]int64 {
+	out := make(map[string]int64, 7)
+	add := func(k string, v int64) {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	add(string(StageDCGmin), s.DCGminRescues)
+	add(string(StageDCSource), s.DCSourceRescues)
+	add(string(StageDCPseudo), s.DCPseudoRescues)
+	add(string(StageTranHalve), s.TranHalvings)
+	add("tran-substep", s.Rescues)
+	add("fast-fallback", s.FastFallbacks)
+	add("nonfinite-reject", s.NonFiniteRejects)
+	return out
+}
+
+// Add returns the field-wise sum of two counter sets (benches spanning
+// several circuits report one merged set).
+func (s SolverStats) Add(o SolverStats) SolverStats {
+	return SolverStats{
+		NewtonIters:      s.NewtonIters + o.NewtonIters,
+		JacRefreshes:     s.JacRefreshes + o.JacRefreshes,
+		TranSteps:        s.TranSteps + o.TranSteps,
+		Rescues:          s.Rescues + o.Rescues,
+		DCGminRescues:    s.DCGminRescues + o.DCGminRescues,
+		DCSourceRescues:  s.DCSourceRescues + o.DCSourceRescues,
+		DCPseudoRescues:  s.DCPseudoRescues + o.DCPseudoRescues,
+		TranHalvings:     s.TranHalvings + o.TranHalvings,
+		FastFallbacks:    s.FastFallbacks + o.FastFallbacks,
+		NonFiniteRejects: s.NonFiniteRejects + o.NonFiniteRejects,
+	}
 }
 
 // Stats returns the accumulated solver counters.
@@ -117,6 +169,18 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 	for n := 0; n < nNodes; n++ {
 		f[n] += g * x[n]
 		addJ(n, n, g)
+	}
+
+	// Pseudo-transient anchor: a conductance from every node to the
+	// previous pseudo-step's state, the backward-Euler companion of a
+	// grounded pseudo-capacitance Cp with ptG = Cp/h. Large ptG keeps the
+	// solve trivially well-conditioned near the anchor; the ramp in
+	// pseudoTransient relaxes it toward the true operating point.
+	if ctx.ptG > 0 {
+		for n := 0; n < nNodes; n++ {
+			f[n] += ctx.ptG * (x[n] - ctx.ptRef[n])
+			addJ(n, n, ctx.ptG)
+		}
 	}
 
 	// Resistors.
@@ -298,6 +362,51 @@ func (c *Circuit) updateTranHistoryFast(x []float64, ts *tranState) {
 	}
 }
 
+// saveTranHistory snapshots the integrator charge history into
+// circuit-owned scratch (reused across steps, so the hot path stays
+// allocation-free after warmup). restoreTranHistory rewinds to the
+// snapshot; together they make a failed or NaN-rejected step retryable at a
+// finer sub-step without corrupting the history the next sample inherits.
+func (c *Circuit) saveTranHistory(ts *tranState) {
+	if len(c.hsQMos) != len(ts.qPrevMos) {
+		c.hsQMos = make([][4]float64, len(ts.qPrevMos))
+		c.hsIMos = make([][4]float64, len(ts.iPrevMos))
+	}
+	copy(c.hsQMos, ts.qPrevMos)
+	copy(c.hsIMos, ts.iPrevMos)
+	if len(c.hsQCap) != len(ts.qPrevCap) {
+		c.hsQCap = make([]float64, len(ts.qPrevCap))
+		c.hsICap = make([]float64, len(ts.iPrevCap))
+	}
+	copy(c.hsQCap, ts.qPrevCap)
+	copy(c.hsICap, ts.iPrevCap)
+}
+
+// restoreTranHistory rewinds the charge history to the last snapshot.
+func (c *Circuit) restoreTranHistory(ts *tranState) {
+	copy(ts.qPrevMos, c.hsQMos)
+	copy(ts.iPrevMos, c.hsIMos)
+	copy(ts.qPrevCap, c.hsQCap)
+	copy(ts.iPrevCap, c.hsICap)
+}
+
+// tranHistoryFinite reports whether every charge-history entry is finite.
+func (c *Circuit) tranHistoryFinite(ts *tranState) bool {
+	for i := range ts.qPrevMos {
+		for k := 0; k < 4; k++ {
+			if !finite(ts.qPrevMos[i][k]) || !finite(ts.iPrevMos[i][k]) {
+				return false
+			}
+		}
+	}
+	for i := range ts.qPrevCap {
+		if !finite(ts.qPrevCap[i]) || !finite(ts.iPrevCap[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // initTranHistory seeds the charge history from the state x with zero
 // charge currents. Existing history slices are reused when the element
 // counts match, so pooled transients allocate nothing here.
@@ -330,7 +439,13 @@ func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
 }
 
 // newton runs damped Newton iteration on the system selected by ctx,
-// starting from and updating x in place.
+// starting from and updating x in place. On failure it returns a typed
+// *ConvergenceError carrying the iteration budget spent and the worst node
+// with its residual; the caller tags it with the analysis stage and time.
+// A NaN/Inf iterate aborts the iteration immediately (counted in
+// NonFiniteRejects) instead of grinding through the iteration budget, and
+// the poisoned update is rolled back so x stays finite for the next rescue
+// rung.
 //
 // When ctx.carry is set and the circuit holds a valid factorization from a
 // previous solve with the same luKey, the iteration starts as chord Newton
@@ -338,7 +453,7 @@ func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
 // as soon as the frozen factors stop contracting, so correctness never
 // depends on the carried factors being fresh (convergence is always judged
 // on the true residual).
-func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
+func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 	n := c.unknowns()
 	nNodes := len(c.nodeNames)
 	// Newton scratch buffers live on the circuit (one goroutine per
@@ -373,21 +488,40 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 		forceJ = false
 	}
 	c.luValid = false
+	var lastDv, lastF float64
+	lastWorst := -1
 	for iter := 0; iter < maxIter; iter++ {
 		// Chord Newton: refresh the (expensive, finite-differenced)
 		// Jacobian on the first iteration and whenever contraction slows;
 		// in between, re-use the factored Jacobian with fresh residuals.
 		wantJ := lu == nil || forceJ || prevDv > 0.2
 		c.assemble(x, f, jac, ctx, wantJ)
+		// Reject NaN/Inf residuals before they reach the linear solve: a
+		// single non-finite model evaluation would otherwise smear NaN over
+		// the whole update vector and burn the full iteration budget
+		// (NaN compares false against every tolerance).
+		if i := firstNonFinite(f); i >= 0 {
+			c.stats.NonFiniteRejects++
+			return &ConvergenceError{Iters: iter + 1, Node: c.unknownName(i),
+				Residual: f[i], Err: ErrNonFiniteSolution}
+		}
 		if wantJ {
 			if err := c.nwLU.Factor(jac); err != nil {
-				return fmt.Errorf("spice: singular Jacobian: %w", err)
+				return &ConvergenceError{Iters: iter + 1,
+					Err: fmt.Errorf("singular Jacobian: %w", err)}
 			}
 			lu = c.nwLU
 			c.stats.JacRefreshes++
 		}
 		c.stats.NewtonIters++
 		dx := lu.SolvePermuting(f, scratch)
+		// A finite residual through a near-singular factorization can still
+		// produce Inf/NaN updates; reject them before touching x.
+		if i := firstNonFinite(dx); i >= 0 {
+			c.stats.NonFiniteRejects++
+			return &ConvergenceError{Iters: iter + 1, Node: c.unknownName(i),
+				Residual: lastF, Err: ErrNonFiniteSolution}
+		}
 
 		// Voltage limiting on node entries.
 		maxDv := 0.0
@@ -406,11 +540,14 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 		}
 
 		maxF := 0.0
+		worst := -1
 		for i := 0; i < nNodes; i++ {
 			if a := math.Abs(f[i]); a > maxF {
 				maxF = a
+				worst = i
 			}
 		}
+		lastDv, lastF, lastWorst = maxDv, maxF, worst
 		if maxDv < tv && maxF < ti {
 			c.luValid = true
 			c.luKey = key
@@ -431,5 +568,9 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) error {
 		}
 		prevDv = maxDv
 	}
-	return ErrNoConvergence
+	cerr := &ConvergenceError{Iters: maxIter, Residual: lastF, DeltaV: lastDv, Err: ErrNoConvergence}
+	if lastWorst >= 0 {
+		cerr.Node = c.unknownName(lastWorst)
+	}
+	return cerr
 }

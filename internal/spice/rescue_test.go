@@ -1,0 +1,387 @@
+package spice
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"vstat/internal/device"
+	"vstat/internal/vsmodel"
+)
+
+// rescueInverter builds a VS inverter whose NMOS is the given device (a
+// FaultCard in most tests), biased mid-rail so the operating point needs
+// real Newton work.
+func rescueInverter(nmos device.Device, vin Waveform) (*Circuit, int) {
+	c := New()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddV("VDD", vdd, Gnd, DC(0.9))
+	c.AddV("VIN", in, Gnd, vin)
+	p := vsmodel.PMOS40(600e-9)
+	c.AddMOS("MP", out, in, vdd, vdd, &p)
+	c.AddMOS("MN", out, in, Gnd, Gnd, nmos)
+	c.AddC("CL", out, Gnd, 1e-15)
+	return c, out
+}
+
+func cleanNMOS() device.Device {
+	n := vsmodel.NMOS40(300e-9)
+	return &n
+}
+
+// Every DC ladder rung is a complete solver: called directly (white box) on
+// a healthy circuit, each must reach the same operating point plain Newton
+// finds.
+func TestDCLadderRungsSolveDirectly(t *testing.T) {
+	cRef, outRef := rescueInverter(cleanNMOS(), DC(0.45))
+	opRef, err := cRef.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vRef := opRef.V(outRef)
+
+	rungs := []struct {
+		name string
+		run  func(c *Circuit, x []float64) *ConvergenceError
+	}{
+		{"gmin", func(c *Circuit, x []float64) *ConvergenceError { return c.gminStepInto(x) }},
+		{"source", func(c *Circuit, x []float64) *ConvergenceError { return c.sourceStepInto(x) }},
+		{"pseudo-tran", func(c *Circuit, x []float64) *ConvergenceError { return c.pseudoTransientInto(x) }},
+	}
+	for _, rung := range rungs {
+		c, out := rescueInverter(cleanNMOS(), DC(0.45))
+		x := make([]float64, c.unknowns())
+		if cerr := rung.run(c, x); cerr != nil {
+			t.Fatalf("%s rung failed on a healthy circuit: %v", rung.name, cerr)
+		}
+		if got := nv(x, out); math.Abs(got-vRef) > 1e-6 {
+			t.Fatalf("%s rung OP %g, plain Newton %g", rung.name, got, vRef)
+		}
+	}
+}
+
+// plainStageEvals measures how many faulted-device evaluations the plain
+// Newton stage burns before giving up, by replaying exactly the sequence
+// solveOPInto runs. Deterministic: fresh identically-built circuits replay
+// identical evaluation sequences.
+func plainStageEvals(t *testing.T, maxNewton int) int64 {
+	t.Helper()
+	cal := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge}
+	c, _ := rescueInverter(cal, DC(0.45))
+	c.MaxNewton = maxNewton
+	x := make([]float64, c.unknowns())
+	ctx := assembleCtx{srcScale: 1}
+	if cerr := c.newton(x, &ctx); cerr == nil {
+		t.Fatal("plain Newton converged through a permanent fault")
+	}
+	return cal.Calls()
+}
+
+// Plain Newton fails inside the fault window; gmin stepping starts after it
+// closes and rescues the solve. The rescue is attributed to exactly the
+// gmin rung.
+func TestGminRescueAfterPlainNewtonFailure(t *testing.T) {
+	const maxNewton = 20
+	ePlain := plainStageEvals(t, maxNewton)
+
+	cRef, outRef := rescueInverter(cleanNMOS(), DC(0.45))
+	opRef, err := cRef.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge, Until: ePlain}
+	c, out := rescueInverter(card, DC(0.45))
+	c.MaxNewton = maxNewton
+	op, err := c.OP()
+	if err != nil {
+		t.Fatalf("OP not rescued: %v", err)
+	}
+	st := c.Stats()
+	if st.DCGminRescues != 1 || st.DCSourceRescues != 0 || st.DCPseudoRescues != 0 {
+		t.Fatalf("rescue attribution: %+v", st)
+	}
+	if math.Abs(op.V(out)-opRef.V(outRef)) > 1e-6 {
+		t.Fatalf("rescued OP %g vs clean %g", op.V(out), opRef.V(outRef))
+	}
+}
+
+// ladderStageEvals extends the calibration through the gmin and source
+// rungs, replaying solveOPInto's state resets between rungs.
+func ladderStageEvals(t *testing.T, maxNewton int) (ePlain, eGmin, eSource int64) {
+	t.Helper()
+	cal := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge}
+	c, _ := rescueInverter(cal, DC(0.45))
+	c.MaxNewton = maxNewton
+	x := make([]float64, c.unknowns())
+	ctx := assembleCtx{srcScale: 1}
+	if cerr := c.newton(x, &ctx); cerr == nil {
+		t.Fatal("plain Newton converged through a permanent fault")
+	}
+	ePlain = cal.Calls()
+	for i := range x {
+		x[i] = 0
+	}
+	if cerr := c.gminStepInto(x); cerr == nil {
+		t.Fatal("gmin stepping converged through a permanent fault")
+	}
+	eGmin = cal.Calls()
+	for i := range x {
+		x[i] = 0
+	}
+	if cerr := c.sourceStepInto(x); cerr == nil {
+		t.Fatal("source stepping converged through a permanent fault")
+	}
+	eSource = cal.Calls()
+	return
+}
+
+// Plain Newton and gmin stepping both fail inside the window; source
+// stepping runs clean and rescues.
+func TestSourceRescueAfterGminFailure(t *testing.T) {
+	const maxNewton = 20
+	_, eGmin, _ := ladderStageEvals(t, maxNewton)
+
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge, Until: eGmin}
+	c, out := rescueInverter(card, DC(0.45))
+	c.MaxNewton = maxNewton
+	op, err := c.OP()
+	if err != nil {
+		t.Fatalf("OP not rescued: %v", err)
+	}
+	st := c.Stats()
+	if st.DCGminRescues != 0 || st.DCSourceRescues != 1 || st.DCPseudoRescues != 0 {
+		t.Fatalf("rescue attribution: %+v", st)
+	}
+	if v := op.V(out); !finite(v) || v < -0.01 || v > 0.91 {
+		t.Fatalf("unphysical rescued OP %g", v)
+	}
+}
+
+// The first three rungs fail inside the window, which closes partway into
+// the pseudo-transient budget; the ramp rides out the tail of the fault and
+// rescues the solve — the "bounded budget also rides out transiently
+// ill-behaved model evaluations" property.
+func TestPseudoTransientRescueRidesOutFault(t *testing.T) {
+	const maxNewton = 20
+	_, _, eSource := ladderStageEvals(t, maxNewton)
+
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge, Until: eSource + 200}
+	c, out := rescueInverter(card, DC(0.45))
+	c.MaxNewton = maxNewton
+	op, err := c.OP()
+	if err != nil {
+		t.Fatalf("OP not rescued: %v", err)
+	}
+	st := c.Stats()
+	if st.DCPseudoRescues != 1 {
+		t.Fatalf("expected a pseudo-transient rescue: %+v", st)
+	}
+	if v := op.V(out); !finite(v) || v < -0.01 || v > 0.91 {
+		t.Fatalf("unphysical rescued OP %g", v)
+	}
+	rc := c.Stats().RescueCounts()
+	if rc["dc-pseudo-tran"] != 1 {
+		t.Fatalf("RescueCounts = %v", rc)
+	}
+}
+
+// A permanent fault exhausts the whole DC ladder; the returned error is the
+// typed ConvergenceError of the last rung with the diagnosis fields set.
+func TestDCLadderExhaustionTypedError(t *testing.T) {
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge}
+	c, _ := rescueInverter(card, DC(0.45))
+	c.MaxNewton = 20
+	_, err := c.OP()
+	if err == nil {
+		t.Fatal("OP converged through a permanent fault")
+	}
+	var cerr *ConvergenceError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err %T is not a *ConvergenceError", err)
+	}
+	if cerr.Stage != StageDCPseudo {
+		t.Fatalf("Stage = %q, want %q (last rung tried)", cerr.Stage, StageDCPseudo)
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err %v does not wrap ErrNoConvergence", err)
+	}
+	if cerr.Iters != 20 {
+		t.Fatalf("Iters = %d, want the full budget 20", cerr.Iters)
+	}
+	if cerr.Node == "" {
+		t.Fatal("worst node not recorded")
+	}
+	if !strings.Contains(err.Error(), "pseudo-transient budget exhausted") {
+		t.Fatalf("error %q does not name the exhausted ladder", err)
+	}
+}
+
+// A NaN-producing model is rejected before it can poison the iterate: the
+// failure is typed ErrNonFiniteSolution, not a silent NaN operating point.
+func TestDCNaNRejectedTyped(t *testing.T) {
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNaN}
+	c, _ := rescueInverter(card, DC(0.45))
+	c.MaxNewton = 20
+	_, err := c.OP()
+	if err == nil {
+		t.Fatal("OP converged through a NaN model")
+	}
+	if !errors.Is(err, ErrNonFiniteSolution) {
+		t.Fatalf("err %v does not wrap ErrNonFiniteSolution", err)
+	}
+	if c.Stats().NonFiniteRejects == 0 {
+		t.Fatal("NonFiniteRejects not counted")
+	}
+}
+
+// tranEvalBudget runs a clean inverter transient and returns the total
+// faulted-device eval count plus the settled output voltage, for placing
+// fault windows mid-run.
+func tranEvalBudget(t *testing.T) (int64, float64) {
+	t.Helper()
+	counter := &device.FaultCard{Inner: cleanNMOS(), After: math.MaxInt64}
+	c, out := rescueInverter(counter, tranPulse())
+	res, err := c.Transient(tranTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.V(out)
+	return counter.Calls(), v[len(v)-1]
+}
+
+func tranPulse() Waveform {
+	return Pulse{V0: 0, V1: 0.9, Delay: 20e-12, Rise: 20e-12, Fall: 20e-12, Width: 200e-12}
+}
+
+func tranTestOpts() TranOpts {
+	return TranOpts{Stop: 500e-12, Step: 2e-12}
+}
+
+// A short NaN window mid-transient is rejected (never entering the charge
+// history) and ridden out by the sub-step rescue ladder; the run completes
+// and settles to the same logic level as the clean run.
+func TestTransientNaNWindowRescued(t *testing.T) {
+	total, vClean := tranEvalBudget(t)
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNaN,
+		After: total / 2, Until: total/2 + 6}
+	c, out := rescueInverter(card, tranPulse())
+	res, err := c.Transient(tranTestOpts())
+	if err != nil {
+		t.Fatalf("transient not rescued: %v", err)
+	}
+	st := c.Stats()
+	if st.Rescues == 0 {
+		t.Fatalf("no rescue recorded: %+v", st)
+	}
+	if st.NonFiniteRejects == 0 {
+		t.Fatalf("NaN rejection not counted: %+v", st)
+	}
+	for i, v := range res.V(out) {
+		if !finite(v) {
+			t.Fatalf("NaN leaked into the waveform at sample %d", i)
+		}
+	}
+	v := res.V(out)
+	if math.Abs(v[len(v)-1]-vClean) > 1e-3 {
+		t.Fatalf("rescued run settles at %g, clean at %g", v[len(v)-1], vClean)
+	}
+}
+
+// A permanent NaN fault exhausts the transient rescue ladder; the error is
+// typed with the tran-halve stage and wraps ErrNonFiniteSolution.
+func TestTransientPermanentNaNFailsTyped(t *testing.T) {
+	total, _ := tranEvalBudget(t)
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNaN, After: total / 2}
+	c, _ := rescueInverter(card, tranPulse())
+	_, err := c.Transient(tranTestOpts())
+	if err == nil {
+		t.Fatal("transient survived a permanent NaN model")
+	}
+	var cerr *ConvergenceError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err %T is not a *ConvergenceError", err)
+	}
+	if cerr.Stage != StageTranHalve {
+		t.Fatalf("Stage = %q, want %q", cerr.Stage, StageTranHalve)
+	}
+	if !errors.Is(err, ErrNonFiniteSolution) {
+		t.Fatalf("err %v does not wrap ErrNonFiniteSolution", err)
+	}
+	if cerr.Time <= 0 || cerr.Time > 500e-12 {
+		t.Fatalf("failure time %g outside the run window", cerr.Time)
+	}
+}
+
+// In fast mode a chord stall inside the fault window triggers the
+// fast→exact fallback before sub-stepping; the run still completes once the
+// window closes.
+func TestFastFallbackOnChordStall(t *testing.T) {
+	// Calibrate the eval budget on a clean FAST run: the chord path caches
+	// evaluations, so its counter advances far slower than the exact path's.
+	counter := &device.FaultCard{Inner: cleanNMOS(), After: math.MaxInt64}
+	cCal, outCal := rescueInverter(counter, tranPulse())
+	cCal.MaxNewton = 20
+	fastOpts := tranTestOpts()
+	fastOpts.Fast = true
+	resCal, err := cCal.Transient(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCal := resCal.V(outCal)
+	vClean := vCal[len(vCal)-1]
+	total := counter.Calls()
+
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultNoConverge,
+		After: total / 2, Until: total/2 + 200}
+	c, out := rescueInverter(card, tranPulse())
+	c.MaxNewton = 20
+	opts := tranTestOpts()
+	opts.Fast = true
+	res, err := c.Transient(opts)
+	if err != nil {
+		t.Fatalf("fast transient not rescued: %v", err)
+	}
+	st := c.Stats()
+	if st.FastFallbacks == 0 {
+		t.Fatalf("fast→exact fallback not taken: %+v", st)
+	}
+	v := res.V(out)
+	if math.Abs(v[len(v)-1]-vClean) > 2e-3 {
+		t.Fatalf("rescued fast run settles at %g, clean at %g", v[len(v)-1], vClean)
+	}
+}
+
+// A panicking device escapes the simulator (it must not swallow panics);
+// fault isolation is the Monte Carlo driver's job, tested in montecarlo.
+func TestDevicePanicEscapesSolver(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the injected panic to escape OP")
+		}
+	}()
+	card := &device.FaultCard{Inner: cleanNMOS(), Mode: device.FaultPanic}
+	c, _ := rescueInverter(card, DC(0.45))
+	c.OP()
+}
+
+// RescueCounts only reports nonzero counters and never the raw work
+// counters (which vary with worker scheduling in pooled MC).
+func TestRescueCountsOnlyLadderCounters(t *testing.T) {
+	s := SolverStats{NewtonIters: 100, JacRefreshes: 10, TranSteps: 50,
+		Rescues: 2, TranHalvings: 1, NonFiniteRejects: 3}
+	rc := s.RescueCounts()
+	want := map[string]int64{"tran-substep": 2, "tran-halve": 1, "nonfinite-reject": 3}
+	if len(rc) != len(want) {
+		t.Fatalf("RescueCounts = %v, want %v", rc, want)
+	}
+	for k, v := range want {
+		if rc[k] != v {
+			t.Fatalf("RescueCounts[%s] = %d, want %d", k, rc[k], v)
+		}
+	}
+}

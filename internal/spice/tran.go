@@ -188,6 +188,10 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 	copy(xPrev, x)
 	for k := 0; k < steps; k++ {
 		t = float64(k+1) * opts.Step
+		// Snapshot the charge history so a failed or NaN-rejected step can
+		// be retried (and retried again at a finer sub-step) from exactly
+		// the end-of-previous-step integrator state.
+		c.saveTranHistory(ts)
 		// Predictor: start Newton from the extrapolated trajectory, which
 		// typically saves an iteration per step. The fast path extrapolates
 		// quadratically — a smaller starting error keeps the chord iteration
@@ -209,18 +213,43 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 			copy(xPrev, x)
 		}
 		ctx := assembleCtx{t: t, srcScale: 1, tran: ts, carry: opts.Fast, fast: opts.Fast}
-		if err := c.newton(x, &ctx); err != nil {
-			// Retry the step from the unextrapolated state with several
-			// smaller backward-Euler sub-steps, a cheap and robust rescue
-			// for sharp source corners.
+		cerr := c.stepSolve(x, &ctx)
+		usedFast := opts.Fast
+		if cerr != nil && opts.Fast {
+			// Fast→exact fallback: the chord iteration on the carried
+			// Jacobian stalled, so drop the carried factors, re-factor, and
+			// retry the step with the exact path before escalating to
+			// sub-stepping.
+			c.stats.FastFallbacks++
+			c.luValid = false
 			copy(x, xPrev)
-			if err2 := c.rescueStep(x, t-opts.Step, opts.Step, ts, opts.Fast); err2 != nil {
-				return fmt.Errorf("spice: transient failed at t=%g: %w", t, err)
+			exact := assembleCtx{t: t, srcScale: 1, tran: ts}
+			if cerr = c.stepSolve(x, &exact); cerr == nil {
+				usedFast = false
 			}
-		} else if opts.Fast {
-			c.updateTranHistoryFast(x, ts)
-		} else {
-			c.updateTranHistory(x, ts)
+		}
+		if cerr == nil {
+			if usedFast {
+				c.updateTranHistoryFast(x, ts)
+			} else {
+				c.updateTranHistory(x, ts)
+			}
+			// A model evaluation can still turn NaN between the residual
+			// check and the history update (the history re-evaluates every
+			// device); reject the poisoned history before it propagates.
+			if !c.tranHistoryFinite(ts) {
+				c.stats.NonFiniteRejects++
+				c.restoreTranHistory(ts)
+				cerr = &ConvergenceError{Err: ErrNonFiniteSolution}
+			}
+		}
+		if cerr != nil {
+			// Retry the step from the unextrapolated state with smaller
+			// backward-Euler sub-steps, halving further on repeated failure.
+			copy(x, xPrev)
+			if rerr := c.rescueLadder(xPrev, x, t-opts.Step, opts.Step, ts, opts.Fast); rerr != nil {
+				return fmt.Errorf("spice: transient failed at t=%g: %w", t, asError(rerr))
+			}
 		}
 		ts.firstBE = false
 		c.stats.TranSteps++
@@ -229,23 +258,76 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 	return nil
 }
 
-// rescueStep retries a failed step as several smaller backward-Euler steps.
-func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState, fast bool) error {
-	const pieces = 8
-	sub := h / pieces
+// stepSolve runs one transient Newton solve and rejects candidate solution
+// vectors containing NaN/Inf before they can reach the charge history.
+func (c *Circuit) stepSolve(x []float64, ctx *assembleCtx) *ConvergenceError {
+	if cerr := c.newton(x, ctx); cerr != nil {
+		return cerr.at(StageTran, ctx.t)
+	}
+	if i := firstNonFinite(x); i >= 0 {
+		c.stats.NonFiniteRejects++
+		c.luValid = false
+		cerr := &ConvergenceError{Node: c.unknownName(i), Err: ErrNonFiniteSolution}
+		return cerr.at(StageTran, ctx.t)
+	}
+	return nil
+}
+
+// rescueLadder retries a failed timestep as progressively finer
+// backward-Euler sub-step sequences: 8 pieces (the cheap classic rescue for
+// sharp source corners), then halving the sub-step per rung within a
+// bounded retry budget, with a final exact-path rung when the fast solver
+// was in use. Every rung restarts from x0 and the pre-step charge-history
+// snapshot, so a failed rung leaves no trace in the integrator state. x
+// must enter holding a copy of x0.
+func (c *Circuit) rescueLadder(x0, x []float64, t0, h float64, ts *tranState, fast bool) *ConvergenceError {
+	c.stats.Rescues++
+	var last *ConvergenceError
+	pieces := 8
+	for level := 0; level < 4; level++ {
+		if level > 0 {
+			c.stats.TranHalvings++
+			c.restoreTranHistory(ts)
+			copy(x, x0)
+			pieces *= 2
+		}
+		if last = c.rescueStep(x, t0, h, ts, fast, pieces); last == nil {
+			return nil
+		}
+	}
+	if fast {
+		// Last resort in fast mode: the exact path (fresh Jacobian every
+		// stall, tight tolerances) over the classic 8 sub-steps.
+		c.stats.FastFallbacks++
+		c.luValid = false
+		c.restoreTranHistory(ts)
+		copy(x, x0)
+		if last = c.rescueStep(x, t0, h, ts, false, 8); last == nil {
+			return nil
+		}
+	}
+	return last.at(StageTranHalve, t0+h)
+}
+
+// rescueStep retries a failed step as pieces smaller backward-Euler steps.
+func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState, fast bool, pieces int) *ConvergenceError {
+	sub := h / float64(pieces)
 	savedH, savedTrap, savedFirst := ts.h, ts.trap, ts.firstBE
 	ts.h, ts.trap, ts.firstBE = sub, false, true
 	defer func() { ts.h, ts.trap, ts.firstBE = savedH, savedTrap, savedFirst }()
-	c.stats.Rescues++
 	for i := 1; i <= pieces; i++ {
 		ctx := assembleCtx{t: t0 + float64(i)*sub, srcScale: 1, tran: ts, carry: fast, fast: fast}
-		if err := c.newton(x, &ctx); err != nil {
-			return err
+		if cerr := c.stepSolve(x, &ctx); cerr != nil {
+			return cerr
 		}
 		if fast {
 			c.updateTranHistoryFast(x, ts)
 		} else {
 			c.updateTranHistory(x, ts)
+		}
+		if !c.tranHistoryFinite(ts) {
+			c.stats.NonFiniteRejects++
+			return &ConvergenceError{Err: ErrNonFiniteSolution}
 		}
 	}
 	return nil
