@@ -2,16 +2,22 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet
+.PHONY: tier1 tier2 bench bench-mc race vet obs
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet
+tier1: vet obs
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
 vet:
 	$(GO) vet ./...
+
+# Observability rung: the metrics registry / scope / event layer and the
+# zero-overhead guards on the instrumented solver hot path.
+obs:
+	$(GO) test ./internal/obs/ -count=1
+	$(GO) test ./internal/spice/ -run 'TestInstrumented|TestSolverPhase|TestDCRescue' -count=1
 
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.
@@ -22,8 +28,8 @@ tier2: vet
 # driver (failure policies, panic recovery, report aggregation), the solver
 # rescue ladder, and the pooled experiment plumbing.
 race:
-	$(GO) test -race ./internal/montecarlo/ ./internal/spice/ -count=1
-	$(GO) test -race ./internal/experiments/ -run 'TestMap|TestPooled|TestFault|TestFail' -count=1
+	$(GO) test -race ./internal/montecarlo/ ./internal/spice/ ./internal/obs/ -count=1
+	$(GO) test -race ./internal/experiments/ -run 'TestMap|TestPooled|TestFault|TestFail|TestMCRescue' -count=1
 
 # Benchmark runner: the paper-figure per-sample benches plus the pooled
 # vs rebuild Monte Carlo pairs (the speedup evidence for the pooled engine).

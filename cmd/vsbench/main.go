@@ -16,18 +16,43 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vstat/internal/circuits"
 	"vstat/internal/core"
+	"vstat/internal/experiments"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 	"vstat/internal/spice"
 )
+
+// distRecord summarizes one observability histogram (per-sample Newton
+// iterations or per-phase nanoseconds) captured by the instrumented
+// distribution pass.
+type distRecord struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func distFrom(h obs.HistSnap) distRecord {
+	return distRecord{
+		Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+}
 
 // unitRecord is one (unit, mode) row of BENCH_mc.json.
 type unitRecord struct {
@@ -51,6 +76,12 @@ type unitRecord struct {
 	Panics     int              `json:"panics,omitempty"`
 	RescuedBy  map[string]int64 `json:"rescued_by_stage,omitempty"`
 	FailedIdxs []int            `json:"failed_sample_idxs,omitempty"`
+
+	// Distribution records from the instrumented second pass (same seed as
+	// the timed pass, which runs uninstrumented so the perf figures stay
+	// comparable across revisions).
+	NewtonItersDist *distRecord           `json:"newton_iters_dist,omitempty"`
+	PhaseNsDist     map[string]distRecord `json:"phase_ns_dist,omitempty"`
 }
 
 // benchFile is the whole BENCH_mc.json document.
@@ -84,8 +115,20 @@ func (p *statsPool) total() spice.SolverStats {
 }
 
 // unitFn runs one n-sample pooled MC and reports the summed solver stats
-// plus the run's health report.
-type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error)
+// plus the run's health report. A non-nil mi attaches per-sample phase
+// timing and Newton-work histograms (the distribution pass); nil keeps the
+// hot path on its nil-scope no-op branches (the timed pass).
+type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error)
+
+// instrState pairs a pooled bench with its per-worker recording handle
+// while keeping the bench's rescue counters visible to the run report.
+type instrState[B montecarlo.RescueReporter] struct {
+	b  B
+	so *experiments.SampleObs
+}
+
+// RescueCounts forwards the bench counters (montecarlo.RescueReporter).
+func (s instrState[B]) RescueCounts() map[string]int64 { return s.b.RescueCounts() }
 
 // Gate transient window, matching the experiments' delay MCs.
 const (
@@ -95,44 +138,67 @@ const (
 
 func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
-			func(int) (*circuits.PooledGate, error) {
+			func(int) (instrState[*circuits.PooledGate], error) {
 				b, err := build(vdd, sz, m.Nominal(), fast)
 				if err != nil {
-					return nil, err
+					return instrState[*circuits.PooledGate]{}, err
 				}
 				pool.add(b.Ckt.Stats)
-				return b, nil
+				so := mi.NewWorker()
+				b.SetObs(so.Scope())
+				return instrState[*circuits.PooledGate]{b: b, so: so}, nil
 			},
-			func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
-				b.Restat(m.Statistical(rng))
+			func(st instrState[*circuits.PooledGate], idx int, rng *rand.Rand) (float64, error) {
+				b, so := st.b, st.so
+				sc := so.Scope()
+				b.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				b.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
 				res, err := b.Transient(gateTranStop, gateTranStep)
 				if err != nil {
+					so.End(b.Ckt.Stats())
 					return 0, err
 				}
-				return measure.PairDelay(res, b.In, b.Out, vdd)
+				sc.Enter(obs.PhaseMeasure)
+				d, derr := measure.PairDelay(res, b.In, b.Out, vdd)
+				sc.Exit()
+				so.End(b.Ckt.Stats())
+				return d, derr
 			})
 		return pool.total(), rep, err
 	}
 }
 
 func dffUnit(m core.StatModel, vdd float64) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
 		opts := measure.DefaultSetupOpts()
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
-			func(int) (*circuits.PooledDFF, error) {
+			func(int) (instrState[*circuits.PooledDFF], error) {
 				ff := circuits.NewPooledDFF(vdd, circuits.DefaultDFFSizing(), m.Nominal(), fast)
 				pool.add(ff.Ckt.Stats)
-				return ff, nil
+				so := mi.NewWorker()
+				ff.SetObs(so.Scope())
+				return instrState[*circuits.PooledDFF]{b: ff, so: so}, nil
 			},
-			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
-				ff.Restat(m.Statistical(rng))
+			func(st instrState[*circuits.PooledDFF], idx int, rng *rand.Rand) (float64, error) {
+				ff, so := st.b, st.so
+				sc := so.Scope()
+				ff.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				ff.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
 				o := opts
 				o.Res, o.Fast = &ff.Res, ff.Fast
-				return measure.SetupTime(ff.DFF, o)
+				sc.Enter(obs.PhaseMeasure)
+				ts, err := measure.SetupTime(ff.DFF, o)
+				sc.Exit()
+				so.End(ff.Ckt.Stats())
+				return ts, err
 			})
 		return pool.total(), rep, err
 	}
@@ -140,46 +206,80 @@ func dffUnit(m core.StatModel, vdd float64) unitFn {
 
 func sramUnit(m core.StatModel, vdd float64) unitFn {
 	const points = 61 // butterfly sweep resolution, matching Fig. 9
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
-			func(int) (*circuits.PooledSRAM, error) {
+			func(int) (instrState[*circuits.PooledSRAM], error) {
 				cell := circuits.NewPooledSRAM(vdd, circuits.DefaultSRAMSizing(), m.Nominal(), points, fast)
 				pool.add(cell.Stats)
-				return cell, nil
+				so := mi.NewWorker()
+				cell.SetObs(so.Scope())
+				return instrState[*circuits.PooledSRAM]{b: cell, so: so}, nil
 			},
-			func(cell *circuits.PooledSRAM, idx int, rng *rand.Rand) ([2]float64, error) {
-				cell.Restat(m.Statistical(rng))
+			func(st instrState[*circuits.PooledSRAM], idx int, rng *rand.Rand) ([2]float64, error) {
+				cell, so := st.b, st.so
+				sc := so.Scope()
+				cell.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				cell.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
 				rl, rr, err := cell.Butterfly(true)
 				if err != nil {
+					so.End(cell.Stats())
 					return [2]float64{}, err
 				}
+				sc.Enter(obs.PhaseMeasure)
 				read, err := measure.SNM(rl, rr)
+				sc.Exit()
 				if err != nil {
+					so.End(cell.Stats())
 					return [2]float64{}, err
 				}
 				hl, hr, err := cell.Butterfly(false)
 				if err != nil {
+					so.End(cell.Stats())
 					return [2]float64{}, err
 				}
+				sc.Enter(obs.PhaseMeasure)
 				hold, err := measure.SNM(hl, hr)
-				if err != nil {
-					return [2]float64{}, err
-				}
+				sc.Exit()
+				so.End(cell.Stats())
 				return [2]float64{read.SNM, hold.SNM}, nil
 			})
 		return pool.total(), rep, err
 	}
 }
 
-// runUnit times one unit and turns the raw counters into a record.
-func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy) (unitRecord, error) {
+// benchObs carries the cross-unit observability wiring: the shared trace
+// sink attached to every distribution pass, the registry currently served
+// at /metrics, and the per-(unit, mode) snapshots collected for
+// -metrics-out.
+type benchObs struct {
+	sink  *obs.EventSink
+	live  atomic.Pointer[obs.Registry]
+	snaps []unitSnapshot
+}
+
+// unitSnapshot is one -metrics-out entry: the full registry snapshot of a
+// distribution pass.
+type unitSnapshot struct {
+	Unit    string       `json:"unit"`
+	Mode    string       `json:"mode"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// runUnit times one unit and turns the raw counters into a record. The
+// timed pass always runs uninstrumented so ns/allocs per sample stay
+// comparable across revisions; when dist is set, a second pass with the
+// same seed re-runs under instrumentation and attaches the Newton-iteration
+// and per-phase wall-time distributions.
+func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy, dist bool, bo *benchObs) (unitRecord, error) {
 	fast := mode == "fast"
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	stats, rep, err := fn(n, seed, workers, pol, fast)
+	stats, rep, err := fn(n, seed, workers, pol, fast, nil)
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	if err != nil {
@@ -206,6 +306,29 @@ func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol m
 	for _, f := range rep.Failures {
 		rec.FailedIdxs = append(rec.FailedIdxs, f.Idx)
 	}
+	if dist {
+		obs.SetEnabled(true)
+		defer obs.SetEnabled(false)
+		reg := obs.NewRegistry()
+		mi := experiments.NewMCInstr(reg)
+		if bo != nil {
+			mi.Sink = bo.sink
+			bo.live.Store(reg)
+		}
+		if _, _, err := fn(n, seed, workers, pol, fast, mi); err != nil {
+			return unitRecord{}, fmt.Errorf("%s (%s) distribution pass: %w", name, mode, err)
+		}
+		snap := reg.Snapshot()
+		if bo != nil {
+			bo.snaps = append(bo.snaps, unitSnapshot{Unit: name, Mode: mode, Metrics: snap})
+		}
+		it := distFrom(snap.Find("mc_newton_iters"))
+		rec.NewtonItersDist = &it
+		rec.PhaseNsDist = make(map[string]distRecord, obs.NumPhases)
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			rec.PhaseNsDist[p.String()] = distFrom(snap.Find("mc_phase_" + p.String() + "_ns"))
+		}
+	}
 	return rec, nil
 }
 
@@ -218,9 +341,45 @@ func main() {
 		seed     = flag.Int64("seed", 20130318, "master random seed")
 		vdd      = flag.Float64("vdd", 0.9, "nominal supply voltage")
 		skip     = flag.Bool("skip-failed", false, "isolate failing samples instead of aborting the unit")
+		dist     = flag.Bool("dist", true, "run an instrumented second pass per unit and record Newton-iteration and per-phase time distributions")
 		failFrac = flag.Float64("max-fail-frac", 0, "with -skip-failed, abort once this failure fraction is exceeded (0 = no cap)")
+
+		metricsOut = flag.String("metrics-out", "", "write the per-unit observability snapshots (JSON) to this path; implies -dist")
+		trace      = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr during the distribution passes (0 = off)")
+		logLevel   = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and a Prometheus /metrics endpoint on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	bo := &benchObs{}
+	if *metricsOut != "" || *trace > 0 || *pprofAddr != "" {
+		*dist = true
+	}
+	if *trace > 0 {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "vsbench: -log-level: %v\n", err)
+			os.Exit(2)
+		}
+		bo.sink = obs.NewEventSink(os.Stderr, lvl, *trace)
+	}
+	if *pprofAddr != "" {
+		// /metrics tracks whichever unit's distribution pass is live.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			reg := bo.live.Load()
+			if reg == nil {
+				http.Error(w, "no distribution pass has run yet", http.StatusServiceUnavailable)
+				return
+			}
+			reg.Handler().ServeHTTP(w, r)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vsbench: pprof server:", err)
+			}
+		}()
+		fmt.Printf("serving /debug/pprof and /metrics on http://%s\n", *pprofAddr)
+	}
 
 	pol := montecarlo.Policy{}
 	if *skip {
@@ -273,7 +432,7 @@ func main() {
 	}
 	for _, u := range units {
 		for _, md := range modes {
-			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers, pol)
+			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers, pol, *dist, bo)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
 				os.Exit(1)
@@ -300,4 +459,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d unit records)\n", *out, len(doc.Units))
+
+	if *metricsOut != "" {
+		blob, err := json.MarshalIndent(struct {
+			Units []unitSnapshot `json:"units"`
+		}{bo.snaps}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*metricsOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability snapshots written to %s\n", *metricsOut)
+	}
 }

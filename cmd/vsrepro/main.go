@@ -13,6 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -20,6 +23,7 @@ import (
 	"vstat/internal/cards"
 	"vstat/internal/experiments"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 )
 
 func main() {
@@ -33,12 +37,46 @@ func main() {
 		csvDir   = flag.String("csv", "", "also dump each figure's plot series as CSV into this directory")
 		skip     = flag.Bool("skip-failed", false, "isolate non-convergent Monte Carlo samples instead of aborting the experiment; dropped samples are reported in each figure's run-health line")
 		failFrac = flag.Float64("max-fail-frac", 0.01, "with -skip-failed, abort an experiment once this failure fraction is exceeded (0 = no cap)")
+
+		metricsOut  = flag.String("metrics-out", "", "write the observability metrics snapshot (JSON) to this path on exit; enables instrumentation")
+		trace       = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr (0 = off)")
+		logLevel    = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
+		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof and a Prometheus /metrics endpoint on this address (e.g. localhost:6060)")
+		progressSec = flag.Float64("progress", 0, "print a live Monte Carlo progress line to stderr every N seconds (0 = off)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Workers: *workers, Scale: *scale, Vdd: *vdd}
 	if *skip {
 		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *pprofAddr != "" || *trace > 0 || *progressSec > 0 {
+		obs.SetEnabled(true)
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		if *trace > 0 {
+			var lvl slog.Level
+			if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+				fatal(fmt.Errorf("-log-level: %w", err))
+			}
+			cfg.Trace = obs.NewEventSink(os.Stderr, lvl, *trace)
+		}
+		if *progressSec > 0 {
+			pr := obs.NewProgress(os.Stderr, time.Duration(*progressSec*float64(time.Second)))
+			cfg.Progress = pr
+			montecarlo.SetProgress(pr)
+		}
+		if *pprofAddr != "" {
+			http.Handle("/metrics", reg.Handler())
+			go func() {
+				if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+					fmt.Fprintln(os.Stderr, "vsrepro: pprof server:", err)
+				}
+			}()
+			fmt.Printf("serving /debug/pprof and /metrics on http://%s\n", *pprofAddr)
+		}
 	}
 	fmt.Printf("vsrepro: building extraction suite (scale=%g, seed=%d)\n", *scale, *seed)
 	t0 := time.Now()
@@ -133,6 +171,17 @@ func main() {
 	}
 	if !found {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	if *metricsOut != "" {
+		data, err := reg.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			fatal(fmt.Errorf("metrics snapshot: %w", err))
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fatal(fmt.Errorf("metrics snapshot: %w", err))
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 }
 

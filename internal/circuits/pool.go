@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vstat/internal/device"
+	"vstat/internal/obs"
 	"vstat/internal/spice"
 )
 
@@ -104,6 +105,10 @@ func NewPooledNAND2FO(k int, vdd float64, sz Sizing, nominal Factory, fast bool)
 // fresh mismatch per device) without touching topology or scratch.
 func (p *PooledGate) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 
+// SetObs attaches an observability scope to the template circuit (nil-safe;
+// see spice.Circuit.SetObs).
+func (p *PooledGate) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
+
 // RescueCounts implements montecarlo.RescueReporter: the nonzero
 // rescue-ladder counters accumulated by this worker's template circuit.
 func (p *PooledGate) RescueCounts() map[string]int64 {
@@ -147,6 +152,9 @@ func NewPooledDFF(vdd float64, sz DFFSizing, nominal Factory, fast bool) *Pooled
 // Restat re-stamps every transistor from f.
 func (p *PooledDFF) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 
+// SetObs attaches an observability scope to the template circuit.
+func (p *PooledDFF) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
+
 // RescueCounts implements montecarlo.RescueReporter.
 func (p *PooledDFF) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
@@ -169,6 +177,9 @@ func NewPooledRing(n int, vdd float64, sz Sizing, nominal Factory, fast bool) *P
 
 // Restat re-stamps every transistor from f.
 func (p *PooledRing) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
+
+// SetObs attaches an observability scope to the template circuit.
+func (p *PooledRing) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
 
 // RescueCounts implements montecarlo.RescueReporter.
 func (p *PooledRing) RescueCounts() map[string]int64 {
@@ -244,6 +255,20 @@ func (p *PooledSRAM) Restat(f Factory) {
 		ckt.SetMOSDevice(4, c.PGL)
 		ckt.SetMOSDevice(5, c.PGR)
 	}
+}
+
+// SetObs attaches an observability scope to both half-circuits: the sweeps
+// run sequentially on one worker goroutine, so sharing a scope is safe and
+// keeps the sample's phase accounting in one place.
+func (p *PooledSRAM) SetObs(sc *obs.Scope) {
+	p.cL.SetObs(sc)
+	p.cR.SetObs(sc)
+}
+
+// SetObsSample tags both half-circuits' traces with the MC sample index.
+func (p *PooledSRAM) SetObsSample(idx int) {
+	p.cL.SetObsSample(idx)
+	p.cR.SetObsSample(idx)
 }
 
 // Stats returns the summed solver counters of both half-circuits.

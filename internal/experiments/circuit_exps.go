@@ -9,6 +9,7 @@ import (
 	"vstat/internal/core"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 	"vstat/internal/spice"
 	"vstat/internal/stats"
 )
@@ -95,12 +96,12 @@ func (s *Suite) Fig5() (Fig5Result, error) {
 	for si, cfgSz := range Fig5Sizings {
 		seed := s.Cfg.Seed + int64(1000*si)
 		build := pooledInvFO3(s.Cfg.Vdd, cfgSz.Sz)
-		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build, s.instr)
 		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 golden %s: %w", cfgSz.Label, err)
 		}
-		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build)
+		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build, s.instr)
 		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 vs %s: %w", cfgSz.Label, err)
@@ -153,29 +154,43 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 
 	run := func(m core.StatModel, seed int64) ([]Fig6Point, error) {
 		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
-			func(int) (*circuits.PooledGate, error) {
+			newObsState(s.instr, func() (*circuits.PooledGate, error) {
 				return circuits.NewPooledInverterFO(3, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC)
-			},
-			func(b *circuits.PooledGate, idx int, rng *rand.Rand) (Fig6Point, error) {
-				b.Restat(m.Statistical(rng))
+			}),
+			func(st obsState[*circuits.PooledGate], idx int, rng *rand.Rand) (Fig6Point, error) {
+				b, so := st.B, st.So
+				sc := so.Scope()
+				b.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				b.Restat(so.Factory(m.Statistical(rng)))
 				// The previous sample's leakage measurement left the input
 				// source at DC 0; reinstall the bench pulse.
 				b.Ckt.SetVSource(b.VinSrc, circuits.DefaultPulse(s.Cfg.Vdd))
+				sc.Exit()
 				tr, err := b.Transient(gateTranStop, gateTranStep)
 				if err != nil {
+					so.End(b.Ckt.Stats())
 					return Fig6Point{}, err
 				}
+				sc.Enter(obs.PhaseMeasure)
 				d, err := measure.PairDelay(tr, b.In, b.Out, s.Cfg.Vdd)
+				sc.Exit()
 				if err != nil {
+					so.End(b.Ckt.Stats())
 					return Fig6Point{}, err
 				}
 				// Static leakage with the input low.
 				b.Ckt.SetVSource(b.VinSrc, spice.DC(0))
 				op, err := b.Ckt.OP()
 				if err != nil {
+					so.End(b.Ckt.Stats())
 					return Fig6Point{}, err
 				}
-				return Fig6Point{Leakage: measure.Leakage(op, b.VddSrc), Freq: 1 / d}, nil
+				sc.Enter(obs.PhaseMeasure)
+				leak := measure.Leakage(op, b.VddSrc)
+				sc.Exit()
+				so.End(b.Ckt.Stats())
+				return Fig6Point{Leakage: leak, Freq: 1 / d}, nil
 			})
 		res.Health.Merge(rep)
 		if err != nil {
@@ -262,12 +277,12 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 	for vi, vdd := range Fig7Supplies {
 		seed := s.Cfg.Seed + int64(7000+100*vi)
 		build := pooledNand2FO3(vdd, sz)
-		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, vdd, build)
+		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, vdd, build, s.instr)
 		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 golden %g V: %w", vdd, err)
 		}
-		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, vdd, build)
+		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, vdd, build, s.instr)
 		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 vs %g V: %w", vdd, err)

@@ -10,6 +10,7 @@ import (
 	"vstat/internal/device"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 	"vstat/internal/spice"
 	"vstat/internal/ssta"
 	"vstat/internal/stats"
@@ -121,7 +122,7 @@ func (s *Suite) ExtCorners() (ExtCornersResult, error) {
 	}
 
 	delays, rep, err := pooledDelayMC(res.N, s.Cfg.Seed+777, s.Cfg.Workers, s.Cfg.Policy,
-		s.VS, s.Cfg.FastMC, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz))
+		s.VS, s.Cfg.FastMC, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz), s.instr)
 	res.Health.Merge(rep)
 	if err != nil {
 		return res, err
@@ -220,14 +221,23 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 	res := Fig8HoldResult{N: n}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
 		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
-			func(int) (*circuits.PooledDFF, error) {
+			newObsState(s.instr, func() (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
-			},
-			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
-				ff.Restat(m.Statistical(rng))
+			}),
+			func(st obsState[*circuits.PooledDFF], idx int, rng *rand.Rand) (float64, error) {
+				ff, so := st.B, st.So
+				sc := so.Scope()
+				ff.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				ff.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
 				o := opts
 				o.Res, o.Fast = &ff.Res, ff.Fast
-				return measure.HoldTime(ff.DFF, o)
+				sc.Enter(obs.PhaseMeasure)
+				th, err := measure.HoldTime(ff.DFF, o)
+				sc.Exit()
+				so.End(ff.Ckt.Stats())
+				return th, err
 			})
 		res.Health.Merge(rep)
 		if err != nil {
@@ -274,12 +284,23 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 	res := ExtRingResult{N: n}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
 		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
-			func(int) (*circuits.PooledRing, error) {
+			newObsState(s.instr, func() (*circuits.PooledRing, error) {
 				return circuits.NewPooledRing(5, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC), nil
-			},
-			func(ro *circuits.PooledRing, idx int, rng *rand.Rand) (float64, error) {
-				ro.Restat(m.Statistical(rng))
-				return ro.Frequency(1.2e-9, 1.5e-12)
+			}),
+			func(st obsState[*circuits.PooledRing], idx int, rng *rand.Rand) (float64, error) {
+				ro, so := st.B, st.So
+				sc := so.Scope()
+				ro.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				ro.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
+				// Frequency's transient records itself as solver time inside
+				// the measure span; the residual is the frequency extraction.
+				sc.Enter(obs.PhaseMeasure)
+				f, err := ro.Frequency(1.2e-9, 1.5e-12)
+				sc.Exit()
+				so.End(ro.Ckt.Stats())
+				return f, err
 			})
 		res.Health.Merge(rep)
 		if err != nil {

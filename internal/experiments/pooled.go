@@ -7,6 +7,7 @@ import (
 	"vstat/internal/core"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 )
 
 // This file hosts the pooled Monte Carlo plumbing shared by the circuit
@@ -38,18 +39,29 @@ func pooledNand2FO3(vdd float64, sz circuits.Sizing) gateBuilder {
 // pooledDelayMC runs an n-sample pair-delay Monte Carlo over per-worker
 // pooled benches under the configured failure policy. The returned slice
 // holds only the successful samples (failed ones are compacted away and
-// recorded in the report).
+// recorded in the report). A live mi attaches per-worker phase timing,
+// Newton-work histograms and rescue counters; nil runs uninstrumented.
 func pooledDelayMC(n int, seed int64, workers int, pol montecarlo.Policy,
-	m core.StatModel, fast bool, vdd float64, build gateBuilder) ([]float64, montecarlo.RunReport, error) {
+	m core.StatModel, fast bool, vdd float64, build gateBuilder, mi *MCInstr) ([]float64, montecarlo.RunReport, error) {
 	out, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
-		func(int) (*circuits.PooledGate, error) { return build(m.Nominal(), fast) },
-		func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
-			b.Restat(m.Statistical(rng))
+		newObsState(mi, func() (*circuits.PooledGate, error) { return build(m.Nominal(), fast) }),
+		func(st obsState[*circuits.PooledGate], idx int, rng *rand.Rand) (float64, error) {
+			b, so := st.B, st.So
+			sc := so.Scope()
+			b.Ckt.SetObsSample(idx)
+			sc.Enter(obs.PhaseRestamp)
+			b.Restat(so.Factory(m.Statistical(rng)))
+			sc.Exit()
 			res, err := b.Transient(gateTranStop, gateTranStep)
 			if err != nil {
+				so.End(b.Ckt.Stats())
 				return 0, err
 			}
-			return measure.PairDelay(res, b.In, b.Out, vdd)
+			sc.Enter(obs.PhaseMeasure)
+			d, derr := measure.PairDelay(res, b.In, b.Out, vdd)
+			sc.Exit()
+			so.End(b.Ckt.Stats())
+			return d, derr
 		})
 	if err != nil {
 		return nil, rep, err

@@ -33,7 +33,7 @@ func TestPooledInvDelayBitIdentical(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		got, _, err := pooledDelayMC(n, seed, workers, montecarlo.Policy{}, m, false, poolTestVdd,
-			pooledInvFO3(poolTestVdd, poolTestSizing()))
+			pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +58,7 @@ func TestPooledNandDelayBitIdentical(t *testing.T) {
 	}
 	for _, workers := range []int{1, 3} {
 		got, _, err := pooledDelayMC(n, seed, workers, montecarlo.Policy{}, m, false, poolTestVdd,
-			pooledNand2FO3(poolTestVdd, poolTestSizing()))
+			pooledNand2FO3(poolTestVdd, poolTestSizing()), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,12 +147,12 @@ func TestPooledFastDelayAccuracy(t *testing.T) {
 	const n = 4
 	const seed = int64(4321)
 	exact, _, err := pooledDelayMC(n, seed, 1, montecarlo.Policy{}, m, false, poolTestVdd,
-		pooledInvFO3(poolTestVdd, poolTestSizing()))
+		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fast, _, err := pooledDelayMC(n, seed, 1, montecarlo.Policy{}, m, true, poolTestVdd,
-		pooledInvFO3(poolTestVdd, poolTestSizing()))
+		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestPooledFastDelayAccuracy(t *testing.T) {
 	// Fast mode carries no state across samples (Restat invalidates the
 	// factorization), so it must also be worker-invariant.
 	fast4, _, err := pooledDelayMC(n, seed, 4, montecarlo.Policy{}, m, true, poolTestVdd,
-		pooledInvFO3(poolTestVdd, poolTestSizing()))
+		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"vstat/internal/core"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 	"vstat/internal/stats"
 )
 
@@ -35,14 +36,25 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 	}
 	run := func(m core.StatModel, seed int64) ([]float64, error) {
 		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
-			func(int) (*circuits.PooledDFF, error) {
+			newObsState(s.instr, func() (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
-			},
-			func(ff *circuits.PooledDFF, idx int, rng *rand.Rand) (float64, error) {
-				ff.Restat(m.Statistical(rng))
+			}),
+			func(st obsState[*circuits.PooledDFF], idx int, rng *rand.Rand) (float64, error) {
+				ff, so := st.B, st.So
+				sc := so.Scope()
+				ff.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				ff.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
 				o := opts
 				o.Res, o.Fast = &ff.Res, ff.Fast
-				return measure.SetupTime(ff.DFF, o)
+				// The bisection's transient solves record themselves inside
+				// the measure span, pausing it for the solver's share.
+				sc.Enter(obs.PhaseMeasure)
+				ts, err := measure.SetupTime(ff.DFF, o)
+				sc.Exit()
+				so.End(ff.Ckt.Stats())
+				return ts, err
 			})
 		res.Health.Merge(rep)
 		if err != nil {
@@ -141,6 +153,38 @@ func pooledSNMSample(cell *circuits.PooledSRAM, m core.StatModel, rng *rand.Rand
 	return rres.SNM, hres.SNM, nil
 }
 
+// pooledSNMSampleObs is pooledSNMSample with phase attribution: the
+// re-stamp and SNM extraction are spanned while the butterfly DC sweeps
+// record themselves as solver time. The draw/sweep order is unchanged, so
+// sampled metrics stay bit-identical to the uninstrumented path.
+func pooledSNMSampleObs(cell *circuits.PooledSRAM, m core.StatModel, rng *rand.Rand, so *SampleObs) (read, hold float64, err error) {
+	sc := so.Scope()
+	sc.Enter(obs.PhaseRestamp)
+	cell.Restat(so.Factory(m.Statistical(rng)))
+	sc.Exit()
+	rl, rr, err := cell.Butterfly(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	sc.Enter(obs.PhaseMeasure)
+	rres, err := measure.SNM(rl, rr)
+	sc.Exit()
+	if err != nil {
+		return 0, 0, err
+	}
+	hl, hr, err := cell.Butterfly(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	sc.Enter(obs.PhaseMeasure)
+	hres, err := measure.SNM(hl, hr)
+	sc.Exit()
+	if err != nil {
+		return 0, 0, err
+	}
+	return rres.SNM, hres.SNM, nil
+}
+
 // Fig9 runs the SRAM SNM Monte Carlo.
 func (s *Suite) Fig9() (Fig9Result, error) {
 	n := s.Cfg.samples(2500)
@@ -160,12 +204,15 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 
 	run := func(m core.StatModel, seed int64) (read, hold []float64, err error) {
 		pairs, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
-			func(int) (*circuits.PooledSRAM, error) {
+			newObsState(s.instr, func() (*circuits.PooledSRAM, error) {
 				return circuits.NewPooledSRAM(s.Cfg.Vdd, circuits.DefaultSRAMSizing(),
 					m.Nominal(), butterflyPoints, s.Cfg.FastMC), nil
-			},
-			func(cell *circuits.PooledSRAM, idx int, rng *rand.Rand) ([2]float64, error) {
-				r, h, err := pooledSNMSample(cell, m, rng)
+			}),
+			func(st obsState[*circuits.PooledSRAM], idx int, rng *rand.Rand) ([2]float64, error) {
+				cell, so := st.B, st.So
+				cell.SetObsSample(idx)
+				r, h, err := pooledSNMSampleObs(cell, m, rng, so)
+				so.End(cell.Stats())
 				return [2]float64{r, h}, err
 			})
 		res.Health.Merge(rep)

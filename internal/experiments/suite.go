@@ -22,6 +22,7 @@ import (
 	"vstat/internal/device"
 	"vstat/internal/extract"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
 	"vstat/internal/stats"
 	"vstat/internal/variation"
 )
@@ -46,6 +47,18 @@ type Config struct {
 	// drops those samples from the reported statistics, and records them
 	// in each figure's Health report.
 	Policy montecarlo.Policy
+
+	// Metrics, when non-nil and obs.Enabled(), receives the Monte Carlo
+	// metric set (per-phase time histograms, Newton-work histograms,
+	// per-stage rescue counters). The registry must be fresh: NewSuite
+	// registers the metrics before any worker shard is created.
+	Metrics *obs.Registry
+	// Trace, when set alongside Metrics, receives sampled solver trace
+	// events (rescue escalations, non-finite rejects, fast fallbacks).
+	Trace *obs.EventSink
+	// Progress, when set alongside Metrics, is fed per-sample rescue
+	// tallies; attach it to run ticks with montecarlo.SetProgress.
+	Progress *obs.Progress
 }
 
 // Health is one experiment's aggregated Monte Carlo run report; a zero
@@ -100,6 +113,10 @@ type Suite struct {
 	MeasuredN, MeasuredP []bpv.GeometryVariance
 	// ExtractionN/P are the configured BPV problems (reused by Fig. 2/3).
 	ExtractionN, ExtractionP *bpv.Extraction
+
+	// instr is the circuit-MC instrumentation bundle built from
+	// Cfg.Metrics/Trace/Progress, or nil when observability is off.
+	instr *MCInstr
 }
 
 // NewSuite runs the full extraction pipeline: Fig. 1 nominal fits for both
@@ -107,6 +124,11 @@ type Suite struct {
 // measurement, and the joint BPV solve.
 func NewSuite(cfg Config) (*Suite, error) {
 	s := &Suite{Cfg: cfg, Golden: core.DefaultStatGolden(), VS: core.DefaultStatVS()}
+	if cfg.Metrics != nil && obs.Enabled() {
+		s.instr = NewMCInstr(cfg.Metrics)
+		s.instr.Sink = cfg.Trace
+		s.instr.Progress = cfg.Progress
+	}
 
 	// Nominal extraction (Fig. 1) at the paper's W = 300 nm, followed by a
 	// δ(Leff) roll-up calibration at a second length so the model's local

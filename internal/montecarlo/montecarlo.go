@@ -251,6 +251,15 @@ func MapPooledReport[S, T any](n int, seed int64, workers int, pol Policy,
 		failLimit = int64(pol.MaxFailFrac * float64(n))
 	}
 
+	// The progress sink is read once per run, so attaching/detaching races
+	// at worst one run boundary; per-sample cost without a sink is one nil
+	// interface check.
+	ps := currentProgress()
+	if ps != nil {
+		ps.RunStart(n, workers)
+		defer ps.RunEnd()
+	}
+
 	out := make([]T, n)
 	errs := make([]error, n)
 	ran := make([]bool, n)
@@ -279,6 +288,9 @@ func MapPooledReport[S, T any](n int, seed int64, workers int, pol Policy,
 				res, err := safeSample(fn, st, idx, SampleRNG(seed, idx))
 				out[idx] = res
 				errs[idx] = err
+				if ps != nil {
+					ps.SampleDone(err != nil)
+				}
 				if err != nil && failed.Add(1) > failLimit {
 					abort.Store(true)
 				}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// EventSink emits structured solver-trace events (rescue-ladder
+// escalations, non-finite rejections, fast→exact fallbacks) through
+// log/slog with 1-in-every sampling so 10k-sample runs stay cheap. The
+// sampling gate is checked before any attribute is built, so sampled-out
+// events cost one atomic add. A nil *EventSink is a no-op.
+type EventSink struct {
+	log   *slog.Logger
+	every int64
+	n     atomic.Int64
+}
+
+// NewEventSink builds a sink writing slog text lines to w at the given
+// level, emitting one event in every `every` (every <= 1 means all).
+func NewEventSink(w io.Writer, level slog.Level, every int) *EventSink {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return NewEventSinkLogger(slog.New(h), every)
+}
+
+// NewEventSinkLogger builds a sink on an existing logger.
+func NewEventSinkLogger(log *slog.Logger, every int) *EventSink {
+	if every < 1 {
+		every = 1
+	}
+	return &EventSink{log: log, every: int64(every)}
+}
+
+// take reports whether the next event passes the sampling gate.
+func (e *EventSink) take() bool {
+	if e == nil {
+		return false
+	}
+	return (e.n.Add(1)-1)%e.every == 0
+}
+
+// Taken returns how many events were offered to the sink (sampled or not);
+// used by tests and the run summary.
+func (e *EventSink) Taken() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.n.Load()
+}
+
+// Rescue records a rescue-ladder escalation: which ladder stage recovered
+// the solve, the sample and simulated time it happened at, and the worst
+// node of the triggering convergence failure.
+func (e *EventSink) Rescue(sample int, stage string, t float64, worstNode string, iters int) {
+	if !e.take() {
+		return
+	}
+	e.log.Warn("rescue",
+		slog.Int("sample", sample),
+		slog.String("stage", stage),
+		slog.Float64("t", t),
+		slog.String("worst_node", worstNode),
+		slog.Int("iters", iters))
+}
+
+// NonFinite records a NaN/Inf iterate or candidate rejection.
+func (e *EventSink) NonFinite(sample int, where string, t float64) {
+	if !e.take() {
+		return
+	}
+	e.log.Warn("nonfinite",
+		slog.Int("sample", sample),
+		slog.String("where", where),
+		slog.Float64("t", t))
+}
+
+// Fallback records a fast-mode chord-Newton solve handing the step back to
+// the exact path.
+func (e *EventSink) Fallback(sample int, t float64) {
+	if !e.take() {
+		return
+	}
+	e.log.Info("fast_fallback",
+		slog.Int("sample", sample),
+		slog.Float64("t", t))
+}
+
+// SampleFailed records a sample the MC policy skipped after all rescues.
+func (e *EventSink) SampleFailed(sample int, err error) {
+	if !e.take() {
+		return
+	}
+	e.log.Error("sample_failed",
+		slog.Int("sample", sample),
+		slog.String("err", err.Error()))
+}
+
+// Events returns the scope's attached sink (nil-safe), letting deep solver
+// code reach the sink through the handle it already has.
+func (s *Scope) Events() *EventSink {
+	if s == nil {
+		return nil
+	}
+	return s.sink
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestEventSinkSampling(t *testing.T) {
+	var b strings.Builder
+	sink := NewEventSink(&b, slog.LevelInfo, 3)
+	for i := 0; i < 9; i++ {
+		sink.Rescue(i, "dc-gmin", 0, "out", 12)
+	}
+	if got := strings.Count(b.String(), "msg=rescue"); got != 3 {
+		t.Fatalf("1-in-3 sampling emitted %d of 9 events, want 3:\n%s", got, b.String())
+	}
+	if sink.Taken() != 9 {
+		t.Fatalf("Taken() = %d, want 9", sink.Taken())
+	}
+}
+
+func TestEventSinkLevels(t *testing.T) {
+	var b strings.Builder
+	sink := NewEventSink(&b, slog.LevelWarn, 1)
+	sink.Fallback(1, 1e-9)                  // Info: filtered by level
+	sink.NonFinite(2, "tran-iterate", 2e-9) // Warn: emitted
+	out := b.String()
+	if strings.Contains(out, "fast_fallback") {
+		t.Fatalf("info event leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "nonfinite") || !strings.Contains(out, "where=tran-iterate") {
+		t.Fatalf("warn event missing:\n%s", out)
+	}
+}
+
+func TestEventSinkAttrs(t *testing.T) {
+	var b strings.Builder
+	sink := NewEventSink(&b, slog.LevelInfo, 1)
+	sink.Rescue(17, "tran-halve", 3.5e-10, "n2", 41)
+	sink.SampleFailed(18, errors.New("no convergence"))
+	out := b.String()
+	for _, want := range []string{"sample=17", "stage=tran-halve", "worst_node=n2", "iters=41",
+		"sample=18", "msg=sample_failed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilEventSinkIsNoOp(t *testing.T) {
+	var sink *EventSink
+	sink.Rescue(0, "dc-gmin", 0, "", 0)
+	sink.NonFinite(0, "", 0)
+	sink.Fallback(0, 0)
+	sink.SampleFailed(0, errors.New("x"))
+	if sink.Taken() != 0 {
+		t.Fatal("nil sink should report zero taken")
+	}
+}

@@ -1,0 +1,39 @@
+// Package obs is the repository's structured observability layer: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket histograms
+// with per-worker atomic shards that merge deterministically), span-style
+// per-sample phase timing (obs.Scope), a sampled structured-event sink for
+// solver traces (log/slog), and a live progress reporter for long Monte
+// Carlo runs.
+//
+// The package is dependency-free (standard library only) and built so the
+// instrumented hot paths cost nothing when observability is off:
+//
+//   - Every Scope/Shard/EventSink method is nil-safe: a nil receiver is a
+//     no-op, so un-instrumented code passes nil handles and pays a single
+//     pointer check.
+//   - The package-level Enabled gate keeps construction honest: NewScope
+//     returns nil while observability is disabled, so an entire
+//     instrumentation tree collapses to nil handles.
+//   - Enabled paths allocate nothing per event: shards are preallocated
+//     atomics, Scope keeps fixed-size phase accumulators, and the event
+//     sink drops sampled-out events before building attributes.
+//
+// Attribution follows the Monte Carlo determinism contract: counters and
+// histogram bucket/sum cells are int64, so merging N worker shards is
+// bit-identical to one shard holding the same increments, and per-sample
+// counter attribution is invariant under worker count.
+package obs
+
+import "sync/atomic"
+
+// enabled is the package-level observability gate. Default off: the
+// instrumented solver hot paths stay zero-cost until a driver opts in.
+var enabled atomic.Bool
+
+// SetEnabled turns the observability layer on or off process-wide. Drivers
+// (cmd/vsrepro, cmd/vsbench) enable it when any observability flag is set;
+// tests enable it around instrumented runs.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the observability layer is on.
+func Enabled() bool { return enabled.Load() }

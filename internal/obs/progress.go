@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live progress reporter for long Monte Carlo runs: worker
+// goroutines tick it per sample (atomic adds only), and a background
+// ticker renders throughput, ETA, and fail/rescue rates on an interval. A
+// nil *Progress is a no-op, so drivers attach it only when asked to.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+
+	// Extra, when set, is appended to every progress line (e.g. a driver
+	// pulling extra counters from the metrics registry). Called from the
+	// ticker goroutine; must be safe for concurrent use.
+	Extra func() string
+
+	total   atomic.Int64
+	workers atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	rescued atomic.Int64
+	start   atomic.Int64 // unix ns
+
+	mu   sync.Mutex // guards w and ticker lifecycle
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProgress builds a reporter writing to w every interval (minimum
+// 100ms). Returns nil when observability is disabled or w is nil.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if !Enabled() || w == nil {
+		return nil
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return &Progress{w: w, interval: interval}
+}
+
+// RunStart records run shape and starts the ticker goroutine.
+func (p *Progress) RunStart(total, workers int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(total))
+	p.workers.Store(int64(workers))
+	p.done.Store(0)
+	p.failed.Store(0)
+	p.rescued.Store(0)
+	p.start.Store(time.Now().UnixNano())
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return // already running
+	}
+	p.stop = make(chan struct{})
+	p.wg.Add(1)
+	go func(stop chan struct{}) {
+		defer p.wg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.emit(false)
+			}
+		}
+	}(p.stop)
+}
+
+// SampleDone ticks one completed sample (failed samples still count toward
+// progress; they are also counted in the fail rate).
+func (p *Progress) SampleDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	if failed {
+		p.failed.Add(1)
+	}
+}
+
+// AddRescued adds to the run's rescue-escalation tally (fed by the
+// experiments layer's per-sample solver-stat deltas).
+func (p *Progress) AddRescued(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.rescued.Add(n)
+}
+
+// RunEnd stops the ticker and emits a final line.
+func (p *Progress) RunEnd() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop := p.stop
+	p.stop = nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		p.wg.Wait()
+	}
+	p.emit(true)
+}
+
+func (p *Progress) emit(final bool) {
+	line := p.line(time.Now())
+	if p.Extra != nil {
+		if x := p.Extra(); x != "" {
+			line += " " + x
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if final {
+		fmt.Fprintf(p.w, "%s done\n", line)
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// line renders the current progress state (separate from emit so tests can
+// exercise the formatting deterministically).
+func (p *Progress) line(now time.Time) string {
+	done := p.done.Load()
+	total := p.total.Load()
+	failed := p.failed.Load()
+	rescued := p.rescued.Load()
+	elapsed := now.Sub(time.Unix(0, p.start.Load()))
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	rate := float64(done) / elapsed.Seconds()
+	eta := "?"
+	if rate > 0 && total > done {
+		eta = (time.Duration(float64(total-done)/rate*float64(time.Second)) / time.Second * time.Second).String()
+	} else if total <= done {
+		eta = "0s"
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	failPct := 0.0
+	if done > 0 {
+		failPct = 100 * float64(failed) / float64(done)
+	}
+	return fmt.Sprintf("mc %d/%d (%.1f%%) %.1f samp/s eta %s fail %.1f%% rescued %d workers %d",
+		done, total, pct, rate, eta, failPct, rescued, p.workers.Load())
+}

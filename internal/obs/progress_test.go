@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressLine(t *testing.T) {
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+	var b strings.Builder
+	p := NewProgress(&b, time.Hour) // ticker never fires in-test
+	if p == nil {
+		t.Fatal("NewProgress returned nil while enabled")
+	}
+	p.RunStart(1000, 4)
+	for i := 0; i < 250; i++ {
+		p.SampleDone(i%50 == 0)
+	}
+	p.AddRescued(7)
+	line := p.line(time.Unix(0, p.start.Load()).Add(2 * time.Second))
+	for _, want := range []string{"mc 250/1000", "(25.0%)", "125.0 samp/s", "fail 2.0%", "rescued 7", "workers 4"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line missing %q: %s", want, line)
+		}
+	}
+	p.RunEnd()
+	if out := b.String(); !strings.Contains(out, "done") {
+		t.Fatalf("RunEnd should emit a final line: %q", out)
+	}
+}
+
+func TestProgressDisabledAndNil(t *testing.T) {
+	SetEnabled(false)
+	var b strings.Builder
+	if p := NewProgress(&b, time.Second); p != nil {
+		t.Fatal("NewProgress should return nil while disabled")
+	}
+	var p *Progress
+	p.RunStart(10, 1)
+	p.SampleDone(false)
+	p.AddRescued(1)
+	p.RunEnd()
+}
+
+func TestProgressExtra(t *testing.T) {
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+	var b strings.Builder
+	p := NewProgress(&b, time.Hour)
+	p.Extra = func() string { return "jac=42" }
+	p.RunStart(10, 1)
+	p.RunEnd()
+	if !strings.Contains(b.String(), "jac=42") {
+		t.Fatalf("Extra text missing from output: %q", b.String())
+	}
+}

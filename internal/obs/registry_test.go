@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardMergeDeterminism is the merge-determinism contract: the same
+// set of increments distributed over N worker shards merges bit-identical
+// to a single shard holding all of them, for counters, gauges (additive),
+// and histograms. Mirrors the MC bit-identity tests.
+func TestShardMergeDeterminism(t *testing.T) {
+	type op struct {
+		kind int // 0 counter, 1 hist, 2 gauge-add-once
+		id   int
+		v    int64
+	}
+	rng := rand.New(rand.NewSource(42))
+	var ops []op
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(2) {
+		case 0:
+			ops = append(ops, op{kind: 0, id: rng.Intn(3), v: int64(rng.Intn(10))})
+		default:
+			ops = append(ops, op{kind: 1, id: rng.Intn(2), v: int64(rng.Intn(1 << 20))})
+		}
+	}
+
+	build := func(workers int) Snapshot {
+		r := NewRegistry()
+		var cids [3]CounterID
+		for i := range cids {
+			cids[i] = r.Counter([]string{"a", "b", "c"}[i])
+		}
+		var hids [2]HistID
+		hids[0] = r.Histogram("h0", ExpBounds(16, 2, 12))
+		hids[1] = r.Histogram("h1", []int64{10, 100, 1000})
+		shards := make([]*Shard, workers)
+		for w := range shards {
+			shards[w] = r.NewShard()
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i, o := range ops {
+					if i%workers != w {
+						continue
+					}
+					switch o.kind {
+					case 0:
+						shards[w].Add(cids[o.id], o.v)
+					case 1:
+						shards[w].Observe(hids[o.id], o.v)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return r.Snapshot()
+	}
+
+	ref := build(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := build(workers)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("snapshot with %d workers differs from 1-worker reference:\n1: %+v\n%d: %+v",
+				workers, ref, workers, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	id := r.Histogram("lat", []int64{10, 20, 40, 80})
+	s := r.NewShard()
+	// 100 observations uniform in (0,10]: p50 should interpolate to ~5.
+	for i := 0; i < 100; i++ {
+		s.Observe(id, 5)
+	}
+	snap := r.Snapshot().Find("lat")
+	if snap.Count != 100 || snap.Sum != 500 {
+		t.Fatalf("count/sum = %d/%d, want 100/500", snap.Count, snap.Sum)
+	}
+	if p := snap.Quantile(0.5); p <= 0 || p > 10 {
+		t.Fatalf("p50 = %v, want in (0,10]", p)
+	}
+	// Overflow bucket reports the last finite bound.
+	s.Observe(id, 1<<40)
+	snap = r.Snapshot().Find("lat")
+	if p := snap.Quantile(0.999); p != 80 {
+		t.Fatalf("overflow quantile = %v, want 80", p)
+	}
+	if snap.Counts[len(snap.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", snap.Counts[len(snap.Counts)-1])
+	}
+}
+
+func TestSnapshotJSONAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mc_samples_total")
+	g := r.Gauge("mc_workers")
+	h := r.Histogram("newton_iters", []int64{4, 8, 16})
+	s := r.NewShard()
+	s.Add(c, 7)
+	s.Set(g, 4)
+	s.Observe(h, 5)
+	s.Observe(h, 100)
+
+	snap := r.Snapshot()
+	blob, err := snap.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.FindCounter("mc_samples_total") != 7 {
+		t.Fatalf("counter lost in JSON round-trip: %+v", back)
+	}
+
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE mc_samples_total counter",
+		"mc_samples_total 7",
+		"# TYPE mc_workers gauge",
+		"newton_iters_bucket{le=\"8\"} 1",
+		"newton_iters_bucket{le=\"+Inf\"} 2",
+		"newton_iters_sum 105",
+		"newton_iters_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNilShardIsNoOp(t *testing.T) {
+	var s *Shard
+	s.Add(0, 1)
+	s.Set(0, 1)
+	s.Observe(0, 1)
+}
+
+func TestRegistrationAfterShardPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a")
+	r.NewShard()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering after first shard")
+		}
+	}()
+	r.Counter("b")
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(256, 1.5, 41)
+	if b[0] != 256 {
+		t.Fatalf("first bound = %d", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+}
+
+// TestShardOpsAllocFree guards the recording hot path: counter adds and
+// histogram observes on a live shard must not allocate.
+func TestShardOpsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", ExpBounds(16, 2, 20))
+	s := r.NewShard()
+	if n := testing.AllocsPerRun(200, func() {
+		s.Add(c, 1)
+		s.Observe(h, 12345)
+	}); n != 0 {
+		t.Fatalf("shard ops allocate %v allocs/op, want 0", n)
+	}
+	var nilShard *Shard
+	if n := testing.AllocsPerRun(200, func() {
+		nilShard.Add(c, 1)
+		nilShard.Observe(h, 12345)
+	}); n != 0 {
+		t.Fatalf("nil shard ops allocate %v allocs/op, want 0", n)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"vstat/internal/device"
 	"vstat/internal/linalg"
+	"vstat/internal/obs"
 )
 
 // Gnd is the ground node index. Node indices returned by Circuit.Node are
@@ -168,6 +169,11 @@ type Circuit struct {
 	hsQCap, hsICap []float64
 
 	stats SolverStats
+
+	// Observability handles (see SetObs/SetObsSample): nil scope means
+	// every instrumentation site is a single pointer check.
+	obsScope  *obs.Scope
+	obsSample int
 }
 
 // New returns an empty circuit.

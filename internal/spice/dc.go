@@ -2,6 +2,8 @@ package spice
 
 import (
 	"fmt"
+
+	"vstat/internal/obs"
 )
 
 // OPResult is a converged DC operating point.
@@ -50,6 +52,8 @@ func (c *Circuit) OPFrom(prev *OPResult) (*OPResult, error) {
 }
 
 func (c *Circuit) op(guess []float64) (*OPResult, error) {
+	c.obsScope.Enter(obs.PhaseSolve)
+	defer c.obsScope.Exit()
 	x := make([]float64, c.unknowns())
 	if err := c.solveOPInto(x, guess, false); err != nil {
 		return nil, err
@@ -78,9 +82,11 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	}
 	reset()
 
-	// 1. Plain Newton.
+	// 1. Plain Newton. The failure is kept as the trace cause: each rescued
+	// rung reports the worst node that made plain Newton give up.
 	ctx := assembleCtx{srcScale: 1, carry: carry, fast: carry}
-	if cerr := c.newton(x, &ctx); cerr == nil {
+	first := c.newton(x, &ctx)
+	if first == nil {
 		return nil
 	}
 
@@ -88,6 +94,7 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	reset()
 	if cerr := c.gminStepInto(x); cerr == nil {
 		c.stats.DCGminRescues++
+		c.traceRescue(StageDCGmin, 0, first)
 		return nil
 	}
 
@@ -97,6 +104,7 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	}
 	if cerr := c.sourceStepInto(x); cerr == nil {
 		c.stats.DCSourceRescues++
+		c.traceRescue(StageDCSource, 0, first)
 		return nil
 	}
 
@@ -105,6 +113,7 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	cerr := c.pseudoTransientInto(x)
 	if cerr == nil {
 		c.stats.DCPseudoRescues++
+		c.traceRescue(StageDCPseudo, 0, first)
 		return nil
 	}
 	return cerr
@@ -220,6 +229,9 @@ func (c *Circuit) DCSweepObserve(src int, values []float64, observe int, out []f
 	}
 	saved := c.vs[src].wave
 	defer func() { c.vs[src].wave = saved }()
+
+	c.obsScope.Enter(obs.PhaseSolve)
+	defer c.obsScope.Exit()
 
 	n := c.unknowns()
 	if len(c.swX) != n {

@@ -7,6 +7,7 @@ import (
 
 	"vstat/internal/device"
 	"vstat/internal/linalg"
+	"vstat/internal/obs"
 )
 
 // Newton solver tolerances.
@@ -494,19 +495,30 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 		// Chord Newton: refresh the (expensive, finite-differenced)
 		// Jacobian on the first iteration and whenever contraction slows;
 		// in between, re-use the factored Jacobian with fresh residuals.
+		// Assembly-with-Jacobian plus LU factorization is the "factor"
+		// observability phase (self-time carved out of newton-solve).
 		wantJ := lu == nil || forceJ || prevDv > 0.2
+		if wantJ {
+			c.obsScope.Enter(obs.PhaseFactor)
+		}
 		c.assemble(x, f, jac, ctx, wantJ)
 		// Reject NaN/Inf residuals before they reach the linear solve: a
 		// single non-finite model evaluation would otherwise smear NaN over
 		// the whole update vector and burn the full iteration budget
 		// (NaN compares false against every tolerance).
 		if i := firstNonFinite(f); i >= 0 {
+			if wantJ {
+				c.obsScope.Exit()
+			}
 			c.stats.NonFiniteRejects++
+			c.traceNonFinite("newton-residual", ctx.t)
 			return &ConvergenceError{Iters: iter + 1, Node: c.unknownName(i),
 				Residual: f[i], Err: ErrNonFiniteSolution}
 		}
 		if wantJ {
-			if err := c.nwLU.Factor(jac); err != nil {
+			err := c.nwLU.Factor(jac)
+			c.obsScope.Exit()
+			if err != nil {
 				return &ConvergenceError{Iters: iter + 1,
 					Err: fmt.Errorf("singular Jacobian: %w", err)}
 			}
@@ -519,6 +531,7 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 		// produce Inf/NaN updates; reject them before touching x.
 		if i := firstNonFinite(dx); i >= 0 {
 			c.stats.NonFiniteRejects++
+			c.traceNonFinite("newton-update", ctx.t)
 			return &ConvergenceError{Iters: iter + 1, Node: c.unknownName(i),
 				Residual: lastF, Err: ErrNonFiniteSolution}
 		}

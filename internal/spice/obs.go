@@ -1,0 +1,42 @@
+package spice
+
+import "vstat/internal/obs"
+
+// SetObs attaches a per-worker observability scope to the circuit. The
+// solver then attributes factor and Newton-solve time to the scope's phase
+// accumulators and routes rescue/non-finite/fallback traces to the scope's
+// event sink. A nil scope (the default) keeps every instrumentation site a
+// single pointer check — the solver hot path stays allocation-free and
+// within the benchmark budget with observability disabled.
+func (c *Circuit) SetObs(sc *obs.Scope) { c.obsScope = sc }
+
+// SetObsSample tags subsequent solver traces with the Monte Carlo sample
+// index currently running on this circuit.
+func (c *Circuit) SetObsSample(idx int) { c.obsSample = idx }
+
+// traceRescue emits a rescue-ladder escalation event carrying the rung that
+// is being entered (or just succeeded) and the worst node of the triggering
+// convergence failure. All trace helpers are cheap no-ops without an
+// attached event sink, and the sink itself drops sampled-out events before
+// building attributes.
+func (c *Circuit) traceRescue(stage Stage, t float64, cause *ConvergenceError) {
+	sink := c.obsScope.Events()
+	if sink == nil {
+		return
+	}
+	node, iters := "", 0
+	if cause != nil {
+		node, iters = cause.Node, cause.Iters
+	}
+	sink.Rescue(c.obsSample, string(stage), t, node, iters)
+}
+
+// traceNonFinite emits a NaN/Inf rejection event.
+func (c *Circuit) traceNonFinite(where string, t float64) {
+	c.obsScope.Events().NonFinite(c.obsSample, where, t)
+}
+
+// traceFallback emits a fast→exact fallback event.
+func (c *Circuit) traceFallback(t float64) {
+	c.obsScope.Events().Fallback(c.obsSample, t)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"vstat/internal/obs"
 )
 
 // TranOpts configures a transient analysis.
@@ -152,6 +154,11 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 	if opts.Stop <= 0 || opts.Step <= 0 {
 		return fmt.Errorf("spice: invalid transient window stop=%g step=%g", opts.Stop, opts.Step)
 	}
+	// The whole transient (initial OP, stepping, history updates, waveform
+	// snaps) is newton-solve phase time; Jacobian factorizations inside
+	// newton carve their self-time out into the factor phase.
+	c.obsScope.Enter(obs.PhaseSolve)
+	defer c.obsScope.Exit()
 	n := c.unknowns()
 	if len(c.trX) != n {
 		c.trX = make([]float64, n)
@@ -221,6 +228,7 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 			// retry the step with the exact path before escalating to
 			// sub-stepping.
 			c.stats.FastFallbacks++
+			c.traceFallback(t)
 			c.luValid = false
 			copy(x, xPrev)
 			exact := assembleCtx{t: t, srcScale: 1, tran: ts}
@@ -239,6 +247,7 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 			// device); reject the poisoned history before it propagates.
 			if !c.tranHistoryFinite(ts) {
 				c.stats.NonFiniteRejects++
+				c.traceNonFinite("tran-history", t)
 				c.restoreTranHistory(ts)
 				cerr = &ConvergenceError{Err: ErrNonFiniteSolution}
 			}
@@ -246,6 +255,7 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 		if cerr != nil {
 			// Retry the step from the unextrapolated state with smaller
 			// backward-Euler sub-steps, halving further on repeated failure.
+			c.traceRescue("tran-substep", t, cerr)
 			copy(x, xPrev)
 			if rerr := c.rescueLadder(xPrev, x, t-opts.Step, opts.Step, ts, opts.Fast); rerr != nil {
 				return fmt.Errorf("spice: transient failed at t=%g: %w", t, asError(rerr))
@@ -266,6 +276,7 @@ func (c *Circuit) stepSolve(x []float64, ctx *assembleCtx) *ConvergenceError {
 	}
 	if i := firstNonFinite(x); i >= 0 {
 		c.stats.NonFiniteRejects++
+		c.traceNonFinite("tran-candidate", ctx.t)
 		c.luValid = false
 		cerr := &ConvergenceError{Node: c.unknownName(i), Err: ErrNonFiniteSolution}
 		return cerr.at(StageTran, ctx.t)
@@ -287,6 +298,7 @@ func (c *Circuit) rescueLadder(x0, x []float64, t0, h float64, ts *tranState, fa
 	for level := 0; level < 4; level++ {
 		if level > 0 {
 			c.stats.TranHalvings++
+			c.traceRescue(StageTranHalve, t0+h, last)
 			c.restoreTranHistory(ts)
 			copy(x, x0)
 			pieces *= 2
@@ -299,6 +311,7 @@ func (c *Circuit) rescueLadder(x0, x []float64, t0, h float64, ts *tranState, fa
 		// Last resort in fast mode: the exact path (fresh Jacobian every
 		// stall, tight tolerances) over the classic 8 sub-steps.
 		c.stats.FastFallbacks++
+		c.traceFallback(t0 + h)
 		c.luValid = false
 		c.restoreTranHistory(ts)
 		copy(x, x0)
@@ -327,6 +340,7 @@ func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState, fast boo
 		}
 		if !c.tranHistoryFinite(ts) {
 			c.stats.NonFiniteRejects++
+			c.traceNonFinite("rescue-history", t0+float64(i)*sub)
 			return &ConvergenceError{Err: ErrNonFiniteSolution}
 		}
 	}
