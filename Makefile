@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs
+tier1: vet obs sparse
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -18,6 +18,12 @@ vet:
 obs:
 	$(GO) test ./internal/obs/ -count=1
 	$(GO) test ./internal/spice/ -run 'TestInstrumented|TestSolverPhase|TestDCRescue' -count=1
+
+# Sparse linear core rung: the symbolic-once sparse LU and the stamp-list
+# assembly path, under the race detector (the symbolic object is shared
+# per-worker state in pooled Monte Carlo).
+sparse:
+	$(GO) test -race ./internal/linalg/ ./internal/spice/ -count=1
 
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vsbench [-n 64] [-workers 1] [-mode exact|fast|both] [-out BENCH_mc.json]
+//	vsbench [-n 64] [-workers 1] [-mode exact|fast|both] [-core dense|sparse|both] [-out BENCH_mc.json]
 //
 // The default single worker keeps the per-sample allocation figures free of
 // scheduler noise; raise -workers to measure parallel throughput instead.
@@ -54,10 +54,14 @@ func distFrom(h obs.HistSnap) distRecord {
 	}
 }
 
-// unitRecord is one (unit, mode) row of BENCH_mc.json.
+// unitRecord is one (unit, linear core, mode) row of BENCH_mc.json.
 type unitRecord struct {
 	Unit                 string  `json:"unit"`
 	Mode                 string  `json:"mode"`
+	LinearCore           string  `json:"linear_core"`
+	MatrixN              int     `json:"matrix_n"`
+	MatrixNNZ            int     `json:"matrix_nnz"`
+	FillRatio            float64 `json:"nnz_fill_ratio"`
 	Samples              int     `json:"samples"`
 	Workers              int     `json:"workers"`
 	NsPerSample          float64 `json:"ns_per_sample"`
@@ -117,8 +121,30 @@ func (p *statsPool) total() spice.SolverStats {
 // unitFn runs one n-sample pooled MC and reports the summed solver stats
 // plus the run's health report. A non-nil mi attaches per-sample phase
 // timing and Newton-work histograms (the distribution pass); nil keeps the
-// hot path on its nil-scope no-op branches (the timed pass).
-type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error)
+// hot path on its nil-scope no-op branches (the timed pass). core selects
+// the linear-algebra backend of every worker template, and mr (when
+// non-nil) receives the template's MNA matrix shape.
+type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error)
+
+// matRec captures the MNA matrix shape of a unit's template circuit, filled
+// once by the first worker that builds one (all workers share the topology).
+type matRec struct {
+	mu     sync.Mutex
+	set    bool
+	n, nnz int
+}
+
+func (m *matRec) record(n, nnz int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if !m.set {
+		m.set = true
+		m.n, m.nnz = n, nnz
+	}
+	m.mu.Unlock()
+}
 
 // instrState pairs a pooled bench with its per-worker recording handle
 // while keeping the bench's rescue counters visible to the run report.
@@ -138,7 +164,7 @@ const (
 
 func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (instrState[*circuits.PooledGate], error) {
@@ -146,6 +172,9 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 				if err != nil {
 					return instrState[*circuits.PooledGate]{}, err
 				}
+				b.Ckt.LinearCore = core
+				mn, nnz, _ := b.Ckt.MatrixInfo()
+				mr.record(mn, nnz)
 				pool.add(b.Ckt.Stats)
 				so := mi.NewWorker()
 				b.SetObs(so.Scope())
@@ -174,12 +203,15 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 }
 
 func dffUnit(m core.StatModel, vdd float64) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		opts := measure.DefaultSetupOpts()
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (instrState[*circuits.PooledDFF], error) {
 				ff := circuits.NewPooledDFF(vdd, circuits.DefaultDFFSizing(), m.Nominal(), fast)
+				ff.Ckt.LinearCore = core
+				mn, nnz, _ := ff.Ckt.MatrixInfo()
+				mr.record(mn, nnz)
 				pool.add(ff.Ckt.Stats)
 				so := mi.NewWorker()
 				ff.SetObs(so.Scope())
@@ -206,11 +238,14 @@ func dffUnit(m core.StatModel, vdd float64) unitFn {
 
 func sramUnit(m core.StatModel, vdd float64) unitFn {
 	const points = 61 // butterfly sweep resolution, matching Fig. 9
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, mi *experiments.MCInstr) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
 		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
 			func(int) (instrState[*circuits.PooledSRAM], error) {
 				cell := circuits.NewPooledSRAM(vdd, circuits.DefaultSRAMSizing(), m.Nominal(), points, fast)
+				cell.SetLinearCore(core)
+				mn, nnz, _ := cell.MatrixInfo()
+				mr.record(mn, nnz)
 				pool.add(cell.Stats)
 				so := mi.NewWorker()
 				cell.SetObs(so.Scope())
@@ -273,21 +308,25 @@ type unitSnapshot struct {
 // comparable across revisions; when dist is set, a second pass with the
 // same seed re-runs under instrumentation and attaches the Newton-iteration
 // and per-phase wall-time distributions.
-func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy, dist bool, bo *benchObs) (unitRecord, error) {
+func runUnit(name, mode string, core spice.LinearCore, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy, dist bool, bo *benchObs) (unitRecord, error) {
 	fast := mode == "fast"
 	runtime.GC()
+	var mr matRec
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	stats, rep, err := fn(n, seed, workers, pol, fast, nil)
+	stats, rep, err := fn(n, seed, workers, pol, fast, core, nil, &mr)
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return unitRecord{}, fmt.Errorf("%s (%s): %w", name, mode, err)
+		return unitRecord{}, fmt.Errorf("%s (%s, %s): %w", name, mode, core, err)
 	}
 	rec := unitRecord{
 		Unit:                 name,
 		Mode:                 mode,
+		LinearCore:           core.String(),
+		MatrixN:              mr.n,
+		MatrixNNZ:            mr.nnz,
 		Samples:              n,
 		Workers:              workers,
 		NsPerSample:          float64(elapsed.Nanoseconds()) / float64(n),
@@ -296,6 +335,9 @@ func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol m
 		NewtonItersPerSample: float64(stats.NewtonIters) / float64(n),
 		TranStepsPerSample:   float64(stats.TranSteps) / float64(n),
 		Rescues:              stats.Rescues,
+	}
+	if mr.n > 0 {
+		rec.FillRatio = float64(mr.nnz) / (float64(mr.n) * float64(mr.n))
 	}
 	if stats.TranSteps > 0 {
 		rec.NewtonItersPerStep = float64(stats.NewtonIters) / float64(stats.TranSteps)
@@ -315,8 +357,8 @@ func runUnit(name, mode string, fn unitFn, n int, seed int64, workers int, pol m
 			mi.Sink = bo.sink
 			bo.live.Store(reg)
 		}
-		if _, _, err := fn(n, seed, workers, pol, fast, mi); err != nil {
-			return unitRecord{}, fmt.Errorf("%s (%s) distribution pass: %w", name, mode, err)
+		if _, _, err := fn(n, seed, workers, pol, fast, core, mi, nil); err != nil {
+			return unitRecord{}, fmt.Errorf("%s (%s, %s) distribution pass: %w", name, mode, core, err)
 		}
 		snap := reg.Snapshot()
 		if bo != nil {
@@ -337,6 +379,7 @@ func main() {
 		n        = flag.Int("n", 64, "Monte Carlo samples per unit")
 		workers  = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
 		mode     = flag.String("mode", "both", "solver path: exact, fast, or both")
+		coreSel  = flag.String("core", "both", "linear core: dense, sparse, or both (paired rows per unit)")
 		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
 		seed     = flag.Int64("seed", 20130318, "master random seed")
 		vdd      = flag.Float64("vdd", 0.9, "nominal supply voltage")
@@ -408,6 +451,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cores []spice.LinearCore
+	switch *coreSel {
+	case "dense":
+		cores = []spice.LinearCore{spice.CoreDense}
+	case "sparse":
+		cores = []spice.LinearCore{spice.CoreSparse}
+	case "both":
+		cores = []spice.LinearCore{spice.CoreDense, spice.CoreSparse}
+	default:
+		fmt.Fprintf(os.Stderr, "vsbench: unknown -core %q (want dense, sparse, or both)\n", *coreSel)
+		os.Exit(2)
+	}
+
 	m := core.DefaultStatVS()
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	units := []struct {
@@ -431,20 +487,23 @@ func main() {
 		Seed:      *seed,
 	}
 	for _, u := range units {
-		for _, md := range modes {
-			rec, err := runUnit(u.name, md, u.fn, *n, *seed, *workers, pol, *dist, bo)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
-				os.Exit(1)
+		for _, core := range cores {
+			for _, md := range modes {
+				rec, err := runUnit(u.name, md, core, u.fn, *n, *seed, *workers, pol, *dist, bo)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-10s %-6s %-5s  n=%-3d nnz=%-4d fill=%.2f  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
+					rec.Unit, rec.LinearCore, rec.Mode, rec.MatrixN, rec.MatrixNNZ, rec.FillRatio,
+					rec.NsPerSample/1e3, rec.BytesPerSample, rec.AllocsPerSample,
+					rec.NewtonItersPerStep)
+				if rec.Failed > 0 || len(rec.RescuedBy) > 0 {
+					fmt.Printf("%-10s %-6s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",
+						rec.Unit, rec.LinearCore, rec.Mode, rec.Attempted, rec.Succeeded, rec.Failed, rec.RescuedBy)
+				}
+				doc.Units = append(doc.Units, rec)
 			}
-			fmt.Printf("%-10s %-5s  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
-				rec.Unit, rec.Mode, rec.NsPerSample/1e3, rec.BytesPerSample, rec.AllocsPerSample,
-				rec.NewtonItersPerStep)
-			if rec.Failed > 0 || len(rec.RescuedBy) > 0 {
-				fmt.Printf("%-10s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",
-					rec.Unit, rec.Mode, rec.Attempted, rec.Succeeded, rec.Failed, rec.RescuedBy)
-			}
-			doc.Units = append(doc.Units, rec)
 		}
 	}
 

@@ -287,6 +287,19 @@ func (p *PooledSRAM) ResetStats() {
 	p.cR.ResetStats()
 }
 
+// SetLinearCore selects the Jacobian factorization backend of both
+// half-circuits (see spice.LinearCore).
+func (p *PooledSRAM) SetLinearCore(core spice.LinearCore) {
+	p.cL.LinearCore = core
+	p.cR.LinearCore = core
+}
+
+// MatrixInfo reports the MNA matrix shape of one half-circuit (the two are
+// structurally identical mirrors); see spice.Circuit.MatrixInfo.
+func (p *PooledSRAM) MatrixInfo() (n, nnz int, sparse bool) {
+	return p.cL.MatrixInfo()
+}
+
 // Butterfly sweeps both prebuilt half-circuits, switching the word line for
 // READ or HOLD, and returns the two transfer curves. The curves alias the
 // pooled buffers and are only valid until the next Butterfly call.

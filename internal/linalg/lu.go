@@ -157,7 +157,9 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 	return f.Solve(b), nil
 }
 
-// Inverse returns the inverse of a, or ErrSingular.
+// Inverse returns the inverse of a, or ErrSingular. The n unit-vector
+// solves share one RHS buffer through SolvePermuting, so the allocation
+// count is a small constant independent of n.
 func Inverse(a *Matrix) (*Matrix, error) {
 	f, err := NewLU(a)
 	if err != nil {
@@ -166,12 +168,13 @@ func Inverse(a *Matrix) (*Matrix, error) {
 	n := a.Rows
 	inv := NewMatrix(n, n)
 	e := make([]float64, n)
+	scratch := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		col := f.Solve(e)
+		col := f.SolvePermuting(e, scratch)
 		for i := 0; i < n; i++ {
 			inv.Set(i, j, col[i])
 		}

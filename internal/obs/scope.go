@@ -4,23 +4,32 @@ import "time"
 
 // Phase identifies one of the fixed Monte Carlo sample phases the Scope
 // attributes wall time to. The set matches the pooled MC pipeline: draw
-// the sample's parameter vector, re-stamp the pooled circuit, factor the
-// Jacobian, run the Newton/transient solve, and extract the measurement.
+// the sample's parameter vector, re-stamp the pooled circuit, assemble the
+// Jacobian (device evaluation + stamping), factor it, run the Newton/
+// transient solve with its triangular solves carved out, and extract the
+// measurement. Splitting assembly from factorization and the triangular
+// solves from the Newton loop separates device-model cost from linear
+// algebra, so the dense-vs-sparse linear-core comparison is directly
+// measurable in BENCH_mc.json.
 type Phase int32
 
 const (
-	PhaseDraw    Phase = iota // sample-draw: RNG + parameter vector
-	PhaseRestamp              // re-stamp: pooled circuit Restat
-	PhaseFactor               // factor: Jacobian assembly + LU refresh
-	PhaseSolve                // newton-solve: the solver proper (minus factor)
-	PhaseMeasure              // measure: waveform/metric extraction
+	PhaseDraw     Phase = iota // sample-draw: RNG + parameter vector
+	PhaseRestamp               // re-stamp: pooled circuit Restat
+	PhaseAssemble              // assemble-J: device evaluation + Jacobian stamping
+	PhaseFactor                // lu-factor: LU refresh (dense Factor / sparse Refactor)
+	PhaseTriSolve              // tri-solve: forward/back substitution per Newton iter
+	PhaseSolve                 // newton-solve: the solver proper (minus the above)
+	PhaseMeasure               // measure: waveform/metric extraction
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
 	"sample-draw",
 	"re-stamp",
-	"factor",
+	"assemble-J",
+	"lu-factor",
+	"tri-solve",
 	"newton-solve",
 	"measure",
 }

@@ -37,7 +37,7 @@ func TestScopeSelfTimeDisjoint(t *testing.T) {
 
 	snap := r.Snapshot()
 	solve := snap.Find("mc_phase_newton-solve_ns").Sum
-	factor := snap.Find("mc_phase_factor_ns").Sum
+	factor := snap.Find("mc_phase_lu-factor_ns").Sum
 	if solve < int64(30*time.Millisecond) {
 		t.Fatalf("solve self-time = %v, want >= 30ms", time.Duration(solve))
 	}
@@ -135,12 +135,14 @@ func TestScopeStackOverflowIsSafe(t *testing.T) {
 
 func TestPhaseString(t *testing.T) {
 	want := map[Phase]string{
-		PhaseDraw:    "sample-draw",
-		PhaseRestamp: "re-stamp",
-		PhaseFactor:  "factor",
-		PhaseSolve:   "newton-solve",
-		PhaseMeasure: "measure",
-		Phase(99):    "unknown",
+		PhaseDraw:     "sample-draw",
+		PhaseRestamp:  "re-stamp",
+		PhaseAssemble: "assemble-J",
+		PhaseFactor:   "lu-factor",
+		PhaseTriSolve: "tri-solve",
+		PhaseSolve:    "newton-solve",
+		PhaseMeasure:  "measure",
+		Phase(99):     "unknown",
 	}
 	for p, s := range want {
 		if p.String() != s {

@@ -138,15 +138,34 @@ type Circuit struct {
 	// MaxNewton bounds Newton iterations per solve (default 150).
 	MaxNewton int
 
-	// Newton scratch buffers (see newton); sized on first solve.
+	// LinearCore selects the Jacobian factorization backend: CoreAuto (the
+	// zero value) honours the VSTAT_LINEAR_CORE environment override and
+	// otherwise picks the sparse core for systems of sparseMinN unknowns or
+	// more; CoreDense and CoreSparse force a path. See DESIGN.md §9.
+	LinearCore LinearCore
+
+	// Newton scratch buffers (see newton); sized on first solve. nwJac and
+	// nwLU are the dense-core workspaces, allocated only when the dense
+	// path is active.
 	nwF, nwScratch []float64
 	nwJac          *linalg.Matrix
 
 	// Carried Jacobian factorization (see newton): nwLU is the reusable
-	// workspace, luValid/luKey gate its reuse across solves.
-	nwLU    *linalg.LU
-	luValid bool
-	luKey   luKey
+	// dense workspace, luValid/luKey gate reuse across solves, and
+	// coreSparse records which core produced the carried factors (a core
+	// switch drops them).
+	nwLU       *linalg.LU
+	luValid    bool
+	luKey      luKey
+	coreSparse bool
+
+	// Sparse linear core (see sparsecore.go): the CSC Jacobian with its
+	// precomputed stamp→slot lists, and the symbolic-once factorization
+	// reused across all samples and timesteps of this topology.
+	sp      *linalg.Sparse
+	spLU    *linalg.SparseLU
+	spSlots stampSlots
+	spReady bool
 
 	// evCache holds per-MOSFET model evaluations from the last fast-path
 	// assemble, consumed by updateTranHistoryFast.
@@ -214,6 +233,7 @@ func (c *Circuit) AddR(name string, a, b int, ohms float64) {
 		panic(fmt.Sprintf("spice: resistor %s with non-positive value %g", name, ohms))
 	}
 	c.luValid = false
+	c.spReady = false
 	c.rs = append(c.rs, resistor{name: name, a: a, b: b, g: 1 / ohms})
 }
 
@@ -223,6 +243,7 @@ func (c *Circuit) AddC(name string, a, b int, farads float64) {
 		panic(fmt.Sprintf("spice: capacitor %s with negative value %g", name, farads))
 	}
 	c.luValid = false
+	c.spReady = false
 	c.cs = append(c.cs, capacitor{name: name, a: a, b: b, c: farads})
 }
 
@@ -230,6 +251,8 @@ func (c *Circuit) AddC(name string, a, b int, farads float64) {
 // its source index for later current readback.
 func (c *Circuit) AddV(name string, p, n int, w Waveform) int {
 	idx := len(c.vs)
+	c.luValid = false
+	c.spReady = false
 	c.vs = append(c.vs, vsource{name: name, p: p, n: n, branch: idx, wave: w})
 	return idx
 }
@@ -242,6 +265,7 @@ func (c *Circuit) AddI(name string, p, n int, w Waveform) {
 // AddMOS adds a four-terminal MOSFET instance.
 func (c *Circuit) AddMOS(name string, d, g, s, b int, dev device.Device) {
 	c.luValid = false
+	c.spReady = false
 	c.mos = append(c.mos, mosfet{name: name, d: d, g: g, s: s, b: b, dev: dev})
 }
 

@@ -90,6 +90,13 @@ type SolverStats struct {
 	TranHalvings     int64 // timestep-halving rescue levels entered
 	FastFallbacks    int64 // fast→exact fallbacks (carried chord Jacobian dropped)
 	NonFiniteRejects int64 // NaN/Inf iterates, candidates, or histories rejected
+
+	// SparseRepivots counts sparse-core pivot-order re-analyses (zero pivot
+	// or growth beyond spGrowthLimit under the frozen order). Excluded from
+	// RescueCounts: whether a given sample trips the growth check depends on
+	// which sample last re-analyzed this worker's pooled template, which is
+	// scheduling-dependent.
+	SparseRepivots int64
 }
 
 // RescueCounts returns the nonzero rescue-ladder counters keyed by stage
@@ -128,6 +135,7 @@ func (s SolverStats) Add(o SolverStats) SolverStats {
 		TranHalvings:     s.TranHalvings + o.TranHalvings,
 		FastFallbacks:    s.FastFallbacks + o.FastFallbacks,
 		NonFiniteRejects: s.NonFiniteRejects + o.NonFiniteRejects,
+		SparseRepivots:   s.SparseRepivots + o.SparseRepivots,
 	}
 }
 
@@ -439,6 +447,13 @@ func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
 	}
 }
 
+// luSolver is the factorization interface newton drives: both the dense
+// *linalg.LU and the sparse *linalg.SparseLU satisfy it with the same
+// no-allocation SolvePermuting contract.
+type luSolver interface {
+	SolvePermuting(b, scratch []float64) []float64
+}
+
 // newton runs damped Newton iteration on the system selected by ctx,
 // starting from and updating x in place. On failure it returns a typed
 // *ConvergenceError carrying the iteration budget spent and the worst node
@@ -462,9 +477,25 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 	if len(c.nwF) != n {
 		c.nwF = make([]float64, n)
 		c.nwScratch = make([]float64, n)
+		c.nwJac, c.nwLU = nil, nil
+		c.spReady = false
+		c.luValid = false
+	}
+	// Resolve the linear core; the per-core workspaces are lazy so a circuit
+	// on the sparse path never allocates the dense n² matrix (and vice
+	// versa). A core switch invalidates any carried factorization.
+	useSparse := c.useSparseCore()
+	if useSparse != c.coreSparse {
+		c.coreSparse = useSparse
+		c.luValid = false
+	}
+	if useSparse {
+		if !c.spReady {
+			c.buildStampMap()
+		}
+	} else if c.nwJac == nil {
 		c.nwJac = linalg.NewMatrix(n, n)
 		c.nwLU = linalg.NewLUWorkspace(n)
-		c.luValid = false
 	}
 	f, jac, scratch := c.nwF, c.nwJac, c.nwScratch
 
@@ -477,14 +508,18 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 	if ctx.fast {
 		tv, ti = tolVFast, tolIFast
 	}
-	var lu *linalg.LU
+	var lu luSolver
 	prevDv := math.Inf(1)
 	forceJ := true
 	if ctx.carry && c.luValid && c.luKey == key {
 		// Start as chord Newton on the carried factorization: prevDv below
 		// the refresh threshold, no forced refresh. The first update that
 		// moves any node by more than 50 mV triggers a refresh.
-		lu = c.nwLU
+		if useSparse {
+			lu = c.spLU
+		} else {
+			lu = c.nwLU
+		}
 		prevDv = 0.1
 		forceJ = false
 	}
@@ -495,38 +530,53 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 		// Chord Newton: refresh the (expensive, finite-differenced)
 		// Jacobian on the first iteration and whenever contraction slows;
 		// in between, re-use the factored Jacobian with fresh residuals.
-		// Assembly-with-Jacobian plus LU factorization is the "factor"
-		// observability phase (self-time carved out of newton-solve).
+		// Assembly-with-Jacobian is the "assemble-J" observability phase and
+		// the factorization refresh is "lu-factor", both carved out of
+		// newton-solve so the device-model and linear-algebra costs are
+		// separately visible.
 		wantJ := lu == nil || forceJ || prevDv > 0.2
 		if wantJ {
-			c.obsScope.Enter(obs.PhaseFactor)
+			c.obsScope.Enter(obs.PhaseAssemble)
+			if useSparse {
+				c.assembleSparse(x, f, ctx)
+			} else {
+				c.assemble(x, f, jac, ctx, true)
+			}
+			c.obsScope.Exit()
+		} else {
+			c.assemble(x, f, nil, ctx, false)
 		}
-		c.assemble(x, f, jac, ctx, wantJ)
 		// Reject NaN/Inf residuals before they reach the linear solve: a
 		// single non-finite model evaluation would otherwise smear NaN over
 		// the whole update vector and burn the full iteration budget
 		// (NaN compares false against every tolerance).
 		if i := firstNonFinite(f); i >= 0 {
-			if wantJ {
-				c.obsScope.Exit()
-			}
 			c.stats.NonFiniteRejects++
 			c.traceNonFinite("newton-residual", ctx.t)
 			return &ConvergenceError{Iters: iter + 1, Node: c.unknownName(i),
 				Residual: f[i], Err: ErrNonFiniteSolution}
 		}
 		if wantJ {
-			err := c.nwLU.Factor(jac)
+			c.obsScope.Enter(obs.PhaseFactor)
+			var err error
+			if useSparse {
+				err = c.factorSparse()
+				lu = c.spLU
+			} else {
+				err = c.nwLU.Factor(jac)
+				lu = c.nwLU
+			}
 			c.obsScope.Exit()
 			if err != nil {
 				return &ConvergenceError{Iters: iter + 1,
 					Err: fmt.Errorf("singular Jacobian: %w", err)}
 			}
-			lu = c.nwLU
 			c.stats.JacRefreshes++
 		}
 		c.stats.NewtonIters++
+		c.obsScope.Enter(obs.PhaseTriSolve)
 		dx := lu.SolvePermuting(f, scratch)
+		c.obsScope.Exit()
 		// A finite residual through a near-singular factorization can still
 		// produce Inf/NaN updates; reject them before touching x.
 		if i := firstNonFinite(dx); i >= 0 {

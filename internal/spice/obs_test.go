@@ -66,9 +66,10 @@ func TestInstrumentedHotPathAllocFreeWhenEnabled(t *testing.T) {
 }
 
 // TestSolverPhaseAttribution: a transient on an instrumented circuit books
-// factor and newton-solve self-time that sums to roughly the wall time of
-// the run, and the factor phase is nonempty (every transient refreshes the
-// Jacobian at least once).
+// assemble-J, lu-factor, tri-solve and newton-solve self-time that sums to
+// roughly the wall time of the run, and the assemble/factor/solve phases
+// are nonempty (every transient refreshes the Jacobian at least once and
+// runs at least one triangular solve per step).
 func TestSolverPhaseAttribution(t *testing.T) {
 	obs.SetEnabled(true)
 	t.Cleanup(func() { obs.SetEnabled(false) })
@@ -87,15 +88,23 @@ func TestSolverPhaseAttribution(t *testing.T) {
 	sc.EndSample()
 
 	snap := reg.Snapshot()
-	factor := snap.Find("mc_phase_factor_ns").Sum
+	assemble := snap.Find("mc_phase_assemble-J_ns").Sum
+	factor := snap.Find("mc_phase_lu-factor_ns").Sum
+	tri := snap.Find("mc_phase_tri-solve_ns").Sum
 	solve := snap.Find("mc_phase_newton-solve_ns").Sum
+	if assemble <= 0 {
+		t.Fatal("assemble-J phase recorded no time")
+	}
 	if factor <= 0 {
-		t.Fatal("factor phase recorded no time")
+		t.Fatal("lu-factor phase recorded no time")
+	}
+	if tri <= 0 {
+		t.Fatal("tri-solve phase recorded no time")
 	}
 	if solve <= 0 {
 		t.Fatal("newton-solve phase recorded no time")
 	}
-	total := factor + solve
+	total := assemble + factor + tri + solve
 	if float64(total) < 0.5*float64(wall) || total > wall+wall/10 {
 		t.Fatalf("phase sum %v vs wall %v: expected the solver phases to cover the run",
 			time.Duration(total), time.Duration(wall))

@@ -1,0 +1,346 @@
+package spice
+
+// Sparse linear core: stamp-list assembly into a CSC Jacobian plus the
+// symbolic-once sparse LU (internal/linalg/sparselu.go). The stamp map —
+// one CSC value-slot index per (element, entry) stamp site — is computed
+// once per topology; every later assembly writes device stamps straight
+// into the values array with no map lookups, no dense n² zeroing, and no
+// allocation. The pattern is the union of the DC and transient stamps and
+// always contains every node diagonal, so gmin stepping, pseudo-transient
+// anchoring, and the whole rescue ladder hit reserved slots and reuse the
+// same symbolic factorization. See DESIGN.md §9.
+
+import (
+	"os"
+
+	"vstat/internal/device"
+	"vstat/internal/linalg"
+)
+
+// LinearCore selects the Jacobian factorization backend of a Circuit.
+type LinearCore int32
+
+const (
+	// CoreAuto (the zero value) defers to the VSTAT_LINEAR_CORE environment
+	// override ("dense" or "sparse"), falling back to the size heuristic:
+	// sparse at or above sparseMinN unknowns, dense below.
+	CoreAuto LinearCore = iota
+	CoreDense
+	CoreSparse
+)
+
+// String returns the benchmark-facing name of the core.
+func (lc LinearCore) String() string {
+	switch lc {
+	case CoreDense:
+		return "dense"
+	case CoreSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// sparseMinN is the auto-mode cutover: below it the dense factor's tiny
+// constant beats the tape interpreter; at and above it the O(nnz) stamp +
+// tape path wins. Every benchmark unit except trivial two-node fixtures
+// sits above the cutover.
+const sparseMinN = 6
+
+// spGrowthLimit bounds the element growth of a refactorization under the
+// frozen pivot order; beyond it the order is numerically degenerate for the
+// current sample's values and the circuit re-runs symbolic analysis (rare,
+// allocating).
+const spGrowthLimit = 1e8
+
+// envCore is the process-wide VSTAT_LINEAR_CORE override, read once.
+var envCore = func() LinearCore {
+	switch os.Getenv("VSTAT_LINEAR_CORE") {
+	case "dense":
+		return CoreDense
+	case "sparse":
+		return CoreSparse
+	}
+	return CoreAuto
+}()
+
+// useSparseCore resolves the circuit's LinearCore knob, then the env
+// override, then the size heuristic, to a concrete backend choice.
+func (c *Circuit) useSparseCore() bool {
+	core := c.LinearCore
+	if core == CoreAuto {
+		core = envCore
+	}
+	switch core {
+	case CoreDense:
+		return false
+	case CoreSparse:
+		return true
+	}
+	return c.unknowns() >= sparseMinN
+}
+
+// stampSlots holds the precomputed CSC value slot for every stamp site, in
+// the exact order assembleSparse visits them. A slot of -1 marks a ground
+// row or column (stamp discarded, mirroring the dense addJ guard).
+type stampSlots struct {
+	diag []int32 // per node: (n,n) — shared by gmin, pseudo-transient, devices
+	rs   []int32 // per resistor: (a,a) (a,b) (b,a) (b,b)
+	cs   []int32 // per capacitor: (a,a) (a,b) (b,a) (b,b)
+	vs   []int32 // per vsource: (p,br) (n,br) (br,p) (br,n)
+	mos  []int32 // per MOSFET: 4 (d,term_j), 4 (s,term_j), 16 (term_k,term_j)
+}
+
+// buildStampMap enumerates every stamp site of the current topology (the
+// union of the DC and transient patterns), builds the CSC structure, and
+// resolves each site to its value slot. Runs once per topology; swapping
+// device parameter cards (SetMOSDevice/SetVSource) keeps the map, so pooled
+// Monte Carlo samples never rebuild it.
+func (c *Circuit) buildStampMap() {
+	n := c.unknowns()
+	nNodes := len(c.nodeNames)
+	b := linalg.NewSparseBuilder(n)
+	site := func(row, col int) int32 {
+		if row == Gnd || col == Gnd {
+			return -1
+		}
+		return int32(b.Add(row, col))
+	}
+	sl := &c.spSlots
+	sl.diag = sl.diag[:0]
+	for i := 0; i < nNodes; i++ {
+		sl.diag = append(sl.diag, site(i, i))
+	}
+	sl.rs = sl.rs[:0]
+	for i := range c.rs {
+		r := &c.rs[i]
+		sl.rs = append(sl.rs, site(r.a, r.a), site(r.a, r.b), site(r.b, r.a), site(r.b, r.b))
+	}
+	sl.cs = sl.cs[:0]
+	for i := range c.cs {
+		cp := &c.cs[i]
+		sl.cs = append(sl.cs, site(cp.a, cp.a), site(cp.a, cp.b), site(cp.b, cp.a), site(cp.b, cp.b))
+	}
+	sl.vs = sl.vs[:0]
+	for i := range c.vs {
+		v := &c.vs[i]
+		br := nNodes + v.branch
+		sl.vs = append(sl.vs, site(v.p, br), site(v.n, br), site(br, v.p), site(br, v.n))
+	}
+	sl.mos = sl.mos[:0]
+	for i := range c.mos {
+		m := &c.mos[i]
+		term := [4]int{m.d, m.g, m.s, m.b}
+		for j := 0; j < 4; j++ {
+			sl.mos = append(sl.mos, site(m.d, term[j]))
+		}
+		for j := 0; j < 4; j++ {
+			sl.mos = append(sl.mos, site(m.s, term[j]))
+		}
+		for k := 0; k < 4; k++ {
+			for j := 0; j < 4; j++ {
+				sl.mos = append(sl.mos, site(term[k], term[j]))
+			}
+		}
+	}
+	sp, slots := b.Build()
+	remap := func(a []int32) {
+		for i, s := range a {
+			if s >= 0 {
+				a[i] = slots[s]
+			}
+		}
+	}
+	remap(sl.diag)
+	remap(sl.rs)
+	remap(sl.cs)
+	remap(sl.vs)
+	remap(sl.mos)
+	c.sp = sp
+	c.spLU = nil // pattern changed: next factor re-runs symbolic analysis
+	c.spReady = true
+}
+
+// addSlot accumulates v into CSC slot s; s < 0 marks a discarded ground
+// stamp.
+func addSlot(av []float64, s int32, v float64) {
+	if s >= 0 {
+		av[s] += v
+	}
+}
+
+// stampQuad stamps the two-terminal conductance pattern (+g, -g; -g, +g)
+// through four precomputed slots.
+func stampQuad(av []float64, q []int32, g float64) {
+	addSlot(av, q[0], g)
+	addSlot(av, q[1], -g)
+	addSlot(av, q[2], -g)
+	addSlot(av, q[3], g)
+}
+
+// assembleSparse is assemble with wantJ=true for the sparse core: the
+// residual is computed by the same element walk in the same floating-point
+// order, while Jacobian stamps go through the precomputed slot lists
+// straight into the CSC values array. Residual-only chord iterations keep
+// using assemble(..., nil, ctx, false) — that path touches no Jacobian of
+// either core.
+func (c *Circuit) assembleSparse(x, f []float64, ctx *assembleCtx) {
+	for i := range f {
+		f[i] = 0
+	}
+	av := c.sp.Val
+	for i := range av {
+		av[i] = 0
+	}
+	sl := &c.spSlots
+	nNodes := len(c.nodeNames)
+
+	addF := func(node int, v float64) {
+		if node != Gnd {
+			f[node] += v
+		}
+	}
+
+	// Global gmin to ground, onto the reserved node diagonals.
+	g := c.Gmin + ctx.gminExtra
+	for n := 0; n < nNodes; n++ {
+		f[n] += g * x[n]
+		av[sl.diag[n]] += g
+	}
+
+	// Pseudo-transient anchor (see assemble): also pure node-diagonal.
+	if ctx.ptG > 0 {
+		for n := 0; n < nNodes; n++ {
+			f[n] += ctx.ptG * (x[n] - ctx.ptRef[n])
+			av[sl.diag[n]] += ctx.ptG
+		}
+	}
+
+	for i := range c.rs {
+		r := &c.rs[i]
+		iv := r.g * (nv(x, r.a) - nv(x, r.b))
+		addF(r.a, iv)
+		addF(r.b, -iv)
+		stampQuad(av, sl.rs[4*i:4*i+4], r.g)
+	}
+
+	for i := range c.vs {
+		v := &c.vs[i]
+		br := nNodes + v.branch
+		ib := x[br]
+		addF(v.p, ib)
+		addF(v.n, -ib)
+		q := sl.vs[4*i : 4*i+4]
+		addSlot(av, q[0], 1)
+		addSlot(av, q[1], -1)
+		f[br] = nv(x, v.p) - nv(x, v.n) - ctx.srcScale*v.wave.At(ctx.t)
+		addSlot(av, q[2], 1)
+		addSlot(av, q[3], -1)
+	}
+
+	for i := range c.is {
+		s := &c.is[i]
+		iv := ctx.srcScale * s.wave.At(ctx.t)
+		addF(s.p, iv)
+		addF(s.n, -iv)
+	}
+
+	if ctx.tran != nil {
+		ts := ctx.tran
+		for i := range c.cs {
+			cp := &c.cs[i]
+			q := cp.c * (nv(x, cp.a) - nv(x, cp.b))
+			var iq, geq float64
+			if ts.trap && !ts.firstBE {
+				iq = 2*(q-ts.qPrevCap[i])/ts.h - ts.iPrevCap[i]
+				geq = 2 * cp.c / ts.h
+			} else {
+				iq = (q - ts.qPrevCap[i]) / ts.h
+				geq = cp.c / ts.h
+			}
+			addF(cp.a, iq)
+			addF(cp.b, -iq)
+			stampQuad(av, sl.cs[4*i:4*i+4], geq)
+		}
+	}
+
+	cacheEv := ctx.fast && ctx.tran != nil
+	if cacheEv && len(c.evCache) != len(c.mos) {
+		c.evCache = make([]device.Eval, len(c.mos))
+	}
+	for i := range c.mos {
+		m := &c.mos[i]
+		term := [4]int{m.d, m.g, m.s, m.b}
+		ms := sl.mos[24*i : 24*i+24]
+		dv := device.EvalDerivs(m.dev,
+			nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		ev := dv.Eval
+		if cacheEv {
+			c.evCache[i] = ev
+		}
+		addF(m.d, ev.Id)
+		addF(m.s, -ev.Id)
+		for j := 0; j < 4; j++ {
+			addSlot(av, ms[j], dv.GId[j])
+			addSlot(av, ms[4+j], -dv.GId[j])
+		}
+		if ctx.tran != nil {
+			ts := ctx.tran
+			q := [4]float64{ev.Q.Qd, ev.Q.Qg, ev.Q.Qs, ev.Q.Qb}
+			fac := 1 / ts.h
+			if ts.trap && !ts.firstBE {
+				fac = 2 / ts.h
+			}
+			for k := 0; k < 4; k++ {
+				var iq float64
+				if ts.trap && !ts.firstBE {
+					iq = 2*(q[k]-ts.qPrevMos[i][k])/ts.h - ts.iPrevMos[i][k]
+				} else {
+					iq = (q[k] - ts.qPrevMos[i][k]) / ts.h
+				}
+				addF(term[k], iq)
+				for j := 0; j < 4; j++ {
+					addSlot(av, ms[8+4*k+j], fac*dv.CQ[k][j])
+				}
+			}
+		}
+	}
+}
+
+// factorSparse refreshes the sparse numeric factors from the just-assembled
+// CSC values. The first call per pattern runs the one-time symbolic
+// analysis (pivot order, fill, elimination tape) against the current
+// values; every later call replays the allocation-free tape. A zero pivot
+// or runaway element growth means the frozen pivot order has gone
+// numerically degenerate for this sample — re-run the (allocating, rare)
+// analysis and retry once before reporting a singular Jacobian.
+func (c *Circuit) factorSparse() error {
+	if c.spLU == nil {
+		lu, err := linalg.NewSparseLU(c.sp)
+		if err != nil {
+			return err
+		}
+		c.spLU = lu
+		return c.spLU.Refactor(c.sp)
+	}
+	err := c.spLU.Refactor(c.sp)
+	if err == nil && c.spLU.Growth() <= spGrowthLimit {
+		return nil
+	}
+	c.stats.SparseRepivots++
+	if aerr := c.spLU.Analyze(c.sp); aerr != nil {
+		return aerr
+	}
+	return c.spLU.Refactor(c.sp)
+}
+
+// MatrixInfo reports the MNA system size, the Jacobian's structural
+// nonzero count (building the stamp map if needed), and whether the
+// resolved linear core is sparse — the numbers cmd/vsbench records next to
+// its per-unit timings.
+func (c *Circuit) MatrixInfo() (n, nnz int, sparse bool) {
+	if !c.spReady {
+		c.buildStampMap()
+	}
+	return c.unknowns(), c.sp.NNZ(), c.useSparseCore()
+}

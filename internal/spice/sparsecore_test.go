@@ -1,0 +1,217 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"vstat/internal/vsmodel"
+)
+
+// testInvChain nets `stages` VS-model inverters in series behind a pulse
+// source with per-stage load caps: stages+2 node voltages plus two branch
+// currents, enough unknowns to clear the auto-mode sparse cutover.
+func testInvChain(stages int) (c *Circuit, out int) {
+	c = New()
+	vdd := c.Node("vdd")
+	c.AddV("VDD", vdd, Gnd, DC(0.9))
+	in := c.Node("in")
+	c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 0.9, Delay: 20e-12, Rise: 10e-12, Fall: 10e-12, Width: 200e-12})
+	prev := in
+	for s := 0; s < stages; s++ {
+		out = c.Node(fmt.Sprintf("o%d", s))
+		nm := vsmodel.NMOS40(300e-9)
+		pm := vsmodel.PMOS40(600e-9)
+		c.AddMOS(fmt.Sprintf("MN%d", s), out, prev, Gnd, Gnd, &nm)
+		c.AddMOS(fmt.Sprintf("MP%d", s), out, prev, vdd, vdd, &pm)
+		c.AddC(fmt.Sprintf("CL%d", s), out, Gnd, 2e-15)
+		prev = out
+	}
+	return c, out
+}
+
+// TestSparseAssembleMatchesDense: the stamp-list assembly must produce
+// bit-identical residuals and Jacobian entries to the dense assemble, for
+// DC and transient contexts including the rescue-ladder terms (gmin
+// stepping and the pseudo-transient anchor, which hit the reserved node
+// diagonals).
+func TestSparseAssembleMatchesDense(t *testing.T) {
+	for _, tran := range []bool{false, true} {
+		c, _ := testInverter()
+		op, err := c.OP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := c.unknowns()
+		fDense := make([]float64, n)
+		fSparse := make([]float64, n)
+		jac := newZeroMatrix(n)
+		ctx := assembleCtx{t: 1e-11, srcScale: 0.75, gminExtra: 1e-3,
+			ptG: 0.5, ptRef: op.x}
+		if tran {
+			ts := &tranState{h: 1e-12}
+			c.initTranHistory(op.x, ts)
+			ctx.tran = ts
+		}
+		c.assemble(op.x, fDense, jac, &ctx, true)
+		c.buildStampMap()
+		c.assembleSparse(op.x, fSparse, &ctx)
+		for i := range fDense {
+			if fDense[i] != fSparse[i] {
+				t.Fatalf("tran=%v: residual[%d] differs: dense %g sparse %g",
+					tran, i, fDense[i], fSparse[i])
+			}
+		}
+		spd := c.sp.Dense()
+		for i := range jac.Data {
+			if jac.Data[i] != spd.Data[i] {
+				t.Fatalf("tran=%v: jac entry %d differs: dense %g sparse %g",
+					tran, i, jac.Data[i], spd.Data[i])
+			}
+		}
+	}
+}
+
+// TestSparseCoreTransientMatchesDense: the same netlist solved with the
+// dense and the sparse core must agree at the operating point and along the
+// whole transient waveform to well within the Newton tolerance band.
+func TestSparseCoreTransientMatchesDense(t *testing.T) {
+	cd, outD := testInvChain(3)
+	cd.LinearCore = CoreDense
+	cs, outS := testInvChain(3)
+	cs.LinearCore = CoreSparse
+
+	opD, err := cd.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opS, err := cs.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opD.x {
+		if d := math.Abs(opD.x[i] - opS.x[i]); d > 1e-8 {
+			t.Fatalf("OP unknown %d differs by %g between cores", i, d)
+		}
+	}
+
+	opts := TranOpts{Stop: 300e-12, Step: 1e-12}
+	rd, err := cd.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cs.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd, vs := rd.V(outD), rs.V(outS)
+	if len(vd) != len(vs) {
+		t.Fatalf("step counts differ: %d vs %d", len(vd), len(vs))
+	}
+	worst := 0.0
+	for k := range vd {
+		if d := math.Abs(vd[k] - vs[k]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("sparse waveform deviates by %g V from dense", worst)
+	}
+}
+
+// TestSparseTransientAllocFree: after the warmup run (which builds the
+// stamp map and the symbolic factorization), repeated transients on the
+// sparse core must allocate nothing — the same contract the dense path has.
+func TestSparseTransientAllocFree(t *testing.T) {
+	c, _ := testInvChain(3)
+	c.LinearCore = CoreSparse
+	opts := TranOpts{Stop: 100e-12, Step: 1e-12}
+	var res TranResult
+	if err := c.TransientInto(opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := c.TransientInto(opts, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sparse TransientInto allocates %.1f objects per run, want 0", allocs)
+	}
+	fast := opts
+	fast.Fast = true
+	if err := c.TransientInto(fast, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(5, func() {
+		if err := c.TransientInto(fast, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fast sparse TransientInto allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestSparseSymbolicSurvivesDeviceSwap: swapping a device parameter card
+// (the pooled Monte Carlo re-stamp path) must keep both the stamp map and
+// the symbolic factorization object — symbolic analysis runs once per
+// topology, not once per sample.
+func TestSparseSymbolicSurvivesDeviceSwap(t *testing.T) {
+	c, out := testInvChain(3)
+	c.LinearCore = CoreSparse
+	x := make([]float64, c.unknowns())
+	if err := c.solveOPInto(x, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	lu := c.spLU
+	if lu == nil {
+		t.Fatal("sparse OP left no symbolic factorization behind")
+	}
+	wide := vsmodel.NMOS40(900e-9)
+	c.SetMOSDevice(0, &wide)
+	if err := c.solveOPInto(x, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.spLU != lu {
+		t.Fatal("device swap rebuilt the symbolic factorization")
+	}
+	// And the restamped solve must match a freshly built circuit.
+	ref, refOut := testInvChain(3)
+	wide2 := vsmodel.NMOS40(900e-9)
+	ref.SetMOSDevice(0, &wide2)
+	op, err := ref.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+	if d := math.Abs(nv(x, out) - op.V(refOut)); d > 1e-6 {
+		t.Fatalf("restamped sparse OP differs from fresh solve by %g V", d)
+	}
+}
+
+// TestLinearCoreAutoCutover pins the auto-mode resolution: tiny systems
+// stay dense, benchmark-sized systems go sparse, and the explicit knob
+// overrides both.
+func TestLinearCoreAutoCutover(t *testing.T) {
+	if os.Getenv("VSTAT_LINEAR_CORE") != "" {
+		t.Skip("VSTAT_LINEAR_CORE override active")
+	}
+	small, _ := testInverter() // 5 unknowns
+	if small.useSparseCore() {
+		t.Fatalf("auto picked sparse for n=%d, cutover is %d", small.unknowns(), sparseMinN)
+	}
+	big, _ := testInvChain(3) // 7 unknowns
+	if !big.useSparseCore() {
+		t.Fatalf("auto picked dense for n=%d, cutover is %d", big.unknowns(), sparseMinN)
+	}
+	small.LinearCore = CoreSparse
+	if !small.useSparseCore() {
+		t.Fatal("CoreSparse knob ignored")
+	}
+	big.LinearCore = CoreDense
+	if big.useSparseCore() {
+		t.Fatal("CoreDense knob ignored")
+	}
+}
