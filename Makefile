@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs sparse
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs sparse
+tier1: vet obs sparse lifecycle
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -25,17 +25,28 @@ obs:
 sparse:
 	$(GO) test -race ./internal/linalg/ ./internal/spice/ -count=1
 
+# Run-lifecycle rung: context cancellation, per-sample budgets, the hang
+# watchdog, and checkpoint/resume — under the race detector and repeated,
+# because the watchdog abandons goroutines and the checkpoint is shared
+# mutable state.
+lifecycle:
+	$(GO) test -race -count=2 ./internal/lifecycle/
+	$(GO) test -race -count=2 -run 'TestMapCtx|TestBudget|TestWatchdog|TestCheckpoint' ./internal/montecarlo/
+	$(GO) test -race -count=2 -run 'TestArmSample|TestArmed' ./internal/spice/
+	$(GO) test -race -count=2 -run 'TestRunPooledMCKillAndResume|TestHangSample' ./internal/experiments/
+
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.
 tier2: vet
 	$(GO) test -race ./...
 
 # Race detector over the concurrency-bearing packages: the Monte Carlo
-# driver (failure policies, panic recovery, report aggregation), the solver
-# rescue ladder, and the pooled experiment plumbing.
+# driver (failure policies, panic recovery, report aggregation, the
+# context-aware *Ctx variants with their hang watchdog and checkpoint
+# sink), the solver rescue ladder, and the pooled experiment plumbing.
 race:
 	$(GO) test -race ./internal/montecarlo/ ./internal/spice/ ./internal/obs/ -count=1
-	$(GO) test -race ./internal/experiments/ -run 'TestMap|TestPooled|TestFault|TestFail|TestMCRescue' -count=1
+	$(GO) test -race ./internal/experiments/ -run 'TestMap|TestPooled|TestFault|TestFail|TestMCRescue|TestRunPooledMC|TestHangSample' -count=1
 
 # Benchmark runner: the paper-figure per-sample benches plus the pooled
 # vs rebuild Monte Carlo pairs (the speedup evidence for the pooled engine).

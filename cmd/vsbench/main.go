@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,14 +22,18 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"vstat/internal/circuits"
 	"vstat/internal/core"
 	"vstat/internal/experiments"
+	"vstat/internal/lifecycle"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
@@ -88,13 +93,29 @@ type unitRecord struct {
 	PhaseNsDist     map[string]distRecord `json:"phase_ns_dist,omitempty"`
 }
 
+// lifecycleRecord captures the run-lifecycle overhead figures: what
+// checkpointing and per-sample budget enforcement cost on the hot path.
+type lifecycleRecord struct {
+	// Checkpoint.Record cost per sample (no flush), microbenched on a
+	// 1000-sample float64 checkpoint.
+	CheckpointRecordNsPerSample float64 `json:"checkpoint_record_ns_per_sample"`
+	// One atomic write-rename flush of a 1000-sample checkpoint state.
+	CheckpointFlushNsPer1k float64 `json:"checkpoint_flush_ns_per_1k_samples"`
+	// Armed-minus-unarmed wall time per sample on the INV FO3 delay MC:
+	// the cooperative budget checks' cost on the real hot path. Noise can
+	// drive small negative values; treat anything near zero as free.
+	BudgetCheckNsPerSample float64 `json:"budget_check_ns_per_sample_inv_delay"`
+}
+
 // benchFile is the whole BENCH_mc.json document.
 type benchFile struct {
-	Generated string       `json:"generated"`
-	GoVersion string       `json:"go_version"`
-	Vdd       float64      `json:"vdd"`
-	Seed      int64        `json:"seed"`
-	Units     []unitRecord `json:"units"`
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	Vdd       float64          `json:"vdd"`
+	Seed      int64            `json:"seed"`
+	Interrupt string           `json:"interrupted,omitempty"` // set when the run was cancelled and the rows below are partial
+	Lifecycle *lifecycleRecord `json:"lifecycle,omitempty"`
+	Units     []unitRecord     `json:"units"`
 }
 
 // statsPool collects solver-counter readers from the per-worker templates so
@@ -119,12 +140,15 @@ func (p *statsPool) total() spice.SolverStats {
 }
 
 // unitFn runs one n-sample pooled MC and reports the summed solver stats
-// plus the run's health report. A non-nil mi attaches per-sample phase
-// timing and Newton-work histograms (the distribution pass); nil keeps the
-// hot path on its nil-scope no-op branches (the timed pass). core selects
-// the linear-algebra backend of every worker template, and mr (when
-// non-nil) receives the template's MNA matrix shape.
-type unitFn func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error)
+// plus the run's health report. ctx cancels the run mid-unit (claiming
+// stops, in-flight samples drain); opts carries the failure policy plus the
+// lifecycle knobs (per-sample budget, hang watchdog, checkpoint). A non-nil
+// mi attaches per-sample phase timing and Newton-work histograms (the
+// distribution pass); nil keeps the hot path on its nil-scope no-op
+// branches (the timed pass). core selects the linear-algebra backend of
+// every worker template, and mr (when non-nil) receives the template's MNA
+// matrix shape.
+type unitFn func(ctx context.Context, n int, seed int64, workers int, opts montecarlo.RunOpts, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error)
 
 // matRec captures the MNA matrix shape of a unit's template circuit, filled
 // once by the first worker that builds one (all workers share the topology).
@@ -156,6 +180,14 @@ type instrState[B montecarlo.RescueReporter] struct {
 // RescueCounts forwards the bench counters (montecarlo.RescueReporter).
 func (s instrState[B]) RescueCounts() map[string]int64 { return s.b.RescueCounts() }
 
+// ArmSample forwards the per-sample lifecycle arming to the wrapped bench
+// (montecarlo.SampleArmer), so budgeted runs kill over-budget samples.
+func (s instrState[B]) ArmSample(ctx context.Context, bud lifecycle.Budget) {
+	if a, ok := any(s.b).(montecarlo.SampleArmer); ok {
+		a.ArmSample(ctx, bud)
+	}
+}
+
 // Gate transient window, matching the experiments' delay MCs.
 const (
 	gateTranStop = 560e-12
@@ -164,9 +196,9 @@ const (
 
 func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(ctx context.Context, n int, seed int64, workers int, opts montecarlo.RunOpts, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
-		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
+		_, rep, err := montecarlo.MapPooledReportCtx(ctx, n, seed, workers, opts,
 			func(int) (instrState[*circuits.PooledGate], error) {
 				b, err := build(vdd, sz, m.Nominal(), fast)
 				if err != nil {
@@ -203,10 +235,10 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 }
 
 func dffUnit(m core.StatModel, vdd float64) unitFn {
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(ctx context.Context, n int, seed int64, workers int, runOpts montecarlo.RunOpts, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		opts := measure.DefaultSetupOpts()
 		var pool statsPool
-		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
+		_, rep, err := montecarlo.MapPooledReportCtx(ctx, n, seed, workers, runOpts,
 			func(int) (instrState[*circuits.PooledDFF], error) {
 				ff := circuits.NewPooledDFF(vdd, circuits.DefaultDFFSizing(), m.Nominal(), fast)
 				ff.Ckt.LinearCore = core
@@ -238,9 +270,9 @@ func dffUnit(m core.StatModel, vdd float64) unitFn {
 
 func sramUnit(m core.StatModel, vdd float64) unitFn {
 	const points = 61 // butterfly sweep resolution, matching Fig. 9
-	return func(n int, seed int64, workers int, pol montecarlo.Policy, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
+	return func(ctx context.Context, n int, seed int64, workers int, opts montecarlo.RunOpts, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		var pool statsPool
-		_, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
+		_, rep, err := montecarlo.MapPooledReportCtx(ctx, n, seed, workers, opts,
 			func(int) (instrState[*circuits.PooledSRAM], error) {
 				cell := circuits.NewPooledSRAM(vdd, circuits.DefaultSRAMSizing(), m.Nominal(), points, fast)
 				cell.SetLinearCore(core)
@@ -303,21 +335,86 @@ type unitSnapshot struct {
 	Metrics obs.Snapshot `json:"metrics"`
 }
 
+// benchCkpt is the slice of the generic Checkpoint[T] API runUnit needs
+// without knowing a unit's sample type.
+type benchCkpt interface {
+	montecarlo.CheckpointSink
+	Flush() error
+	Restored() int
+	Report() montecarlo.RunReport
+}
+
+// ckOpener returns an open function for a unit whose samples are T: remove
+// any stale file unless resuming, then open the typed checkpoint.
+func ckOpener[T any]() func(path, hash string, n int, resume bool) (benchCkpt, error) {
+	return func(path, hash string, n int, resume bool) (benchCkpt, error) {
+		if !resume {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("checkpoint reset: %w", err)
+			}
+		}
+		return montecarlo.OpenCheckpoint[T](path, hash, n, 0)
+	}
+}
+
+// benchLC bundles the run-lifecycle wiring every unit run shares: the
+// cancellable run context, the per-sample budget/watchdog options, and the
+// checkpoint directory settings.
+type benchLC struct {
+	ctx    context.Context
+	opts   montecarlo.RunOpts // Policy + Budget + HangGrace; Checkpoint added per unit
+	ckDir  string
+	resume bool
+	vdd    float64
+}
+
 // runUnit times one unit and turns the raw counters into a record. The
 // timed pass always runs uninstrumented so ns/allocs per sample stay
 // comparable across revisions; when dist is set, a second pass with the
 // same seed re-runs under instrumentation and attaches the Newton-iteration
-// and per-phase wall-time distributions.
-func runUnit(name, mode string, core spice.LinearCore, fn unitFn, n int, seed int64, workers int, pol montecarlo.Policy, dist bool, bo *benchObs) (unitRecord, error) {
+// and per-phase wall-time distributions. With a checkpoint directory the
+// timed pass records every sample to <dir>/<unit>-<core>-<mode>.ckpt.json
+// (resumed samples are skipped, so resumed perf figures cover only the
+// freshly-run remainder; the distribution pass never checkpoints).
+func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
+	openCk func(path, hash string, n int, resume bool) (benchCkpt, error),
+	n int, seed int64, workers int, lc benchLC, dist bool, bo *benchObs) (unitRecord, error) {
 	fast := mode == "fast"
+	opts := lc.opts
+	var ck benchCkpt
+	if lc.ckDir != "" {
+		if err := os.MkdirAll(lc.ckDir, 0o755); err != nil {
+			return unitRecord{}, fmt.Errorf("checkpoint dir: %w", err)
+		}
+		path := filepath.Join(lc.ckDir, fmt.Sprintf("%s-%s-%s.ckpt.json", name, core, mode))
+		hash := montecarlo.ConfigHash(seed, n, lc.vdd, name, core.String(), mode)
+		var err error
+		ck, err = openCk(path, hash, n, lc.resume)
+		if err != nil {
+			return unitRecord{}, err
+		}
+		opts.Checkpoint = ck
+		if r := ck.Restored(); r > 0 {
+			fmt.Printf("%-10s %-6s %-5s  resuming: %d of %d samples restored from checkpoint\n",
+				name, core, mode, r, n)
+		}
+	}
 	runtime.GC()
 	var mr matRec
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	stats, rep, err := fn(n, seed, workers, pol, fast, core, nil, &mr)
+	stats, rep, err := fn(lc.ctx, n, seed, workers, opts, fast, core, nil, &mr)
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&after)
+	if ck != nil {
+		if ferr := ck.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if err == nil {
+			rep = ck.Report() // full-run view: restored + fresh samples
+		}
+	}
 	if err != nil {
 		return unitRecord{}, fmt.Errorf("%s (%s, %s): %w", name, mode, core, err)
 	}
@@ -357,7 +454,8 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn, n int, seed in
 			mi.Sink = bo.sink
 			bo.live.Store(reg)
 		}
-		if _, _, err := fn(n, seed, workers, pol, fast, core, mi, nil); err != nil {
+		distOpts := lc.opts // never the checkpoint: the pass re-runs every sample
+		if _, _, err := fn(lc.ctx, n, seed, workers, distOpts, fast, core, mi, nil); err != nil {
 			return unitRecord{}, fmt.Errorf("%s (%s, %s) distribution pass: %w", name, mode, core, err)
 		}
 		snap := reg.Snapshot()
@@ -374,6 +472,73 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn, n int, seed in
 	return rec, nil
 }
 
+// measureCheckpointOverhead microbenches the checkpoint hot path: Record
+// cost per sample with flushing suppressed, then the cost of one atomic
+// write-rename flush of a 1000-sample state.
+func measureCheckpointOverhead() (recordNs, flushNs float64, err error) {
+	dir, err := os.MkdirTemp("", "vsbench-ck-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	const n = 1000
+	ck, err := montecarlo.OpenCheckpoint[float64](
+		filepath.Join(dir, "bench.ckpt.json"),
+		montecarlo.ConfigHash("vsbench-lifecycle", n), n, 1<<30)
+	if err != nil {
+		return 0, 0, err
+	}
+	rescued := map[string]int64{"dc-gmin": 1}
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		ck.Record(i, float64(i), rescued, nil)
+	}
+	recordNs = float64(time.Since(t0).Nanoseconds()) / n
+	const flushes = 20
+	t0 = time.Now()
+	for i := 0; i < flushes; i++ {
+		if err := ck.Flush(); err != nil {
+			return 0, 0, err
+		}
+	}
+	flushNs = float64(time.Since(t0).Nanoseconds()) / flushes
+	return recordNs, flushNs, nil
+}
+
+// measureBudgetOverhead runs the INV FO3 delay unit with the same seed —
+// unarmed and under a never-binding budget — and reports the per-sample
+// wall-time delta the cooperative budget checks cost. Each arm takes the
+// minimum of three runs so scheduler and GC noise (far larger than the
+// three compares being measured) mostly cancels.
+func measureBudgetOverhead(ctx context.Context, inv unitFn, n int, seed int64, workers int) (float64, error) {
+	run := func(opts montecarlo.RunOpts) (float64, error) {
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			runtime.GC()
+			t0 := time.Now()
+			_, _, err := inv(ctx, n, seed, workers, opts, false, spice.CoreDense, nil, nil)
+			if err != nil {
+				return 0, err
+			}
+			ns := float64(time.Since(t0).Nanoseconds()) / float64(n)
+			if rep == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	plain, err := run(montecarlo.RunOpts{})
+	if err != nil {
+		return 0, err
+	}
+	armed, err := run(montecarlo.RunOpts{
+		Budget: lifecycle.Budget{Wall: time.Hour, MaxNewton: 1 << 40}})
+	if err != nil {
+		return 0, err
+	}
+	return armed - plain, nil
+}
+
 func main() {
 	var (
 		n        = flag.Int("n", 64, "Monte Carlo samples per unit")
@@ -387,12 +552,30 @@ func main() {
 		dist     = flag.Bool("dist", true, "run an instrumented second pass per unit and record Newton-iteration and per-phase time distributions")
 		failFrac = flag.Float64("max-fail-frac", 0, "with -skip-failed, abort once this failure fraction is exceeded (0 = no cap)")
 
+		timeout       = flag.Duration("timeout", 0, "overall bench deadline (0 = none); on expiry the completed unit rows still land in -out")
+		sampleTimeout = flag.Duration("sample-timeout", 0, "per-sample wall-clock budget; an over-budget or hung sample becomes a recorded per-sample failure under -skip-failed")
+		hangGrace     = flag.Duration("hang-grace", 0, "how far past -sample-timeout the watchdog lets a wedged sample run before abandoning it (0 = one extra -sample-timeout)")
+		ckDir         = flag.String("checkpoint", "", "directory for per-unit checkpoint files written by the timed pass")
+		resume        = flag.Bool("resume", false, "resume per-unit checkpoints, re-running only missing samples (their perf figures then cover only the fresh remainder)")
+		lifecycleB    = flag.Bool("lifecycle-bench", true, "measure checkpoint and budget-check overheads and record them under \"lifecycle\" in -out")
+
 		metricsOut = flag.String("metrics-out", "", "write the per-unit observability snapshots (JSON) to this path; implies -dist")
 		trace      = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr during the distribution passes (0 = off)")
 		logLevel   = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
 		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and a Prometheus /metrics endpoint on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context; the unit loop below flushes the
+	// completed rows (and any per-unit checkpoints) instead of exiting
+	// silently.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	bo := &benchObs{}
 	if *metricsOut != "" || *trace > 0 || *pprofAddr != "" {
@@ -427,6 +610,17 @@ func main() {
 	pol := montecarlo.Policy{}
 	if *skip {
 		pol = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
+	}
+	lc := benchLC{
+		ctx: ctx,
+		opts: montecarlo.RunOpts{
+			Policy:    pol,
+			Budget:    lifecycle.Budget{Wall: *sampleTimeout},
+			HangGrace: *hangGrace,
+		},
+		ckDir:  *ckDir,
+		resume: *resume,
+		vdd:    *vdd,
 	}
 
 	if *n < 1 {
@@ -466,18 +660,20 @@ func main() {
 
 	m := core.DefaultStatVS()
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	invFn := gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+		return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
+	})
 	units := []struct {
 		name string
 		fn   unitFn
+		ck   func(path, hash string, n int, resume bool) (benchCkpt, error)
 	}{
-		{"INV_FO3", gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
-			return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
-		})},
+		{"INV_FO3", invFn, ckOpener[float64]()},
 		{"NAND2_FO3", gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
 			return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
-		})},
-		{"DFF", dffUnit(m, *vdd)},
-		{"SRAM", sramUnit(m, *vdd)},
+		}), ckOpener[float64]()},
+		{"DFF", dffUnit(m, *vdd), ckOpener[float64]()},
+		{"SRAM", sramUnit(m, *vdd), ckOpener[[2]float64]()},
 	}
 
 	doc := benchFile{
@@ -486,11 +682,51 @@ func main() {
 		Vdd:       *vdd,
 		Seed:      *seed,
 	}
+	// writeOut lands whatever rows exist in -out (plus the -metrics-out
+	// snapshots), so an interrupted bench keeps its completed units.
+	writeOut := func() {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d unit records)\n", *out, len(doc.Units))
+		if *metricsOut != "" {
+			blob, err := json.MarshalIndent(struct {
+				Units []unitSnapshot `json:"units"`
+			}{bo.snaps}, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			blob = append(blob, '\n')
+			if err := os.WriteFile(*metricsOut, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("observability snapshots written to %s\n", *metricsOut)
+		}
+	}
 	for _, u := range units {
 		for _, core := range cores {
 			for _, md := range modes {
-				rec, err := runUnit(u.name, md, core, u.fn, *n, *seed, *workers, pol, *dist, bo)
+				rec, err := runUnit(u.name, md, core, u.fn, u.ck, *n, *seed, *workers, lc, *dist, bo)
 				if err != nil {
+					if lifecycle.IsCancellation(err) {
+						doc.Interrupt = err.Error()
+						fmt.Fprintf(os.Stderr, "vsbench: interrupted: %v\n", err)
+						fmt.Fprintf(os.Stderr, "vsbench: flushing the %d completed unit records\n", len(doc.Units))
+						if *ckDir != "" {
+							fmt.Fprintf(os.Stderr, "vsbench: completed samples are preserved in %s; re-run with -resume to finish\n", *ckDir)
+						}
+						writeOut()
+						os.Exit(130)
+					}
 					fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
 					os.Exit(1)
 				}
@@ -507,31 +743,30 @@ func main() {
 		}
 	}
 
-	blob, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
-		os.Exit(1)
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (%d unit records)\n", *out, len(doc.Units))
-
-	if *metricsOut != "" {
-		blob, err := json.MarshalIndent(struct {
-			Units []unitSnapshot `json:"units"`
-		}{bo.snaps}, "", "  ")
+	if *lifecycleB {
+		recNs, flushNs, err := measureCheckpointOverhead()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+			fmt.Fprintf(os.Stderr, "vsbench: checkpoint overhead: %v\n", err)
 			os.Exit(1)
 		}
-		blob = append(blob, '\n')
-		if err := os.WriteFile(*metricsOut, blob, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "vsbench: metrics snapshot: %v\n", err)
+		budNs, err := measureBudgetOverhead(ctx, invFn, *n, *seed, *workers)
+		if err != nil {
+			if lifecycle.IsCancellation(err) {
+				doc.Interrupt = err.Error()
+				writeOut()
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "vsbench: budget overhead: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("observability snapshots written to %s\n", *metricsOut)
+		doc.Lifecycle = &lifecycleRecord{
+			CheckpointRecordNsPerSample: recNs,
+			CheckpointFlushNsPer1k:      flushNs,
+			BudgetCheckNsPerSample:      budNs,
+		}
+		fmt.Printf("lifecycle: checkpoint record %.0f ns/sample, flush %.0f ns/1k-state, budget checks %+.0f ns/sample on INV delay\n",
+			recNs, flushNs, budNs)
 	}
+
+	writeOut()
 }

@@ -11,17 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vstat/internal/cards"
 	"vstat/internal/experiments"
+	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
 )
@@ -38,6 +42,12 @@ func main() {
 		skip     = flag.Bool("skip-failed", false, "isolate non-convergent Monte Carlo samples instead of aborting the experiment; dropped samples are reported in each figure's run-health line")
 		failFrac = flag.Float64("max-fail-frac", 0.01, "with -skip-failed, abort an experiment once this failure fraction is exceeded (0 = no cap)")
 
+		timeout       = flag.Duration("timeout", 0, "overall campaign deadline (0 = none); on expiry the run stops cleanly, flushing checkpoints and metrics")
+		sampleTimeout = flag.Duration("sample-timeout", 0, "per-sample wall-clock budget; an over-budget or hung sample becomes a recorded per-sample failure under -skip-failed")
+		hangGrace     = flag.Duration("hang-grace", 0, "how far past -sample-timeout the watchdog lets a wedged sample run before abandoning it (0 = one extra -sample-timeout)")
+		checkpoint    = flag.String("checkpoint", "", "directory for per-experiment checkpoint files; an interrupted campaign keeps every completed sample there")
+		resume        = flag.Bool("resume", false, "resume from existing files in -checkpoint, re-running only the missing samples; without it stale files are discarded")
+
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics snapshot (JSON) to this path on exit; enables instrumentation")
 		trace       = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr (0 = off)")
 		logLevel    = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
@@ -46,7 +56,23 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Workers: *workers, Scale: *scale, Vdd: *vdd}
+	// SIGINT/SIGTERM cancel the run context: Monte Carlo claiming stops,
+	// in-flight samples drain, checkpoints and metrics flush before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Scale: *scale, Vdd: *vdd,
+		Ctx:           ctx,
+		SampleBudget:  lifecycle.Budget{Wall: *sampleTimeout},
+		HangGrace:     *hangGrace,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+	}
 	if *skip {
 		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
 	}
@@ -137,6 +163,25 @@ func main() {
 		}},
 	}
 
+	// flushMetrics writes the -metrics-out snapshot; it runs on the normal
+	// exit path AND on every fatal/interrupt path, so an interrupted
+	// campaign never drops its observability data.
+	flushMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		data, err := reg.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsrepro: metrics snapshot:", err)
+			return
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vsrepro: metrics snapshot:", err)
+			return
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+
 	want := strings.ToLower(*exp)
 	found := false
 	for _, r := range runners {
@@ -158,12 +203,22 @@ func main() {
 		t := time.Now()
 		res, err := r.run()
 		if err != nil {
+			if lifecycle.IsCancellation(err) {
+				fmt.Fprintf(os.Stderr, "vsrepro: %s interrupted: %v\n", r.id, err)
+				if *checkpoint != "" {
+					fmt.Fprintf(os.Stderr, "vsrepro: completed samples are preserved in %s; re-run with -resume to finish\n", *checkpoint)
+				}
+				flushMetrics()
+				os.Exit(130)
+			}
+			flushMetrics()
 			fatal(fmt.Errorf("%s: %w", r.id, err))
 		}
 		fmt.Printf("==== %s (%s) ====\n%s\n", r.id, time.Since(t).Round(time.Millisecond), res)
 		if *csvDir != "" {
 			if cw, ok := res.(interface{ WriteCSV(string) error }); ok {
 				if err := cw.WriteCSV(*csvDir); err != nil {
+					flushMetrics()
 					fatal(fmt.Errorf("%s: csv: %w", r.id, err))
 				}
 			}
@@ -173,16 +228,7 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 
-	if *metricsOut != "" {
-		data, err := reg.Snapshot().MarshalIndentJSON()
-		if err != nil {
-			fatal(fmt.Errorf("metrics snapshot: %w", err))
-		}
-		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
-			fatal(fmt.Errorf("metrics snapshot: %w", err))
-		}
-		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
-	}
+	flushMetrics()
 }
 
 func fatal(err error) {

@@ -1,9 +1,11 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 
 	"vstat/internal/device"
+	"vstat/internal/lifecycle"
 	"vstat/internal/obs"
 	"vstat/internal/spice"
 )
@@ -115,6 +117,12 @@ func (p *PooledGate) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
 }
 
+// ArmSample implements montecarlo.SampleArmer: the template circuit
+// enforces ctx and the per-sample budget at Newton iteration boundaries.
+func (p *PooledGate) ArmSample(ctx context.Context, b lifecycle.Budget) {
+	p.Ckt.ArmSample(ctx, b)
+}
+
 // Transient runs the bench transient into the reusable result.
 func (p *PooledGate) Transient(stop, step float64) (*spice.TranResult, error) {
 	opts := spice.TranOpts{Stop: stop, Step: step}
@@ -160,6 +168,11 @@ func (p *PooledDFF) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
 }
 
+// ArmSample implements montecarlo.SampleArmer.
+func (p *PooledDFF) ArmSample(ctx context.Context, b lifecycle.Budget) {
+	p.Ckt.ArmSample(ctx, b)
+}
+
 // PooledRing is a reusable ring-oscillator bench.
 type PooledRing struct {
 	*RingOscillator
@@ -184,6 +197,11 @@ func (p *PooledRing) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
 // RescueCounts implements montecarlo.RescueReporter.
 func (p *PooledRing) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
+}
+
+// ArmSample implements montecarlo.SampleArmer.
+func (p *PooledRing) ArmSample(ctx context.Context, b lifecycle.Budget) {
+	p.Ckt.ArmSample(ctx, b)
 }
 
 // Frequency measures the oscillation frequency like
@@ -285,6 +303,15 @@ func (p *PooledSRAM) RescueCounts() map[string]int64 {
 func (p *PooledSRAM) ResetStats() {
 	p.cL.ResetStats()
 	p.cR.ResetStats()
+}
+
+// ArmSample implements montecarlo.SampleArmer on both half-circuits. Each
+// half gets its own wall deadline (the halves solve sequentially, so a
+// sample may spend up to 2·Wall at iteration boundaries before tripping);
+// the montecarlo watchdog still enforces the sample-level Wall+grace bound.
+func (p *PooledSRAM) ArmSample(ctx context.Context, b lifecycle.Budget) {
+	p.cL.ArmSample(ctx, b)
+	p.cR.ArmSample(ctx, b)
 }
 
 // SetLinearCore selects the Jacobian factorization backend of both

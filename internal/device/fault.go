@@ -1,6 +1,9 @@
 package device
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // FaultMode selects how a FaultCard misbehaves inside its active window.
 type FaultMode int
@@ -18,6 +21,17 @@ const (
 	// FaultPanic makes Eval panic, exercising the Monte Carlo driver's
 	// per-sample panic isolation.
 	FaultPanic
+	// FaultHang makes Eval block — on the Release channel when set, else
+	// for HangFor — before evaluating normally: a deterministic stand-in
+	// for a model evaluation that wedges (native library stall, pathological
+	// internal iteration), used to test the hang watchdog without real
+	// multi-second stalls.
+	FaultHang
+	// FaultSlowEval makes Eval sleep SlowFor before evaluating normally,
+	// modeling a slow-but-alive sample for per-sample wall budgets: the
+	// solver still reaches iteration boundaries, so the cooperative
+	// deadline check (not the watchdog) catches it.
+	FaultSlowEval
 )
 
 // FaultCard wraps a Device and deterministically injects a fault during an
@@ -41,6 +55,14 @@ type FaultCard struct {
 	// Until closes the window: calls numbered >= Until behave normally
 	// again. Until <= 0 keeps the window open forever.
 	Until int64
+
+	// HangFor bounds a FaultHang block when Release is nil (so tests cannot
+	// deadlock); SlowFor is the per-call FaultSlowEval sleep.
+	HangFor time.Duration
+	SlowFor time.Duration
+	// Release, when set, is what a FaultHang evaluation blocks on: close it
+	// to let abandoned sample goroutines finish and exit.
+	Release <-chan struct{}
 
 	calls int64
 }
@@ -83,6 +105,23 @@ func (f *FaultCard) Eval(vd, vg, vs, vb float64) Eval {
 		return e
 	case FaultPanic:
 		panic("device: injected fault panic")
+	case FaultHang:
+		if f.Release != nil {
+			if f.HangFor > 0 {
+				select {
+				case <-f.Release:
+				case <-time.After(f.HangFor):
+				}
+			} else {
+				<-f.Release
+			}
+		} else {
+			time.Sleep(f.HangFor)
+		}
+		return f.Inner.Eval(vd, vg, vs, vb)
+	case FaultSlowEval:
+		time.Sleep(f.SlowFor)
+		return f.Inner.Eval(vd, vg, vs, vb)
 	default:
 		nan := math.NaN()
 		return Eval{Id: nan, Q: Charges{Qd: nan, Qg: nan, Qs: nan, Qb: nan}}

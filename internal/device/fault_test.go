@@ -3,6 +3,7 @@ package device
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // constDevice is a minimal Device with a fixed evaluation.
@@ -70,6 +71,55 @@ func TestFaultCardPanics(t *testing.T) {
 	}()
 	f := &FaultCard{Inner: constDevice{}, Mode: FaultPanic}
 	f.Eval(0, 0, 0, 0)
+}
+
+func TestFaultCardHangBlocksUntilRelease(t *testing.T) {
+	release := make(chan struct{})
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultHang, Release: release}
+	done := make(chan Eval, 1)
+	go func() { done <- f.Eval(0.9, 0.9, 0, 0) }()
+	select {
+	case <-done:
+		t.Fatal("FaultHang eval returned before release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case e := <-done:
+		if e.Id != 1e-6 {
+			t.Fatalf("released eval Id = %g, want the inner model's 1e-6", e.Id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("FaultHang eval did not return after release")
+	}
+}
+
+func TestFaultCardHangTimeBounded(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultHang, HangFor: 5 * time.Millisecond}
+	start := time.Now()
+	e := f.Eval(0.9, 0.9, 0, 0)
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Fatalf("HangFor-bounded eval returned after %v, want >= 5ms", el)
+	}
+	if e.Id != 1e-6 {
+		t.Fatalf("post-hang eval Id = %g, want the inner model's 1e-6", e.Id)
+	}
+}
+
+func TestFaultCardSlowEval(t *testing.T) {
+	f := &FaultCard{Inner: constDevice{id: 1e-6}, Mode: FaultSlowEval,
+		SlowFor: 2 * time.Millisecond, After: 1}
+	if e := f.Eval(0, 0, 0, 0); e.Id != 1e-6 {
+		t.Fatalf("pre-window eval Id = %g", e.Id)
+	}
+	start := time.Now()
+	e := f.Eval(0, 0, 0, 0)
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("slow eval returned after %v, want >= 2ms", el)
+	}
+	if e.Id != 1e-6 {
+		t.Fatalf("slow eval Id = %g, want the inner model's value", e.Id)
+	}
 }
 
 func TestFaultCardForwardsGeometry(t *testing.T) {

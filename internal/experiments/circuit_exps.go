@@ -96,12 +96,12 @@ func (s *Suite) Fig5() (Fig5Result, error) {
 	for si, cfgSz := range Fig5Sizings {
 		seed := s.Cfg.Seed + int64(1000*si)
 		build := pooledInvFO3(s.Cfg.Vdd, cfgSz.Sz)
-		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, s.Cfg.Vdd, build, s.instr)
+		g, gRep, err := pooledDelayMC(s.Cfg, fmt.Sprintf("fig5-golden-%d", si), n, seed, s.Golden, s.Cfg.Vdd, build, s.instr)
 		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 golden %s: %w", cfgSz.Label, err)
 		}
-		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, s.Cfg.Vdd, build, s.instr)
+		v, vRep, err := pooledDelayMC(s.Cfg, fmt.Sprintf("fig5-vs-%d", si), n, seed+500009, s.VS, s.Cfg.Vdd, build, s.instr)
 		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig5 vs %s: %w", cfgSz.Label, err)
@@ -152,8 +152,8 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	res := Fig6Result{N: n}
 
-	run := func(m core.StatModel, seed int64) ([]Fig6Point, error) {
-		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
+	run := func(m core.StatModel, name string, seed int64) ([]Fig6Point, error) {
+		out, rep, err := runPooledMC[obsState[*circuits.PooledGate], Fig6Point](s.Cfg, name, n, seed,
 			newObsState(s.instr, func() (*circuits.PooledGate, error) {
 				return circuits.NewPooledInverterFO(3, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC)
 			}),
@@ -199,11 +199,11 @@ func (s *Suite) Fig6() (Fig6Result, error) {
 		return montecarlo.Compact(out, rep), nil
 	}
 	var err error
-	res.Golden, err = run(s.Golden, s.Cfg.Seed+61)
+	res.Golden, err = run(s.Golden, "fig6-golden", s.Cfg.Seed+61)
 	if err != nil {
 		return res, fmt.Errorf("fig6 golden: %w", err)
 	}
-	res.VS, err = run(s.VS, s.Cfg.Seed+62)
+	res.VS, err = run(s.VS, "fig6-vs", s.Cfg.Seed+62)
 	if err != nil {
 		return res, fmt.Errorf("fig6 vs: %w", err)
 	}
@@ -277,12 +277,12 @@ func (s *Suite) Fig7() (Fig7Result, error) {
 	for vi, vdd := range Fig7Supplies {
 		seed := s.Cfg.Seed + int64(7000+100*vi)
 		build := pooledNand2FO3(vdd, sz)
-		g, gRep, err := pooledDelayMC(n, seed, s.Cfg.Workers, s.Cfg.Policy, s.Golden, s.Cfg.FastMC, vdd, build, s.instr)
+		g, gRep, err := pooledDelayMC(s.Cfg, fmt.Sprintf("fig7-golden-%d", vi), n, seed, s.Golden, vdd, build, s.instr)
 		res.Health.Merge(gRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 golden %g V: %w", vdd, err)
 		}
-		v, vRep, err := pooledDelayMC(n, seed+500009, s.Cfg.Workers, s.Cfg.Policy, s.VS, s.Cfg.FastMC, vdd, build, s.instr)
+		v, vRep, err := pooledDelayMC(s.Cfg, fmt.Sprintf("fig7-vs-%d", vi), n, seed+500009, s.VS, vdd, build, s.instr)
 		res.Health.Merge(vRep)
 		if err != nil {
 			return res, fmt.Errorf("fig7 vs %g V: %w", vdd, err)

@@ -121,8 +121,8 @@ func (s *Suite) ExtCorners() (ExtCornersResult, error) {
 		return res, err
 	}
 
-	delays, rep, err := pooledDelayMC(res.N, s.Cfg.Seed+777, s.Cfg.Workers, s.Cfg.Policy,
-		s.VS, s.Cfg.FastMC, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz), s.instr)
+	delays, rep, err := pooledDelayMC(s.Cfg, "ext-corners-mc", res.N, s.Cfg.Seed+777,
+		s.VS, s.Cfg.Vdd, pooledInvFO3(s.Cfg.Vdd, sz), s.instr)
 	res.Health.Merge(rep)
 	if err != nil {
 		return res, err
@@ -219,8 +219,8 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 	n := s.Cfg.samples(250)
 	opts := measure.DefaultSetupOpts()
 	res := Fig8HoldResult{N: n}
-	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
+	run := func(m core.StatModel, name string, seed int64) ([]float64, error) {
+		out, rep, err := runPooledMC[obsState[*circuits.PooledDFF], float64](s.Cfg, name, n, seed,
 			newObsState(s.instr, func() (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
 			}),
@@ -245,11 +245,11 @@ func (s *Suite) Fig8Hold() (Fig8HoldResult, error) {
 		}
 		return montecarlo.Compact(out, rep), nil
 	}
-	g, err := run(s.Golden, s.Cfg.Seed+83)
+	g, err := run(s.Golden, "fig8hold-golden", s.Cfg.Seed+83)
 	if err != nil {
 		return res, fmt.Errorf("fig8 hold golden: %w", err)
 	}
-	v, err := run(s.VS, s.Cfg.Seed+84)
+	v, err := run(s.VS, "fig8hold-vs", s.Cfg.Seed+84)
 	if err != nil {
 		return res, fmt.Errorf("fig8 hold vs: %w", err)
 	}
@@ -282,8 +282,8 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 	n := s.Cfg.samples(500)
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
 	res := ExtRingResult{N: n}
-	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
+	run := func(m core.StatModel, name string, seed int64) ([]float64, error) {
+		out, rep, err := runPooledMC[obsState[*circuits.PooledRing], float64](s.Cfg, name, n, seed,
 			newObsState(s.instr, func() (*circuits.PooledRing, error) {
 				return circuits.NewPooledRing(5, s.Cfg.Vdd, sz, m.Nominal(), s.Cfg.FastMC), nil
 			}),
@@ -308,11 +308,11 @@ func (s *Suite) ExtRing() (ExtRingResult, error) {
 		}
 		return montecarlo.Compact(out, rep), nil
 	}
-	g, err := run(s.Golden, s.Cfg.Seed+901)
+	g, err := run(s.Golden, "ext-ring-golden", s.Cfg.Seed+901)
 	if err != nil {
 		return res, fmt.Errorf("ring golden: %w", err)
 	}
-	v, err := run(s.VS, s.Cfg.Seed+902)
+	v, err := run(s.VS, "ext-ring-vs", s.Cfg.Seed+902)
 	if err != nil {
 		return res, fmt.Errorf("ring vs: %w", err)
 	}

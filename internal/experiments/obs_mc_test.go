@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"maps"
 	"math/rand"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"vstat/internal/circuits"
 	"vstat/internal/core"
 	"vstat/internal/device"
+	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
 )
@@ -46,7 +48,7 @@ func TestMCObservabilityAcceptance(t *testing.T) {
 	const seed = int64(20130318)
 	build := pooledInvFO3(poolTestVdd, poolTestSizing())
 
-	plain, _, err := pooledDelayMC(n, seed, 4, montecarlo.Policy{}, m, false, poolTestVdd, build, nil)
+	plain, _, err := pooledDelayMC(Config{Workers: 4}, "obs-plain", n, seed, m, poolTestVdd, build, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestMCObservabilityAcceptance(t *testing.T) {
 		reg := obs.NewRegistry()
 		mi := NewMCInstr(reg)
 		start := time.Now()
-		got, rep, err := pooledDelayMC(n, seed, workers, montecarlo.Policy{}, m, false, poolTestVdd, build, mi)
+		got, rep, err := pooledDelayMC(Config{Workers: workers}, "obs-instr", n, seed, m, poolTestVdd, build, mi)
 		wall := time.Since(start)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -207,4 +209,41 @@ func TestMCRescueCountersMatchReportExactly(t *testing.T) {
 			t.Fatalf("rescue counts vary with worker count: %v vs %v", firstRescued, rep.Rescued)
 		}
 	}
+}
+
+// TestRecordRunLifecycle checks that a run report's budget overruns and
+// drained in-flight samples land in the lifecycle counters, and that a
+// clean report allocates no shard at all.
+func TestRecordRunLifecycle(t *testing.T) {
+	enableObs(t)
+	reg := obs.NewRegistry()
+	mi := NewMCInstr(reg)
+
+	// Clean report: no counters, no shard.
+	mi.RecordRunLifecycle(montecarlo.RunReport{Succeeded: 5})
+	snap := reg.Snapshot()
+	if v := snap.FindCounter("mc_samples_budget_total"); v != 0 {
+		t.Fatalf("clean run: budget counter = %d, want 0", v)
+	}
+
+	rep := montecarlo.RunReport{
+		Interrupted: 2,
+		Failures: []montecarlo.SampleFailure{
+			{Idx: 1, Err: &lifecycle.BudgetError{Kind: lifecycle.OverWall}},
+			{Idx: 3, Err: errors.New("plain failure")},
+			{Idx: 7, Err: &lifecycle.BudgetError{Kind: lifecycle.OverHang}},
+		},
+	}
+	mi.RecordRunLifecycle(rep)
+	snap = reg.Snapshot()
+	if v := snap.FindCounter("mc_samples_budget_total"); v != 2 {
+		t.Fatalf("budget counter = %d, want 2", v)
+	}
+	if v := snap.FindCounter("mc_samples_cancelled_total"); v != 2 {
+		t.Fatalf("cancelled counter = %d, want 2", v)
+	}
+
+	// A nil handle is a no-op, not a panic.
+	var nilMI *MCInstr
+	nilMI.RecordRunLifecycle(rep)
 }

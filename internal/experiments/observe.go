@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"vstat/internal/circuits"
 	"vstat/internal/device"
+	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
 	"vstat/internal/spice"
@@ -53,6 +56,8 @@ type MCInstr struct {
 	newtonIters  obs.HistID
 	jacRefreshes obs.HistID
 	samples      obs.CounterID
+	budgetOver   obs.CounterID
+	cancelled    obs.CounterID
 	rescueIDs    [7]obs.CounterID
 }
 
@@ -66,6 +71,8 @@ func NewMCInstr(reg *obs.Registry) *MCInstr {
 	mi.newtonIters = reg.Histogram("mc_newton_iters", NewtonIterBounds())
 	mi.jacRefreshes = reg.Histogram("mc_jac_refreshes", NewtonIterBounds())
 	mi.samples = reg.Counter("mc_samples_total")
+	mi.budgetOver = reg.Counter("mc_samples_budget_total")
+	mi.cancelled = reg.Counter("mc_samples_cancelled_total")
 	for i, st := range rescueStages {
 		mi.rescueIDs[i] = reg.Counter("mc_rescue_" + st + "_total")
 	}
@@ -84,6 +91,29 @@ func (mi *MCInstr) NewWorker() *SampleObs {
 	}
 	sc.SetEvents(mi.Sink)
 	return &SampleObs{mi: mi, sc: sc}
+}
+
+// RecordRunLifecycle flushes a finished run's lifecycle outcomes into the
+// registry: samples that died over their budget (wall, iteration cap, or
+// hang watchdog) and in-flight samples drained by a run cancellation.
+// Counts cover this process's work only — failures restored from a
+// checkpoint were already counted by the run that produced them.
+func (mi *MCInstr) RecordRunLifecycle(rep montecarlo.RunReport) {
+	if mi == nil || !obs.Enabled() {
+		return
+	}
+	var budget int64
+	for _, f := range rep.Failures {
+		if lifecycle.IsBudget(f.Err) {
+			budget++
+		}
+	}
+	if budget == 0 && rep.Interrupted == 0 {
+		return
+	}
+	sh := mi.Reg.NewShard()
+	sh.Add(mi.budgetOver, budget)
+	sh.Add(mi.cancelled, int64(rep.Interrupted))
 }
 
 // RescuedCounters extracts the per-stage rescue counters from a metrics
@@ -174,6 +204,15 @@ type obsState[B obsBench] struct {
 
 // RescueCounts forwards the bench's counters (montecarlo.RescueReporter).
 func (s obsState[B]) RescueCounts() map[string]int64 { return s.B.RescueCounts() }
+
+// ArmSample forwards the per-sample context and budget to the bench
+// (montecarlo.SampleArmer); benches without solver-side enforcement run
+// unarmed, covered only by the engine's hang watchdog.
+func (s obsState[B]) ArmSample(ctx context.Context, b lifecycle.Budget) {
+	if a, ok := any(s.B).(montecarlo.SampleArmer); ok {
+		a.ArmSample(ctx, b)
+	}
+}
 
 // newObsState wraps a bench builder into a MapPooledReport newState that
 // attaches per-worker instrumentation when mi is live.

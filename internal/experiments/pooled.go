@@ -37,13 +37,16 @@ func pooledNand2FO3(vdd float64, sz circuits.Sizing) gateBuilder {
 }
 
 // pooledDelayMC runs an n-sample pair-delay Monte Carlo over per-worker
-// pooled benches under the configured failure policy. The returned slice
-// holds only the successful samples (failed ones are compacted away and
-// recorded in the report). A live mi attaches per-worker phase timing,
-// Newton-work histograms and rescue counters; nil runs uninstrumented.
-func pooledDelayMC(n int, seed int64, workers int, pol montecarlo.Policy,
-	m core.StatModel, fast bool, vdd float64, build gateBuilder, mi *MCInstr) ([]float64, montecarlo.RunReport, error) {
-	out, rep, err := montecarlo.MapPooledReport(n, seed, workers, pol,
+// pooled benches under cfg's failure policy and lifecycle options
+// (context, per-sample budget, hang watchdog, checkpoint named name). The
+// returned slice holds only the successful samples (failed ones are
+// compacted away and recorded in the report). A live mi attaches
+// per-worker phase timing, Newton-work histograms and rescue counters; nil
+// runs uninstrumented.
+func pooledDelayMC(cfg Config, name string, n int, seed int64,
+	m core.StatModel, vdd float64, build gateBuilder, mi *MCInstr) ([]float64, montecarlo.RunReport, error) {
+	fast := cfg.FastMC
+	out, rep, err := runPooledMC[obsState[*circuits.PooledGate], float64](cfg, name, n, seed,
 		newObsState(mi, func() (*circuits.PooledGate, error) { return build(m.Nominal(), fast) }),
 		func(st obsState[*circuits.PooledGate], idx int, rng *rand.Rand) (float64, error) {
 			b, so := st.B, st.So

@@ -32,7 +32,7 @@ func TestPooledInvDelayBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-		got, _, err := pooledDelayMC(n, seed, workers, montecarlo.Policy{}, m, false, poolTestVdd,
+		got, _, err := pooledDelayMC(Config{Workers: workers}, "inv-test", n, seed, m, poolTestVdd,
 			pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 		if err != nil {
 			t.Fatal(err)
@@ -57,7 +57,7 @@ func TestPooledNandDelayBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 3} {
-		got, _, err := pooledDelayMC(n, seed, workers, montecarlo.Policy{}, m, false, poolTestVdd,
+		got, _, err := pooledDelayMC(Config{Workers: workers}, "nand-test", n, seed, m, poolTestVdd,
 			pooledNand2FO3(poolTestVdd, poolTestSizing()), nil)
 		if err != nil {
 			t.Fatal(err)
@@ -146,12 +146,12 @@ func TestPooledFastDelayAccuracy(t *testing.T) {
 	m := core.DefaultStatVS()
 	const n = 4
 	const seed = int64(4321)
-	exact, _, err := pooledDelayMC(n, seed, 1, montecarlo.Policy{}, m, false, poolTestVdd,
+	exact, _, err := pooledDelayMC(Config{Workers: 1}, "fast-exact", n, seed, m, poolTestVdd,
 		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, _, err := pooledDelayMC(n, seed, 1, montecarlo.Policy{}, m, true, poolTestVdd,
+	fast, _, err := pooledDelayMC(Config{Workers: 1, FastMC: true}, "fast-1", n, seed, m, poolTestVdd,
 		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +164,7 @@ func TestPooledFastDelayAccuracy(t *testing.T) {
 	}
 	// Fast mode carries no state across samples (Restat invalidates the
 	// factorization), so it must also be worker-invariant.
-	fast4, _, err := pooledDelayMC(n, seed, 4, montecarlo.Policy{}, m, true, poolTestVdd,
+	fast4, _, err := pooledDelayMC(Config{Workers: 4, FastMC: true}, "fast-4", n, seed, m, poolTestVdd,
 		pooledInvFO3(poolTestVdd, poolTestSizing()), nil)
 	if err != nil {
 		t.Fatal(err)

@@ -34,8 +34,8 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 	for r := opts.MaxOffset * 1.25; r > opts.Tol; r /= 2 {
 		res.TrialsPerSample++
 	}
-	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		out, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
+	run := func(m core.StatModel, name string, seed int64) ([]float64, error) {
+		out, rep, err := runPooledMC[obsState[*circuits.PooledDFF], float64](s.Cfg, name, n, seed,
 			newObsState(s.instr, func() (*circuits.PooledDFF, error) {
 				return circuits.NewPooledDFF(s.Cfg.Vdd, circuits.DefaultDFFSizing(), m.Nominal(), s.Cfg.FastMC), nil
 			}),
@@ -62,11 +62,11 @@ func (s *Suite) Fig8() (Fig8Result, error) {
 		}
 		return montecarlo.Compact(out, rep), nil
 	}
-	g, err := run(s.Golden, s.Cfg.Seed+81)
+	g, err := run(s.Golden, "fig8-golden", s.Cfg.Seed+81)
 	if err != nil {
 		return res, fmt.Errorf("fig8 golden: %w", err)
 	}
-	v, err := run(s.VS, s.Cfg.Seed+82)
+	v, err := run(s.VS, "fig8-vs", s.Cfg.Seed+82)
 	if err != nil {
 		return res, fmt.Errorf("fig8 vs: %w", err)
 	}
@@ -202,8 +202,8 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 		return res, err
 	}
 
-	run := func(m core.StatModel, seed int64) (read, hold []float64, err error) {
-		pairs, rep, err := montecarlo.MapPooledReport(n, seed, s.Cfg.Workers, s.Cfg.Policy,
+	run := func(m core.StatModel, name string, seed int64) (read, hold []float64, err error) {
+		pairs, rep, err := runPooledMC[obsState[*circuits.PooledSRAM], [2]float64](s.Cfg, name, n, seed,
 			newObsState(s.instr, func() (*circuits.PooledSRAM, error) {
 				return circuits.NewPooledSRAM(s.Cfg.Vdd, circuits.DefaultSRAMSizing(),
 					m.Nominal(), butterflyPoints, s.Cfg.FastMC), nil
@@ -227,11 +227,11 @@ func (s *Suite) Fig9() (Fig9Result, error) {
 		}
 		return read, hold, nil
 	}
-	gr, gh, err := run(s.Golden, s.Cfg.Seed+91)
+	gr, gh, err := run(s.Golden, "fig9-golden", s.Cfg.Seed+91)
 	if err != nil {
 		return res, fmt.Errorf("fig9 golden: %w", err)
 	}
-	vr, vh, err := run(s.VS, s.Cfg.Seed+92)
+	vr, vh, err := run(s.VS, "fig9-vs", s.Cfg.Seed+92)
 	if err != nil {
 		return res, fmt.Errorf("fig9 vs: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 
 	"vstat/internal/circuits"
 	"vstat/internal/core"
+	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/spice"
 )
@@ -37,6 +39,12 @@ func newSRAMACBench(vdd float64, nominal circuits.Factory) *sramACBench {
 	f := b.rec.Wrap(nominal)
 	b.c, b.blSrc, b.qb = sramACNetlist(vdd, f)
 	return b
+}
+
+// ArmSample forwards the per-sample lifecycle context and budget to the
+// bench circuit (montecarlo.SampleArmer).
+func (b *sramACBench) ArmSample(ctx context.Context, bud lifecycle.Budget) {
+	b.c.ArmSample(ctx, bud)
 }
 
 // sample re-stamps the bench and measures the coupling magnitude.
@@ -81,18 +89,22 @@ func (s *Suite) ExtSRAMAC() (ExtSRAMACResult, error) {
 	n := s.Cfg.samples(500)
 	const freq = 1e9 // mid-band: above leakage corner, below cell poles
 	res := ExtSRAMACResult{N: n, Freq: freq}
-	run := func(m core.StatModel, seed int64) ([]float64, error) {
-		return montecarlo.MapPooled(n, seed, s.Cfg.Workers,
+	run := func(m core.StatModel, name string, seed int64) ([]float64, error) {
+		out, rep, err := runPooledMC[*sramACBench, float64](s.Cfg, name, n, seed,
 			func(int) (*sramACBench, error) { return newSRAMACBench(s.Cfg.Vdd, m.Nominal()), nil },
 			func(b *sramACBench, idx int, rng *rand.Rand) (float64, error) {
 				return b.sample(m, rng, freq)
 			})
+		if err != nil {
+			return nil, err
+		}
+		return montecarlo.Compact(out, rep), nil
 	}
-	g, err := run(s.Golden, s.Cfg.Seed+951)
+	g, err := run(s.Golden, "ext-sramac-golden", s.Cfg.Seed+951)
 	if err != nil {
 		return res, fmt.Errorf("sram ac golden: %w", err)
 	}
-	v, err := run(s.VS, s.Cfg.Seed+952)
+	v, err := run(s.VS, "ext-sramac-vs", s.Cfg.Seed+952)
 	if err != nil {
 		return res, fmt.Errorf("sram ac vs: %w", err)
 	}

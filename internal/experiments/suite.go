@@ -13,14 +13,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"vstat/internal/bpv"
 	"vstat/internal/core"
 	"vstat/internal/device"
 	"vstat/internal/extract"
+	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
 	"vstat/internal/stats"
@@ -59,6 +64,108 @@ type Config struct {
 	// Progress, when set alongside Metrics, is fed per-sample rescue
 	// tallies; attach it to run ticks with montecarlo.SetProgress.
 	Progress *obs.Progress
+
+	// Ctx, when non-nil, cancels in-progress Monte Carlo runs: claiming
+	// stops, in-flight samples drain, and each experiment returns its
+	// partial results with an error wrapping ctx.Err().
+	Ctx context.Context
+	// SampleBudget bounds each circuit-MC sample's solver work; a sample
+	// over budget fails with a *lifecycle.BudgetError under the failure
+	// policy. SampleBudget.Wall also arms the hang watchdog.
+	SampleBudget lifecycle.Budget
+	// HangGrace is how far past SampleBudget.Wall the watchdog lets an
+	// in-flight sample run before abandoning it (<= 0: one extra Wall).
+	HangGrace time.Duration
+	// CheckpointDir, when set, makes every circuit-MC run checkpoint its
+	// per-sample results to <dir>/<run-name>.ckpt.json. The config hash
+	// embedded in each file rejects resume across different
+	// seed/scale/model settings.
+	CheckpointDir string
+	// Resume loads existing checkpoint files and skips the samples they
+	// record; without it an existing file is discarded and the run starts
+	// fresh (still checkpointing as it goes).
+	Resume bool
+
+	// instr is the suite's instrumentation bundle, planted by NewSuite so
+	// runPooledMC can flush run-level lifecycle counters (over-budget and
+	// cancellation-drained samples) without threading it per call site.
+	instr *MCInstr
+}
+
+// ctx returns the run context (Background when unset).
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// runOpts bundles the lifecycle options every circuit-MC call site passes
+// to montecarlo.MapPooledReportCtx.
+func (c Config) runOpts() montecarlo.RunOpts {
+	return montecarlo.RunOpts{
+		Policy:    c.Policy,
+		Budget:    c.SampleBudget,
+		HangGrace: c.HangGrace,
+	}
+}
+
+// configHash keys the checkpoints of this configuration: any change to the
+// statistical population (seed, scale, supply, solver path) rejects resume.
+func (c Config) configHash() string {
+	return montecarlo.ConfigHash(c.Seed, c.Scale, c.Vdd, c.FastMC)
+}
+
+// openCkpt opens the named checkpoint for an n-sample run under cfg, or
+// returns (nil, nil) when checkpointing is off. Without cfg.Resume any
+// existing file is discarded first, so only an explicit resume skips
+// samples. A free function because methods cannot introduce type
+// parameters.
+func openCkpt[T any](cfg Config, name string, n int) (*montecarlo.Checkpoint[T], error) {
+	if cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	path := filepath.Join(cfg.CheckpointDir, name+".ckpt.json")
+	if !cfg.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint reset: %w", err)
+		}
+	}
+	return montecarlo.OpenCheckpoint[T](path, cfg.configHash(), n, 64)
+}
+
+// runPooledMC wraps montecarlo.MapPooledReportCtx with cfg's context,
+// budget, watchdog, and (when configured) the named checkpoint. With a
+// checkpoint and a fully completed run, the returned slice and report are
+// the checkpoint's overlay of restored plus fresh samples — the full-run
+// view, bit-identical whether or not the campaign was interrupted and
+// resumed in between.
+func runPooledMC[S, T any](cfg Config, name string, n int, seed int64,
+	newState func(worker int) (S, error),
+	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, montecarlo.RunReport, error) {
+	opts := cfg.runOpts()
+	ck, err := openCkpt[T](cfg, name, n)
+	if err != nil {
+		return nil, montecarlo.RunReport{}, err
+	}
+	if ck != nil {
+		opts.Checkpoint = ck
+	}
+	out, rep, err := montecarlo.MapPooledReportCtx(cfg.ctx(), n, seed, cfg.Workers, opts, newState, fn)
+	cfg.instr.RecordRunLifecycle(rep) // this run's work, before any checkpoint overlay
+	if ck != nil {
+		if ferr := ck.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if err == nil {
+			out = ck.Results()
+			rep = ck.Report()
+		}
+	}
+	return out, rep, err
 }
 
 // Health is one experiment's aggregated Monte Carlo run report; a zero
@@ -128,6 +235,9 @@ func NewSuite(cfg Config) (*Suite, error) {
 		s.instr = NewMCInstr(cfg.Metrics)
 		s.instr.Sink = cfg.Trace
 		s.instr.Progress = cfg.Progress
+		// Let runPooledMC flush run-level lifecycle counters without
+		// every call site threading the bundle through.
+		s.Cfg.instr = s.instr
 	}
 
 	// Nominal extraction (Fig. 1) at the paper's W = 300 nm, followed by a
@@ -193,7 +303,7 @@ func (s *Suite) measureGolden(k device.Kind, n int) ([]bpv.GeometryVariance, err
 	var out []bpv.GeometryVariance
 	for gi, g := range ExtractionGeometries {
 		seed := s.Cfg.Seed + int64(gi)*7919 + int64(k)*104729
-		samples, err := montecarlo.Map(n, seed, s.Cfg.Workers,
+		samples, err := montecarlo.MapCtx(s.Cfg.ctx(), n, seed, s.Cfg.Workers,
 			func(idx int, rng *rand.Rand) ([]float64, error) {
 				d := s.Golden.SampleDevice(rng, k, g[0], g[1])
 				return tg.EvalVec(d), nil

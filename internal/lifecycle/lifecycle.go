@@ -1,0 +1,109 @@
+// Package lifecycle defines the run-lifecycle vocabulary shared by the
+// solver (internal/spice), the Monte Carlo driver (internal/montecarlo),
+// and the CLIs: the per-sample Budget a solve must finish within, the typed
+// BudgetError classifying an overrun, and the helpers that separate
+// "this sample is bad" (a budget overrun, handled by the failure policy)
+// from "this run is over" (a context cancellation, which aborts claiming).
+//
+// The package sits below both spice and montecarlo so neither has to import
+// the other: spice enforces budgets at Newton iteration boundaries,
+// montecarlo arms them per sample and runs the hang watchdog.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Budget bounds one Monte Carlo sample's solver work. The zero value is
+// unlimited. Wall is enforced two ways: cooperatively by the solver's
+// iteration-boundary deadline check (cheap, catches slow-but-alive solves)
+// and externally by the montecarlo hang watchdog (catches solves wedged
+// inside a device evaluation that never returns to an iteration boundary).
+type Budget struct {
+	// Wall is the maximum wall-clock time per sample; 0 = unlimited.
+	Wall time.Duration
+	// MaxNewton caps the total Newton iterations a sample may spend across
+	// every analysis and rescue stage; 0 = unlimited.
+	MaxNewton int64
+}
+
+// Unlimited reports whether the budget imposes no bound at all.
+func (b Budget) Unlimited() bool { return b.Wall <= 0 && b.MaxNewton <= 0 }
+
+// BudgetKind classifies which bound a BudgetError tripped.
+type BudgetKind int
+
+const (
+	// OverWall: the solver's own deadline check saw Wall exceeded at an
+	// iteration boundary.
+	OverWall BudgetKind = iota
+	// OverIters: the cumulative Newton iteration count crossed MaxNewton.
+	OverIters
+	// OverHang: the montecarlo watchdog abandoned the sample because it ran
+	// past Wall plus the hang grace without reaching a check point (a solve
+	// wedged inside a model evaluation).
+	OverHang
+)
+
+// String names the kind for error text and metrics.
+func (k BudgetKind) String() string {
+	switch k {
+	case OverWall:
+		return "wall-deadline"
+	case OverIters:
+		return "iteration-cap"
+	case OverHang:
+		return "hang-watchdog"
+	}
+	return "unknown"
+}
+
+// BudgetError reports one sample exceeding its Budget. Under
+// montecarlo.SkipAndRecord it is an ordinary per-sample failure: recorded in
+// the RunReport, the rest of the population unaffected.
+type BudgetError struct {
+	Kind    BudgetKind
+	Elapsed time.Duration // wall time spent when the overrun was detected
+	Wall    time.Duration // the budget's wall bound (0 if unbounded)
+	Iters   int64         // Newton iterations spent when detected
+	Max     int64         // the budget's iteration bound (0 if unbounded)
+}
+
+// Error renders the overrun with the tripped bound.
+func (e *BudgetError) Error() string {
+	switch e.Kind {
+	case OverIters:
+		return fmt.Sprintf("lifecycle: sample exceeded budget (%s): %d Newton iterations, cap %d",
+			e.Kind, e.Iters, e.Max)
+	case OverHang:
+		return fmt.Sprintf("lifecycle: sample exceeded budget (%s): hung for %s, wall budget %s",
+			e.Kind, e.Elapsed.Round(time.Microsecond), e.Wall)
+	default:
+		return fmt.Sprintf("lifecycle: sample exceeded budget (%s): ran %s, wall budget %s",
+			e.Kind, e.Elapsed.Round(time.Microsecond), e.Wall)
+	}
+}
+
+// IsBudget reports whether err is (or wraps) a *BudgetError.
+func IsBudget(err error) bool {
+	var be *BudgetError
+	return errors.As(err, &be)
+}
+
+// IsCancellation reports whether err stems from a cancelled or expired run
+// context — the "stop everything" signal, as opposed to a per-sample budget
+// overrun.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Interrupted reports whether err is a lifecycle stop — a cancellation or a
+// budget overrun. Rescue ladders must not climb further rungs on an
+// interrupted solve: retrying a cancelled or over-budget sample only burns
+// more of exactly the resource the error is protecting.
+func Interrupted(err error) bool {
+	return IsBudget(err) || IsCancellation(err)
+}

@@ -1,0 +1,85 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBudgetUnlimited(t *testing.T) {
+	if !(Budget{}).Unlimited() {
+		t.Fatal("zero Budget must be unlimited")
+	}
+	if (Budget{Wall: time.Second}).Unlimited() {
+		t.Fatal("Wall-bounded Budget reported unlimited")
+	}
+	if (Budget{MaxNewton: 10}).Unlimited() {
+		t.Fatal("iteration-bounded Budget reported unlimited")
+	}
+}
+
+func TestBudgetErrorKinds(t *testing.T) {
+	cases := []struct {
+		err  *BudgetError
+		want string
+	}{
+		{&BudgetError{Kind: OverWall, Elapsed: 3 * time.Millisecond, Wall: time.Millisecond}, "wall-deadline"},
+		{&BudgetError{Kind: OverIters, Iters: 500, Max: 100}, "iteration-cap"},
+		{&BudgetError{Kind: OverHang, Elapsed: time.Second, Wall: time.Millisecond}, "hang-watchdog"},
+	}
+	for _, tc := range cases {
+		if !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("Error() = %q, want kind %q", tc.err.Error(), tc.want)
+		}
+		if !IsBudget(tc.err) {
+			t.Errorf("IsBudget(%v) = false", tc.err)
+		}
+		if !Interrupted(tc.err) {
+			t.Errorf("Interrupted(%v) = false", tc.err)
+		}
+		if IsCancellation(tc.err) {
+			t.Errorf("IsCancellation(%v) = true for a budget error", tc.err)
+		}
+	}
+}
+
+func TestBudgetErrorWrapped(t *testing.T) {
+	inner := &BudgetError{Kind: OverWall}
+	wrapped := fmt.Errorf("sample 12: %w", inner)
+	if !IsBudget(wrapped) {
+		t.Fatal("IsBudget must see through wrapping")
+	}
+	if !Interrupted(wrapped) {
+		t.Fatal("Interrupted must see through wrapping")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := fmt.Errorf("newton: %w", ctx.Err())
+	if !IsCancellation(err) {
+		t.Fatal("IsCancellation(context.Canceled) = false")
+	}
+	if !Interrupted(err) {
+		t.Fatal("Interrupted(context.Canceled) = false")
+	}
+	if IsBudget(err) {
+		t.Fatal("IsBudget(context.Canceled) = true")
+	}
+	if !IsCancellation(context.DeadlineExceeded) {
+		t.Fatal("IsCancellation(DeadlineExceeded) = false")
+	}
+}
+
+func TestInterruptedOrdinaryError(t *testing.T) {
+	if Interrupted(errors.New("no convergence")) {
+		t.Fatal("ordinary error classified as interruption")
+	}
+	if Interrupted(nil) {
+		t.Fatal("nil error classified as interruption")
+	}
+}

@@ -1,0 +1,305 @@
+package montecarlo
+
+// Deterministic checkpoint/resume for Monte Carlo runs. A Checkpoint[T]
+// records every completed sample (value or failure, plus its per-sample
+// rescue-counter delta) and periodically flushes the whole state to disk as
+// JSON via an atomic temp-file + rename, so a killed run leaves either the
+// previous consistent checkpoint or the new one — never a torn file.
+//
+// Resume is free of replay logic: because sample idx's outcome depends only
+// on (seed, idx), a resumed run simply skips the recorded indices
+// (CheckpointSink.Completed) and re-runs the rest. The checkpoint carries a
+// caller-supplied config hash (seed, n, model parameters, …) and refuses to
+// load under a different hash, so a resume can never silently mix
+// populations. Results() and Report() overlay restored and freshly-run
+// outcomes into the full-run view, bit-identical to an uninterrupted run.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"vstat/internal/lifecycle"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// ckFailure is one recorded sample failure. The original typed error is
+// not round-trippable through JSON; a restored failure becomes an opaque
+// error carrying the original message, with panic/budget provenance kept
+// as flags.
+type ckFailure struct {
+	Idx    int    `json:"idx"`
+	Msg    string `json:"msg"`
+	Panic  bool   `json:"panic,omitempty"`
+	Budget bool   `json:"budget,omitempty"`
+}
+
+// ckFile is the JSON document: version and config hash for safety, the
+// completed bitmap, the full-length result array (Done decides which
+// entries are valid), failures, and the per-stage rescue totals of the
+// completed samples.
+type ckFile[T any] struct {
+	Version    int              `json:"version"`
+	ConfigHash string           `json:"config_hash"`
+	N          int              `json:"n"`
+	Done       []bool           `json:"done"`
+	Results    []T              `json:"results"`
+	Failures   []ckFailure      `json:"failures,omitempty"`
+	Rescued    map[string]int64 `json:"rescued,omitempty"`
+}
+
+// restoredError is a failure loaded from a checkpoint: the message of the
+// original error, no longer typed.
+type restoredError struct{ msg string }
+
+func (e *restoredError) Error() string { return e.msg }
+
+// Checkpoint is a CheckpointSink backed by an atomically-replaced JSON
+// file. T must round-trip through encoding/json (the experiment drivers
+// checkpoint float64s and small structs/arrays). Safe for concurrent use.
+type Checkpoint[T any] struct {
+	mu         sync.Mutex
+	path       string
+	cfgHash    string
+	n          int
+	flushEvery int
+	sinceFlush int
+	restored   int // samples loaded from disk at open
+
+	done     []bool
+	results  []T
+	failures map[int]ckFailure
+	rescued  map[string]int64
+}
+
+// ConfigHash hashes an ordered list of run-identity values (seed, n, model
+// name, scale, …) into the string a checkpoint is keyed by. Any change to
+// any part yields a different hash and a rejected resume.
+func ConfigHash(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x00", p)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path for a run of n
+// samples under the given config hash. An existing file is loaded and its
+// completed samples become skippable; a missing file starts fresh (so
+// "resume" on a first run just runs everything). A file whose version,
+// config hash, or n disagrees is rejected with an error — never silently
+// overwritten. flushEvery bounds how many new records may accumulate
+// before an automatic flush (<= 0 defaults to 64).
+func OpenCheckpoint[T any](path, cfgHash string, n, flushEvery int) (*Checkpoint[T], error) {
+	if flushEvery <= 0 {
+		flushEvery = 64
+	}
+	ck := &Checkpoint[T]{
+		path:       path,
+		cfgHash:    cfgHash,
+		n:          n,
+		flushEvery: flushEvery,
+		done:       make([]bool, n),
+		results:    make([]T, n),
+		failures:   make(map[int]ckFailure),
+		rescued:    make(map[string]int64),
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	var doc ckFile[T]
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("checkpoint: parse %s: %w", path, err)
+	}
+	if doc.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint: %s has version %d, want %d", path, doc.Version, checkpointVersion)
+	}
+	if doc.ConfigHash != cfgHash {
+		return nil, fmt.Errorf("checkpoint: %s was written by a different run configuration (hash %.12s…, want %.12s…)",
+			path, doc.ConfigHash, cfgHash)
+	}
+	if doc.N != n || len(doc.Done) != n || len(doc.Results) != n {
+		return nil, fmt.Errorf("checkpoint: %s holds %d samples, want %d", path, doc.N, n)
+	}
+	copy(ck.done, doc.Done)
+	copy(ck.results, doc.Results)
+	for _, f := range doc.Failures {
+		if f.Idx >= 0 && f.Idx < n {
+			ck.failures[f.Idx] = f
+		}
+	}
+	for k, v := range doc.Rescued {
+		ck.rescued[k] = v
+	}
+	for _, d := range ck.done {
+		if d {
+			ck.restored++
+		}
+	}
+	return ck, nil
+}
+
+// Completed reports whether sample idx was already recorded.
+func (c *Checkpoint[T]) Completed(idx int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done[idx]
+}
+
+// Restored reports how many completed samples the open loaded from disk.
+func (c *Checkpoint[T]) Restored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restored
+}
+
+// Record stores one completed sample and flushes when the unflushed count
+// reaches the flush interval. A failed sample's value is ignored; its error
+// message (with panic/budget provenance) is persisted instead.
+func (c *Checkpoint[T]) Record(idx int, value any, rescued map[string]int64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx < 0 || idx >= c.n || c.done[idx] {
+		return
+	}
+	c.done[idx] = true
+	if err == nil {
+		if v, ok := value.(T); ok {
+			c.results[idx] = v
+		}
+	} else {
+		var pe *PanicError
+		f := ckFailure{Idx: idx, Msg: err.Error()}
+		if errors.As(err, &pe) {
+			f.Panic = true
+		}
+		if lifecycle.IsBudget(err) {
+			f.Budget = true
+		}
+		c.failures[idx] = f
+	}
+	for k, v := range rescued {
+		c.rescued[k] += v
+	}
+	c.sinceFlush++
+	if c.sinceFlush >= c.flushEvery {
+		c.flushLocked() // best-effort; Flush surfaces errors at run end
+	}
+}
+
+// Flush writes the current state to disk (atomic temp-file + rename).
+func (c *Checkpoint[T]) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Checkpoint[T]) flushLocked() error {
+	doc := ckFile[T]{
+		Version:    checkpointVersion,
+		ConfigHash: c.cfgHash,
+		N:          c.n,
+		Done:       c.done,
+		Results:    c.results,
+		Rescued:    c.rescued,
+	}
+	for _, f := range c.failures {
+		doc.Failures = append(doc.Failures, f)
+	}
+	sort.Slice(doc.Failures, func(i, j int) bool { return doc.Failures[i].Idx < doc.Failures[j].Idx })
+	raw, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".ck-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	c.sinceFlush = 0
+	return nil
+}
+
+// Results returns the full-length result vector overlaying restored and
+// freshly-recorded samples — the authoritative run output once every index
+// is done. Failed indices hold zero values (drop them with Compact against
+// Report()).
+func (c *Checkpoint[T]) Results() []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]T, c.n)
+	copy(out, c.results)
+	return out
+}
+
+// Pending returns how many samples are not yet recorded.
+func (c *Checkpoint[T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := 0
+	for _, d := range c.done {
+		if !d {
+			p++
+		}
+	}
+	return p
+}
+
+// Report builds the full-run RunReport from every recorded sample —
+// restored plus fresh — so an interrupted-and-resumed campaign reports
+// exactly what one uninterrupted run would: same counts, same failure
+// indices (messages for restored failures are the persisted strings), and
+// the same per-stage Rescued totals (summed from per-sample deltas, which
+// are scheduling-invariant).
+func (c *Checkpoint[T]) Report() RunReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := RunReport{}
+	for idx, d := range c.done {
+		if !d {
+			continue
+		}
+		rep.Attempted++
+		if f, bad := c.failures[idx]; bad {
+			rep.Failed++
+			if f.Panic {
+				rep.Panics++
+			}
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: &restoredError{msg: f.Msg}})
+		} else {
+			rep.Succeeded++
+		}
+	}
+	if len(c.rescued) > 0 {
+		rep.Rescued = make(map[string]int64, len(c.rescued))
+		for k, v := range c.rescued {
+			rep.Rescued[k] = v
+		}
+	}
+	return rep
+}

@@ -11,15 +11,13 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 )
 
 // splitmix64 advances and hashes a 64-bit state; used to derive independent
@@ -110,6 +108,16 @@ type RunReport struct {
 	// CapTripped marks a SkipAndRecord run aborted by MaxFailFrac.
 	CapTripped bool
 
+	// Cancelled marks a run stopped by context cancellation; the result
+	// slice holds partial results (completed samples are bit-identical to
+	// an uninterrupted run's).
+	Cancelled bool
+
+	// Interrupted counts samples that were in flight when the context was
+	// cancelled. They are recorded nowhere else — not Attempted, not Failed
+	// — because a resumed run re-executes them with identical outcomes.
+	Interrupted int
+
 	// Failures lists every failed sample in ascending index order.
 	Failures []SampleFailure
 
@@ -133,6 +141,8 @@ func (r *RunReport) Merge(o RunReport) {
 	r.Failed += o.Failed
 	r.Panics += o.Panics
 	r.CapTripped = r.CapTripped || o.CapTripped
+	r.Cancelled = r.Cancelled || o.Cancelled
+	r.Interrupted += o.Interrupted
 	r.Failures = append(r.Failures, o.Failures...)
 	if len(o.Rescued) > 0 {
 		if r.Rescued == nil {
@@ -168,6 +178,9 @@ func (r RunReport) String() string {
 	}
 	if r.CapTripped {
 		b.WriteString(", failure cap tripped")
+	}
+	if r.Cancelled {
+		fmt.Fprintf(&b, ", cancelled (%d in flight)", r.Interrupted)
 	}
 	if len(r.Rescued) > 0 {
 		keys := make([]string, 0, len(r.Rescued))
@@ -226,129 +239,8 @@ func MapPooled[S, T any](n int, seed int64, workers int,
 func MapPooledReport[S, T any](n int, seed int64, workers int, pol Policy,
 	newState func(worker int) (S, error),
 	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, RunReport, error) {
-	rep := RunReport{}
-	if n <= 0 {
-		return nil, rep, nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	// failLimit is the largest failure count that does NOT abort the run:
-	// 0 under FailFast, ⌊MaxFailFrac·n⌋ under a capped SkipAndRecord,
-	// n (never trips) otherwise. Because every sample's outcome depends
-	// only on (seed, idx), whether a run trips is deterministic even though
-	// the trip races worker scheduling: any failure that trips one
-	// schedule exists in every schedule.
-	failLimit := int64(n)
-	switch {
-	case pol.OnFailure == FailFast:
-		failLimit = 0
-	case pol.MaxFailFrac > 0:
-		failLimit = int64(pol.MaxFailFrac * float64(n))
-	}
-
-	// The progress sink is read once per run, so attaching/detaching races
-	// at worst one run boundary; per-sample cost without a sink is one nil
-	// interface check.
-	ps := currentProgress()
-	if ps != nil {
-		ps.RunStart(n, workers)
-		defer ps.RunEnd()
-	}
-
-	out := make([]T, n)
-	errs := make([]error, n)
-	ran := make([]bool, n)
-	states := make([]S, workers)
-	haveState := make([]bool, workers)
-	stateErrs := make([]error, workers)
-	var next, failed atomic.Int64
-	var abort atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st, err := safeState(newState, w)
-			if err != nil {
-				stateErrs[w] = err
-				return
-			}
-			states[w], haveState[w] = st, true
-			for !abort.Load() {
-				idx := int(next.Add(1)) - 1
-				if idx >= n {
-					return
-				}
-				ran[idx] = true
-				res, err := safeSample(fn, st, idx, SampleRNG(seed, idx))
-				out[idx] = res
-				errs[idx] = err
-				if ps != nil {
-					ps.SampleDone(err != nil)
-				}
-				if err != nil && failed.Add(1) > failLimit {
-					abort.Store(true)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	for w, err := range stateErrs {
-		if err != nil {
-			return nil, rep, fmt.Errorf("montecarlo: worker %d state: %w", w, err)
-		}
-	}
-
-	for idx := range errs {
-		if !ran[idx] {
-			continue
-		}
-		rep.Attempted++
-		switch err := errs[idx]; {
-		case err == nil:
-			rep.Succeeded++
-		default:
-			rep.Failed++
-			var pe *PanicError
-			if errors.As(err, &pe) {
-				rep.Panics++
-			}
-			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: err})
-		}
-	}
-	for w := range states {
-		if !haveState[w] {
-			continue
-		}
-		if rr, ok := any(states[w]).(RescueReporter); ok {
-			for k, v := range rr.RescueCounts() {
-				if v == 0 {
-					continue
-				}
-				if rep.Rescued == nil {
-					rep.Rescued = make(map[string]int64)
-				}
-				rep.Rescued[k] += v
-			}
-		}
-	}
-
-	if int64(rep.Failed) > failLimit {
-		if pol.OnFailure == FailFast {
-			f := rep.Failures[0]
-			return nil, rep, fmt.Errorf("montecarlo: sample %d: %w", f.Idx, f.Err)
-		}
-		rep.CapTripped = true
-		return nil, rep, fmt.Errorf("montecarlo: %d of %d attempted samples failed (cap %g): %w",
-			rep.Failed, rep.Attempted, pol.MaxFailFrac, ErrTooManyFailures)
-	}
-	return out, rep, nil
+	return MapPooledReportCtx(context.Background(), n, seed, workers,
+		RunOpts{Policy: pol}, newState, fn)
 }
 
 // safeState builds one worker state under panic recovery.

@@ -9,9 +9,12 @@
 package spice
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"vstat/internal/device"
+	"vstat/internal/lifecycle"
 	"vstat/internal/linalg"
 	"vstat/internal/obs"
 )
@@ -188,6 +191,16 @@ type Circuit struct {
 	hsQCap, hsICap []float64
 
 	stats SolverStats
+
+	// Run-lifecycle state (see ArmSample in lifecycle.go): the armed
+	// context's done channel, the per-sample wall deadline, the iteration
+	// cap, and the running iteration count. All zero when disarmed, in
+	// which case checkLifecycle is two predictable branches.
+	lcDone     <-chan struct{}
+	lcCtx      context.Context
+	lcDeadline time.Time
+	lcBudget   lifecycle.Budget
+	lcIters    int64
 
 	// Observability handles (see SetObs/SetObsSample): nil scope means
 	// every instrumentation site is a single pointer check.

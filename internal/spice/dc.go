@@ -3,6 +3,7 @@ package spice
 import (
 	"fmt"
 
+	"vstat/internal/lifecycle"
 	"vstat/internal/obs"
 )
 
@@ -89,28 +90,41 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	if first == nil {
 		return nil
 	}
+	// An interrupted solve (context cancelled, budget exhausted) must not
+	// climb the ladder: every further rung burns exactly the resource the
+	// error protects. Same check after each rung below.
+	if lifecycle.Interrupted(first) {
+		return first.at(StageDCNewton, 0)
+	}
 
 	// 2. Gmin stepping.
 	reset()
-	if cerr := c.gminStepInto(x); cerr == nil {
+	cerr := c.gminStepInto(x)
+	if cerr == nil {
 		c.stats.DCGminRescues++
 		c.traceRescue(StageDCGmin, 0, first)
 		return nil
+	}
+	if lifecycle.Interrupted(cerr) {
+		return cerr
 	}
 
 	// 3. Source stepping always ramps from the zero state.
 	for i := range x {
 		x[i] = 0
 	}
-	if cerr := c.sourceStepInto(x); cerr == nil {
+	if cerr = c.sourceStepInto(x); cerr == nil {
 		c.stats.DCSourceRescues++
 		c.traceRescue(StageDCSource, 0, first)
 		return nil
 	}
+	if lifecycle.Interrupted(cerr) {
+		return cerr
+	}
 
 	// 4. Pseudo-transient ramp.
 	reset()
-	cerr := c.pseudoTransientInto(x)
+	cerr = c.pseudoTransientInto(x)
 	if cerr == nil {
 		c.stats.DCPseudoRescues++
 		c.traceRescue(StageDCPseudo, 0, first)
@@ -176,6 +190,9 @@ func (c *Circuit) pseudoTransientInto(x []float64) *ConvergenceError {
 		copy(c.ptSave, x)
 		cerr := c.newton(x, &ctx)
 		if cerr != nil {
+			if lifecycle.Interrupted(cerr) {
+				return cerr.at(StageDCPseudo, 0)
+			}
 			last = cerr
 			copy(x, c.ptSave) // restart this pseudo-step from the anchor
 			if g = g * 16; g > gCeil {

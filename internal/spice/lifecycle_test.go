@@ -1,0 +1,153 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vstat/internal/device"
+	"vstat/internal/lifecycle"
+	"vstat/internal/vsmodel"
+)
+
+// slowInverter nets the test inverter with every MOS wrapped in a
+// FaultSlowEval card: each model evaluation sleeps perEval, so the solver
+// reaches its iteration boundaries slowly but surely — the cooperative wall
+// deadline, not the hang watchdog, is what must catch it.
+func slowInverter(perEval time.Duration) (c *Circuit, out int) {
+	c = New()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out = c.Node("out")
+	c.AddV("VDD", vdd, Gnd, DC(0.9))
+	c.AddV("VIN", in, Gnd, Pulse{V0: 0, V1: 0.9, Delay: 20e-12, Rise: 10e-12, Fall: 10e-12, Width: 200e-12})
+	n := vsmodel.NMOS40(300e-9)
+	p := vsmodel.PMOS40(600e-9)
+	c.AddMOS("MN", out, in, Gnd, Gnd,
+		&device.FaultCard{Inner: &n, Mode: device.FaultSlowEval, SlowFor: perEval})
+	c.AddMOS("MP", out, in, vdd, vdd,
+		&device.FaultCard{Inner: &p, Mode: device.FaultSlowEval, SlowFor: perEval})
+	c.AddC("CL", out, Gnd, 2e-15)
+	return c, out
+}
+
+func TestArmSampleCancelledContextStopsSolve(t *testing.T) {
+	c, _ := testInverter()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.ArmSample(ctx, lifecycle.Budget{})
+	if _, err := c.OP(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OP under a cancelled context returned %v, want a context.Canceled chain", err)
+	}
+	// The cancellation must not be retried by the rescue ladder.
+	if st := c.Stats(); st.DCGminRescues != 0 || st.DCSourceRescues != 0 || st.DCPseudoRescues != 0 {
+		t.Fatalf("rescue ladder climbed on a cancelled sample: %+v", st)
+	}
+	// Disarming restores normal operation on the same circuit.
+	c.DisarmSample()
+	if _, err := c.OP(); err != nil {
+		t.Fatalf("OP after DisarmSample: %v", err)
+	}
+}
+
+func TestArmSampleCancelledContextStopsTransient(t *testing.T) {
+	c, _ := testInverter()
+	// Let the operating point succeed, then cancel before the transient.
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = op
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.ArmSample(ctx, lifecycle.Budget{})
+	_, err = c.Transient(TranOpts{Stop: 100e-12, Step: 1e-12})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("transient under a cancelled context returned %v, want a context.Canceled chain", err)
+	}
+	if !lifecycle.Interrupted(err) {
+		t.Fatalf("transient cancellation %v not classified as interrupted", err)
+	}
+	// The sub-step rescue ladder must not have tried to ride out the
+	// cancellation.
+	if st := c.Stats(); st.TranHalvings != 0 || st.Rescues != 0 {
+		t.Fatalf("transient rescue ladder climbed on a cancelled sample: %+v", st)
+	}
+}
+
+func TestArmSampleIterationBudget(t *testing.T) {
+	c, _ := testInverter()
+	c.ArmSample(context.Background(), lifecycle.Budget{MaxNewton: 3})
+	_, err := c.OP()
+	var be *lifecycle.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("OP under a 3-iteration budget returned %v, want a BudgetError chain", err)
+	}
+	if be.Kind != lifecycle.OverIters {
+		t.Fatalf("budget error kind %v, want OverIters", be.Kind)
+	}
+	if !lifecycle.IsBudget(err) || !lifecycle.Interrupted(err) {
+		t.Fatalf("classification helpers disagree on %v", err)
+	}
+	if st := c.Stats(); st.DCGminRescues != 0 || st.DCSourceRescues != 0 || st.DCPseudoRescues != 0 {
+		t.Fatalf("rescue ladder climbed on an over-budget sample: %+v", st)
+	}
+	if c.LifecycleIters() <= 3 {
+		t.Fatalf("LifecycleIters = %d, want > 3 after tripping the cap", c.LifecycleIters())
+	}
+	// A generous budget on the same circuit solves fine and counts work.
+	c.ArmSample(context.Background(), lifecycle.Budget{MaxNewton: 1 << 40})
+	if _, err := c.OP(); err != nil {
+		t.Fatalf("OP under a generous budget: %v", err)
+	}
+	if c.LifecycleIters() == 0 {
+		t.Fatal("successful armed solve counted no iterations")
+	}
+}
+
+// TestArmSampleWallBudgetSlowEval: a slow-but-alive sample (every model
+// evaluation sleeps) keeps reaching iteration boundaries, so the cooperative
+// wall check kills it — quickly, and typed.
+func TestArmSampleWallBudgetSlowEval(t *testing.T) {
+	c, _ := slowInverter(2 * time.Millisecond)
+	c.ArmSample(context.Background(), lifecycle.Budget{Wall: 15 * time.Millisecond})
+	start := time.Now()
+	_, err := c.OP()
+	elapsed := time.Since(start)
+	var be *lifecycle.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("slow OP under a 15ms wall budget returned %v, want a BudgetError chain", err)
+	}
+	if be.Kind != lifecycle.OverWall {
+		t.Fatalf("budget error kind %v, want OverWall", be.Kind)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("wall-budgeted solve ran %v before dying", elapsed)
+	}
+}
+
+// TestArmedTransientAllocFree pins the acceptance criterion that budget
+// checks add zero allocations per transient step: a fully armed circuit
+// (live cancellation channel, wall deadline, and iteration cap) must repeat
+// transients without a single allocation, exactly like a disarmed one.
+func TestArmedTransientAllocFree(t *testing.T) {
+	c, _ := testInverter()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := TranOpts{Stop: 100e-12, Step: 1e-12}
+	var res TranResult
+	c.ArmSample(ctx, lifecycle.Budget{Wall: time.Hour, MaxNewton: 1 << 40})
+	if err := c.TransientInto(opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		c.ArmSample(ctx, lifecycle.Budget{Wall: time.Hour, MaxNewton: 1 << 40})
+		if err := c.TransientInto(opts, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("armed TransientInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

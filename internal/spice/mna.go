@@ -527,6 +527,14 @@ func (c *Circuit) newton(x []float64, ctx *assembleCtx) *ConvergenceError {
 	var lastDv, lastF float64
 	lastWorst := -1
 	for iter := 0; iter < maxIter; iter++ {
+		// Lifecycle check at the iteration boundary: every analysis (DC
+		// rungs, transient steps, sub-step rescue pieces) funnels through
+		// here, so one check site covers them all. Nil on the hot path,
+		// allocation-free while the sample stays within budget.
+		if lcErr := c.checkLifecycle(); lcErr != nil {
+			return &ConvergenceError{Iters: iter, Residual: lastF,
+				DeltaV: lastDv, Err: lcErr}
+		}
 		// Chord Newton: refresh the (expensive, finite-differenced)
 		// Jacobian on the first iteration and whenever contraction slows;
 		// in between, re-use the factored Jacobian with fresh residuals.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"vstat/internal/device"
 	"vstat/internal/vsmodel"
 )
 
@@ -188,6 +189,92 @@ func TestSparseSymbolicSurvivesDeviceSwap(t *testing.T) {
 	_ = out
 	if d := math.Abs(nv(x, out) - op.V(refOut)); d > 1e-6 {
 		t.Fatalf("restamped sparse OP differs from fresh solve by %g V", d)
+	}
+}
+
+// linCond is a linear drain-source conductance packaged as a four-terminal
+// device: Id = G·(vd - vs), no charges. Exact native derivatives keep the
+// Jacobian entries free of finite-difference noise, so the test controls
+// the matrix values down to the last bit.
+type linCond struct{ G float64 }
+
+func (d *linCond) Kind() device.Kind { return device.NMOS }
+func (d *linCond) Width() float64    { return 1e-6 }
+func (d *linCond) Length() float64   { return 1e-6 }
+func (d *linCond) Eval(vd, vg, vs, vb float64) device.Eval {
+	return device.Eval{Id: d.G * (vd - vs)}
+}
+func (d *linCond) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
+	return device.Derivs{
+		Eval: device.Eval{Id: d.G * (vd - vs)},
+		GId:  [4]float64{d.G, 0, -d.G, 0},
+	}
+}
+
+// growthNetlist nets the degenerate-pivot fixture: a driven node n1 carrying
+// two swappable conductances whose sum controls n1's Jacobian diagonal.
+//
+//	VS(1V) — R3(1Ω) — n1 — GA(g) — n2 — R2(1Ω) — gnd
+//	                   |
+//	                  GB(g) to gnd
+//
+// At build values (GA=GB=1) the symbolic analysis pivots on n1's healthy
+// diagonal. Re-stamping GB to -2+ε cancels that diagonal to ~ε while the
+// off-diagonal below it stays O(1) — the frozen pivot order's multiplier
+// blows past spGrowthLimit even though the matrix itself stays
+// well-conditioned (the classic small-pivot/benign-matrix case).
+func growthNetlist() (c *Circuit, n1, n2 int) {
+	c = New()
+	n1 = c.Node("n1")
+	n2 = c.Node("n2")
+	n3 := c.Node("n3")
+	c.AddV("VS", n3, Gnd, DC(1))
+	c.AddR("R3", n3, n1, 1)
+	c.AddMOS("GA", n1, Gnd, n2, Gnd, &linCond{G: 1})
+	c.AddMOS("GB", n1, Gnd, Gnd, Gnd, &linCond{G: 1})
+	c.AddR("R2", n2, Gnd, 1)
+	return c, n1, n2
+}
+
+// TestSparseGrowthTriggersRepivot exercises the factorSparse recovery path:
+// after a device re-stamp drives the frozen pivot order numerically
+// degenerate (Growth > spGrowthLimit), the core must re-run the symbolic
+// analysis — counted in SolverStats.SparseRepivots — and still deliver the
+// dense core's solution.
+func TestSparseGrowthTriggersRepivot(t *testing.T) {
+	c, n1, n2 := growthNetlist()
+	c.LinearCore = CoreSparse
+	if _, err := c.OP(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().SparseRepivots; got != 0 {
+		t.Fatalf("healthy first solve re-analyzed %d times, want 0", got)
+	}
+
+	// Re-stamp GB so n1's diagonal collapses to ~1e-12 under the pivot order
+	// analyzed at GB=+1.
+	c.SetMOSDevice(1, &linCond{G: -2 + 1e-12})
+	op, err := c.OP()
+	if err != nil {
+		t.Fatalf("sparse OP after degenerate re-stamp: %v", err)
+	}
+	if got := c.Stats().SparseRepivots; got < 1 {
+		t.Fatalf("SparseRepivots = %d after a degenerate re-stamp, want >= 1", got)
+	}
+
+	// The recovered factorization must match the dense core on the same
+	// final values.
+	cd, d1, d2 := growthNetlist()
+	cd.LinearCore = CoreDense
+	cd.SetMOSDevice(1, &linCond{G: -2 + 1e-12})
+	ref, err := cd.OP()
+	if err != nil {
+		t.Fatalf("dense reference OP: %v", err)
+	}
+	for _, nd := range [][2]int{{n1, d1}, {n2, d2}} {
+		if d := math.Abs(op.V(nd[0]) - ref.V(nd[1])); d > 1e-6 {
+			t.Fatalf("sparse node voltage differs from dense by %g V after repivot", d)
+		}
 	}
 }
 

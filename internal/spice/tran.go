@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"vstat/internal/lifecycle"
 	"vstat/internal/obs"
 )
 
@@ -222,6 +223,11 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 		ctx := assembleCtx{t: t, srcScale: 1, tran: ts, carry: opts.Fast, fast: opts.Fast}
 		cerr := c.stepSolve(x, &ctx)
 		usedFast := opts.Fast
+		if cerr != nil && lifecycle.Interrupted(cerr) {
+			// Cancelled or over budget: no fallback, no sub-stepping — the
+			// sample is over.
+			return fmt.Errorf("spice: transient interrupted at t=%g: %w", t, asError(cerr))
+		}
 		if cerr != nil && opts.Fast {
 			// Fast→exact fallback: the chord iteration on the carried
 			// Jacobian stalled, so drop the carried factors, re-factor, and
@@ -305,6 +311,9 @@ func (c *Circuit) rescueLadder(x0, x []float64, t0, h float64, ts *tranState, fa
 		}
 		if last = c.rescueStep(x, t0, h, ts, fast, pieces); last == nil {
 			return nil
+		}
+		if lifecycle.Interrupted(last) {
+			return last.at(StageTranHalve, t0+h)
 		}
 	}
 	if fast {
