@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs sparse lifecycle
+tier1: vet obs sparse lifecycle batch
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -34,6 +34,15 @@ lifecycle:
 	$(GO) test -race -count=2 -run 'TestMapCtx|TestBudget|TestWatchdog|TestCheckpoint' ./internal/montecarlo/
 	$(GO) test -race -count=2 -run 'TestArmSample|TestArmed' ./internal/spice/
 	$(GO) test -race -count=2 -run 'TestRunPooledMCKillAndResume|TestHangSample' ./internal/experiments/
+
+# Batched lockstep engine rung: scalar-vs-batch bit identity (kernel and
+# whole-engine), lane eviction, the zero-allocation batched transient, and
+# the K-lane Monte Carlo scheduler — under the race detector, because lane
+# blocks share the per-worker batch simulator and report aggregation.
+batch:
+	$(GO) test -race ./internal/vsmodel/ -run 'TestBatch|TestFallbackBatch|TestNativeDerivs' -count=1
+	$(GO) test -race ./internal/circuits/ -run 'TestBatch' -count=1
+	$(GO) test -race ./internal/montecarlo/ -run 'TestBatch' -count=1
 
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vsbench [-n 64] [-workers 1] [-mode exact|fast|both] [-core dense|sparse|both] [-out BENCH_mc.json]
+//	vsbench [-n 64] [-workers 1] [-mode exact|fast|both] [-core dense|sparse|both] [-lanes 0,8] [-out BENCH_mc.json]
 //
 // The default single worker keeps the per-sample allocation figures free of
 // scheduler noise; raise -workers to measure parallel throughput instead.
@@ -25,6 +25,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -77,6 +79,13 @@ type unitRecord struct {
 	NewtonItersPerSample float64 `json:"newton_iters_per_sample"`
 	TranStepsPerSample   float64 `json:"tran_steps_per_sample"`
 	Rescues              int64   `json:"rescues"`
+
+	// Batched-engine rows only (-lanes widths above 0): the lockstep lane
+	// width, the run's average lane occupancy (filled lanes over lanes
+	// offered across all batches), and the lanes evicted to the scalar path.
+	Lanes            int     `json:"lanes,omitempty"`
+	LaneOccupancyPct float64 `json:"lane_occupancy_pct,omitempty"`
+	LanesEvicted     int64   `json:"lanes_evicted,omitempty"`
 
 	// Run health (see montecarlo.RunReport).
 	Attempted  int              `json:"attempted"`
@@ -234,6 +243,135 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 	}
 }
 
+// batchSide receives the lane accounting of a batched unit's timed pass:
+// lanes filled vs lanes offered across all batches, and the lanes evicted
+// from the lockstep path to the scalar fallback.
+type batchSide struct {
+	mu                       sync.Mutex
+	filled, offered, evicted int64
+}
+
+func (s *batchSide) set(filled, offered, evicted int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.filled, s.offered, s.evicted = filled, offered, evicted
+	s.mu.Unlock()
+}
+
+func (s *batchSide) read() (occupancyPct float64, evicted int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.offered > 0 {
+		occupancyPct = 100 * float64(s.filled) / float64(s.offered)
+	}
+	return occupancyPct, s.evicted
+}
+
+// batchInstrState pairs one worker's lane batch with its recording handle,
+// forwarding the per-lane lifecycle arming and checkpoint rescue deltas.
+type batchInstrState struct {
+	b  *circuits.PooledGateBatch
+	so *experiments.SampleObs
+}
+
+// RescueCounts forwards the summed lane counters (montecarlo.RescueReporter).
+func (s batchInstrState) RescueCounts() map[string]int64 { return s.b.RescueCounts() }
+
+// LaneRescueCounts forwards one lane's counters (montecarlo.LaneRescueReporter).
+func (s batchInstrState) LaneRescueCounts(l int) map[string]int64 { return s.b.LaneRescueCounts(l) }
+
+// ArmLane forwards the per-lane context and budget (montecarlo.BatchSampleArmer).
+func (s batchInstrState) ArmLane(l int, ctx context.Context, bud lifecycle.Budget) {
+	s.b.ArmLane(l, ctx, bud)
+}
+
+// gateBatchUnit is gateUnit's K-lane lockstep twin: each worker owns one
+// PooledGateBatch and the engine fills its lanes from the shared index
+// stream, so up to `lanes` statistical samples share one SoA device
+// evaluation per Newton round while every waveform stays bit-identical to
+// the scalar rows. side (when non-nil) receives the run's lane accounting.
+func gateBatchUnit(m core.StatModel, vdd float64, sz circuits.Sizing, lanes int, side *batchSide,
+	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
+	return func(ctx context.Context, n int, seed int64, workers int, opts montecarlo.RunOpts, fast bool, lcore spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
+		var pool statsPool
+		var filled, offered atomic.Int64
+		var bm sync.Mutex
+		var benches []*circuits.PooledGateBatch
+		_, rep, err := montecarlo.MapPooledBatchReportCtx(ctx, n, seed, workers, lanes, opts,
+			func(int) (batchInstrState, error) {
+				b, err := circuits.NewPooledGateBatch(lanes, func() (*circuits.PooledGate, error) {
+					p, err := build(vdd, sz, m.Nominal(), fast)
+					if err != nil {
+						return nil, err
+					}
+					p.Ckt.LinearCore = lcore
+					return p, nil
+				})
+				if err != nil {
+					return batchInstrState{}, err
+				}
+				mn, nnz, _ := b.Lanes[0].Ckt.MatrixInfo()
+				mr.record(mn, nnz)
+				for _, p := range b.Lanes {
+					pool.add(p.Ckt.Stats)
+				}
+				bm.Lock()
+				benches = append(benches, b)
+				bm.Unlock()
+				so := mi.NewWorker()
+				b.SetObs(so.Scope())
+				return batchInstrState{b: b, so: so}, nil
+			},
+			func(st batchInstrState, idxs []int, rngs []*rand.Rand, out []float64, errs []error) {
+				b, so := st.b, st.so
+				sc := so.Scope()
+				live := len(idxs)
+				filled.Add(int64(live))
+				offered.Add(int64(lanes))
+				sc.Enter(obs.PhaseRestamp)
+				for j, idx := range idxs {
+					b.SetLaneSample(j, idx)
+					b.Restat(j, so.Factory(m.Statistical(rngs[j])))
+				}
+				sc.Exit()
+				outs := b.TransientBatch(live, gateTranStop, gateTranStep)
+				sc.Enter(obs.PhaseMeasure)
+				for j := range idxs {
+					if outs[j].Err != nil {
+						errs[j] = outs[j].Err
+						continue
+					}
+					p := b.Lanes[j]
+					out[j], errs[j] = measure.PairDelay(&p.Res, p.In, p.Out, vdd)
+				}
+				sc.Exit()
+				var sum spice.SolverStats
+				for _, p := range b.Lanes {
+					sum = sum.Add(p.Ckt.Stats())
+				}
+				so.EndBatch(live, sum)
+			})
+		var evicted int64
+		bm.Lock()
+		for _, b := range benches {
+			evicted += b.Evictions()
+		}
+		bm.Unlock()
+		side.set(filled.Load(), offered.Load(), evicted)
+		var occ float64
+		if offered.Load() > 0 {
+			occ = 100 * float64(filled.Load()) / float64(offered.Load())
+		}
+		mi.RecordBatchRun(evicted, occ)
+		return pool.total(), rep, err
+	}
+}
+
 func dffUnit(m core.StatModel, vdd float64) unitFn {
 	return func(ctx context.Context, n int, seed int64, workers int, runOpts montecarlo.RunOpts, fast bool, core spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
 		opts := measure.DefaultSetupOpts()
@@ -378,7 +516,7 @@ type benchLC struct {
 // freshly-run remainder; the distribution pass never checkpoints).
 func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 	openCk func(path, hash string, n int, resume bool) (benchCkpt, error),
-	n int, seed int64, workers int, lc benchLC, dist bool, bo *benchObs) (unitRecord, error) {
+	n int, seed int64, workers, lanes int, side *batchSide, lc benchLC, dist bool, bo *benchObs) (unitRecord, error) {
 	fast := mode == "fast"
 	opts := lc.opts
 	var ck benchCkpt
@@ -386,8 +524,15 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 		if err := os.MkdirAll(lc.ckDir, 0o755); err != nil {
 			return unitRecord{}, fmt.Errorf("checkpoint dir: %w", err)
 		}
-		path := filepath.Join(lc.ckDir, fmt.Sprintf("%s-%s-%s.ckpt.json", name, core, mode))
+		suffix := ""
+		if lanes > 0 {
+			suffix = fmt.Sprintf("-k%d", lanes)
+		}
+		path := filepath.Join(lc.ckDir, fmt.Sprintf("%s-%s-%s%s.ckpt.json", name, core, mode, suffix))
 		hash := montecarlo.ConfigHash(seed, n, lc.vdd, name, core.String(), mode)
+		if lanes > 0 {
+			hash = montecarlo.ConfigHash(seed, n, lc.vdd, name, core.String(), mode, lanes)
+		}
 		var err error
 		ck, err = openCk(path, hash, n, lc.resume)
 		if err != nil {
@@ -436,6 +581,10 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 	if mr.n > 0 {
 		rec.FillRatio = float64(mr.nnz) / (float64(mr.n) * float64(mr.n))
 	}
+	if lanes > 0 {
+		rec.Lanes = lanes
+		rec.LaneOccupancyPct, rec.LanesEvicted = side.read()
+	}
 	if stats.TranSteps > 0 {
 		rec.NewtonItersPerStep = float64(stats.NewtonIters) / float64(stats.TranSteps)
 		rec.JacRefreshPerStep = float64(stats.JacRefreshes) / float64(stats.TranSteps)
@@ -470,6 +619,27 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 		}
 	}
 	return rec, nil
+}
+
+// parseLaneWidths parses the -lanes flag: a comma-separated list of
+// lockstep lane widths, where 0 selects the scalar engine.
+func parseLaneWidths(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad lane width %q (want a non-negative integer)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no lane widths given")
+	}
+	return out, nil
 }
 
 // measureCheckpointOverhead microbenches the checkpoint hot path: Record
@@ -544,6 +714,7 @@ func main() {
 		n        = flag.Int("n", 64, "Monte Carlo samples per unit")
 		workers  = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
 		mode     = flag.String("mode", "both", "solver path: exact, fast, or both")
+		lanesSel = flag.String("lanes", "0,8", "comma-separated lockstep lane widths for the gate units (0 = scalar engine; widths above 0 add batched INV/NAND2 rows)")
 		coreSel  = flag.String("core", "both", "linear core: dense, sparse, or both (paired rows per unit)")
 		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
 		seed     = flag.Int64("seed", 20130318, "master random seed")
@@ -658,22 +829,49 @@ func main() {
 		os.Exit(2)
 	}
 
+	laneWidths, err := parseLaneWidths(*lanesSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsbench: -lanes: %v\n", err)
+		os.Exit(2)
+	}
+
 	m := core.DefaultStatVS()
 	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
-	invFn := gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+	invBuild := func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
 		return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
-	})
-	units := []struct {
-		name string
-		fn   unitFn
-		ck   func(path, hash string, n int, resume bool) (benchCkpt, error)
-	}{
-		{"INV_FO3", invFn, ckOpener[float64]()},
-		{"NAND2_FO3", gateUnit(m, *vdd, sz, func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
-			return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
-		}), ckOpener[float64]()},
-		{"DFF", dffUnit(m, *vdd), ckOpener[float64]()},
-		{"SRAM", sramUnit(m, *vdd), ckOpener[[2]float64]()},
+	}
+	nandBuild := func(vdd float64, sz circuits.Sizing, f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+		return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
+	}
+	invFn := gateUnit(m, *vdd, sz, invBuild)
+	type unitRun struct {
+		name  string
+		fn    unitFn
+		ck    func(path, hash string, n int, resume bool) (benchCkpt, error)
+		lanes int
+		side  *batchSide
+	}
+	var units []unitRun
+	for _, lw := range laneWidths {
+		if lw == 0 {
+			units = append(units,
+				unitRun{name: "INV_FO3", fn: invFn, ck: ckOpener[float64]()},
+				unitRun{name: "NAND2_FO3", fn: gateUnit(m, *vdd, sz, nandBuild), ck: ckOpener[float64]()},
+				unitRun{name: "DFF", fn: dffUnit(m, *vdd), ck: ckOpener[float64]()},
+				unitRun{name: "SRAM", fn: sramUnit(m, *vdd), ck: ckOpener[[2]float64]()},
+			)
+			continue
+		}
+		// Batched rows cover the two gate units; DFF setup search and the
+		// SRAM butterfly sweep drive their circuits data-dependently and
+		// would evict constantly, so they stay on the scalar engine.
+		invSide, nandSide := &batchSide{}, &batchSide{}
+		units = append(units,
+			unitRun{name: "INV_FO3", fn: gateBatchUnit(m, *vdd, sz, lw, invSide, invBuild),
+				ck: ckOpener[float64](), lanes: lw, side: invSide},
+			unitRun{name: "NAND2_FO3", fn: gateBatchUnit(m, *vdd, sz, lw, nandSide, nandBuild),
+				ck: ckOpener[float64](), lanes: lw, side: nandSide},
+		)
 	}
 
 	doc := benchFile{
@@ -713,9 +911,13 @@ func main() {
 		}
 	}
 	for _, u := range units {
+		label := u.name
+		if u.lanes > 0 {
+			label = fmt.Sprintf("%s(K%d)", u.name, u.lanes)
+		}
 		for _, core := range cores {
 			for _, md := range modes {
-				rec, err := runUnit(u.name, md, core, u.fn, u.ck, *n, *seed, *workers, lc, *dist, bo)
+				rec, err := runUnit(u.name, md, core, u.fn, u.ck, *n, *seed, *workers, u.lanes, u.side, lc, *dist, bo)
 				if err != nil {
 					if lifecycle.IsCancellation(err) {
 						doc.Interrupt = err.Error()
@@ -730,13 +932,17 @@ func main() {
 					fmt.Fprintf(os.Stderr, "vsbench: %v\n", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%-10s %-6s %-5s  n=%-3d nnz=%-4d fill=%.2f  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
-					rec.Unit, rec.LinearCore, rec.Mode, rec.MatrixN, rec.MatrixNNZ, rec.FillRatio,
+				fmt.Printf("%-14s %-6s %-5s  n=%-3d nnz=%-4d fill=%.2f  %8.2f us/sample  %10.0f B/sample  %7.1f allocs/sample  %.2f iters/step\n",
+					label, rec.LinearCore, rec.Mode, rec.MatrixN, rec.MatrixNNZ, rec.FillRatio,
 					rec.NsPerSample/1e3, rec.BytesPerSample, rec.AllocsPerSample,
 					rec.NewtonItersPerStep)
+				if rec.Lanes > 0 {
+					fmt.Printf("%-14s %-6s %-5s  lanes: occupancy %.1f%%, evicted %d\n",
+						label, rec.LinearCore, rec.Mode, rec.LaneOccupancyPct, rec.LanesEvicted)
+				}
 				if rec.Failed > 0 || len(rec.RescuedBy) > 0 {
-					fmt.Printf("%-10s %-6s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",
-						rec.Unit, rec.LinearCore, rec.Mode, rec.Attempted, rec.Succeeded, rec.Failed, rec.RescuedBy)
+					fmt.Printf("%-14s %-6s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",
+						label, rec.LinearCore, rec.Mode, rec.Attempted, rec.Succeeded, rec.Failed, rec.RescuedBy)
 				}
 				doc.Units = append(doc.Units, rec)
 			}

@@ -1,0 +1,121 @@
+package circuits
+
+import (
+	"context"
+	"fmt"
+
+	"vstat/internal/lifecycle"
+	"vstat/internal/obs"
+	"vstat/internal/spice"
+)
+
+// PooledGateBatch is the K-lane pooled delay testbench: K clones of one
+// PooledGate template advanced in lockstep by a spice.BatchSim, so the K
+// statistical samples in flight share one SoA device-evaluation call per
+// Newton round. Each lane keeps its own circuit, waveform storage, solver
+// counters, and lifecycle arming — one Monte Carlo sample maps to one lane.
+type PooledGateBatch struct {
+	Lanes []*PooledGate
+	Sim   *spice.BatchSim
+
+	// Fast selects the carried-Jacobian/warm-start path for every lane
+	// (copied from the lane template at construction).
+	Fast bool
+
+	res     []*spice.TranResult
+	guesses [][]float64
+
+	// Outcomes holds the last TransientBatch call's per-lane outcomes.
+	Outcomes []spice.LaneOutcome
+}
+
+// NewPooledGateBatch builds k lanes from the given template builder (each
+// call must yield an identical-topology pooled bench, e.g. a closure over
+// NewPooledInverterFO with fixed arguments) and wires them into a lockstep
+// batch driver.
+func NewPooledGateBatch(k int, build func() (*PooledGate, error)) (*PooledGateBatch, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("circuits: batch needs at least one lane, got %d", k)
+	}
+	b := &PooledGateBatch{
+		Lanes:   make([]*PooledGate, k),
+		res:     make([]*spice.TranResult, k),
+		guesses: make([][]float64, k),
+	}
+	ckts := make([]*spice.Circuit, k)
+	for l := 0; l < k; l++ {
+		p, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("circuits: batch lane %d: %w", l, err)
+		}
+		b.Lanes[l] = p
+		ckts[l] = p.Ckt
+		b.res[l] = &p.Res
+		b.guesses[l] = p.warm
+	}
+	b.Fast = b.Lanes[0].Fast
+	sim, err := spice.NewBatchSim(ckts)
+	if err != nil {
+		return nil, err
+	}
+	b.Sim = sim
+	return b, nil
+}
+
+// K returns the lane capacity.
+func (b *PooledGateBatch) K() int { return len(b.Lanes) }
+
+// Restat re-stamps lane l's transistors from f (one statistical sample).
+func (b *PooledGateBatch) Restat(l int, f Factory) { b.Lanes[l].Restat(f) }
+
+// SetObs attaches one worker scope to the batch driver and every lane.
+func (b *PooledGateBatch) SetObs(sc *obs.Scope) { b.Sim.SetObs(sc) }
+
+// SetLaneSample tags lane l's solver traces with its Monte Carlo sample
+// index.
+func (b *PooledGateBatch) SetLaneSample(l, idx int) { b.Lanes[l].Ckt.SetObsSample(idx) }
+
+// ArmLane implements montecarlo.BatchSampleArmer: lane l's circuit enforces
+// ctx and the per-sample budget at Newton iteration boundaries.
+func (b *PooledGateBatch) ArmLane(l int, ctx context.Context, bud lifecycle.Budget) {
+	b.Lanes[l].Ckt.ArmSample(ctx, bud)
+}
+
+// LaneRescueCounts implements montecarlo.LaneRescueReporter for per-sample
+// checkpoint deltas.
+func (b *PooledGateBatch) LaneRescueCounts(l int) map[string]int64 {
+	return b.Lanes[l].RescueCounts()
+}
+
+// RescueCounts implements montecarlo.RescueReporter: the lane counters
+// summed, so batched run reports aggregate exactly like scalar ones.
+func (b *PooledGateBatch) RescueCounts() map[string]int64 {
+	var out map[string]int64
+	for _, p := range b.Lanes {
+		for k, v := range p.RescueCounts() {
+			if out == nil {
+				out = make(map[string]int64, 8)
+			}
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Evictions returns the cumulative lockstep evictions across the batch's
+// lifetime.
+func (b *PooledGateBatch) Evictions() int64 { return b.Sim.Evictions }
+
+// TransientBatch runs the bench transient on lanes [0, m) in lockstep.
+// Lane l's waveforms land in b.Lanes[l].Res; the returned outcomes (owned
+// by the driver, valid until the next call) carry each lane's error exactly
+// as the scalar Transient would have reported it.
+func (b *PooledGateBatch) TransientBatch(m int, stop, step float64) []spice.LaneOutcome {
+	opts := spice.TranOpts{Stop: stop, Step: step, Fast: b.Fast}
+	var guesses [][]float64
+	if b.Fast {
+		guesses = b.guesses
+	}
+	b.Outcomes = b.Sim.TransientBatch(m, opts, guesses, b.res)
+	return b.Outcomes
+}

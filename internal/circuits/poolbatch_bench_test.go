@@ -1,0 +1,63 @@
+package circuits_test
+
+import (
+	"testing"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/montecarlo"
+)
+
+// benchScalarGate measures the scalar pooled engine: one Restat + full
+// transient per iteration, cycling through a fixed set of samples.
+func benchScalarGate(b *testing.B, fast bool) {
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	p, err := circuits.NewPooledInverterFO(3, 0.9, sz, m.Nominal(), fast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Restat(m.Statistical(montecarlo.SampleRNG(1, i%32)))
+		if _, err := p.Transient(560e-12, 1.5e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatchGate measures the K-lane lockstep engine on the same samples;
+// b.N counts samples (not batches) so ns/op is directly comparable to the
+// scalar benchmark.
+func benchBatchGate(b *testing.B, k int, fast bool) {
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	bt, err := circuits.NewPooledGateBatch(k, func() (*circuits.PooledGate, error) {
+		return circuits.NewPooledInverterFO(3, 0.9, sz, m.Nominal(), fast)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k {
+		live := k
+		if i+live > b.N {
+			live = b.N - i
+		}
+		for j := 0; j < live; j++ {
+			bt.Restat(j, m.Statistical(montecarlo.SampleRNG(1, (i+j)%32)))
+		}
+		for _, o := range bt.TransientBatch(live, 560e-12, 1.5e-12) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkGateTransientScalarExact(b *testing.B) { benchScalarGate(b, false) }
+func BenchmarkGateTransientScalarFast(b *testing.B)  { benchScalarGate(b, true) }
+func BenchmarkGateTransientBatch8Exact(b *testing.B) { benchBatchGate(b, 8, false) }
+func BenchmarkGateTransientBatch8Fast(b *testing.B)  { benchBatchGate(b, 8, true) }

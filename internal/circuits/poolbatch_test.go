@@ -1,0 +1,187 @@
+package circuits_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/montecarlo"
+	"vstat/internal/spice"
+)
+
+// scalarGateRun runs samples [0, n) sequentially on one pooled scalar bench,
+// returning each sample's full output waveform (nil on error), its error
+// string, and the circuit's final cumulative solver stats.
+func scalarGateRun(t *testing.T, fast bool, maxNewton, n int, seed int64) ([][]float64, []string, spice.SolverStats) {
+	t.Helper()
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	p, err := circuits.NewPooledInverterFO(3, 0.9, sz, m.Nominal(), fast)
+	if err != nil {
+		t.Fatalf("scalar template: %v", err)
+	}
+	if maxNewton > 0 {
+		p.Ckt.MaxNewton = maxNewton
+	}
+	// Drop the template-construction nominal OP (fast mode) so the stats
+	// comparison covers only the per-sample work.
+	p.Ckt.ResetStats()
+	waves := make([][]float64, n)
+	errs := make([]string, n)
+	for idx := 0; idx < n; idx++ {
+		p.Restat(m.Statistical(montecarlo.SampleRNG(seed, idx)))
+		res, err := p.Transient(560e-12, 1.5e-12)
+		if err != nil {
+			errs[idx] = err.Error()
+			continue
+		}
+		waves[idx] = append(res.V(p.Out), res.Time...)
+	}
+	return waves, errs, p.Ckt.Stats()
+}
+
+// batchGateRun runs the same samples through a K-lane lockstep batch,
+// filling lanes in index order (sample idx -> lane idx%K of batch idx/K).
+func batchGateRun(t *testing.T, fast bool, maxNewton, n, k int, seed int64) ([][]float64, []string, spice.SolverStats, int64) {
+	t.Helper()
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	b, err := circuits.NewPooledGateBatch(k, func() (*circuits.PooledGate, error) {
+		return circuits.NewPooledInverterFO(3, 0.9, sz, m.Nominal(), fast)
+	})
+	if err != nil {
+		t.Fatalf("batch template: %v", err)
+	}
+	for _, p := range b.Lanes {
+		if maxNewton > 0 {
+			p.Ckt.MaxNewton = maxNewton
+		}
+		p.Ckt.ResetStats()
+	}
+	waves := make([][]float64, n)
+	errsS := make([]string, n)
+	for lo := 0; lo < n; lo += k {
+		mLanes := k
+		if lo+mLanes > n {
+			mLanes = n - lo
+		}
+		for j := 0; j < mLanes; j++ {
+			b.Restat(j, m.Statistical(montecarlo.SampleRNG(seed, lo+j)))
+		}
+		outs := b.TransientBatch(mLanes, 560e-12, 1.5e-12)
+		for j := 0; j < mLanes; j++ {
+			if outs[j].Err != nil {
+				errsS[lo+j] = outs[j].Err.Error()
+				continue
+			}
+			res := &b.Lanes[j].Res
+			waves[lo+j] = append(res.V(b.Lanes[j].Out), res.Time...)
+		}
+	}
+	var stats spice.SolverStats
+	for _, p := range b.Lanes {
+		stats = stats.Add(p.Ckt.Stats())
+	}
+	return waves, errsS, stats, b.Evictions()
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchGateBitIdentity is the end-to-end lockstep contract: for every
+// lane width, every sample's waveform (and the summed solver counters) must
+// be bit-identical to the scalar pooled engine, in both exact and fast mode,
+// including ragged final batches.
+func TestBatchGateBitIdentity(t *testing.T) {
+	const n, seed = 10, 20130318
+	for _, fast := range []bool{false, true} {
+		sw, serrs, sstats := scalarGateRun(t, fast, 0, n, seed)
+		for _, k := range []int{1, 3, 8, 16} {
+			t.Run(fmt.Sprintf("fast=%v/k=%d", fast, k), func(t *testing.T) {
+				bw, berrs, bstats, _ := batchGateRun(t, fast, 0, n, k, seed)
+				for idx := 0; idx < n; idx++ {
+					if serrs[idx] != berrs[idx] {
+						t.Fatalf("sample %d error mismatch: scalar %q batch %q", idx, serrs[idx], berrs[idx])
+					}
+					if !bitsEqual(sw[idx], bw[idx]) {
+						t.Fatalf("sample %d waveform differs from scalar run", idx)
+					}
+				}
+				if sstats != bstats {
+					t.Fatalf("solver stats diverge:\nscalar %+v\nbatch  %+v", sstats, bstats)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchGateEvictionMatchesScalar starves the Newton budget so lanes are
+// forced off the lockstep path mid-batch; evicted lanes must reproduce the
+// scalar engine's waveforms, errors, and rescue counters exactly.
+func TestBatchGateEvictionMatchesScalar(t *testing.T) {
+	const n, k, seed = 8, 4, 777
+	for _, fast := range []bool{false, true} {
+		for _, maxNewton := range []int{2, 4} {
+			sw, serrs, sstats := scalarGateRun(t, fast, maxNewton, n, seed)
+			bw, berrs, bstats, evicted := batchGateRun(t, fast, maxNewton, n, k, seed)
+			for idx := 0; idx < n; idx++ {
+				if serrs[idx] != berrs[idx] {
+					t.Fatalf("fast=%v maxNewton=%d sample %d error mismatch: scalar %q batch %q",
+						fast, maxNewton, idx, serrs[idx], berrs[idx])
+				}
+				if !bitsEqual(sw[idx], bw[idx]) {
+					t.Fatalf("fast=%v maxNewton=%d sample %d waveform differs", fast, maxNewton, idx)
+				}
+			}
+			if sstats != bstats {
+				t.Fatalf("fast=%v maxNewton=%d stats diverge:\nscalar %+v\nbatch  %+v",
+					fast, maxNewton, sstats, bstats)
+			}
+			if maxNewton == 2 && evicted == 0 {
+				t.Fatalf("fast=%v maxNewton=2: expected forced evictions, got none", fast)
+			}
+		}
+	}
+}
+
+// TestBatchTransientZeroAlloc pins the hot-path contract: with the lanes
+// stamped, a warmed-up TransientBatch performs zero heap allocations.
+func TestBatchTransientZeroAlloc(t *testing.T) {
+	m := core.DefaultStatVS()
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	b, err := circuits.NewPooledGateBatch(8, func() (*circuits.PooledGate, error) {
+		return circuits.NewPooledInverterFO(3, 0.9, sz, m.Nominal(), true)
+	})
+	if err != nil {
+		t.Fatalf("batch template: %v", err)
+	}
+	for j := 0; j < b.K(); j++ {
+		b.Restat(j, m.Statistical(montecarlo.SampleRNG(1, j)))
+	}
+	run := func() {
+		outs := b.TransientBatch(b.K(), 560e-12, 1.5e-12)
+		for _, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("lane failed: %v", o.Err)
+			}
+			if o.Evicted {
+				t.Fatalf("unexpected eviction in alloc benchmark")
+			}
+		}
+	}
+	run() // warmup: result storage, solver scratch, batch kernels
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("TransientBatch allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,165 @@
+package device
+
+// Batched evaluation seam. A Monte Carlo run advances K statistical samples
+// of the same topology in lockstep; each circuit device position then holds
+// K model instances that differ only in their Pelgrom-varied parameters.
+// BatchDevice evaluates all K lanes of one device position in a single call
+// over structure-of-arrays storage, letting a model hoist sample-invariant
+// subexpressions and keep the per-lane latency chains (exp/log) overlapped.
+//
+// The contract that makes lockstep batching safe is *per-lane bit identity*:
+// an implementation must produce, for every lane, exactly the float64 bits
+// the scalar EvalDerivs path produces for that lane's device at the same
+// terminal voltages. Lanes may share hoisted inputs only when the hoisted
+// expression is computed with the same operations and associativity as the
+// scalar path.
+
+// EvalMode selects how much of the derivative bundle a lane needs in one
+// batched call. Lanes evolve independently inside a lockstep Newton round:
+// one lane may need a fresh Jacobian while its neighbor reuses a carried LU
+// and only needs values.
+type EvalMode uint8
+
+const (
+	// EvalSkip leaves the lane's outputs untouched (lane done/evicted).
+	EvalSkip EvalMode = iota
+	// EvalValues computes Id and Q only (chord iterations, history updates).
+	EvalValues
+	// EvalFull computes the complete Derivs bundle (Jacobian refresh).
+	EvalFull
+)
+
+// DerivsBatch is the SoA mirror of Derivs over K lanes. Charge and
+// derivative rows index terminals in the usual D, G, S, B order.
+type DerivsBatch struct {
+	K   int
+	Id  []float64
+	Q   [4][]float64    // rows Qd, Qg, Qs, Qb
+	GId [4][]float64    // GId[j][lane] = ∂Id/∂V_j
+	CQ  [4][4][]float64 // CQ[i][j][lane] = ∂Q_i/∂V_j
+}
+
+// NewDerivsBatch allocates a bundle for k lanes backed by one contiguous
+// slab, so a batched kernel's stores stay within a few cache pages.
+func NewDerivsBatch(k int) *DerivsBatch {
+	const fields = 1 + 4 + 4 + 16
+	slab := make([]float64, fields*k)
+	cut := func() []float64 {
+		s := slab[:k:k]
+		slab = slab[k:]
+		return s
+	}
+	b := &DerivsBatch{K: k, Id: cut()}
+	for i := 0; i < 4; i++ {
+		b.Q[i] = cut()
+	}
+	for j := 0; j < 4; j++ {
+		b.GId[j] = cut()
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b.CQ[i][j] = cut()
+		}
+	}
+	return b
+}
+
+// Lane gathers lane l into a scalar Derivs value.
+func (b *DerivsBatch) Lane(l int) Derivs {
+	var d Derivs
+	b.LaneInto(l, &d)
+	return d
+}
+
+// LaneInto gathers lane l directly into d, avoiding the 200-byte struct
+// return copy of Lane on the per-round hot path.
+func (b *DerivsBatch) LaneInto(l int, d *Derivs) {
+	d.Id = b.Id[l]
+	d.Q = Charges{Qd: b.Q[0][l], Qg: b.Q[1][l], Qs: b.Q[2][l], Qb: b.Q[3][l]}
+	for j := 0; j < 4; j++ {
+		d.GId[j] = b.GId[j][l]
+		for i := 0; i < 4; i++ {
+			d.CQ[i][j] = b.CQ[i][j][l]
+		}
+	}
+}
+
+// SetLaneDerivs scatters a scalar Derivs value into lane l.
+func (b *DerivsBatch) SetLaneDerivs(l int, d Derivs) {
+	b.Id[l] = d.Id
+	b.Q[0][l], b.Q[1][l], b.Q[2][l], b.Q[3][l] = d.Q.Qd, d.Q.Qg, d.Q.Qs, d.Q.Qb
+	for j := 0; j < 4; j++ {
+		b.GId[j][l] = d.GId[j]
+		for i := 0; i < 4; i++ {
+			b.CQ[i][j][l] = d.CQ[i][j]
+		}
+	}
+}
+
+// BatchDevice evaluates K lanes of one circuit device position at once.
+type BatchDevice interface {
+	// Lanes returns the lane capacity K.
+	Lanes() int
+	// SetLane binds lane l to a statistical model instance, hoisting that
+	// lane's sample-invariant subexpressions. It reports false when the
+	// instance's concrete type is not batchable by this implementation
+	// (the caller then falls back to a scalar-loop batch).
+	SetLane(l int, d Device) bool
+	// EvalDerivsBatch evaluates every lane whose mode is not EvalSkip at
+	// that lane's terminal voltages, writing into out. EvalValues lanes
+	// get Id and Q only; EvalFull lanes get the whole bundle. Outputs of
+	// EvalSkip lanes are left untouched. Must not allocate.
+	EvalDerivsBatch(vd, vg, vs, vb []float64, mode []EvalMode, out *DerivsBatch)
+}
+
+// BatchBuilder is implemented by model parameter cards that provide a
+// dedicated SoA batch kernel.
+type BatchBuilder interface {
+	NewBatch(k int) BatchDevice
+}
+
+// NewBatch builds a K-lane batch evaluator for the given prototype device:
+// the model's native kernel when the prototype offers one, otherwise a
+// scalar-loop fallback with identical semantics.
+func NewBatch(k int, proto Device) BatchDevice {
+	if bb, ok := proto.(BatchBuilder); ok {
+		return bb.NewBatch(k)
+	}
+	return NewFallbackBatch(k)
+}
+
+// FallbackBatch implements BatchDevice by looping the scalar EvalDerivs /
+// Eval paths per lane. It accepts any Device, providing batching semantics
+// (though not batching speed) for models without an SoA kernel, e.g. the
+// BSIM-like golden reference.
+type FallbackBatch struct {
+	devs []Device
+}
+
+// NewFallbackBatch returns a scalar-loop batch with k lanes.
+func NewFallbackBatch(k int) *FallbackBatch {
+	return &FallbackBatch{devs: make([]Device, k)}
+}
+
+// Lanes returns the lane capacity.
+func (f *FallbackBatch) Lanes() int { return len(f.devs) }
+
+// SetLane binds lane l; the fallback accepts every Device.
+func (f *FallbackBatch) SetLane(l int, d Device) bool {
+	f.devs[l] = d
+	return true
+}
+
+// EvalDerivsBatch loops the scalar paths lane by lane.
+func (f *FallbackBatch) EvalDerivsBatch(vd, vg, vs, vb []float64, mode []EvalMode, out *DerivsBatch) {
+	for l, d := range f.devs {
+		switch mode[l] {
+		case EvalFull:
+			out.SetLaneDerivs(l, EvalDerivs(d, vd[l], vg[l], vs[l], vb[l]))
+		case EvalValues:
+			e := d.Eval(vd[l], vg[l], vs[l], vb[l])
+			out.Id[l] = e.Id
+			out.Q[0][l], out.Q[1][l], out.Q[2][l], out.Q[3][l] = e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb
+		}
+	}
+}

@@ -120,10 +120,10 @@ type NativeDerivs interface {
 }
 
 // EvalDerivs evaluates the device and its derivatives, using the model's
-// native path when available and forward finite differences otherwise.
+// native path when available and central finite differences otherwise.
 // Currents and charges depend only on terminal voltage *differences*, so
 // the four derivative columns sum to zero; the body column is recovered
-// from that invariance, cutting the FD cost to 4 model evaluations.
+// from that invariance, cutting the FD cost to 6 extra model evaluations.
 func EvalDerivs(d Device, vd, vg, vs, vb float64) Derivs {
 	if nd, ok := d.(NativeDerivs); ok {
 		return nd.EvalDerivs4(vd, vg, vs, vb)
@@ -137,19 +137,24 @@ func EvalDerivsFD(d Device, vd, vg, vs, vb float64) Derivs {
 	return evalDerivsFD(d, vd, vg, vs, vb)
 }
 
+// evalDerivsFD differences each of the D, G, S terminals centrally — the
+// same O(h²) stencil the Gm/Gds/Cgg helpers have always used, so the FD
+// fallback and the characterization helpers agree on truncation error.
 func evalDerivsFD(d Device, vd, vg, vs, vb float64) Derivs {
 	base := d.Eval(vd, vg, vs, vb)
 	out := Derivs{Eval: base}
 	v := [4]float64{vd, vg, vs, vb}
 	for j := 0; j < 3; j++ { // D, G, S
-		vp := v
+		vp, vm := v, v
 		vp[j] += FDStep
-		e := d.Eval(vp[0], vp[1], vp[2], vp[3])
-		out.GId[j] = (e.Id - base.Id) / FDStep
-		out.CQ[0][j] = (e.Q.Qd - base.Q.Qd) / FDStep
-		out.CQ[1][j] = (e.Q.Qg - base.Q.Qg) / FDStep
-		out.CQ[2][j] = (e.Q.Qs - base.Q.Qs) / FDStep
-		out.CQ[3][j] = (e.Q.Qb - base.Q.Qb) / FDStep
+		vm[j] -= FDStep
+		ep := d.Eval(vp[0], vp[1], vp[2], vp[3])
+		em := d.Eval(vm[0], vm[1], vm[2], vm[3])
+		out.GId[j] = (ep.Id - em.Id) / (2 * FDStep)
+		out.CQ[0][j] = (ep.Q.Qd - em.Q.Qd) / (2 * FDStep)
+		out.CQ[1][j] = (ep.Q.Qg - em.Q.Qg) / (2 * FDStep)
+		out.CQ[2][j] = (ep.Q.Qs - em.Q.Qs) / (2 * FDStep)
+		out.CQ[3][j] = (ep.Q.Qb - em.Q.Qb) / (2 * FDStep)
 	}
 	out.GId[3] = -(out.GId[0] + out.GId[1] + out.GId[2])
 	for k := 0; k < 4; k++ {
@@ -158,28 +163,21 @@ func evalDerivsFD(d Device, vd, vg, vs, vb float64) Derivs {
 	return out
 }
 
-// Gm returns ∂Id/∂Vg at the given bias (central difference), a convenience
-// for characterization code outside the simulator hot path.
+// Gm returns ∂Id/∂Vg at the given bias, routed through EvalDerivs so models
+// with a native derivative path (vsmodel, bsim) use it; models without one
+// fall back to the central-difference stencil.
 func Gm(d Device, vd, vg, vs, vb float64) float64 {
-	const h = FDStep
-	ip := d.Eval(vd, vg+h, vs, vb).Id
-	im := d.Eval(vd, vg-h, vs, vb).Id
-	return (ip - im) / (2 * h)
+	return EvalDerivs(d, vd, vg, vs, vb).GId[1]
 }
 
-// Gds returns ∂Id/∂Vd at the given bias (central difference).
+// Gds returns ∂Id/∂Vd at the given bias (native when available).
 func Gds(d Device, vd, vg, vs, vb float64) float64 {
-	const h = FDStep
-	ip := d.Eval(vd+h, vg, vs, vb).Id
-	im := d.Eval(vd-h, vg, vs, vb).Id
-	return (ip - im) / (2 * h)
+	return EvalDerivs(d, vd, vg, vs, vb).GId[0]
 }
 
 // Cgg returns the total gate capacitance ∂Qg/∂Vg at the given bias, the
-// quantity the paper uses as the C-V extraction target (Cgg@Vdd).
+// quantity the paper uses as the C-V extraction target (Cgg@Vdd). Like Gm
+// and Gds it prefers the model's native derivative bundle.
 func Cgg(d Device, vd, vg, vs, vb float64) float64 {
-	const h = FDStep
-	qp := d.Eval(vd, vg+h, vs, vb).Q.Qg
-	qm := d.Eval(vd, vg-h, vs, vb).Q.Qg
-	return (qp - qm) / (2 * h)
+	return EvalDerivs(d, vd, vg, vs, vb).CQ[1][1]
 }

@@ -1,0 +1,395 @@
+package montecarlo
+
+// Batched Monte Carlo engine: MapPooledBatchReportCtx is MapPooledReportCtx
+// with each worker claiming a contiguous block of up to `lanes` sample
+// indices per trip to the shared atomic counter and processing the block in
+// one call — the seam the lockstep SoA device-evaluation path (spice.BatchSim)
+// plugs into. Determinism is unchanged: a sample's RNG is still derived from
+// (seed, idx) alone, so the value computed for index idx is independent of
+// worker count, lane width, and claim interleaving.
+//
+// Lifecycle semantics carry over lane-wise:
+//
+//   - Cancellation: a lane whose solve is interrupted by ctx reports a
+//     cancellation error and is counted in RunReport.Interrupted (recorded
+//     nowhere, re-run on resume), exactly like a scalar in-flight sample.
+//   - Budget: each lane is armed individually (BatchSampleArmer) right
+//     before the batch call, so per-sample iteration/wall budgets apply per
+//     lane. All lanes of a batch share one arming instant; because every
+//     lane's cooperative deadline then expires at batch-start + Wall, a
+//     batch's legitimate wall time is bounded like a single sample's and the
+//     hang watchdog threshold needs no scaling.
+//   - Hang watchdog: a wedged batch is abandoned whole — the per-sample
+//     commit CAS decides slot ownership lane by lane, so lanes the worker
+//     already committed keep their results and only the uncommitted rest
+//     become OverHang failures.
+//   - Checkpoint/resume: already-completed indices inside a claimed block
+//     are skipped (their commit word is pre-claimed so the watchdog cannot
+//     touch them), making resumed batches ragged; per-lane rescue-counter
+//     deltas are recorded via LaneRescueReporter.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vstat/internal/lifecycle"
+)
+
+// BatchSampleArmer is implemented by batched worker states whose per-lane
+// circuits enforce per-sample budgets. The engine arms lanes [0, m) just
+// before each batch call (m = the batch's live lane count).
+type BatchSampleArmer interface {
+	ArmLane(lane int, ctx context.Context, b lifecycle.Budget)
+}
+
+// LaneRescueReporter exposes one lane's cumulative rescue counters, so the
+// engine can attribute per-sample deltas to checkpoint records. States that
+// also implement RescueReporter contribute their totals to the run report.
+type LaneRescueReporter interface {
+	LaneRescueCounts(lane int) map[string]int64
+}
+
+// batchSlot is one worker's watchdog-visible in-flight block: the claimed
+// index range [lo, hi) and its start time. The worker stores start and hi
+// before lo, so a coordinator that observes lo >= 0 observes the rest.
+type batchSlot struct {
+	lo    atomic.Int64 // -1 when idle
+	hi    atomic.Int64
+	start atomic.Int64
+	gone  bool
+}
+
+// safeBatch runs one batch call under a panic guard; a panic poisons every
+// lane of the batch with the same *PanicError.
+func safeBatch[S, T any](fn func(st S, idxs []int, rngs []*rand.Rand, out []T, errs []error),
+	st S, idxs []int, rngs []*rand.Rand, out []T, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr := &PanicError{Value: r, Stack: debug.Stack()}
+			var zero T
+			for j := range idxs {
+				out[j], errs[j] = zero, perr
+			}
+		}
+	}()
+	fn(st, idxs, rngs, out, errs)
+}
+
+// MapPooledBatchReportCtx runs fn over samples 0..n-1 with per-worker pooled
+// state, claiming up to `lanes` contiguous indices per batch. fn must fill
+// out[j] / errs[j] for every claimed lane j (idxs[j] is lane j's sample
+// index, rngs[j] its deterministic (seed, idx) RNG). lanes <= 1 degrades to
+// one-sample batches (scalar claiming order).
+func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, workers, lanes int, opts RunOpts,
+	newState func(worker int) (S, error),
+	fn func(st S, idxs []int, rngs []*rand.Rand, out []T, errs []error)) ([]T, RunReport, error) {
+	rep := RunReport{}
+	if n <= 0 {
+		return nil, rep, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (n+lanes-1)/lanes {
+		workers = (n + lanes - 1) / lanes
+	}
+	pol := opts.Policy
+	ck := opts.Checkpoint
+
+	failLimit := int64(n)
+	switch {
+	case pol.OnFailure == FailFast:
+		failLimit = 0
+	case pol.MaxFailFrac > 0:
+		failLimit = int64(pol.MaxFailFrac * float64(n))
+	}
+
+	ps := currentProgress()
+	if ps != nil {
+		ps.RunStart(n, workers)
+		defer ps.RunEnd()
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	ran := make([]bool, n)
+	commit := make([]atomic.Int32, n)
+	var next, failed atomic.Int64
+	var abort atomic.Bool
+	base := time.Now()
+
+	var mu sync.Mutex
+	var states []S
+	var stateErr error
+
+	exitCh := make(chan struct{})
+	// runWorker returns true when the worker's in-flight block was abandoned
+	// by the watchdog: the coordinator already accounted for it and spawned a
+	// replacement, so it vanishes without signalling exit.
+	runWorker := func(w int, sl *batchSlot) bool {
+		st, err := safeState(newState, w)
+		if err != nil {
+			mu.Lock()
+			if stateErr == nil {
+				stateErr = fmt.Errorf("montecarlo: worker %d state: %w", w, err)
+			}
+			mu.Unlock()
+			abort.Store(true)
+			return false
+		}
+		armer, armed := any(st).(BatchSampleArmer)
+		laneRep, laneReports := any(st).(LaneRescueReporter)
+		idxs := make([]int, lanes)
+		rngs := make([]*rand.Rand, lanes)
+		bout := make([]T, lanes)
+		berrs := make([]error, lanes)
+		prev := make([]map[string]int64, lanes)
+		for !abort.Load() && ctx.Err() == nil {
+			lo := int(next.Add(int64(lanes))) - lanes
+			if lo >= n {
+				break
+			}
+			hi := lo + lanes
+			if hi > n {
+				hi = n
+			}
+			m := 0
+			for idx := lo; idx < hi; idx++ {
+				if ck != nil && ck.Completed(idx) {
+					// Pre-claim the slot so the watchdog never abandons a
+					// sample that is not actually running.
+					commit[idx].CompareAndSwap(0, 1)
+					continue
+				}
+				idxs[m] = idx
+				m++
+			}
+			if m == 0 {
+				continue
+			}
+			sl.start.Store(int64(time.Since(base)))
+			sl.hi.Store(int64(hi))
+			sl.lo.Store(int64(lo))
+			for j := 0; j < m; j++ {
+				rngs[j] = SampleRNG(seed, idxs[j])
+				berrs[j] = nil
+				if ck != nil && laneReports {
+					prev[j] = laneRep.LaneRescueCounts(j)
+				}
+				if armed {
+					armer.ArmLane(j, ctx, opts.Budget)
+				}
+			}
+			safeBatch(fn, st, idxs[:m], rngs[:m], bout[:m], berrs[:m])
+			sl.lo.Store(-1)
+			lost := false
+			for j := 0; j < m; j++ {
+				idx := idxs[j]
+				if !commit[idx].CompareAndSwap(0, 1) {
+					// The watchdog gave up on this block: it owns every slot
+					// we have not already committed, and a replacement worker
+					// is running. Keep what we won, touch nothing else.
+					lost = true
+					continue
+				}
+				ran[idx] = true
+				out[idx], errs[idx] = bout[j], berrs[j]
+				if lifecycle.IsCancellation(berrs[j]) {
+					continue
+				}
+				if ck != nil {
+					var v any
+					if berrs[j] == nil {
+						v = bout[j]
+					}
+					var delta map[string]int64
+					if laneReports {
+						delta = countDelta(laneRep.LaneRescueCounts(j), prev[j])
+					}
+					ck.Record(idx, v, delta, berrs[j])
+				}
+				if ps != nil {
+					ps.SampleDone(berrs[j] != nil)
+				}
+				if berrs[j] != nil && failed.Add(1) > failLimit {
+					abort.Store(true)
+				}
+			}
+			if lost {
+				return true
+			}
+		}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return false
+	}
+
+	slots := make([]*batchSlot, 0, workers)
+	spawn := func(w int) *batchSlot {
+		sl := &batchSlot{}
+		sl.lo.Store(-1)
+		slots = append(slots, sl)
+		go func() {
+			if !runWorker(w, sl) {
+				exitCh <- struct{}{}
+			}
+		}()
+		return sl
+	}
+	for w := 0; w < workers; w++ {
+		spawn(w)
+	}
+	spawned := workers
+
+	var tickC <-chan time.Time
+	var hangLimit time.Duration
+	if opts.Budget.Wall > 0 {
+		grace := opts.HangGrace
+		if grace <= 0 {
+			grace = opts.Budget.Wall
+		}
+		hangLimit = opts.Budget.Wall + grace
+		tick := hangLimit / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	received, abandoned := 0, 0
+	for received+abandoned < spawned {
+		select {
+		case <-exitCh:
+			received++
+		case now := <-tickC:
+			nowNs := int64(now.Sub(base))
+			for _, sl := range slots {
+				if sl.gone {
+					continue
+				}
+				lo := sl.lo.Load()
+				if lo < 0 || nowNs-sl.start.Load() <= int64(hangLimit) {
+					continue
+				}
+				// Abandon the whole block: every slot the worker has not
+				// committed becomes an OverHang failure; slots it already
+				// committed (or checkpoint-skips) keep their state.
+				sl.gone = true
+				abandoned++
+				herr := &lifecycle.BudgetError{
+					Kind:    lifecycle.OverHang,
+					Elapsed: time.Duration(nowNs - sl.start.Load()),
+					Wall:    opts.Budget.Wall,
+				}
+				for idx := lo; idx < sl.hi.Load(); idx++ {
+					if !commit[idx].CompareAndSwap(0, 2) {
+						continue
+					}
+					ran[idx] = true
+					errs[idx] = herr
+					if ck != nil {
+						ck.Record(int(idx), nil, nil, herr)
+					}
+					if ps != nil {
+						ps.SampleDone(true)
+					}
+					if failed.Add(1) > failLimit {
+						abort.Store(true)
+					}
+				}
+				if !abort.Load() && ctx.Err() == nil {
+					spawn(spawned)
+					spawned++
+				}
+			}
+		}
+	}
+
+	if stateErr != nil {
+		return nil, rep, stateErr
+	}
+
+	for idx := range errs {
+		if !ran[idx] {
+			continue
+		}
+		err := errs[idx]
+		if err != nil && lifecycle.IsCancellation(err) {
+			rep.Interrupted++
+			continue
+		}
+		rep.Attempted++
+		switch {
+		case err == nil:
+			rep.Succeeded++
+		default:
+			rep.Failed++
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				rep.Panics++
+			}
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: err})
+		}
+	}
+	mu.Lock()
+	for _, st := range states {
+		if rr, ok := any(st).(RescueReporter); ok {
+			for k, v := range rr.RescueCounts() {
+				if v == 0 {
+					continue
+				}
+				if rep.Rescued == nil {
+					rep.Rescued = make(map[string]int64)
+				}
+				rep.Rescued[k] += v
+			}
+		}
+	}
+	mu.Unlock()
+
+	if ctx.Err() != nil {
+		rep.Cancelled = true
+		return out, rep, fmt.Errorf("montecarlo: run cancelled after %d completed samples: %w",
+			rep.Succeeded, ctx.Err())
+	}
+	if int64(rep.Failed) > failLimit {
+		if pol.OnFailure == FailFast {
+			f := rep.Failures[0]
+			return nil, rep, fmt.Errorf("montecarlo: sample %d: %w", f.Idx, f.Err)
+		}
+		rep.CapTripped = true
+		return nil, rep, fmt.Errorf("montecarlo: %d of %d attempted samples failed (cap %g): %w",
+			rep.Failed, rep.Attempted, pol.MaxFailFrac, ErrTooManyFailures)
+	}
+	return out, rep, nil
+}
+
+// countDelta returns cur minus prev, keeping nonzero entries (nil when
+// nothing changed).
+func countDelta(cur, prev map[string]int64) map[string]int64 {
+	var d map[string]int64
+	for k, v := range cur {
+		if dv := v - prev[k]; dv != 0 {
+			if d == nil {
+				d = make(map[string]int64, len(cur))
+			}
+			d[k] = dv
+		}
+	}
+	return d
+}

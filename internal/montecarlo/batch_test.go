@@ -1,0 +1,168 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// batchFromScalar lifts a scalar sample function into the batch shape.
+func batchFromScalar[S, T any](fn func(st S, idx int, rng *rand.Rand) (T, error)) func(S, []int, []*rand.Rand, []T, []error) {
+	return func(st S, idxs []int, rngs []*rand.Rand, out []T, errs []error) {
+		for j, idx := range idxs {
+			out[j], errs[j] = fn(st, idx, rngs[j])
+		}
+	}
+}
+
+// TestBatchMatchesScalarEngine pins the determinism contract: for any lane
+// width and worker count, the batched engine produces exactly the values and
+// report the scalar engine produces for the same (seed, idx) stream.
+func TestBatchMatchesScalarEngine(t *testing.T) {
+	const n, seed = 37, 42
+	fn := func(_ struct{}, idx int, rng *rand.Rand) (float64, error) {
+		v := rng.NormFloat64() + float64(idx)
+		if idx%9 == 4 {
+			return 0, fmt.Errorf("sample %d synthetic failure", idx)
+		}
+		return v, nil
+	}
+	pol := Policy{OnFailure: SkipAndRecord, MaxFailFrac: 1}
+	want, wantRep, err := MapPooledReportCtx(context.Background(), n, seed, 1, RunOpts{Policy: pol},
+		func(int) (struct{}, error) { return struct{}{}, nil }, fn)
+	if err != nil {
+		t.Fatalf("scalar engine: %v", err)
+	}
+	for _, lanes := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 3} {
+			got, rep, err := MapPooledBatchReportCtx(context.Background(), n, seed, workers, lanes,
+				RunOpts{Policy: pol},
+				func(int) (struct{}, error) { return struct{}{}, nil }, batchFromScalar(fn))
+			if err != nil {
+				t.Fatalf("lanes=%d workers=%d: %v", lanes, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("lanes=%d workers=%d sample %d: got %v want %v", lanes, workers, i, got[i], want[i])
+				}
+			}
+			if rep.Attempted != wantRep.Attempted || rep.Succeeded != wantRep.Succeeded || rep.Failed != wantRep.Failed {
+				t.Fatalf("lanes=%d workers=%d report %+v, want %+v", lanes, workers, rep, wantRep)
+			}
+		}
+	}
+}
+
+// fakeSink records checkpoint traffic and marks a fixed set as completed.
+type fakeSink struct {
+	mu   sync.Mutex
+	done map[int]bool
+	rec  map[int]bool
+}
+
+func (f *fakeSink) Completed(idx int) bool { return f.done[idx] }
+func (f *fakeSink) Record(idx int, _ any, _ map[string]int64, _ error) {
+	f.mu.Lock()
+	f.rec[idx] = true
+	f.mu.Unlock()
+}
+
+// TestBatchCheckpointSkipsCompleted verifies resumed batches go ragged:
+// already-completed indices inside a claimed block are skipped, never re-run,
+// and never re-recorded.
+func TestBatchCheckpointSkipsCompleted(t *testing.T) {
+	const n = 24
+	sink := &fakeSink{done: map[int]bool{}, rec: map[int]bool{}}
+	for i := 0; i < n; i += 2 {
+		sink.done[i] = true // evens restored by a previous run
+	}
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	_, rep, err := MapPooledBatchReportCtx(context.Background(), n, 7, 2, 8,
+		RunOpts{Checkpoint: sink},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		batchFromScalar(func(_ struct{}, idx int, rng *rand.Rand) (int, error) {
+			mu.Lock()
+			ran[idx] = true
+			mu.Unlock()
+			return idx, nil
+		}))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		odd := i%2 == 1
+		if ran[i] != odd {
+			t.Fatalf("sample %d ran=%v, want %v", i, ran[i], odd)
+		}
+		if sink.rec[i] != odd {
+			t.Fatalf("sample %d recorded=%v, want %v", i, sink.rec[i], odd)
+		}
+	}
+	if rep.Succeeded != n/2 {
+		t.Fatalf("succeeded %d, want %d", rep.Succeeded, n/2)
+	}
+}
+
+// TestBatchCancelledContext verifies a dead context yields a cancelled
+// partial run, mirroring the scalar engine.
+func TestBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rep, err := MapPooledBatchReportCtx(ctx, 16, 1, 2, 4, RunOpts{},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		batchFromScalar(func(_ struct{}, idx int, _ *rand.Rand) (int, error) { return idx, nil }))
+	if !rep.Cancelled {
+		t.Fatalf("report not marked cancelled: %+v", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestBatchFailFast verifies FailFast aborts on the first failing lane.
+func TestBatchFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := MapPooledBatchReportCtx(context.Background(), 32, 3, 1, 4,
+		RunOpts{Policy: Policy{OnFailure: FailFast}},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		batchFromScalar(func(_ struct{}, idx int, _ *rand.Rand) (int, error) {
+			if idx == 5 {
+				return 0, boom
+			}
+			return idx, nil
+		}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrap of boom", err)
+	}
+}
+
+// TestBatchPanicPoisonsBlock verifies a panicking batch surfaces a
+// *PanicError on each of its samples under SkipAndRecord.
+func TestBatchPanicPoisonsBlock(t *testing.T) {
+	_, rep, err := MapPooledBatchReportCtx(context.Background(), 8, 3, 1, 4,
+		RunOpts{Policy: Policy{OnFailure: SkipAndRecord, MaxFailFrac: 1}},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, idxs []int, _ []*rand.Rand, out []int, errs []error) {
+			for _, idx := range idxs {
+				if idx == 6 {
+					panic("kernel meltdown")
+				}
+			}
+			for j, idx := range idxs {
+				out[j], errs[j] = idx, nil
+			}
+		})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Panics != 4 {
+		t.Fatalf("panics = %d, want 4 (the whole block)", rep.Panics)
+	}
+	if rep.Failed != 4 || rep.Succeeded != 4 {
+		t.Fatalf("failed=%d succeeded=%d, want 4/4", rep.Failed, rep.Succeeded)
+	}
+}

@@ -272,8 +272,13 @@ func (c *Circuit) assembleSparse(x, f []float64, ctx *assembleCtx) {
 		m := &c.mos[i]
 		term := [4]int{m.d, m.g, m.s, m.b}
 		ms := sl.mos[24*i : 24*i+24]
-		dv := device.EvalDerivs(m.dev,
-			nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		var dv device.Derivs
+		if c.devPreSet {
+			dv = c.devPre[i] // lockstep batch driver pre-evaluated this device
+		} else {
+			dv = device.EvalDerivs(m.dev,
+				nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		}
 		ev := dv.Eval
 		if cacheEv {
 			c.evCache[i] = ev

@@ -15,9 +15,9 @@ import "vstat/internal/device"
 //	D = 1 + Fg·rs + Fd·(rs+rd) + Fb·rs,
 //
 // and the charge derivatives chain through the internal-voltage shifts the
-// current feedback induces. Only three cheap core evaluations (finite
-// differences of F, qixo, fsat at the internal point) are needed on top of
-// the solve.
+// current feedback induces. The core partials come out of the converged
+// series solve analytically, so a full derivative bundle costs no core
+// evaluations beyond the solve itself.
 func (p *Params) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
 	pol := p.TypeK.Polarity()
 	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
@@ -38,34 +38,16 @@ func (p *Params) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
 	}
 	rs := p.Rs0 / w
 	rd := p.Rd0 / w
-	delta := p.Delta(leff)
-	vdsats := p.Vxo * leff / p.Mu
 
-	// Solve once for the operating state.
-	id, qixo, fsat, _ := p.solveSeries(vgs, vds, vbs)
-	vgsi := vgs - id*rs
-	vdsi := vds - id*(rs+rd)
-	if vdsi < 0 {
-		vdsi = 0
-	}
-	vbsi := vbs - id*rs
-
-	// Core partials at the internal bias by forward differences: a clean
-	// base evaluation plus one per internal voltage.
-	const h = device.FDStep
-	f0, q0, s0 := p.coreBiasPre(vgsi, vdsi, vbsi, delta, vdsats)
-	fg, qg, sg := p.coreBiasPre(vgsi+h, vdsi, vbsi, delta, vdsats)
-	fd, qd, sd := p.coreBiasPre(vgsi, vdsi+h, vbsi, delta, vdsats)
-	fb, qb, sb := p.coreBiasPre(vgsi, vdsi, vbsi+h, delta, vdsats)
-	Fg := w * (fg - f0) / h
-	Fd := w * (fd - f0) / h
-	Fb := w * (fb - f0) / h
-	qixoG := (qg - q0) / h
-	qixoD := (qd - q0) / h
-	qixoB := (qb - q0) / h
-	fsatG := (sg - s0) / h
-	fsatD := (sd - s0) / h
-	fsatB := (sb - s0) / h
+	// Solve once for the operating state; the converged evaluation carries
+	// the analytic core partials at the internal bias.
+	st := p.solveSeriesD(vgs, vds, vbs)
+	id, qixo, fsat := st.id, st.co.q, st.co.s
+	Fg := w * st.co.fG
+	Fd := w * st.co.fD
+	Fb := w * st.co.fB
+	qixoG, qixoD, qixoB := st.co.qG, st.co.qD, st.co.qB
+	fsatG, fsatD, fsatB := st.co.sG, st.co.sD, st.co.sB
 
 	den := 1 + Fg*rs + Fd*(rs+rd) + Fb*rs
 	// ∂I/∂(vgs, vds, vbs).

@@ -37,8 +37,9 @@ func TestNativeDerivsMatchFD(t *testing.T) {
 		if math.Abs(nat.Q.Qg-fd.Q.Qg) > 1e-9*(1+math.Abs(fd.Q.Qg)) {
 			t.Fatalf("trial %d: Qg %g vs %g", trial, nat.Q.Qg, fd.Q.Qg)
 		}
-		// Conductances: FD carries O(h) truncation; compare at 3 % of the
-		// row scale.
+		// Conductances: the central-difference FD reference carries O(h²)
+		// truncation while the native path's internal forward differences
+		// carry O(h); compare at 3 % of the row scale.
 		gScale := 0.0
 		for _, v := range fd.GId {
 			gScale += math.Abs(v)
@@ -64,6 +65,25 @@ func TestNativeDerivsMatchFD(t *testing.T) {
 	}
 }
 
+// At Vds = 0 the saturation function sits exactly on its x = 0 branch; the
+// native bundle must report the one-sided linear conductance gds = q·vxo/vdsat
+// there, not zero. A zero gds leaves the output node of a turned-on device
+// with a near-singular Jacobian row and makes the circuit Newton limit-cycle
+// (this is the bias every DC solve starts from: all node voltages equal).
+func TestNativeDerivsVdsZeroConductance(t *testing.T) {
+	n := NMOS40(150e-9)
+	for _, vg := range []float64{0.4, 0.9} {
+		nat := n.EvalDerivs4(0.0, vg, 0.0, 0.0)
+		if nat.GId[0] <= 0 {
+			t.Fatalf("vg=%g: gds at Vds=0 is %g, want > 0", vg, nat.GId[0])
+		}
+		fd := device.EvalDerivsFD(&n, 0.0, vg, 0.0, 0.0)
+		if math.Abs(nat.GId[0]-fd.GId[0]) > 0.03*math.Abs(fd.GId[0])+1e-12 {
+			t.Fatalf("vg=%g: gds native %g vs FD %g", vg, nat.GId[0], fd.GId[0])
+		}
+	}
+}
+
 func TestNativeDerivsInvariances(t *testing.T) {
 	n := NMOS40(600e-9)
 	d := n.EvalDerivs4(0.7, 0.8, 0.1, 0)
@@ -84,6 +104,39 @@ func TestNativeDerivsInvariances(t *testing.T) {
 		s := d.CQ[0][j] + d.CQ[1][j] + d.CQ[2][j] + d.CQ[3][j]
 		if math.Abs(s) > 1e-20 {
 			t.Fatalf("CQ column %d sum %g", j, s)
+		}
+	}
+}
+
+// The Gm/Gds/Cgg characterization helpers must route through EvalDerivs —
+// i.e. use the native derivative bundle on models that provide one — and
+// the native values must stay within FD agreement of the central stencil.
+func TestHelpersUseNativeDerivs(t *testing.T) {
+	n := NMOS40(600e-9)
+	for _, bias := range [][4]float64{
+		{0.9, 0.9, 0, 0},  // strong inversion, saturation
+		{0.05, 0.9, 0, 0}, // linear region
+		{0.9, 0.3, 0, 0},  // near threshold
+	} {
+		vd, vg, vs, vb := bias[0], bias[1], bias[2], bias[3]
+		nat := n.EvalDerivs4(vd, vg, vs, vb)
+		if gm := device.Gm(&n, vd, vg, vs, vb); gm != nat.GId[1] {
+			t.Fatalf("Gm %g != native GId[G] %g", gm, nat.GId[1])
+		}
+		if gds := device.Gds(&n, vd, vg, vs, vb); gds != nat.GId[0] {
+			t.Fatalf("Gds %g != native GId[D] %g", gds, nat.GId[0])
+		}
+		if cgg := device.Cgg(&n, vd, vg, vs, vb); cgg != nat.CQ[1][1] {
+			t.Fatalf("Cgg %g != native CQ[G][G] %g", cgg, nat.CQ[1][1])
+		}
+		// And the native values the helpers now return must agree with the
+		// central-difference stencil they used to compute directly.
+		fd := device.EvalDerivsFD(&n, vd, vg, vs, vb)
+		if math.Abs(nat.GId[1]-fd.GId[1]) > 0.03*math.Abs(fd.GId[1])+1e-12 {
+			t.Fatalf("native Gm %g vs central FD %g", nat.GId[1], fd.GId[1])
+		}
+		if math.Abs(nat.CQ[1][1]-fd.CQ[1][1]) > 0.03*math.Abs(fd.CQ[1][1])+1e-22 {
+			t.Fatalf("native Cgg %g vs central FD %g", nat.CQ[1][1], fd.CQ[1][1])
 		}
 	}
 }

@@ -174,48 +174,121 @@ func (p *Params) coreBias(vgsi, vdsi, vbsi float64) (idPerW, qixo, fsat float64)
 }
 
 // coreBiasPre is coreBias with the bias-independent quantities δ(Leff) and
-// the strong-inversion saturation voltage precomputed, so the series-
-// resistance root finder does not recompute exponentials that only depend
-// on geometry.
+// the strong-inversion saturation voltage precomputed. The values come from
+// the derivative-carrying kernel, whose value arithmetic is identical.
 func (p *Params) coreBiasPre(vgsi, vdsi, vbsi, delta, vdsats float64) (idPerW, qixo, fsat float64) {
+	var co coreOut
+	p.coreBiasPreD(vgsi, vdsi, vbsi, delta, vdsats, &co)
+	return co.f, co.q, co.s
+}
+
+// coreOut bundles one core evaluation with its analytic partial derivatives
+// with respect to the internal voltages (vgsi, vdsi, vbsi): f is the drain
+// current per unit width, q the virtual-source charge density, s the
+// saturation function, and the G/D/B suffixes are ∂/∂vgsi, ∂/∂vdsi, ∂/∂vbsi.
+type coreOut struct {
+	f, q, s    float64
+	fG, fD, fB float64
+	qG, qD, qB float64
+	sG, sD, sB float64
+}
+
+// coreBiasPreD evaluates the core current, charge density and saturation
+// function together with their closed-form partials. The derivatives reuse
+// the transcendentals of the value computation (the logistic and softplus
+// derivatives fall out of the already-computed exponentials, and dFsat/dx =
+// Fsat/(x(1+x^β))), so a derivative-carrying evaluation costs the same
+// exp/log budget as a plain one — which is what lets the series solver run
+// Newton instead of secant and the simulator skip finite differences
+// entirely. The value arithmetic is statement-identical to the historical
+// coreBiasPre, and the batched SoA kernel (batch.go) replicates this body
+// statement for statement: keep the three in sync. The result is written
+// into the caller's coreOut in place (the 96-byte struct would otherwise be
+// copied twice per solver iteration).
+func (p *Params) coreBiasPreD(vgsi, vdsi, vbsi, delta, vdsats float64, co *coreOut) {
 	phit := p.PhiT
 
 	// Body-corrected, DIBL-corrected threshold.
 	vbsEff := vbsi
+	clamped := false
 	if max := p.PhiB - 0.05; vbsEff > max {
 		vbsEff = max // clamp to keep sqrt real; deep forward body bias is outside model validity
+		clamped = true
 	}
 	vt := p.VT0 - delta*vdsi
+	vtD := -delta // ∂vt/∂vdsi (DIBL)
+	vtB := 0.0    // ∂vt/∂vbsi (body effect)
 	if p.GammaB != 0 {
-		vt += p.GammaB * (math.Sqrt(p.PhiB-vbsEff) - math.Sqrt(p.PhiB))
+		sq := math.Sqrt(p.PhiB - vbsEff)
+		vt += p.GammaB * (sq - math.Sqrt(p.PhiB))
+		if !clamped {
+			vtB = -p.GammaB / (2 * sq)
+		}
 	}
 
 	n := p.N0 + p.Nd*vdsi
 	nphit := n * phit
+	nphitD := p.Nd * phit // ∂nphit/∂vdsi (punch-through)
 	aphit := p.Alpha * phit
 
 	// Inversion transition function FF: →1 in weak inversion, →0 in strong.
-	ff := logistic((vt - aphit/2 - vgsi) / aphit)
+	ff, ffp := logisticD((vt - aphit/2 - vgsi) / aphit)
+	ffG := ffp * (-1 / aphit)
+	ffD := ffp * (vtD / aphit)
+	ffB := ffp * (vtB / aphit)
 
 	// Virtual-source charge density (paper's charge expression).
-	qixo = p.Cinv * nphit * softplus((vgsi-(vt-p.Alpha*phit*ff))/nphit)
+	num := vgsi - (vt - p.Alpha*phit*ff)
+	numG := 1 + aphit*ffG
+	numD := aphit*ffD - vtD
+	numB := aphit*ffB - vtB
+	arg := num / nphit
+	sp, spp := softplusD(arg)
+	co.q = p.Cinv * nphit * sp
+	cspp := p.Cinv * nphit * spp
+	co.qG = cspp * (numG / nphit)
+	co.qD = p.Cinv*nphitD*sp + cspp*((numD-arg*nphitD)/nphit)
+	co.qB = cspp * (numB / nphit)
 
 	// Saturation voltage blends the strong-inversion value vxo·Leff/µ with
 	// the thermal value φt in weak inversion.
 	vdsat := vdsats*(1-ff) + phit*ff
+	vdsatP := phit - vdsats // d vdsat / d ff
 
 	// Saturation function Fsat (paper Eq. 3), written with explicit
 	// exp/log so the two pow calls collapse to one exp+log pair each.
 	x := vdsi / vdsat
 	if x > 0 {
 		t := math.Exp(p.Beta * math.Log(x))
-		fsat = x * math.Exp(-math.Log1p(t)/p.Beta)
+		co.s = x * math.Exp(-math.Log1p(t)/p.Beta)
+		dfdx := co.s / (x * (1 + t))
+		co.sG = dfdx * (-(x * vdsatP * ffG) / vdsat)
+		co.sD = dfdx * ((1 - x*vdsatP*ffD) / vdsat)
+		co.sB = dfdx * (-(x * vdsatP * ffB) / vdsat)
 	} else {
-		fsat = 0
+		// x = 0 happens at vdsi = 0 (e.g. equal node voltages at DC init, or
+		// a device pulled fully linear). Fsat(x) = x·(1+x^β)^(−1/β) has the
+		// one-sided slope dFsat/dx → 1 there, so the vdsi-derivative must
+		// carry the 1/vdsat limit: zeroing it would report gds = 0 for a
+		// turned-on device at Vds = 0 and leave its output node's Jacobian
+		// row near-singular (Newton then limit-cycles off the solution).
+		co.s, co.sG, co.sB = 0, 0, 0
+		co.sD = 1 / vdsat
 	}
 
-	idPerW = fsat * qixo * p.Vxo
-	return idPerW, qixo, fsat
+	co.f = co.s * co.q * p.Vxo
+	co.fG = (co.sG*co.q + co.s*co.qG) * p.Vxo
+	co.fD = (co.sD*co.q + co.s*co.qD) * p.Vxo
+	co.fB = (co.sB*co.q + co.s*co.qB) * p.Vxo
+}
+
+// seriesState is a converged series-resistance solve: the drain current (A),
+// the internal drain-source voltage, and the core evaluation — values plus
+// analytic partials with respect to the internal voltages — at that point.
+type seriesState struct {
+	id   float64
+	vdsi float64
+	co   coreOut
 }
 
 // solveSeries solves the series-resistance feedback self-consistently for an
@@ -223,19 +296,29 @@ func (p *Params) coreBiasPre(vgsi, vdsi, vbsi, delta, vdsats float64) (idPerW, q
 // the internal voltages are vgsi = vgs − Id·Rs and vdsi = vds − Id·(Rs+Rd).
 // It returns the converged drain current (A), charge density and saturation
 // measure at the internal bias.
-//
-// The root of g(I) = I − F(I), with F the core current at the degraded
-// internal bias, is found by a bracket-safeguarded secant iteration on
-// [0, F(0)]. F is monotone decreasing in I so the bracket always holds, and
-// unlike plain fixed-point iteration the solve stays convergent in the deep
-// linear region where gds·(Rs+Rd) exceeds unity. The tolerance is relative
-// (~1e-9 of the drive current), far tighter than the simulator's Newton
-// residual tolerance but loose enough that the secant typically converges
-// in about six core evaluations.
 func (p *Params) solveSeries(vgs, vds, vbs float64) (id, qixo, fsat, vdsi float64) {
+	st := p.solveSeriesD(vgs, vds, vbs)
+	return st.id, st.co.q, st.co.s, st.vdsi
+}
+
+// solveSeriesD is the derivative-carrying series solve. The root of
+// g(I) = I − F(I), with F the core current at the degraded internal bias, is
+// found by Newton iteration on the analytic slope g' = 1 − dF/dI,
+// safeguarded by the bracket [0, F(0)]: F is monotone decreasing in I, so
+// g(0) = −F(0) < 0 and g(F(0)) ≥ 0 hold without evaluating the upper
+// endpoint, dF/dI ≤ 0 keeps g' ≥ 1 (no division hazards), and any Newton
+// step that leaves the bracket falls back to bisection. Unlike plain
+// fixed-point iteration the solve stays convergent in the deep linear region
+// where gds·(Rs+Rd) exceeds unity. The tolerance is relative (~1e-9 of the
+// drive current), far tighter than the simulator's Newton residual
+// tolerance, yet the quadratic convergence typically lands it in two
+// iterations — three core evaluations against the historical secant's six.
+// The batched SoA kernel (batch.go) replicates this iteration statement for
+// statement: keep the two in sync.
+func (p *Params) solveSeriesD(vgs, vds, vbs float64) seriesState {
 	w := p.Weff()
 	if w <= 0 {
-		return 0, 0, 0, vds
+		return seriesState{vdsi: vds}
 	}
 	rs := p.Rs0 / w
 	rd := p.Rd0 / w
@@ -243,59 +326,59 @@ func (p *Params) solveSeries(vgs, vds, vbs float64) (id, qixo, fsat, vdsi float6
 	delta := p.Delta(leff)
 	vdsats := p.Vxo * leff / p.Mu
 
-	eval := func(i float64) (f, q, fs, vdsiOut float64) {
+	// eval writes the core evaluation straight into st.co ("last evaluation
+	// wins", matching the batched kernel's in-place lane slot).
+	var st seriesState
+	eval := func(i float64) (f, df, vdsiOut float64) {
 		vgsi := vgs - i*rs
 		vdsiOut = vds - i*(rs+rd)
+		dvd := -(rs + rd) // d vdsi / dI, zero once the clamp engages
 		if vdsiOut < 0 {
 			vdsiOut = 0
+			dvd = 0
 		}
 		vbsi := vbs - i*rs
-		perW, q, fs := p.coreBiasPre(vgsi, vdsiOut, vbsi, delta, vdsats)
-		return w * perW, q, fs, vdsiOut
+		p.coreBiasPreD(vgsi, vdsiOut, vbsi, delta, vdsats, &st.co)
+		f = w * st.co.f
+		df = w * (st.co.fG*(-rs) + st.co.fD*dvd + st.co.fB*(-rs))
+		return f, df, vdsiOut
 	}
 
-	f0, q0, fs0, v0 := eval(0)
+	f0, df0, v0 := eval(0)
+	st.id, st.vdsi = f0, v0
 	if rs == 0 && rd == 0 {
-		return f0, q0, fs0, v0
+		return st
 	}
 	tol := 1e-13 + 1e-9*f0
 	if f0 <= tol {
-		return f0, q0, fs0, v0
+		return st
 	}
 
-	// g(I) = I − F(I): g(0) = −F(0) < 0, g(F(0)) ≥ 0.
-	a, ga := 0.0, -f0
-	b := f0
-	fb, qb, fsb, vb := eval(b)
-	gb := b - fb
-	id, qixo, fsat, vdsi = fb, qb, fsb, vb
-	if gb <= tol {
-		return b, qb, fsb, vb // degradation negligible at the bound
+	a, b := 0.0, f0
+	x := f0 / (1 - df0) // Newton step from I=0: g(0) = −F(0), g'(0) = 1 − F'(0)
+	if !(x > a && x < b) {
+		x = 0.5 * (a + b)
 	}
-	// Secant iterations from the bracket endpoints, safeguarded by
-	// bisection whenever the secant step leaves the bracket.
-	x0, g0 := a, ga
-	x1, g1 := b, gb
 	for it := 0; it < 60; it++ {
-		x := x1 - g1*(x1-x0)/(g1-g0)
-		if !(x > a && x < b) {
-			x = 0.5 * (a + b)
-		}
-		fx, qx, fsx, vx := eval(x)
+		fx, dfx, vx := eval(x)
 		gx := x - fx
-		id, qixo, fsat, vdsi = fx, qx, fsx, vx
+		st.id, st.vdsi = fx, vx
 		if math.Abs(gx) <= tol || b-a <= 1e-15*(1+b) {
-			return x, qx, fsx, vx
+			st.id = x
+			return st
 		}
 		if gx > 0 {
 			b = x
 		} else {
 			a = x
 		}
-		x0, g0 = x1, g1
-		x1, g1 = x, gx
+		xn := x - gx/(1-dfx)
+		if !(xn > a && xn < b) {
+			xn = 0.5 * (a + b)
+		}
+		x = xn
 	}
-	return id, qixo, fsat, vdsi
+	return st
 }
 
 // Eval implements device.Device. It maps PMOS onto the equivalent n-channel
@@ -378,4 +461,31 @@ func softplus(x float64) float64 {
 		return math.Exp(x)
 	}
 	return math.Log1p(math.Exp(x))
+}
+
+// logisticD returns the logistic value (bit-identical to logistic) together
+// with its derivative s·(1−s), reusing the single exponential.
+func logisticD(x float64) (s, d float64) {
+	if x > 40 {
+		return 1, 0
+	}
+	if x < -40 {
+		return 0, 0
+	}
+	s = 1 / (1 + math.Exp(-x))
+	return s, s * (1 - s)
+}
+
+// softplusD returns the softplus value (bit-identical to softplus) together
+// with its derivative e^x/(1+e^x), reusing the single exponential.
+func softplusD(x float64) (sp, d float64) {
+	if x > 40 {
+		return x, 1
+	}
+	if x < -40 {
+		e := math.Exp(x)
+		return e, e
+	}
+	e := math.Exp(x)
+	return math.Log1p(e), e / (1 + e)
 }
