@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch shard
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs sparse lifecycle batch
+tier1: vet obs sparse lifecycle batch shard
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -43,6 +43,18 @@ batch:
 	$(GO) test -race ./internal/vsmodel/ -run 'TestBatch|TestFallbackBatch|TestNativeDerivs' -count=1
 	$(GO) test -race ./internal/circuits/ -run 'TestBatch' -count=1
 	$(GO) test -race ./internal/montecarlo/ -run 'TestBatch' -count=1
+
+# Sharded-coordinator rung: the coordinator/worker protocol under the race
+# detector and repeated — the commit CAS, retry/backoff timers, straggler
+# speculation, and worker retirement all race by design — plus the full
+# fault-injection matrix (drop/delay/duplicate/corrupt/vanish) and the
+# bit-identical-merge and cancellation contracts at the engine and
+# experiments layers.
+shard:
+	$(GO) vet ./internal/shard/ ./cmd/vsshard/
+	$(GO) test -race -count=2 ./internal/shard/
+	$(GO) test -race -count=2 -run 'TestSharded|TestBatchEvictionCancel' ./internal/experiments/
+	$(GO) test -race -count=2 -run 'TestOffset|TestBatchMidRunCancel|TestRecordedFailure|TestSyncDir' ./internal/montecarlo/
 
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.

@@ -39,6 +39,7 @@ import (
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
+	"vstat/internal/shard"
 	"vstat/internal/spice"
 )
 
@@ -86,6 +87,18 @@ type unitRecord struct {
 	Lanes            int     `json:"lanes,omitempty"`
 	LaneOccupancyPct float64 `json:"lane_occupancy_pct,omitempty"`
 	LanesEvicted     int64   `json:"lanes_evicted,omitempty"`
+
+	// Sharded-coordinator rows only (-shard-size above 0): the index-range
+	// shard count and size, the in-process loopback endpoints dispatched
+	// to, and the coordinator's attempt accounting (internal/shard.Stats).
+	Shards          int   `json:"shards,omitempty"`
+	ShardSize       int   `json:"shard_size,omitempty"`
+	ShardEndpoints  int   `json:"shard_endpoints,omitempty"`
+	ShardDispatched int64 `json:"shard_dispatched,omitempty"`
+	ShardRetried    int64 `json:"shard_retried,omitempty"`
+	ShardSpeculated int64 `json:"shard_speculated,omitempty"`
+	ShardDuplicates int64 `json:"shard_duplicates,omitempty"`
+	ShardLost       int64 `json:"shard_lost,omitempty"`
 
 	// Run health (see montecarlo.RunReport).
 	Attempted  int              `json:"attempted"`
@@ -240,6 +253,120 @@ func gateUnit(m core.StatModel, vdd float64, sz circuits.Sizing,
 				return d, derr
 			})
 		return pool.total(), rep, err
+	}
+}
+
+// shardSide receives the coordinator accounting of a sharded unit's run
+// (mirrors batchSide for the lockstep rows): shard tiling, endpoint count,
+// and the dispatch/retry/speculation counters.
+type shardSide struct {
+	mu        sync.Mutex
+	shards    int
+	size, eps int
+	stats     shard.Stats
+}
+
+func (s *shardSide) set(shards, size, eps int, st shard.Stats) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.shards, s.size, s.eps, s.stats = shards, size, eps, st
+	s.mu.Unlock()
+}
+
+func (s *shardSide) apply(rec *unitRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.Shards = s.shards
+	rec.ShardSize = s.size
+	rec.ShardEndpoints = s.eps
+	rec.ShardDispatched = s.stats.Dispatched
+	rec.ShardRetried = s.stats.Retried
+	rec.ShardSpeculated = s.stats.Speculated
+	rec.ShardDuplicates = s.stats.Duplicates
+	rec.ShardLost = s.stats.Lost
+}
+
+// shardGateUnit routes a gate delay MC through the internal/shard
+// coordinator over in-process loopback endpoints: the same physics as
+// gateUnit, but claimed in index-range shards, dispatched, envelope-
+// validated, and merged. The merged row is bit-identical to the plain
+// pooled run at any shard size; the coordinator accounting lands in the
+// record's shard_* fields via side. Each endpoint runs a single-worker
+// engine, so total parallelism matches the endpoint count and the
+// per-sample alloc figures stay comparable to the scalar rows.
+func shardGateUnit(m core.StatModel, vdd float64, sz circuits.Sizing, shardSize, endpoints int, side *shardSide,
+	build func(vdd float64, sz circuits.Sizing, nominal circuits.Factory, fast bool) (*circuits.PooledGate, error)) unitFn {
+	return func(ctx context.Context, n int, seed int64, workers int, opts montecarlo.RunOpts, fast bool, lcore spice.LinearCore, mi *experiments.MCInstr, mr *matRec) (spice.SolverStats, montecarlo.RunReport, error) {
+		if opts.Checkpoint != nil {
+			return spice.SolverStats{}, montecarlo.RunReport{}, fmt.Errorf("sharded rows cannot checkpoint (shards are the retry unit)")
+		}
+		var pool statsPool
+		hash := montecarlo.ConfigHash("vsbench-shard", seed, n, vdd, lcore.String(), fast)
+		exec := shard.NewExecutor(hash, workers,
+			func(int) (instrState[*circuits.PooledGate], error) {
+				b, err := build(vdd, sz, m.Nominal(), fast)
+				if err != nil {
+					return instrState[*circuits.PooledGate]{}, err
+				}
+				b.Ckt.LinearCore = lcore
+				mn, nnz, _ := b.Ckt.MatrixInfo()
+				mr.record(mn, nnz)
+				pool.add(b.Ckt.Stats)
+				so := mi.NewWorker()
+				b.SetObs(so.Scope())
+				return instrState[*circuits.PooledGate]{b: b, so: so}, nil
+			},
+			func(st instrState[*circuits.PooledGate], idx int, rng *rand.Rand) (float64, error) {
+				b, so := st.b, st.so
+				sc := so.Scope()
+				b.Ckt.SetObsSample(idx)
+				sc.Enter(obs.PhaseRestamp)
+				b.Restat(so.Factory(m.Statistical(rng)))
+				sc.Exit()
+				res, err := b.Transient(gateTranStop, gateTranStep)
+				if err != nil {
+					so.End(b.Ckt.Stats())
+					return 0, err
+				}
+				sc.Enter(obs.PhaseMeasure)
+				d, derr := measure.PairDelay(res, b.In, b.Out, vdd)
+				sc.Exit()
+				so.End(b.Ckt.Stats())
+				return d, derr
+			})
+		eps := make([]shard.Endpoint[float64], endpoints)
+		for i := range eps {
+			eps[i] = shard.Endpoint[float64]{
+				Name:      fmt.Sprintf("loopback-%d", i),
+				Transport: shard.Loopback[float64]{Exec: exec},
+			}
+		}
+		scfg := shard.Config{
+			N:            n,
+			Seed:         seed,
+			ConfigHash:   hash,
+			ShardSize:    shardSize,
+			Bench:        "vsbench",
+			SampleBudget: opts.Budget,
+			HangGrace:    opts.HangGrace,
+		}
+		if opts.Policy.OnFailure == montecarlo.SkipAndRecord {
+			scfg.MaxFailFrac = opts.Policy.MaxFailFrac
+			if scfg.MaxFailFrac <= 0 {
+				scfg.MaxFailFrac = 1.0 // uncapped SkipAndRecord
+			}
+		}
+		res, err := shard.Run(ctx, scfg, eps, exec)
+		if err != nil {
+			return spice.SolverStats{}, montecarlo.RunReport{}, err
+		}
+		side.set(res.Shards, shardSize, endpoints, res.Stats)
+		return pool.total(), res.Report, nil
 	}
 }
 
@@ -520,7 +647,7 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 	fast := mode == "fast"
 	opts := lc.opts
 	var ck benchCkpt
-	if lc.ckDir != "" {
+	if lc.ckDir != "" && openCk != nil {
 		if err := os.MkdirAll(lc.ckDir, 0o755); err != nil {
 			return unitRecord{}, fmt.Errorf("checkpoint dir: %w", err)
 		}
@@ -715,6 +842,8 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel workers (1 keeps alloc counts clean)")
 		mode     = flag.String("mode", "both", "solver path: exact, fast, or both")
 		lanesSel = flag.String("lanes", "0,8", "comma-separated lockstep lane widths for the gate units (0 = scalar engine; widths above 0 add batched INV/NAND2 rows)")
+		shardSz  = flag.Int("shard-size", 16, "samples per shard for the sharded-coordinator INV/NAND2 rows (0 = skip those rows)")
+		shardEps = flag.Int("shard-endpoints", 2, "in-process loopback endpoints for the sharded rows")
 		coreSel  = flag.String("core", "both", "linear core: dense, sparse, or both (paired rows per unit)")
 		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
 		seed     = flag.Int64("seed", 20130318, "master random seed")
@@ -850,6 +979,7 @@ func main() {
 		ck    func(path, hash string, n int, resume bool) (benchCkpt, error)
 		lanes int
 		side  *batchSide
+		ssd   *shardSide
 	}
 	var units []unitRun
 	for _, lw := range laneWidths {
@@ -871,6 +1001,19 @@ func main() {
 				ck: ckOpener[float64](), lanes: lw, side: invSide},
 			unitRun{name: "NAND2_FO3", fn: gateBatchUnit(m, *vdd, sz, lw, nandSide, nandBuild),
 				ck: ckOpener[float64](), lanes: lw, side: nandSide},
+		)
+	}
+	if *shardSz > 0 {
+		// Sharded-coordinator rows: the same two gate MCs routed through
+		// internal/shard over loopback endpoints. No checkpoint opener —
+		// shards are the retry unit, and a run-level checkpoint would
+		// overlay (and zero out) the merged report.
+		invSS, nandSS := &shardSide{}, &shardSide{}
+		units = append(units,
+			unitRun{name: "INV_FO3_SHARD",
+				fn: shardGateUnit(m, *vdd, sz, *shardSz, *shardEps, invSS, invBuild), ssd: invSS},
+			unitRun{name: "NAND2_FO3_SHARD",
+				fn: shardGateUnit(m, *vdd, sz, *shardSz, *shardEps, nandSS, nandBuild), ssd: nandSS},
 		)
 	}
 
@@ -939,6 +1082,12 @@ func main() {
 				if rec.Lanes > 0 {
 					fmt.Printf("%-14s %-6s %-5s  lanes: occupancy %.1f%%, evicted %d\n",
 						label, rec.LinearCore, rec.Mode, rec.LaneOccupancyPct, rec.LanesEvicted)
+				}
+				u.ssd.apply(&rec)
+				if rec.Shards > 0 {
+					fmt.Printf("%-14s %-6s %-5s  shards: %d of size %d over %d endpoints, dispatched %d, retried %d, lost %d\n",
+						label, rec.LinearCore, rec.Mode, rec.Shards, rec.ShardSize, rec.ShardEndpoints,
+						rec.ShardDispatched, rec.ShardRetried, rec.ShardLost)
 				}
 				if rec.Failed > 0 || len(rec.RescuedBy) > 0 {
 					fmt.Printf("%-14s %-6s %-5s  health: attempted %d, succeeded %d, failed %d, rescued %v\n",

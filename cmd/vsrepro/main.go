@@ -47,6 +47,8 @@ func main() {
 		hangGrace     = flag.Duration("hang-grace", 0, "how far past -sample-timeout the watchdog lets a wedged sample run before abandoning it (0 = one extra -sample-timeout)")
 		checkpoint    = flag.String("checkpoint", "", "directory for per-experiment checkpoint files; an interrupted campaign keeps every completed sample there")
 		resume        = flag.Bool("resume", false, "resume from existing files in -checkpoint, re-running only the missing samples; without it stale files are discarded")
+		shardSize     = flag.Int("shard-size", 0, "route the circuit Monte Carlo runs through the internal/shard coordinator in shards of this many samples (0 = off; mutually exclusive with -checkpoint)")
+		shardWorkers  = flag.Int("shard-workers", 0, "with -shard-size, in-process loopback endpoints per run (0 = -workers)")
 
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics snapshot (JSON) to this path on exit; enables instrumentation")
 		trace       = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr (0 = off)")
@@ -72,6 +74,9 @@ func main() {
 		HangGrace:     *hangGrace,
 		CheckpointDir: *checkpoint,
 		Resume:        *resume,
+
+		ShardSize:      *shardSize,
+		ShardEndpoints: *shardWorkers,
 	}
 	if *skip {
 		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
@@ -183,7 +188,7 @@ func main() {
 	}
 
 	want := strings.ToLower(*exp)
-	found := false
+	var selected []runner
 	for _, r := range runners {
 		switch want {
 		case "all":
@@ -199,12 +204,40 @@ func main() {
 				continue
 			}
 		}
-		found = true
+		selected = append(selected, r)
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	// Exit summary on interruption: one line per selected experiment —
+	// completed (with its wall time), interrupted mid-run, or skipped
+	// (never started) — so an operator sees exactly where the campaign
+	// stood and what a -resume run still owes.
+	elapsed := make(map[string]time.Duration, len(selected))
+	interruptSummary := func(at string) {
+		fmt.Fprintf(os.Stderr, "vsrepro: campaign interrupted; per-experiment status:\n")
+		for _, r := range selected {
+			switch {
+			case r.id == at:
+				fmt.Fprintf(os.Stderr, "  %-12s interrupted\n", r.id)
+			default:
+				if d, ok := elapsed[r.id]; ok {
+					fmt.Fprintf(os.Stderr, "  %-12s completed (%s)\n", r.id, d.Round(time.Millisecond))
+				} else {
+					fmt.Fprintf(os.Stderr, "  %-12s skipped\n", r.id)
+				}
+			}
+		}
+	}
+
+	for _, r := range selected {
 		t := time.Now()
 		res, err := r.run()
 		if err != nil {
 			if lifecycle.IsCancellation(err) {
 				fmt.Fprintf(os.Stderr, "vsrepro: %s interrupted: %v\n", r.id, err)
+				interruptSummary(r.id)
 				if *checkpoint != "" {
 					fmt.Fprintf(os.Stderr, "vsrepro: completed samples are preserved in %s; re-run with -resume to finish\n", *checkpoint)
 				}
@@ -214,7 +247,8 @@ func main() {
 			flushMetrics()
 			fatal(fmt.Errorf("%s: %w", r.id, err))
 		}
-		fmt.Printf("==== %s (%s) ====\n%s\n", r.id, time.Since(t).Round(time.Millisecond), res)
+		elapsed[r.id] = time.Since(t)
+		fmt.Printf("==== %s (%s) ====\n%s\n", r.id, elapsed[r.id].Round(time.Millisecond), res)
 		if *csvDir != "" {
 			if cw, ok := res.(interface{ WriteCSV(string) error }); ok {
 				if err := cw.WriteCSV(*csvDir); err != nil {
@@ -223,9 +257,6 @@ func main() {
 				}
 			}
 		}
-	}
-	if !found {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 
 	flushMetrics()

@@ -1,0 +1,289 @@
+// vsshard is the sharded Monte Carlo coordinator/worker CLI.
+//
+// Modes:
+//
+//	vsshard work                      one-shot worker: shard Request JSON on
+//	                                  stdin, result Envelope JSON on stdout
+//	vsshard serve -listen :8731       long-lived HTTP worker (POST /shard)
+//	vsshard run   -n 10000 ...        coordinator: split an INV/NAND2 delay
+//	                                  MC into shards, dispatch to -peers
+//	                                  and/or -spawn subprocess workers,
+//	                                  merge bit-identically
+//
+// The merged run is bit-identical to `vsshard run` with no workers at all
+// (pure local execution) at any shard size and worker count; kill any
+// worker mid-run and the coordinator retries, speculates on stragglers,
+// and degrades to local execution when nobody is left.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/measure"
+	"vstat/internal/montecarlo"
+	"vstat/internal/shard"
+	"vstat/internal/variation"
+)
+
+// Gate transient window, matching the experiments' delay MCs.
+const (
+	gateTranStop = 560e-12
+	gateTranStep = 1.5e-12
+)
+
+// configHash pins the worker-side run identity: protocol revision, bench,
+// supply, and solver path. Seed and N travel inside each Request, so two
+// processes agree on a hash exactly when they would compute the same
+// per-sample physics.
+func configHash(bench string, vdd float64, fast bool) string {
+	return montecarlo.ConfigHash("vsshard/v1", bench, vdd, fast)
+}
+
+// paperModel is the statistical VS model vsshard samples: the nominal
+// 40-nm cards with the paper's published Table II mismatch coefficients.
+// Every worker builds the identical model from these constants, so any two
+// processes that agree on the config hash compute the same population
+// (the full BPV extraction lives in vsrepro; a worker CLI only needs a
+// deterministic, physically sensible spread).
+func paperModel() *core.StatVS {
+	m := core.DefaultStatVS()
+	m.AlphaN = variation.FromPaperUnits(2.3, 3.71, 3.71, 944, 0.29)
+	m.AlphaP = variation.FromPaperUnits(2.86, 3.66, 3.66, 781, 0.81)
+	return m
+}
+
+// benchBuilder returns the pooled-gate factory for a bench name.
+func benchBuilder(bench string, vdd float64) (func(circuits.Factory, bool) (*circuits.PooledGate, error), error) {
+	sz := circuits.Sizing{WP: 600e-9, WN: 300e-9, L: 40e-9}
+	switch bench {
+	case "inv":
+		return func(f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+			return circuits.NewPooledInverterFO(3, vdd, sz, f, fast)
+		}, nil
+	case "nand2":
+		return func(f circuits.Factory, fast bool) (*circuits.PooledGate, error) {
+			return circuits.NewPooledNAND2FO(3, vdd, sz, f, fast)
+		}, nil
+	default:
+		return nil, fmt.Errorf("vsshard: unknown bench %q (want inv or nand2)", bench)
+	}
+}
+
+// makeExec builds the dispatching executor: the request's Bench field
+// selects the sample function, the config-hash gate then rejects any
+// request whose vdd/fast/protocol disagree with this process.
+func makeExec(vdd float64, fast bool, engineWorkers int) shard.ExecFn[float64] {
+	execs := map[string]shard.ExecFn[float64]{}
+	return func(ctx context.Context, req shard.Request) (*shard.Envelope[float64], error) {
+		exec, ok := execs[req.Bench]
+		if !ok {
+			build, err := benchBuilder(req.Bench, vdd)
+			if err != nil {
+				return nil, err
+			}
+			m := paperModel()
+			exec = shard.NewExecutor(configHash(req.Bench, vdd, fast), engineWorkers,
+				func(int) (*circuits.PooledGate, error) { return build(m.Nominal(), fast) },
+				func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
+					b.Restat(m.Statistical(rng))
+					res, err := b.Transient(gateTranStop, gateTranStep)
+					if err != nil {
+						return 0, err
+					}
+					return measure.PairDelay(res, b.In, b.Out, vdd)
+				})
+			execs[req.Bench] = exec
+		}
+		return exec(ctx, req)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: vsshard work|serve|run [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "work":
+		err = workMain(os.Args[2:])
+	case "serve":
+		err = serveMain(os.Args[2:])
+	case "run":
+		err = runMain(os.Args[2:])
+	default:
+		err = fmt.Errorf("vsshard: unknown mode %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// workMain is the one-shot subprocess worker: one Request in, one Envelope
+// out, exit.
+func workMain(args []string) error {
+	fs := flag.NewFlagSet("vsshard work", flag.ExitOnError)
+	vdd := fs.Float64("vdd", 0.9, "supply voltage")
+	fast := fs.Bool("fast", false, "fast (chord-Newton) MC solver path")
+	workers := fs.Int("engine-workers", 1, "MC workers inside this process (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	var req shard.Request
+	if err := json.NewDecoder(os.Stdin).Decode(&req); err != nil {
+		return fmt.Errorf("vsshard work: decode request: %w", err)
+	}
+	env, err := makeExec(*vdd, *fast, *workers)(context.Background(), req)
+	if err != nil {
+		return fmt.Errorf("vsshard work: %w", err)
+	}
+	return json.NewEncoder(os.Stdout).Encode(env)
+}
+
+// serveMain is the long-lived HTTP worker.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("vsshard serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8731", "listen address")
+	vdd := fs.Float64("vdd", 0.9, "supply voltage")
+	fast := fs.Bool("fast", false, "fast (chord-Newton) MC solver path")
+	workers := fs.Int("engine-workers", 1, "MC workers inside this process (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	fmt.Fprintf(os.Stderr, "vsshard serve: listening on %s (vdd=%g fast=%v)\n", *listen, *vdd, *fast)
+	return http.ListenAndServe(*listen, shard.Handler(makeExec(*vdd, *fast, *workers)))
+}
+
+// runMain is the coordinator.
+func runMain(args []string) error {
+	fs := flag.NewFlagSet("vsshard run", flag.ExitOnError)
+	bench := fs.String("bench", "inv", "bench: inv or nand2")
+	n := fs.Int("n", 10000, "total Monte Carlo samples")
+	seed := fs.Int64("seed", 20130318, "run seed")
+	vdd := fs.Float64("vdd", 0.9, "supply voltage")
+	fast := fs.Bool("fast", false, "fast (chord-Newton) MC solver path")
+	shardSize := fs.Int("shard-size", 1024, "samples per shard")
+	peers := fs.String("peers", "", "comma-separated worker base URLs (vsshard serve)")
+	spawn := fs.Int("spawn", 0, "subprocess workers to spawn (vsshard work, one per dispatch)")
+	localFallback := fs.Bool("local-fallback", true, "run undeliverable shards in-process")
+	maxFailFrac := fs.Float64("max-fail-frac", 0.01, "tolerated per-shard failure fraction (0 = fail fast)")
+	maxAttempts := fs.Int("max-attempts", 4, "transport attempts per shard before local fallback")
+	straggler := fs.Duration("straggler", 0, "speculative re-dispatch after this in-flight time (0 = off)")
+	shardWall := fs.Duration("shard-wall", 0, "wall budget per shard attempt (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "whole-run wall limit (0 = unlimited)")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var eps []shard.Endpoint[float64]
+	for _, base := range strings.Split(*peers, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
+		err := shard.WaitHealthy(hctx, base, nil)
+		hcancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vsshard run: skipping unhealthy peer %s: %v\n", base, err)
+			continue
+		}
+		eps = append(eps, shard.Endpoint[float64]{Name: base, Transport: shard.HTTPEndpoint[float64]{Base: base}})
+	}
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	for w := 0; w < *spawn; w++ {
+		argv := []string{self, "work", fmt.Sprintf("-vdd=%g", *vdd), fmt.Sprintf("-fast=%v", *fast)}
+		eps = append(eps, shard.Endpoint[float64]{
+			Name:      fmt.Sprintf("spawn-%d", w),
+			Transport: shard.ProcEndpoint[float64]{Argv: argv},
+		})
+	}
+
+	var local shard.ExecFn[float64]
+	if *localFallback || len(eps) == 0 {
+		local = makeExec(*vdd, *fast, 0)
+	}
+	cfg := shard.Config{
+		N:           *n,
+		Seed:        *seed,
+		ConfigHash:  configHash(*bench, *vdd, *fast),
+		ShardSize:   *shardSize,
+		Bench:       *bench,
+		MaxFailFrac: *maxFailFrac,
+		ShardWall:   *shardWall,
+		MaxAttempts: *maxAttempts,
+
+		StragglerAfter: *straggler,
+	}
+	start := time.Now()
+	res, err := shard.Run(ctx, cfg, eps, local)
+	wall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("vsshard run: %w", err)
+	}
+	printSummary(*bench, *n, res, wall, len(eps))
+	return nil
+}
+
+func printSummary(bench string, n int, res shard.Result[float64], wall time.Duration, workers int) {
+	vals := montecarlo.Compact(res.Out, res.Report)
+	mean, sd := meanStd(vals)
+	fmt.Printf("vsshard: %s delay MC, n=%d over %d shards, %d workers, %.2fs\n",
+		bench, n, res.Shards, workers, wall.Seconds())
+	fmt.Printf("  delay mean %.4g ps  sigma %.4g ps  (%d good samples)\n",
+		mean*1e12, sd*1e12, len(vals))
+	if !res.Report.Clean() {
+		fmt.Printf("  run health: %s\n", res.Report.String())
+	}
+	s := res.Stats
+	fmt.Printf("  shards: dispatched %d  retried %d  speculated %d  duplicates %d  lost %d  workers-lost %d  local %d\n",
+		s.Dispatched, s.Retried, s.Speculated, s.Duplicates, s.Lost, s.WorkersLost, s.LocalFallback)
+	if len(s.CommitLatency) > 0 {
+		lats := append([]time.Duration(nil), s.CommitLatency...)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("  shard latency p50 %s  max %s\n",
+			lats[len(lats)/2].Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond))
+	}
+}
+
+func meanStd(v []float64) (float64, float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	mean := sum / float64(len(v))
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	if len(v) < 2 {
+		return mean, 0
+	}
+	return mean, math.Sqrt(ss / float64(len(v)-1))
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/measure"
+	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
+)
+
+// drainSink captures which samples a cancelled run actually recorded (the
+// drained partial results) and with what values.
+type drainSink struct {
+	mu   sync.Mutex
+	vals map[int]float64
+	errs map[int]string
+}
+
+func (s *drainSink) Completed(int) bool { return false }
+func (s *drainSink) Record(idx int, v any, _ map[string]int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errs[idx] = err.Error()
+		return
+	}
+	s.vals[idx] = v.(float64)
+}
+
+// evictingBatchRun wires a real K-lane lockstep INV FO3 delay MC with the
+// Newton budget starved so lanes are forced off the lockstep path
+// (spice.BatchSim evictions) mid-batch. The returned benches slice lets the
+// caller sum eviction counters after the run, mirroring how vsbench feeds
+// MCInstr.RecordBatchRun.
+func evictingBatchRun(t *testing.T, ctx context.Context, n int, seed int64, sink montecarlo.CheckpointSink,
+	trip func(drained int64)) (benches []*circuits.PooledGateBatch, out []float64, rep montecarlo.RunReport, err error) {
+	t.Helper()
+	const k, maxNewton = 4, 2
+	m := core.DefaultStatVS()
+	var bm sync.Mutex
+	var done atomic.Int64
+	out, rep, err = montecarlo.MapPooledBatchReportCtx(ctx, n, seed, 2, k,
+		montecarlo.RunOpts{Policy: montecarlo.SkipUpTo(1.0), Checkpoint: sink},
+		func(int) (*circuits.PooledGateBatch, error) {
+			b, berr := circuits.NewPooledGateBatch(k, func() (*circuits.PooledGate, error) {
+				return circuits.NewPooledInverterFO(3, poolTestVdd, poolTestSizing(), m.Nominal(), false)
+			})
+			if berr != nil {
+				return nil, berr
+			}
+			for _, p := range b.Lanes {
+				p.Ckt.MaxNewton = maxNewton // starve Newton: forces lockstep evictions
+			}
+			bm.Lock()
+			benches = append(benches, b)
+			bm.Unlock()
+			return b, nil
+		},
+		func(b *circuits.PooledGateBatch, idxs []int, rngs []*rand.Rand, vals []float64, errs []error) {
+			for j := range idxs {
+				b.Restat(j, m.Statistical(rngs[j]))
+			}
+			outs := b.TransientBatch(len(idxs), gateTranStop, gateTranStep)
+			for j := range idxs {
+				if outs[j].Err != nil {
+					errs[j] = outs[j].Err
+					continue
+				}
+				p := b.Lanes[j]
+				vals[j], errs[j] = measure.PairDelay(&p.Res, p.In, p.Out, poolTestVdd)
+			}
+			if trip != nil {
+				trip(done.Add(int64(len(idxs))))
+			}
+		})
+	return benches, out, rep, err
+}
+
+// TestBatchEvictionCancelDrainsBitIdentical cancels a real lockstep batched
+// MC mid-run with the Newton budget starved so lanes evict to the scalar
+// path, and pins two contracts: (1) every drained sample — evicted lanes
+// included — carries a value bit-identical to the uncancelled run's, and
+// (2) the mc_batch_lanes_evicted_total counter flushed via RecordBatchRun
+// matches the eviction count the benches report.
+func TestBatchEvictionCancelDrainsBitIdentical(t *testing.T) {
+	const n, seed = 24, 777
+
+	refBenches, ref, refRep, err := evictingBatchRun(t, context.Background(), n, seed, nil, nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	var refEvicted int64
+	for _, b := range refBenches {
+		refEvicted += b.Evictions()
+	}
+	if refEvicted == 0 {
+		t.Fatalf("starved run evicted no lanes; the test no longer exercises eviction")
+	}
+	refErrs := make(map[int]string)
+	for _, f := range refRep.Failures {
+		refErrs[f.Idx] = f.Err.Error()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &drainSink{vals: map[int]float64{}, errs: map[int]string{}}
+	benches, _, rep, err := evictingBatchRun(t, ctx, n, seed, sink, func(drained int64) {
+		if drained >= 8 { // two blocks in: cancel with work still unclaimed
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+	if !rep.Cancelled {
+		t.Fatalf("report not marked cancelled: %+v", rep)
+	}
+	drained := len(sink.vals) + len(sink.errs)
+	if drained == 0 || drained >= n {
+		t.Fatalf("drained %d of %d samples; want a genuine partial run", drained, n)
+	}
+	if rep.Attempted != drained {
+		t.Fatalf("report attempted %d, sink drained %d (+%d interrupted)", rep.Attempted, drained, rep.Interrupted)
+	}
+	for idx, v := range sink.vals {
+		if math.Float64bits(v) != math.Float64bits(ref[idx]) {
+			t.Fatalf("drained sample %d = %.17g, full run computed %.17g", idx, v, ref[idx])
+		}
+	}
+	for idx, msg := range sink.errs {
+		if refErrs[idx] != msg {
+			t.Fatalf("drained failure %d = %q, full run recorded %q", idx, msg, refErrs[idx])
+		}
+	}
+
+	// The lane accounting a cancelled run reports must land 1:1 in the
+	// registry: flush the benches' eviction sum exactly as vsbench does and
+	// read the counter back.
+	var evicted int64
+	for _, b := range benches {
+		evicted += b.Evictions()
+	}
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	reg := obs.NewRegistry()
+	mi := NewMCInstr(reg)
+	mi.RecordBatchRun(evicted, 0)
+	var counter int64
+	found := false
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "mc_batch_lanes_evicted_total" {
+			counter, found = c.Value, true
+		}
+	}
+	if !found || counter != evicted {
+		t.Fatalf("mc_batch_lanes_evicted_total = %d (found=%v), benches report %d evictions", counter, found, evicted)
+	}
+}

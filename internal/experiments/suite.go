@@ -28,6 +28,7 @@ import (
 	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
+	"vstat/internal/shard"
 	"vstat/internal/stats"
 	"vstat/internal/variation"
 )
@@ -86,10 +87,26 @@ type Config struct {
 	// fresh (still checkpointing as it goes).
 	Resume bool
 
+	// ShardSize > 0 opts the circuit Monte Carlo runs into the
+	// internal/shard coordinator: each run is split into index-range
+	// shards of this width, executed over ShardEndpoints in-process
+	// loopback workers, and merged bit-identically to the unsharded run.
+	// Mutually exclusive with CheckpointDir (shards are the retry unit; a
+	// run-level checkpoint would double-apply completions). Note the
+	// failure cap (Policy.MaxFailFrac) is enforced per shard, not
+	// globally.
+	ShardSize int
+	// ShardEndpoints is how many loopback worker endpoints a sharded run
+	// dispatches to (<= 0: Workers, then GOMAXPROCS).
+	ShardEndpoints int
+
 	// instr is the suite's instrumentation bundle, planted by NewSuite so
 	// runPooledMC can flush run-level lifecycle counters (over-budget and
 	// cancellation-drained samples) without threading it per call site.
 	instr *MCInstr
+	// shardMetrics is the shard-coordinator counter bundle, planted by
+	// NewSuite next to instr when observability is on.
+	shardMetrics *shard.Metrics
 }
 
 // ctx returns the run context (Background when unset).
@@ -146,6 +163,9 @@ func openCkpt[T any](cfg Config, name string, n int) (*montecarlo.Checkpoint[T],
 func runPooledMC[S, T any](cfg Config, name string, n int, seed int64,
 	newState func(worker int) (S, error),
 	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, montecarlo.RunReport, error) {
+	if cfg.ShardSize > 0 {
+		return runShardedMC(cfg, name, n, seed, newState, fn)
+	}
 	opts := cfg.runOpts()
 	ck, err := openCkpt[T](cfg, name, n)
 	if err != nil {
@@ -166,6 +186,53 @@ func runPooledMC[S, T any](cfg Config, name string, n int, seed int64,
 		}
 	}
 	return out, rep, err
+}
+
+// runShardedMC routes a circuit-MC run through the internal/shard
+// coordinator: ShardEndpoints loopback workers (each running the shard's
+// samples on a single-worker engine so total parallelism matches the
+// endpoint count) execute index-range shards of cfg.ShardSize samples,
+// and the merged results are bit-identical to the unsharded run — same
+// values, same failure indices and messages, same rescue totals.
+func runShardedMC[S, T any](cfg Config, name string, n int, seed int64,
+	newState func(worker int) (S, error),
+	fn func(st S, idx int, rng *rand.Rand) (T, error)) ([]T, montecarlo.RunReport, error) {
+	if cfg.CheckpointDir != "" {
+		return nil, montecarlo.RunReport{}, fmt.Errorf(
+			"experiments: sharded run %q cannot also checkpoint (shards are the retry unit)", name)
+	}
+	k := cfg.ShardEndpoints
+	if k <= 0 {
+		k = cfg.Workers
+	}
+	hash := cfg.configHash()
+	exec := shard.NewExecutor(hash, 1, newState, fn)
+	var eps []shard.Endpoint[T]
+	for w := 0; w < k; w++ {
+		eps = append(eps, shard.Endpoint[T]{
+			Name:      fmt.Sprintf("loopback-%d", w),
+			Transport: shard.Loopback[T]{Exec: exec},
+		})
+	}
+	scfg := shard.Config{
+		N:            n,
+		Seed:         seed,
+		ConfigHash:   hash,
+		ShardSize:    cfg.ShardSize,
+		Bench:        name,
+		SampleBudget: cfg.SampleBudget,
+		HangGrace:    cfg.HangGrace,
+		Metrics:      cfg.shardMetrics,
+	}
+	if cfg.Policy.OnFailure == montecarlo.SkipAndRecord {
+		scfg.MaxFailFrac = cfg.Policy.MaxFailFrac
+		if scfg.MaxFailFrac <= 0 {
+			scfg.MaxFailFrac = 1.0 // uncapped SkipAndRecord
+		}
+	}
+	res, err := shard.Run(cfg.ctx(), scfg, eps, exec)
+	cfg.instr.RecordRunLifecycle(res.Report)
+	return res.Out, res.Report, err
 }
 
 // Health is one experiment's aggregated Monte Carlo run report; a zero
@@ -238,6 +305,10 @@ func NewSuite(cfg Config) (*Suite, error) {
 		// Let runPooledMC flush run-level lifecycle counters without
 		// every call site threading the bundle through.
 		s.Cfg.instr = s.instr
+		// Shard counters register here too — before any worker shard is
+		// created — so sharded runs account their dispatch traffic in the
+		// same registry.
+		s.Cfg.shardMetrics = shard.NewMetrics(cfg.Metrics)
 	}
 
 	// Nominal extraction (Fig. 1) at the paper's W = 300 nm, followed by a

@@ -108,6 +108,7 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 	}
 	pol := opts.Policy
 	ck := opts.Checkpoint
+	off := opts.Offset
 
 	failLimit := int64(n)
 	switch {
@@ -152,7 +153,8 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 		}
 		armer, armed := any(st).(BatchSampleArmer)
 		laneRep, laneReports := any(st).(LaneRescueReporter)
-		idxs := make([]int, lanes)
+		idxs := make([]int, lanes)  // local indices (result slots, commit words)
+		gidxs := make([]int, lanes) // global indices (Offset-shifted; fn and RNG see these)
 		rngs := make([]*rand.Rand, lanes)
 		bout := make([]T, lanes)
 		berrs := make([]error, lanes)
@@ -175,6 +177,7 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 					continue
 				}
 				idxs[m] = idx
+				gidxs[m] = off + idx
 				m++
 			}
 			if m == 0 {
@@ -184,7 +187,7 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 			sl.hi.Store(int64(hi))
 			sl.lo.Store(int64(lo))
 			for j := 0; j < m; j++ {
-				rngs[j] = SampleRNG(seed, idxs[j])
+				rngs[j] = SampleRNG(seed, gidxs[j])
 				berrs[j] = nil
 				if ck != nil && laneReports {
 					prev[j] = laneRep.LaneRescueCounts(j)
@@ -193,7 +196,7 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 					armer.ArmLane(j, ctx, opts.Budget)
 				}
 			}
-			safeBatch(fn, st, idxs[:m], rngs[:m], bout[:m], berrs[:m])
+			safeBatch(fn, st, gidxs[:m], rngs[:m], bout[:m], berrs[:m])
 			sl.lo.Store(-1)
 			lost := false
 			for j := 0; j < m; j++ {
@@ -343,7 +346,7 @@ func MapPooledBatchReportCtx[S, T any](ctx context.Context, n int, seed int64, w
 			if errors.As(err, &pe) {
 				rep.Panics++
 			}
-			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: err})
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: off + idx, Err: err})
 		}
 	}
 	mu.Lock()

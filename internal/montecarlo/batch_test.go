@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -164,5 +165,96 @@ func TestBatchPanicPoisonsBlock(t *testing.T) {
 	}
 	if rep.Failed != 4 || rep.Succeeded != 4 {
 		t.Fatalf("failed=%d succeeded=%d, want 4/4", rep.Failed, rep.Succeeded)
+	}
+}
+
+// recordSink captures every drained (recorded) sample's value and error so a
+// cancelled run's partial results can be compared against a full run.
+type recordSink struct {
+	mu   sync.Mutex
+	vals map[int]float64
+	errs map[int]string
+}
+
+func (s *recordSink) Completed(int) bool { return false }
+func (s *recordSink) Record(idx int, v any, _ map[string]int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errs[idx] = err.Error()
+		return
+	}
+	s.vals[idx] = v.(float64)
+}
+
+// TestBatchMidRunCancelDrainsBitIdentical cancels a batched run midway and
+// pins the drain contract: blocks already claimed finish, every drained
+// sample's value is bit-identical to the uncancelled run's, the report
+// counts exactly the drained samples, and unclaimed indices are simply never
+// run (they are neither attempted nor interrupted).
+func TestBatchMidRunCancelDrainsBitIdentical(t *testing.T) {
+	const n, seed, lanes, workers = 64, 99, 4, 2
+	pol := Policy{OnFailure: SkipAndRecord, MaxFailFrac: 1}
+	fn := func(_ struct{}, idx int, rng *rand.Rand) (float64, error) {
+		v := rng.NormFloat64() * float64(idx+1)
+		if idx%11 == 3 {
+			return 0, fmt.Errorf("sample %d synthetic failure", idx)
+		}
+		return v, nil
+	}
+	ref, refRep, err := MapPooledBatchReportCtx(context.Background(), n, seed, workers, lanes,
+		RunOpts{Policy: pol},
+		func(int) (struct{}, error) { return struct{}{}, nil }, batchFromScalar(fn))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refErrs := make(map[int]string)
+	for _, f := range refRep.Failures {
+		refErrs[f.Idx] = f.Err.Error()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &recordSink{vals: map[int]float64{}, errs: map[int]string{}}
+	var done atomic.Int64
+	_, rep, err := MapPooledBatchReportCtx(ctx, n, seed, workers, lanes,
+		RunOpts{Policy: pol, Checkpoint: sink},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(st struct{}, idxs []int, rngs []*rand.Rand, out []float64, errs []error) {
+			batchFromScalar(fn)(st, idxs, rngs, out, errs)
+			// Trip the cancel once a couple of blocks have drained; blocks
+			// claimed before the trip still commit their results below.
+			if done.Add(int64(len(idxs))) >= 2*lanes {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+	if !rep.Cancelled {
+		t.Fatalf("report not marked cancelled: %+v", rep)
+	}
+	drained := len(sink.vals) + len(sink.errs)
+	if drained == 0 || drained >= n {
+		t.Fatalf("drained %d of %d samples; want a genuine partial run", drained, n)
+	}
+	if rep.Attempted != drained {
+		t.Fatalf("report attempted %d, sink drained %d", rep.Attempted, drained)
+	}
+	if rep.Interrupted != 0 {
+		// Plain compute lanes never observe ctx mid-batch, so every claimed
+		// lane drains; armed circuit lanes are covered by the experiments
+		// package's eviction test.
+		t.Fatalf("interrupted %d lanes, want 0 (all claimed blocks drain)", rep.Interrupted)
+	}
+	for idx, v := range sink.vals {
+		if v != ref[idx] {
+			t.Fatalf("drained sample %d = %v, full run computed %v", idx, v, ref[idx])
+		}
+	}
+	for idx, msg := range sink.errs {
+		if refErrs[idx] != msg {
+			t.Fatalf("drained failure %d = %q, full run recorded %q", idx, msg, refErrs[idx])
+		}
 	}
 }

@@ -30,16 +30,34 @@ import (
 // checkpointVersion guards the on-disk schema.
 const checkpointVersion = 1
 
-// ckFailure is one recorded sample failure. The original typed error is
-// not round-trippable through JSON; a restored failure becomes an opaque
-// error carrying the original message, with panic/budget provenance kept
-// as flags.
-type ckFailure struct {
+// RecordedFailure is the persisted form of one failed sample — the schema
+// shared by the checkpoint file and the shard result envelope
+// (internal/shard): index, message, and panic/budget provenance flags. The
+// original typed error is not round-trippable through JSON; a restored
+// failure becomes an opaque error carrying the original message.
+type RecordedFailure struct {
 	Idx    int    `json:"idx"`
 	Msg    string `json:"msg"`
 	Panic  bool   `json:"panic,omitempty"`
 	Budget bool   `json:"budget,omitempty"`
 }
+
+// NewRecordedFailure classifies err into its persisted record.
+func NewRecordedFailure(idx int, err error) RecordedFailure {
+	f := RecordedFailure{Idx: idx, Msg: err.Error()}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		f.Panic = true
+	}
+	if lifecycle.IsBudget(err) {
+		f.Budget = true
+	}
+	return f
+}
+
+// Err reconstructs the failure as an opaque error carrying the original
+// message (provenance stays on the record's flags).
+func (f RecordedFailure) Err() error { return &restoredError{msg: f.Msg} }
 
 // ckFile is the JSON document: version and config hash for safety, the
 // completed bitmap, the full-length result array (Done decides which
@@ -51,7 +69,7 @@ type ckFile[T any] struct {
 	N          int              `json:"n"`
 	Done       []bool           `json:"done"`
 	Results    []T              `json:"results"`
-	Failures   []ckFailure      `json:"failures,omitempty"`
+	Failures   []RecordedFailure `json:"failures,omitempty"`
 	Rescued    map[string]int64 `json:"rescued,omitempty"`
 }
 
@@ -75,7 +93,7 @@ type Checkpoint[T any] struct {
 
 	done     []bool
 	results  []T
-	failures map[int]ckFailure
+	failures map[int]RecordedFailure
 	rescued  map[string]int64
 }
 
@@ -108,7 +126,7 @@ func OpenCheckpoint[T any](path, cfgHash string, n, flushEvery int) (*Checkpoint
 		flushEvery: flushEvery,
 		done:       make([]bool, n),
 		results:    make([]T, n),
-		failures:   make(map[int]ckFailure),
+		failures:   make(map[int]RecordedFailure),
 		rescued:    make(map[string]int64),
 	}
 	raw, err := os.ReadFile(path)
@@ -179,15 +197,7 @@ func (c *Checkpoint[T]) Record(idx int, value any, rescued map[string]int64, err
 			c.results[idx] = v
 		}
 	} else {
-		var pe *PanicError
-		f := ckFailure{Idx: idx, Msg: err.Error()}
-		if errors.As(err, &pe) {
-			f.Panic = true
-		}
-		if lifecycle.IsBudget(err) {
-			f.Budget = true
-		}
-		c.failures[idx] = f
+		c.failures[idx] = NewRecordedFailure(idx, err)
 	}
 	for k, v := range rescued {
 		c.rescued[k] += v
@@ -233,6 +243,16 @@ func (c *Checkpoint[T]) flushLocked() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: write: %w", err)
 	}
+	// Durability needs both syncs: the file's data must reach the disk
+	// before the rename makes it visible, and the directory entry created
+	// by the rename must itself be synced — on journaling filesystems a
+	// crash right after an unsynced rename can leave the directory pointing
+	// at nothing, losing the snapshot the rename claimed to publish.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: close: %w", err)
@@ -241,8 +261,25 @@ func (c *Checkpoint[T]) flushLocked() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
 	c.sinceFlush = 0
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // Results returns the full-length result vector overlaying restored and
@@ -290,7 +327,7 @@ func (c *Checkpoint[T]) Report() RunReport {
 			if f.Panic {
 				rep.Panics++
 			}
-			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: &restoredError{msg: f.Msg}})
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: f.Err()})
 		} else {
 			rep.Succeeded++
 		}

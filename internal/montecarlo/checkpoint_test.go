@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"vstat/internal/lifecycle"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -234,5 +236,50 @@ func TestCheckpointKillResumeBitIdentical(t *testing.T) {
 	}
 	if gotRep.Rescued["test-stage"] != wantRep.Rescued["test-stage"] {
 		t.Fatalf("resumed rescued %v, uninterrupted %v", gotRep.Rescued, wantRep.Rescued)
+	}
+}
+
+// TestSyncDirErrorSurfaces pins the durability error path: syncing a
+// directory that does not exist must return an error (flushLocked wraps it
+// as "sync dir"), and a normal flush on a real directory must still work —
+// i.e. the rename is followed by a successful directory fsync.
+func TestSyncDirErrorSurfaces(t *testing.T) {
+	if err := syncDir(filepath.Join(t.TempDir(), "no-such-dir")); err == nil {
+		t.Fatal("syncDir on a nonexistent directory returned nil, want error")
+	}
+
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint[float64](filepath.Join(dir, "run.ckpt.json"), "h", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record(0, 1.0, nil, nil)
+	if err := ck.Flush(); err != nil {
+		t.Fatalf("flush with directory sync failed: %v", err)
+	}
+	// The flush must have published the file (rename happened before the
+	// directory sync, and the sync succeeded).
+	if _, err := os.Stat(filepath.Join(dir, "run.ckpt.json")); err != nil {
+		t.Fatalf("checkpoint file missing after flush: %v", err)
+	}
+}
+
+// TestRecordedFailureClassification pins the wire-format provenance flags
+// shared by checkpoints and shard envelopes.
+func TestRecordedFailureClassification(t *testing.T) {
+	plain := NewRecordedFailure(3, errors.New("no convergence"))
+	if plain.Panic || plain.Budget || plain.Msg != "no convergence" || plain.Idx != 3 {
+		t.Fatalf("plain failure misclassified: %+v", plain)
+	}
+	pan := NewRecordedFailure(4, &PanicError{Value: "boom"})
+	if !pan.Panic {
+		t.Fatalf("panic failure not flagged: %+v", pan)
+	}
+	bud := NewRecordedFailure(5, &lifecycle.BudgetError{Kind: lifecycle.OverWall})
+	if !bud.Budget {
+		t.Fatalf("budget failure not flagged: %+v", bud)
+	}
+	if got := plain.Err().Error(); got != "no convergence" {
+		t.Fatalf("restored message %q, want original", got)
 	}
 }

@@ -77,6 +77,15 @@ type RunOpts struct {
 	// Checkpoint, when non-nil, records completions and marks already-done
 	// samples to skip (resume).
 	Checkpoint CheckpointSink
+	// Offset shifts the run's global sample identity: the engine still claims
+	// local indices 0..n-1, but sample i runs as global index Offset+i — its
+	// RNG is SampleRNG(seed, Offset+i), fn receives the global index, and
+	// RunReport failures carry global indices. An index-range shard
+	// [Offset, Offset+n) therefore computes exactly the samples (and failure
+	// records) a full run computes for those indices, which is what makes
+	// sharded results mergeable bit-identically (internal/shard). The result
+	// slice and any CheckpointSink stay local (indices 0..n-1).
+	Offset int
 }
 
 // MapCtx is Map with a context: a cancelled ctx stops new claims, drains
@@ -138,6 +147,7 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 	}
 	pol := opts.Policy
 	ck := opts.Checkpoint
+	off := opts.Offset
 
 	// failLimit is the largest failure count that does NOT abort the run
 	// (see MapPooledReport). Cancellation-interrupted samples never count
@@ -206,7 +216,7 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 			if armed {
 				armer.ArmSample(ctx, opts.Budget)
 			}
-			res, serr := safeSample(fn, st, idx, SampleRNG(seed, idx))
+			res, serr := safeSample(fn, st, off+idx, SampleRNG(seed, off+idx))
 			sl.idx.Store(-1)
 			if !commit[idx].CompareAndSwap(0, 1) {
 				// The watchdog gave up on this sample (and on us): its error
@@ -348,7 +358,7 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 			if errors.As(err, &pe) {
 				rep.Panics++
 			}
-			rep.Failures = append(rep.Failures, SampleFailure{Idx: idx, Err: err})
+			rep.Failures = append(rep.Failures, SampleFailure{Idx: off + idx, Err: err})
 		}
 	}
 	mu.Lock()

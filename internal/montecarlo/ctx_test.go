@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -240,5 +241,93 @@ func TestWatchdogHangFailFast(t *testing.T) {
 	}
 	if rep.Failed != 1 || rep.Failures[0].Idx != 2 {
 		t.Fatalf("report %s", rep.String())
+	}
+}
+
+// TestOffsetShardsBitIdenticalToFullRun splits one run into index-range
+// shards executed via RunOpts.Offset and checks the concatenation is
+// bit-identical to the single full run — the determinism contract the
+// internal/shard coordinator is built on. Failures must carry global
+// indices on both the scalar and the batched engine.
+func TestOffsetShardsBitIdenticalToFullRun(t *testing.T) {
+	const n = 96
+	const seed = int64(4242)
+	newState := func(worker int) (struct{}, error) { return struct{}{}, nil }
+	fn := func(_ struct{}, idx int, rng *rand.Rand) (float64, error) {
+		if idx%17 == 5 {
+			return 0, fmt.Errorf("synthetic failure at sample %d", idx)
+		}
+		return float64(idx) + rng.Float64(), nil
+	}
+	pol := SkipUpTo(1.0)
+
+	want, wantRep, err := MapPooledReportCtx(context.Background(), n, seed, 3,
+		RunOpts{Policy: pol}, newState, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shardSize := range []int{16, 32, 96, 7} {
+		got := make([]float64, 0, n)
+		var failures []SampleFailure
+		for lo := 0; lo < n; lo += shardSize {
+			hi := lo + shardSize
+			if hi > n {
+				hi = n
+			}
+			part, rep, err := MapPooledReportCtx(context.Background(), hi-lo, seed, 2,
+				RunOpts{Policy: pol, Offset: lo}, newState, fn)
+			if err != nil {
+				t.Fatalf("shard [%d,%d): %v", lo, hi, err)
+			}
+			got = append(got, part...)
+			failures = append(failures, rep.Failures...)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shardSize %d: sample %d = %.17g, full run %.17g",
+					shardSize, i, got[i], want[i])
+			}
+		}
+		if len(failures) != len(wantRep.Failures) {
+			t.Fatalf("shardSize %d: %d failures, full run %d",
+				shardSize, len(failures), len(wantRep.Failures))
+		}
+		for i, f := range failures {
+			if f.Idx != wantRep.Failures[i].Idx || f.Err.Error() != wantRep.Failures[i].Err.Error() {
+				t.Fatalf("shardSize %d: failure %d = (%d, %q), full run (%d, %q)",
+					shardSize, i, f.Idx, f.Err.Error(),
+					wantRep.Failures[i].Idx, wantRep.Failures[i].Err.Error())
+			}
+		}
+	}
+
+	// Batched engine: same offset contract — fn sees global indices and the
+	// lane RNGs are seeded by global index.
+	bfn := func(_ struct{}, idxs []int, rngs []*rand.Rand, out []float64, errs []error) {
+		for j, idx := range idxs {
+			out[j], errs[j] = fn(struct{}{}, idx, rngs[j])
+		}
+	}
+	for lo := 0; lo < n; lo += 32 {
+		part, rep, err := MapPooledBatchReportCtx(context.Background(), 32, seed, 2, 4,
+			RunOpts{Policy: pol, Offset: lo}, newState, bfn)
+		if err != nil {
+			t.Fatalf("batched shard at %d: %v", lo, err)
+		}
+		for j := range part {
+			if part[j] != want[lo+j] {
+				t.Fatalf("batched shard at %d: sample %d = %.17g, full run %.17g",
+					lo, lo+j, part[j], want[lo+j])
+			}
+		}
+		for _, f := range rep.Failures {
+			if f.Idx < lo || f.Idx >= lo+32 {
+				t.Fatalf("batched shard at %d: failure idx %d outside global range", lo, f.Idx)
+			}
+			if f.Idx%17 != 5 {
+				t.Fatalf("batched shard at %d: failure idx %d is not a scripted failure — local index leaked", lo, f.Idx)
+			}
+		}
 	}
 }

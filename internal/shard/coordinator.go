@@ -1,0 +1,543 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vstat/internal/lifecycle"
+	"vstat/internal/montecarlo"
+)
+
+// Config parameterizes a coordinated run.
+type Config struct {
+	N          int
+	Seed       int64
+	ConfigHash string
+	// ShardSize is the index-range width per shard; <= 0 defaults to 1024.
+	ShardSize int
+	// Bench is passed through to workers (names the sample function on
+	// their side).
+	Bench string
+
+	// SampleBudget / HangGrace / MaxFailFrac travel in every Request and
+	// bound the samples inside workers (lifecycle semantics, identical to
+	// a local run).
+	SampleBudget lifecycle.Budget
+	HangGrace    time.Duration
+	MaxFailFrac  float64
+
+	// ShardWall bounds one dispatch attempt's wall time; 0 = unlimited.
+	ShardWall time.Duration
+	// MaxAttempts caps transport attempts per shard before the shard falls
+	// back to local execution (or the run fails); <= 0 defaults to 4.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the exponential retry backoff:
+	// attempt k waits base·2^(k-1) + jitter, capped at max. Defaults
+	// 50ms / 2s. Jitter is deterministic in (seed, shard, attempt) so a
+	// replayed failure script backs off identically.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// StragglerAfter launches one speculative duplicate attempt against a
+	// shard still uncommitted that long after its dispatch; 0 disables
+	// speculation.
+	StragglerAfter time.Duration
+	// DeadAfter retires a worker endpoint after that many consecutive
+	// failed attempts; <= 0 defaults to 3.
+	DeadAfter int
+
+	// Metrics, when non-nil, receives the run's Stats (RecordStats).
+	Metrics *Metrics
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.ShardSize <= 0 {
+		d.ShardSize = 1024
+	}
+	if d.MaxAttempts <= 0 {
+		d.MaxAttempts = 4
+	}
+	if d.BackoffBase <= 0 {
+		d.BackoffBase = 50 * time.Millisecond
+	}
+	if d.BackoffMax <= 0 {
+		d.BackoffMax = 2 * time.Second
+	}
+	if d.DeadAfter <= 0 {
+		d.DeadAfter = 3
+	}
+	return d
+}
+
+// Result is a completed coordinated run.
+type Result[T any] struct {
+	Out    []T
+	Report montecarlo.RunReport
+	Shards int
+	Stats  Stats
+}
+
+// ErrNoWorkers reports a run that lost every endpoint with shards still
+// uncommitted and had no local executor to degrade to.
+var ErrNoWorkers = errors.New("shard: all workers lost and no local executor")
+
+// shardState tracks one shard through the dispatch/commit state machine.
+// commit is the CAS word: 0 = pending, 1 = committed (first valid envelope
+// wins; later valid envelopes are duplicates) — the same first-writer-wins
+// contract the hang watchdog uses for sample commits.
+type shardState[T any] struct {
+	ord    int
+	lo, hi int
+
+	commit      atomic.Int32
+	env         *Envelope[T] // owned by the committer, read after join
+	attempts    atomic.Int32 // next attempt ordinal to hand out
+	failures    atomic.Int32 // failed/lost attempts so far
+	inFlight    atomic.Int32
+	specDone    atomic.Bool // one speculative duplicate max per shard
+	localQueued atomic.Bool
+	dispatchNS  atomic.Int64 // wall-clock ns of the newest dispatch start
+}
+
+type ticketKind int
+
+const (
+	ticketInitial ticketKind = iota
+	ticketRetry
+	ticketSpec
+)
+
+type ticket struct {
+	shard   int
+	attempt int
+	kind    ticketKind
+}
+
+// coordinator is the mutable state of one Run.
+type coordinator[T any] struct {
+	cfg    Config
+	shards []*shardState[T]
+	local  ExecFn[T]
+
+	tickets   chan ticket
+	localQ    chan ticket
+	committed atomic.Int64
+	live      atomic.Int64 // live worker endpoints
+	done      chan struct{}
+	failOnce  sync.Once
+	failErr   error
+	failedCh  chan struct{}
+
+	statDispatched atomic.Int64
+	statRetried    atomic.Int64
+	statSpeculated atomic.Int64
+	statDuplicates atomic.Int64
+	statLost       atomic.Int64
+	statWorkers    atomic.Int64
+	statLocal      atomic.Int64
+
+	latMu sync.Mutex
+	lats  []time.Duration
+}
+
+// Run executes an N-sample Monte Carlo run as index-range shards over the
+// given worker endpoints, retrying, speculating, and degrading per cfg,
+// and merges the committed envelopes bit-identically to a single-process
+// run. local, when non-nil, is the coordinator's in-process executor: it
+// serves shards whose transport attempts are exhausted and the whole run
+// when every endpoint has been retired (graceful degradation). With no
+// endpoints at all, every shard runs locally.
+func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local ExecFn[T]) (Result[T], error) {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.N <= 0 {
+		return Result[T]{}, nil
+	}
+	nShards := (cfg.N + cfg.ShardSize - 1) / cfg.ShardSize
+	c := &coordinator[T]{
+		cfg:   cfg,
+		local: local,
+		// Never closed; capacity covers every possible initial, retry, and
+		// speculative ticket so enqueues never block.
+		tickets:  make(chan ticket, nShards*(cfg.MaxAttempts+2)+16),
+		localQ:   make(chan ticket, nShards+16),
+		done:     make(chan struct{}),
+		failedCh: make(chan struct{}),
+	}
+	for i := 0; i < nShards; i++ {
+		lo := i * cfg.ShardSize
+		hi := lo + cfg.ShardSize
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		c.shards = append(c.shards, &shardState[T]{ord: i, lo: lo, hi: hi})
+	}
+
+	dispatchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if len(endpoints) == 0 {
+		// Degenerate deployment: no workers configured, run everything on
+		// the local executor.
+		for _, s := range c.shards {
+			s.localQueued.Store(true)
+			c.localQ <- ticket{shard: s.ord, kind: ticketInitial}
+		}
+	} else {
+		for _, s := range c.shards {
+			c.tickets <- ticket{shard: s.ord, kind: ticketInitial}
+		}
+		c.live.Store(int64(len(endpoints)))
+		for _, ep := range endpoints {
+			wg.Add(1)
+			go func(ep Endpoint[T]) {
+				defer wg.Done()
+				c.workerLoop(dispatchCtx, ep)
+			}(ep)
+		}
+	}
+	if local != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.localLoop(dispatchCtx)
+		}()
+	}
+	if cfg.StragglerAfter > 0 && len(endpoints) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.stragglerLoop(dispatchCtx)
+		}()
+	}
+
+	var runErr error
+	select {
+	case <-c.done:
+	case <-c.failedCh:
+		runErr = c.failErr
+	case <-ctx.Done():
+		runErr = fmt.Errorf("shard: run cancelled: %w", ctx.Err())
+	}
+	// Stop everything and join every goroutine so stats and the committed
+	// envelopes are final before the merge reads them.
+	cancel()
+	wg.Wait()
+
+	stats := Stats{
+		Dispatched:    c.statDispatched.Load(),
+		Retried:       c.statRetried.Load(),
+		Speculated:    c.statSpeculated.Load(),
+		Committed:     c.committed.Load(),
+		Duplicates:    c.statDuplicates.Load(),
+		Lost:          c.statLost.Load(),
+		WorkersLost:   c.statWorkers.Load(),
+		LocalFallback: c.statLocal.Load(),
+		CommitLatency: c.lats,
+	}
+	cfg.Metrics.RecordStats(stats)
+	res := Result[T]{Shards: nShards, Stats: stats}
+	if runErr != nil {
+		return res, runErr
+	}
+	envs := make([]*Envelope[T], 0, nShards)
+	for _, s := range c.shards {
+		if s.commit.Load() != 1 || s.env == nil {
+			return res, fmt.Errorf("shard: shard %d [%d,%d) never committed", s.ord, s.lo, s.hi)
+		}
+		envs = append(envs, s.env)
+	}
+	out, rep, err := Merge(cfg.N, envs)
+	if err != nil {
+		return res, err
+	}
+	res.Out, res.Report = out, rep
+	return res, nil
+}
+
+func (c *coordinator[T]) request(s *shardState[T], attempt int) Request {
+	return Request{
+		ConfigHash:   c.cfg.ConfigHash,
+		Seed:         c.cfg.Seed,
+		N:            c.cfg.N,
+		Shard:        s.ord,
+		Lo:           s.lo,
+		Hi:           s.hi,
+		Attempt:      attempt,
+		Bench:        c.cfg.Bench,
+		SampleBudget: c.cfg.SampleBudget,
+		HangGrace:    c.cfg.HangGrace,
+		MaxFailFrac:  c.cfg.MaxFailFrac,
+	}
+}
+
+// workerLoop is one endpoint's dispatch loop: one in-flight attempt at a
+// time, retired after cfg.DeadAfter consecutive failures.
+func (c *coordinator[T]) workerLoop(ctx context.Context, ep Endpoint[T]) {
+	consecutive := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-c.tickets:
+			s := c.shards[t.shard]
+			if s.commit.Load() != 0 || s.localQueued.Load() {
+				continue // already satisfied or handed to local
+			}
+			ok := c.attempt(ctx, ep.Transport, s, t)
+			if ctx.Err() != nil {
+				return // don't blame the worker for run shutdown
+			}
+			if ok {
+				consecutive = 0
+				continue
+			}
+			consecutive++
+			if consecutive >= c.cfg.DeadAfter {
+				c.statWorkers.Add(1)
+				if c.live.Add(-1) == 0 {
+					c.sweepToLocal()
+				}
+				return
+			}
+		}
+	}
+}
+
+// attempt runs one dispatch attempt and routes its outcome. Returns false
+// when the attempt counts against the worker (lost/error/invalid).
+func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardState[T], t ticket) bool {
+	attempt := int(s.attempts.Add(1)) - 1
+	c.statDispatched.Add(1)
+	switch t.kind {
+	case ticketRetry:
+		c.statRetried.Add(1)
+	case ticketSpec:
+		c.statSpeculated.Add(1)
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	start := time.Now()
+	s.dispatchNS.Store(start.UnixNano())
+
+	actx := ctx
+	var acancel context.CancelFunc
+	if c.cfg.ShardWall > 0 {
+		actx, acancel = context.WithTimeout(ctx, c.cfg.ShardWall)
+		defer acancel()
+	}
+	envs, err := tr.Dispatch(actx, c.request(s, attempt))
+	if ctx.Err() != nil {
+		return true // run is shutting down; outcome no longer matters
+	}
+	committedHere := false
+	var verr error
+	if err == nil {
+		for _, env := range envs {
+			if env == nil {
+				continue
+			}
+			if verr = env.Validate(c.cfg.ConfigHash, c.cfg.N, s.lo, s.hi); verr != nil {
+				continue
+			}
+			if s.commit.CompareAndSwap(0, 1) {
+				s.env = env
+				committedHere = true
+				c.latMu.Lock()
+				c.lats = append(c.lats, time.Since(start))
+				c.latMu.Unlock()
+				if c.committed.Add(1) == int64(len(c.shards)) {
+					close(c.done)
+				}
+			} else {
+				c.statDuplicates.Add(1)
+			}
+		}
+	}
+	if committedHere || s.commit.Load() != 0 {
+		return err == nil && verr == nil
+	}
+	// Attempt produced nothing usable for a still-pending shard: lost.
+	c.statLost.Add(1)
+	s.failures.Add(1)
+	c.scheduleRetry(ctx, s)
+	return false
+}
+
+// scheduleRetry books the next attempt for a still-pending shard: an
+// exponential-backoff transport retry while attempts remain and workers
+// live, local fallback otherwise, run failure when neither exists.
+func (c *coordinator[T]) scheduleRetry(ctx context.Context, s *shardState[T]) {
+	if s.commit.Load() != 0 || s.localQueued.Load() {
+		return
+	}
+	fails := int(s.failures.Load())
+	if fails >= c.cfg.MaxAttempts || c.live.Load() == 0 {
+		c.queueLocal(s)
+		return
+	}
+	delay := c.backoff(s.ord, fails)
+	timer := time.AfterFunc(delay, func() {
+		if ctx.Err() != nil || s.commit.Load() != 0 || s.localQueued.Load() {
+			return
+		}
+		if c.live.Load() == 0 {
+			c.queueLocal(s)
+			return
+		}
+		select {
+		case c.tickets <- ticket{shard: s.ord, attempt: int(s.attempts.Load()), kind: ticketRetry}:
+		default:
+		}
+	})
+	// Kill pending timers at shutdown so Run's wg.Wait isn't the only
+	// thing keeping them from firing into a dead coordinator (harmless but
+	// noisy under -race with closed channels nearby).
+	go func() {
+		<-ctx.Done()
+		timer.Stop()
+	}()
+}
+
+// backoff returns base·2^(fails-1) + deterministic jitter, capped.
+func (c *coordinator[T]) backoff(shard, fails int) time.Duration {
+	d := c.cfg.BackoffBase << (fails - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	// Deterministic jitter in [0, BackoffBase): replaying the same fault
+	// script yields the same timing, yet distinct (shard, attempt) pairs
+	// decorrelate.
+	j := splitmix64(uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(shard)<<20 + uint64(fails) + 1)
+	jit := time.Duration(j % uint64(c.cfg.BackoffBase))
+	if d+jit > c.cfg.BackoffMax {
+		return c.cfg.BackoffMax
+	}
+	return d + jit
+}
+
+// splitmix64 is the same mixer montecarlo seeds sample RNGs with (kept
+// local: montecarlo's is unexported).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// queueLocal routes a shard to the local executor exactly once; with no
+// local executor the run fails (nothing left that could complete it).
+func (c *coordinator[T]) queueLocal(s *shardState[T]) {
+	if !s.localQueued.CompareAndSwap(false, true) {
+		return
+	}
+	if c.local == nil {
+		c.failOnce.Do(func() {
+			c.failErr = fmt.Errorf("%w (shard %d [%d,%d) undeliverable after %d lost attempts)",
+				ErrNoWorkers, s.ord, s.lo, s.hi, s.failures.Load())
+			close(c.failedCh)
+		})
+		return
+	}
+	c.localQ <- ticket{shard: s.ord, kind: ticketRetry}
+}
+
+// sweepToLocal reroutes every uncommitted shard after the last worker
+// dies — the graceful-degradation path.
+func (c *coordinator[T]) sweepToLocal() {
+	for _, s := range c.shards {
+		if s.commit.Load() == 0 {
+			c.queueLocal(s)
+		}
+	}
+}
+
+// localLoop serves the local-fallback queue with the coordinator's own
+// executor (loopback semantics, no transport, no retry — a local failure
+// fails the run, matching a plain single-process run).
+func (c *coordinator[T]) localLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-c.localQ:
+			s := c.shards[t.shard]
+			if s.commit.Load() != 0 {
+				continue
+			}
+			attempt := int(s.attempts.Add(1)) - 1
+			c.statDispatched.Add(1)
+			c.statLocal.Add(1)
+			start := time.Now()
+			env, err := c.local(ctx, c.request(s, attempt))
+			if ctx.Err() != nil {
+				return
+			}
+			if err == nil {
+				err = env.Validate(c.cfg.ConfigHash, c.cfg.N, s.lo, s.hi)
+			}
+			if err != nil {
+				c.failOnce.Do(func() {
+					c.failErr = fmt.Errorf("shard: local fallback for shard %d failed: %w", s.ord, err)
+					close(c.failedCh)
+				})
+				return
+			}
+			if s.commit.CompareAndSwap(0, 1) {
+				s.env = env
+				c.latMu.Lock()
+				c.lats = append(c.lats, time.Since(start))
+				c.latMu.Unlock()
+				if c.committed.Add(1) == int64(len(c.shards)) {
+					close(c.done)
+				}
+			} else {
+				c.statDuplicates.Add(1)
+			}
+		}
+	}
+}
+
+// stragglerLoop watches in-flight shards and launches at most one
+// speculative duplicate attempt per shard once it has been outstanding
+// longer than StragglerAfter. First committed envelope wins the CAS; the
+// laggard's becomes a counted duplicate — the run-level mirror of the
+// sample-level hang watchdog.
+func (c *coordinator[T]) stragglerLoop(ctx context.Context) {
+	tick := c.cfg.StragglerAfter / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			now := time.Now().UnixNano()
+			for _, s := range c.shards {
+				if s.commit.Load() != 0 || s.inFlight.Load() == 0 || s.specDone.Load() {
+					continue
+				}
+				started := s.dispatchNS.Load()
+				if started == 0 || time.Duration(now-started) < c.cfg.StragglerAfter {
+					continue
+				}
+				if s.specDone.CompareAndSwap(false, true) {
+					select {
+					case c.tickets <- ticket{shard: s.ord, attempt: int(s.attempts.Load()), kind: ticketSpec}:
+					default:
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"vstat/internal/montecarlo"
+)
+
+// ExecFn executes one shard request to completion and returns its result
+// envelope. It is the unit every transport carries: the loopback transport
+// calls it in-process, the HTTP handler and the `vsshard work` stdin/stdout
+// mode call it on the far side of a wire.
+type ExecFn[T any] func(ctx context.Context, req Request) (*Envelope[T], error)
+
+// NewExecutor builds the worker-side ExecFn for a sample function over
+// pooled per-worker state — the same (newState, fn) pair a local
+// montecarlo.MapPooledReportCtx run uses, so a shard's samples run on the
+// identical hot path with zero extra allocations per sample (Offset only
+// changes the index arithmetic). cfgHash is the worker's run identity; a
+// request carrying a different hash is refused before any work runs, the
+// wire analogue of a checkpoint rejecting a foreign config. engineWorkers
+// is the in-process parallelism per shard (<= 0 lets the engine default to
+// GOMAXPROCS).
+func NewExecutor[S, T any](cfgHash string, engineWorkers int,
+	newState func(worker int) (S, error),
+	fn func(st S, idx int, rng *rand.Rand) (T, error)) ExecFn[T] {
+	return func(ctx context.Context, req Request) (*Envelope[T], error) {
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		if req.ConfigHash != cfgHash {
+			return nil, fmt.Errorf("shard: request for config %.12s…, this worker is built for %.12s…",
+				req.ConfigHash, cfgHash)
+		}
+		opts := montecarlo.RunOpts{
+			Policy:    req.Policy(),
+			Budget:    req.SampleBudget,
+			HangGrace: req.HangGrace,
+			Offset:    req.Lo,
+		}
+		out, rep, err := montecarlo.MapPooledReportCtx(ctx, req.Hi-req.Lo, req.Seed,
+			engineWorkers, opts, newState, fn)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d [%d,%d): %w", req.Shard, req.Lo, req.Hi, err)
+		}
+		return envelopeFromRun(cfgHash, req, out, rep), nil
+	}
+}
+
+// envelopeFromRun packages a completed shard run. Failure records are
+// re-classified through the same NewRecordedFailure the checkpoint uses,
+// so a failure's message and panic/budget provenance survive the wire
+// identically to a local run's typed error messages.
+func envelopeFromRun[T any](cfgHash string, req Request, out []T, rep montecarlo.RunReport) *Envelope[T] {
+	e := &Envelope[T]{
+		Version:    EnvelopeVersion,
+		ConfigHash: cfgHash,
+		N:          req.N,
+		Shard:      req.Shard,
+		Lo:         req.Lo,
+		Hi:         req.Hi,
+		Results:    out,
+		Attempted:  rep.Attempted,
+	}
+	for _, f := range rep.Failures {
+		e.Failures = append(e.Failures, montecarlo.NewRecordedFailure(f.Idx, f.Err))
+	}
+	if len(rep.Rescued) > 0 {
+		e.Rescued = make(map[string]int64, len(rep.Rescued))
+		for k, v := range rep.Rescued {
+			e.Rescued[k] = v
+		}
+	}
+	return e
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// FaultKind scripts what happens to one (shard, attempt) dispatch.
+type FaultKind int
+
+const (
+	// FaultDrop loses the attempt: the transport returns an error as if
+	// the worker died mid-shard.
+	FaultDrop FaultKind = iota
+	// FaultDelay holds the result for Delay before delivering it —
+	// the straggler script. The sleep respects the dispatch context, so a
+	// speculative win can cancel the laggard.
+	FaultDelay
+	// FaultDuplicate delivers the same envelope twice, modelling a
+	// retransmit racing the original. Exactly one copy may commit.
+	FaultDuplicate
+	// FaultCorrupt flips the envelope's config hash so validation must
+	// reject it (a lost attempt, retried like a drop).
+	FaultCorrupt
+	// FaultVanish returns no envelopes and no error — a silently lost
+	// result, distinguishable from FaultDrop's loud failure.
+	FaultVanish
+)
+
+// FaultRule scripts one fault at one (Shard, Attempt) point.
+type FaultRule struct {
+	Shard   int
+	Attempt int
+	Kind    FaultKind
+	Delay   time.Duration // FaultDelay only
+}
+
+// FaultPlan is a deterministic fault script: every rule fires at exactly
+// its (shard, attempt) coordinate, so a test run replays the same failure
+// sequence every time regardless of scheduling. Wrap any transport with
+// Wrap to apply the plan.
+type FaultPlan struct {
+	Rules []FaultRule
+}
+
+func (p *FaultPlan) find(shard, attempt int) (FaultRule, bool) {
+	for _, r := range p.Rules {
+		if r.Shard == shard && r.Attempt == attempt {
+			return r, true
+		}
+	}
+	return FaultRule{}, false
+}
+
+// Wrap returns next with the plan's faults injected.
+func Wrap[T any](plan *FaultPlan, next Transport[T]) Transport[T] {
+	return faultTransport[T]{plan: plan, next: next}
+}
+
+type faultTransport[T any] struct {
+	plan *FaultPlan
+	next Transport[T]
+}
+
+// Dispatch implements Transport.
+func (f faultTransport[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope[T], error) {
+	rule, ok := f.plan.find(req.Shard, req.Attempt)
+	if !ok {
+		return f.next.Dispatch(ctx, req)
+	}
+	switch rule.Kind {
+	case FaultDrop:
+		return nil, fmt.Errorf("shard: injected worker kill (shard %d attempt %d)", req.Shard, req.Attempt)
+	case FaultVanish:
+		return nil, nil
+	case FaultDelay:
+		envs, err := f.next.Dispatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(rule.Delay):
+		}
+		return envs, nil
+	case FaultDuplicate:
+		envs, err := f.next.Dispatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return append(envs, envs...), nil
+	case FaultCorrupt:
+		envs, err := f.next.Dispatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range envs {
+			e.ConfigHash = "corrupted-" + e.ConfigHash
+		}
+		return envs, nil
+	default:
+		return f.next.Dispatch(ctx, req)
+	}
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"time"
+
+	"vstat/internal/obs"
+)
+
+// Metrics is the coordinator's obs instrumentation. All handles are
+// nil-safe (a nil *Metrics records nothing), and registration must happen
+// before the registry's first shard is created — same contract as the MC
+// instrumentation in internal/experiments.
+type Metrics struct {
+	sh *obs.Shard
+
+	dispatched CounterHandle
+	retried    CounterHandle
+	speculated CounterHandle
+	committed  CounterHandle
+	duplicates CounterHandle
+	lost       CounterHandle
+	workers    CounterHandle
+	local      CounterHandle
+	latency    obs.HistID
+}
+
+// CounterHandle pairs a registry ID with its owning metrics object.
+type CounterHandle struct{ id obs.CounterID }
+
+// NewMetrics registers the shard counters and per-shard latency histogram
+// on reg. Returns nil for a nil registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		dispatched: CounterHandle{reg.Counter("shard_dispatched_total")},
+		retried:    CounterHandle{reg.Counter("shard_retried_total")},
+		speculated: CounterHandle{reg.Counter("shard_speculated_total")},
+		committed:  CounterHandle{reg.Counter("shard_committed_total")},
+		duplicates: CounterHandle{reg.Counter("shard_duplicate_results_total")},
+		lost:       CounterHandle{reg.Counter("shard_results_lost_total")},
+		workers:    CounterHandle{reg.Counter("shard_workers_lost_total")},
+		local:      CounterHandle{reg.Counter("shard_local_fallback_total")},
+		latency:    reg.Histogram("shard_latency_ns", obs.ExpBounds(1_000_000, 2, 24)),
+	}
+	m.sh = reg.NewShard()
+	return m
+}
+
+func (m *Metrics) add(h CounterHandle, d int64) {
+	if m == nil {
+		return
+	}
+	m.sh.Add(h.id, d)
+}
+
+// RecordStats flushes a completed run's Stats into the registry and
+// observes each committed shard's latency.
+func (m *Metrics) RecordStats(s Stats) {
+	if m == nil {
+		return
+	}
+	m.add(m.dispatched, s.Dispatched)
+	m.add(m.retried, s.Retried)
+	m.add(m.speculated, s.Speculated)
+	m.add(m.committed, s.Committed)
+	m.add(m.duplicates, s.Duplicates)
+	m.add(m.lost, s.Lost)
+	m.add(m.workers, s.WorkersLost)
+	m.add(m.local, s.LocalFallback)
+	for _, d := range s.CommitLatency {
+		m.sh.Observe(m.latency, int64(d))
+	}
+}
+
+// Stats is the coordinator's accounting of a run. The invariants tests
+// pin: Committed == number of shards; Dispatched == initial transport
+// attempts (at most one per shard) + Retried + Speculated +
+// LocalFallback; every dispatched attempt that resolved before the run
+// completed ends as exactly one of committed, duplicate, or lost
+// (attempts still in flight at completion are cancelled and counted
+// nowhere else).
+type Stats struct {
+	Dispatched    int64 // attempts handed to any transport (incl. local)
+	Retried       int64 // re-dispatches after a failed/lost/rejected attempt
+	Speculated    int64 // extra attempts launched against stragglers
+	Committed     int64 // shards whose first valid envelope won the CAS
+	Duplicates    int64 // valid envelopes that lost the commit race
+	Lost          int64 // attempts that returned error, nothing, or an invalid envelope
+	WorkersLost   int64 // endpoints retired after consecutive failures
+	LocalFallback int64 // attempts run on the coordinator's local executor
+
+	// CommitLatency holds each committed shard's dispatch→commit wall time
+	// (unordered; feeds the shard_latency_ns histogram).
+	CommitLatency []time.Duration
+}

@@ -1,0 +1,544 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
+)
+
+// testFn is the synthetic sample function every test shares: a value that
+// depends on both the global index and the per-sample RNG stream (so any
+// wrong (seed, idx) pairing shows up as a bit difference), with scripted
+// deterministic failures sprinkled through the index space.
+func testFn(_ struct{}, idx int, rng *rand.Rand) (float64, error) {
+	if idx%997 == 13 {
+		return 0, fmt.Errorf("synthetic non-convergence at sample %d", idx)
+	}
+	return float64(idx) + rng.Float64(), nil
+}
+
+func testNewState(worker int) (struct{}, error) { return struct{}{}, nil }
+
+const testHash = "test-config-hash"
+
+func testExec() ExecFn[float64] {
+	return NewExecutor[struct{}, float64](testHash, 2, testNewState, testFn)
+}
+
+// baseline runs the single-process reference for n samples.
+func baseline(t *testing.T, n int, seed int64) ([]float64, montecarlo.RunReport) {
+	t.Helper()
+	out, rep, err := montecarlo.MapPooledReportCtx(context.Background(), n, seed, 4,
+		montecarlo.RunOpts{Policy: montecarlo.SkipUpTo(1.0)}, testNewState, testFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, rep
+}
+
+// assertBitIdentical compares a sharded run against the single-process
+// reference: values, failure indices and messages, rescue totals, and the
+// report's aggregate counts.
+func assertBitIdentical(t *testing.T, label string, got Result[float64], want []float64, wantRep montecarlo.RunReport) {
+	t.Helper()
+	if len(got.Out) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got.Out), len(want))
+	}
+	for i := range want {
+		if got.Out[i] != want[i] {
+			t.Fatalf("%s: sample %d = %.17g, single-process %.17g", label, i, got.Out[i], want[i])
+		}
+	}
+	g, w := got.Report, wantRep
+	if g.Attempted != w.Attempted || g.Succeeded != w.Succeeded || g.Failed != w.Failed || g.Panics != w.Panics {
+		t.Fatalf("%s: report %s, single-process %s", label, g.String(), w.String())
+	}
+	if len(g.Failures) != len(w.Failures) {
+		t.Fatalf("%s: %d failures, single-process %d", label, len(g.Failures), len(w.Failures))
+	}
+	for i := range w.Failures {
+		if g.Failures[i].Idx != w.Failures[i].Idx ||
+			g.Failures[i].Err.Error() != w.Failures[i].Err.Error() {
+			t.Fatalf("%s: failure %d = (%d, %q), single-process (%d, %q)", label, i,
+				g.Failures[i].Idx, g.Failures[i].Err.Error(),
+				w.Failures[i].Idx, w.Failures[i].Err.Error())
+		}
+	}
+	if len(g.Rescued) != len(w.Rescued) {
+		t.Fatalf("%s: rescued %v, single-process %v", label, g.Rescued, w.Rescued)
+	}
+	for k, v := range w.Rescued {
+		if g.Rescued[k] != v {
+			t.Fatalf("%s: rescued[%s] = %d, single-process %d", label, k, g.Rescued[k], v)
+		}
+	}
+}
+
+func assertStatsInvariants(t *testing.T, label string, r Result[float64]) {
+	t.Helper()
+	s := r.Stats
+	if s.Committed != int64(r.Shards) {
+		t.Fatalf("%s: committed %d shards of %d", label, s.Committed, r.Shards)
+	}
+	// Every dispatch is an initial transport attempt, a retry, a
+	// speculative duplicate, or a local-fallback run; initial attempts
+	// can't exceed the shard count (a shard swept to local after total
+	// worker loss never gets one).
+	initial := s.Dispatched - s.Retried - s.Speculated - s.LocalFallback
+	if initial < 0 || initial > int64(r.Shards) {
+		t.Fatalf("%s: dispatch accounting broken (%d initial attempts of %d shards): %+v",
+			label, initial, r.Shards, s)
+	}
+	if int64(len(s.CommitLatency)) != s.Committed {
+		t.Fatalf("%s: %d commit latencies for %d commits", label, len(s.CommitLatency), s.Committed)
+	}
+}
+
+// TestSharded10kBitIdenticalUnderFaults is the acceptance test: a
+// 10k-sample run with scripted worker kills (drop), a double kill on one
+// shard, a duplicated result, a corrupted envelope, and one injected
+// straggler must produce results and RunReport bit-identical to the
+// single-process run, across shard sizes and worker counts.
+func TestSharded10kBitIdenticalUnderFaults(t *testing.T) {
+	const n = 10_000
+	const seed = int64(20260809)
+	want, wantRep := baseline(t, n, seed)
+
+	for _, tc := range []struct {
+		shardSize int
+		workers   int
+	}{
+		{256, 1},
+		{1000, 3},
+		{4096, 2},
+		{10000, 2}, // single shard
+	} {
+		label := fmt.Sprintf("shardSize=%d workers=%d", tc.shardSize, tc.workers)
+		plan := &FaultPlan{Rules: []FaultRule{
+			{Shard: 0, Attempt: 0, Kind: FaultDrop},      // worker killed mid-shard
+			{Shard: 1, Attempt: 0, Kind: FaultDrop},      // killed twice: backoff escalates
+			{Shard: 1, Attempt: 1, Kind: FaultVanish},    // …then silently lost
+			{Shard: 2, Attempt: 0, Kind: FaultDuplicate}, // retransmit race
+			{Shard: 3, Attempt: 0, Kind: FaultCorrupt},   // flipped config hash
+		}}
+		cfg := Config{
+			N: n, Seed: seed, ConfigHash: testHash,
+			ShardSize:   tc.shardSize,
+			MaxFailFrac: 1.0,
+			MaxAttempts: 6,
+			DeadAfter:   50, // faults here test retries, not worker death
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+		}
+		if tc.workers > 1 {
+			// One injected straggler: shard 4's first attempt delivers only
+			// after a long delay; speculation must beat it on another worker.
+			plan.Rules = append(plan.Rules,
+				FaultRule{Shard: 4, Attempt: 0, Kind: FaultDelay, Delay: 30 * time.Second})
+			cfg.StragglerAfter = 50 * time.Millisecond
+		}
+		var eps []Endpoint[float64]
+		for w := 0; w < tc.workers; w++ {
+			eps = append(eps, Endpoint[float64]{
+				Name:      fmt.Sprintf("w%d", w),
+				Transport: Wrap(plan, Loopback[float64]{Exec: testExec()}),
+			})
+		}
+		res, err := Run(context.Background(), cfg, eps, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		assertBitIdentical(t, label, res, want, wantRep)
+		assertStatsInvariants(t, label, res)
+		nShards := (n + tc.shardSize - 1) / tc.shardSize
+		if res.Shards != nShards {
+			t.Fatalf("%s: %d shards, want %d", label, res.Shards, nShards)
+		}
+		wantLost := int64(3) // two drops + one vanish
+		if nShards >= 4 {
+			wantLost++ // the corrupt envelope is also a lost attempt
+		}
+		if nShards >= 4 && res.Stats.Lost != wantLost {
+			t.Fatalf("%s: lost %d attempts, want %d: %+v", label, res.Stats.Lost, wantLost, res.Stats)
+		}
+		if nShards >= 3 && res.Stats.Duplicates < 1 {
+			t.Fatalf("%s: duplicate result was not detected: %+v", label, res.Stats)
+		}
+		if tc.workers > 1 && nShards >= 5 && res.Stats.Speculated < 1 {
+			t.Fatalf("%s: straggler never drew a speculative attempt: %+v", label, res.Stats)
+		}
+	}
+}
+
+// TestShardedNoFaultsEveryShardSize sweeps odd shard sizes with a clean
+// transport: exact tiling of [0, n) regardless of divisibility.
+func TestShardedNoFaultsEveryShardSize(t *testing.T) {
+	const n = 500
+	const seed = int64(7)
+	want, wantRep := baseline(t, n, seed)
+	for _, size := range []int{1, 7, 499, 500, 512} {
+		cfg := Config{N: n, Seed: seed, ConfigHash: testHash, ShardSize: size, MaxFailFrac: 1.0}
+		eps := []Endpoint[float64]{{Name: "w0", Transport: Loopback[float64]{Exec: testExec()}}}
+		res, err := Run(context.Background(), cfg, eps, nil)
+		if err != nil {
+			t.Fatalf("shardSize %d: %v", size, err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("shardSize=%d", size), res, want, wantRep)
+		assertStatsInvariants(t, fmt.Sprintf("shardSize=%d", size), res)
+		if res.Stats.Retried != 0 || res.Stats.Lost != 0 {
+			t.Fatalf("shardSize %d: clean run retried/lost: %+v", size, res.Stats)
+		}
+		if res.Stats.Dispatched != int64(res.Shards) {
+			t.Fatalf("shardSize %d: clean run dispatched %d of %d shards", size, res.Stats.Dispatched, res.Shards)
+		}
+	}
+}
+
+// TestAllWorkersLostFallsBackToLocal kills every endpoint (every dispatch
+// drops) and checks the run degrades to the local executor and still
+// merges bit-identically.
+func TestAllWorkersLostFallsBackToLocal(t *testing.T) {
+	const n = 600
+	const seed = int64(11)
+	want, wantRep := baseline(t, n, seed)
+	plan := &FaultPlan{}
+	for sh := 0; sh < 6; sh++ {
+		for a := 0; a < 12; a++ {
+			plan.Rules = append(plan.Rules, FaultRule{Shard: sh, Attempt: a, Kind: FaultDrop})
+		}
+	}
+	cfg := Config{
+		N: n, Seed: seed, ConfigHash: testHash, ShardSize: 100, MaxFailFrac: 1.0,
+		DeadAfter: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	}
+	eps := []Endpoint[float64]{
+		{Name: "w0", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})},
+		{Name: "w1", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})},
+	}
+	res, err := Run(context.Background(), cfg, eps, testExec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "all-workers-lost", res, want, wantRep)
+	assertStatsInvariants(t, "all-workers-lost", res)
+	if res.Stats.WorkersLost != 2 {
+		t.Fatalf("workers lost = %d, want 2: %+v", res.Stats.WorkersLost, res.Stats)
+	}
+	if res.Stats.LocalFallback != int64(res.Shards) {
+		t.Fatalf("local fallback served %d of %d shards: %+v", res.Stats.LocalFallback, res.Shards, res.Stats)
+	}
+}
+
+// TestAllWorkersLostNoLocalFails is the same deployment with no local
+// executor: the run must fail with ErrNoWorkers, not hang.
+func TestAllWorkersLostNoLocalFails(t *testing.T) {
+	plan := &FaultPlan{}
+	for sh := 0; sh < 2; sh++ {
+		for a := 0; a < 12; a++ {
+			plan.Rules = append(plan.Rules, FaultRule{Shard: sh, Attempt: a, Kind: FaultDrop})
+		}
+	}
+	cfg := Config{
+		N: 100, Seed: 1, ConfigHash: testHash, ShardSize: 50, MaxFailFrac: 1.0,
+		DeadAfter: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	}
+	eps := []Endpoint[float64]{{Name: "w0", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), cfg, eps, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrNoWorkers) {
+			t.Fatalf("run returned %v, want ErrNoWorkers", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung instead of failing with ErrNoWorkers")
+	}
+}
+
+// TestNoEndpointsRunsLocally covers the degenerate deployment: zero
+// endpoints, everything on the local executor.
+func TestNoEndpointsRunsLocally(t *testing.T) {
+	const n = 300
+	const seed = int64(3)
+	want, wantRep := baseline(t, n, seed)
+	cfg := Config{N: n, Seed: seed, ConfigHash: testHash, ShardSize: 64, MaxFailFrac: 1.0}
+	res, err := Run(context.Background(), cfg, nil, testExec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "no-endpoints", res, want, wantRep)
+	if res.Stats.LocalFallback != int64(res.Shards) {
+		t.Fatalf("local fallback %d, want %d", res.Stats.LocalFallback, res.Shards)
+	}
+}
+
+// TestDuplicateEnvelopesCommitOnce duplicates every shard's first result:
+// exactly one copy may commit, the rest are counted duplicates.
+func TestDuplicateEnvelopesCommitOnce(t *testing.T) {
+	const n = 400
+	const seed = int64(5)
+	want, wantRep := baseline(t, n, seed)
+	plan := &FaultPlan{}
+	for sh := 0; sh < 4; sh++ {
+		plan.Rules = append(plan.Rules, FaultRule{Shard: sh, Attempt: 0, Kind: FaultDuplicate})
+	}
+	cfg := Config{N: n, Seed: seed, ConfigHash: testHash, ShardSize: 100, MaxFailFrac: 1.0}
+	eps := []Endpoint[float64]{{Name: "w0", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})}}
+	res, err := Run(context.Background(), cfg, eps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "duplicates", res, want, wantRep)
+	if res.Stats.Duplicates != int64(res.Shards) {
+		t.Fatalf("duplicates = %d, want %d", res.Stats.Duplicates, res.Shards)
+	}
+	if res.Stats.Retried != 0 {
+		t.Fatalf("duplicates caused retries: %+v", res.Stats)
+	}
+}
+
+// TestCorruptEnvelopeRejectedAndRetried corrupts every shard's first
+// envelope: validation must reject it (lost) and the retry must heal.
+func TestCorruptEnvelopeRejectedAndRetried(t *testing.T) {
+	const n = 200
+	const seed = int64(9)
+	want, wantRep := baseline(t, n, seed)
+	plan := &FaultPlan{Rules: []FaultRule{
+		{Shard: 0, Attempt: 0, Kind: FaultCorrupt},
+		{Shard: 1, Attempt: 0, Kind: FaultCorrupt},
+	}}
+	cfg := Config{
+		N: n, Seed: seed, ConfigHash: testHash, ShardSize: 100, MaxFailFrac: 1.0,
+		DeadAfter: 10, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	}
+	eps := []Endpoint[float64]{{Name: "w0", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})}}
+	res, err := Run(context.Background(), cfg, eps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "corrupt", res, want, wantRep)
+	if res.Stats.Lost != 2 || res.Stats.Retried != 2 {
+		t.Fatalf("corrupt envelopes: lost=%d retried=%d, want 2/2: %+v",
+			res.Stats.Lost, res.Stats.Retried, res.Stats)
+	}
+}
+
+// TestEnvelopeValidate table-tests the wire-format rejections.
+func TestEnvelopeValidate(t *testing.T) {
+	mk := func() *Envelope[float64] {
+		return &Envelope[float64]{
+			Version: EnvelopeVersion, ConfigHash: testHash, N: 100, Lo: 10, Hi: 20,
+			Results: make([]float64, 10), Attempted: 10,
+			Failures: []montecarlo.RecordedFailure{{Idx: 12, Msg: "x"}, {Idx: 17, Msg: "y"}},
+		}
+	}
+	if err := mk().Validate(testHash, 100, 10, 20); err != nil {
+		t.Fatalf("healthy envelope rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Envelope[float64])
+		want string
+	}{
+		{"version", func(e *Envelope[float64]) { e.Version = 2 }, "version"},
+		{"config", func(e *Envelope[float64]) { e.ConfigHash = "other" }, "different run configuration"},
+		{"range", func(e *Envelope[float64]) { e.Lo = 11 }, "covers"},
+		{"n", func(e *Envelope[float64]) { e.N = 99 }, "covers"},
+		{"truncated", func(e *Envelope[float64]) { e.Results = e.Results[:9] }, "results"},
+		{"incomplete", func(e *Envelope[float64]) { e.Attempted = 9 }, "incomplete"},
+		{"failure-oob", func(e *Envelope[float64]) { e.Failures[1].Idx = 20 }, "outside"},
+		{"failure-order", func(e *Envelope[float64]) { e.Failures[1].Idx = 12 }, "ascending"},
+	}
+	for _, tc := range cases {
+		e := mk()
+		tc.mut(e)
+		err := e.Validate(testHash, 100, 10, 20)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMergeRejectsGapAndOverlap pins the exact-tiling requirement.
+func TestMergeRejectsGapAndOverlap(t *testing.T) {
+	env := func(lo, hi int) *Envelope[float64] {
+		return &Envelope[float64]{
+			Version: EnvelopeVersion, ConfigHash: testHash, N: 30,
+			Lo: lo, Hi: hi, Results: make([]float64, hi-lo), Attempted: hi - lo,
+		}
+	}
+	if _, _, err := Merge(30, []*Envelope[float64]{env(0, 10), env(10, 20), env(20, 30)}); err != nil {
+		t.Fatalf("exact tiling rejected: %v", err)
+	}
+	if _, _, err := Merge(30, []*Envelope[float64]{env(0, 10), env(20, 30)}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if _, _, err := Merge(30, []*Envelope[float64]{env(0, 15), env(10, 30)}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if _, _, err := Merge(30, []*Envelope[float64]{env(0, 20)}); err == nil {
+		t.Fatal("short cover accepted")
+	}
+}
+
+// TestExecutorRejectsForeignConfig pins the worker-side hash gate.
+func TestExecutorRejectsForeignConfig(t *testing.T) {
+	exec := testExec()
+	req := Request{ConfigHash: "some-other-run", Seed: 1, N: 10, Lo: 0, Hi: 10, MaxFailFrac: 1.0}
+	if _, err := exec(context.Background(), req); err == nil ||
+		!strings.Contains(err.Error(), "built for") {
+		t.Fatalf("foreign config not rejected: %v", err)
+	}
+	if _, err := exec(context.Background(), Request{ConfigHash: testHash, N: 10, Lo: 5, Hi: 3}); err == nil {
+		t.Fatal("malformed range not rejected")
+	}
+}
+
+// TestJSONRoundTripBitFidelity runs a shard through the exact JSON
+// serialization the remote transports use and checks float64 results
+// survive the wire bit-for-bit (Go's shortest-float encoding round-trips).
+func TestJSONRoundTripBitFidelity(t *testing.T) {
+	exec := testExec()
+	req := Request{ConfigHash: testHash, Seed: 77, N: 100, Lo: 0, Hi: 100, MaxFailFrac: 1.0}
+	direct, err := exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := JSONRoundTrip(context.Background(), exec, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wired.Validate(testHash, 100, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Results {
+		if direct.Results[i] != wired.Results[i] {
+			t.Fatalf("sample %d: wire %.17g, direct %.17g", i, wired.Results[i], direct.Results[i])
+		}
+	}
+	if len(wired.Failures) != len(direct.Failures) {
+		t.Fatalf("wire failures %d, direct %d", len(wired.Failures), len(direct.Failures))
+	}
+}
+
+// TestMetricsAccountForEveryShard runs a faulty campaign with a registry
+// attached and checks the obs counters equal the coordinator's stats —
+// every dispatched/retried/speculated shard is accounted for.
+func TestMetricsAccountForEveryShard(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	plan := &FaultPlan{Rules: []FaultRule{
+		{Shard: 0, Attempt: 0, Kind: FaultDrop},
+		{Shard: 1, Attempt: 0, Kind: FaultCorrupt},
+		{Shard: 2, Attempt: 0, Kind: FaultDuplicate},
+	}}
+	cfg := Config{
+		N: 400, Seed: 2, ConfigHash: testHash, ShardSize: 100, MaxFailFrac: 1.0,
+		DeadAfter: 10, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Metrics: m,
+	}
+	eps := []Endpoint[float64]{{Name: "w0", Transport: Wrap(plan, Loopback[float64]{Exec: testExec()})}}
+	res, err := Run(context.Background(), cfg, eps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	wantCounters := map[string]int64{
+		"shard_dispatched_total":        res.Stats.Dispatched,
+		"shard_retried_total":           res.Stats.Retried,
+		"shard_speculated_total":        res.Stats.Speculated,
+		"shard_committed_total":         res.Stats.Committed,
+		"shard_duplicate_results_total": res.Stats.Duplicates,
+		"shard_results_lost_total":      res.Stats.Lost,
+		"shard_workers_lost_total":      res.Stats.WorkersLost,
+		"shard_local_fallback_total":    res.Stats.LocalFallback,
+	}
+	for name, want := range wantCounters {
+		if counters[name] != want {
+			t.Fatalf("%s = %d, want %d (stats %+v)", name, counters[name], want, res.Stats)
+		}
+	}
+	var lat obs.HistSnap
+	for _, h := range snap.Histograms {
+		if h.Name == "shard_latency_ns" {
+			lat = h
+		}
+	}
+	if lat.Count != res.Stats.Committed {
+		t.Fatalf("latency histogram holds %d observations, want %d", lat.Count, res.Stats.Committed)
+	}
+}
+
+// TestBackoffDeterministicAndBounded pins the retry schedule: same
+// (seed, shard, fails) → same delay, delays grow, and the cap holds.
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	c := &coordinator[float64]{cfg: Config{
+		Seed: 42, N: 1000, BackoffBase: 50 * time.Millisecond, BackoffMax: 2 * time.Second,
+	}}
+	c2 := &coordinator[float64]{cfg: c.cfg}
+	for shard := 0; shard < 4; shard++ {
+		prevBase := time.Duration(0)
+		for fails := 1; fails <= 10; fails++ {
+			d := c.backoff(shard, fails)
+			if d != c2.backoff(shard, fails) {
+				t.Fatalf("backoff(%d,%d) not deterministic", shard, fails)
+			}
+			if d > c.cfg.BackoffMax {
+				t.Fatalf("backoff(%d,%d) = %v exceeds cap %v", shard, fails, d, c.cfg.BackoffMax)
+			}
+			base := c.cfg.BackoffBase << (fails - 1)
+			if base > c.cfg.BackoffMax {
+				base = c.cfg.BackoffMax
+			}
+			if d < base && d != c.cfg.BackoffMax {
+				t.Fatalf("backoff(%d,%d) = %v below its exponential floor %v", shard, fails, d, base)
+			}
+			if base > prevBase && fails > 1 && d < prevBase {
+				t.Fatalf("backoff(%d,%d) = %v shrank below previous floor %v", shard, fails, d, prevBase)
+			}
+			prevBase = base
+		}
+	}
+	if j1, j2 := c.backoff(0, 1), c.backoff(1, 1); j1 == j2 {
+		// Distinct shards should (overwhelmingly) jitter apart; a collision
+		// here means the jitter ignores the shard ordinal.
+		if c.backoff(2, 1) == j1 && c.backoff(3, 1) == j1 {
+			t.Fatal("jitter is constant across shards")
+		}
+	}
+}
+
+// TestOffsetAddsNoAllocations pins the zero-extra-allocations-per-sample
+// claim for workers: an offset run allocates exactly what an offset-0 run
+// does.
+func TestOffsetAddsNoAllocations(t *testing.T) {
+	run := func(off int) func() {
+		return func() {
+			_, _, err := montecarlo.MapPooledReportCtx(context.Background(), 64, 1, 1,
+				montecarlo.RunOpts{Policy: montecarlo.SkipUpTo(1.0), Offset: off},
+				testNewState, testFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := testing.AllocsPerRun(20, run(0))
+	shifted := testing.AllocsPerRun(20, run(100_000))
+	if shifted > base {
+		t.Fatalf("Offset run allocates %.1f, offset-0 run %.1f", shifted, base)
+	}
+}

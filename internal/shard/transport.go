@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"time"
+)
+
+// Transport delivers one shard request to a worker and returns the
+// envelopes that came back. The slice return models at-least-once
+// delivery honestly: a healthy worker yields exactly one envelope, a
+// fault-injecting or real flaky transport may deliver the same result
+// twice (retransmit racing the original) or none at all. (nil, nil) means
+// the attempt was lost without a transport error; the coordinator treats
+// both a lost attempt and a returned error as a retryable failure.
+type Transport[T any] interface {
+	Dispatch(ctx context.Context, req Request) ([]*Envelope[T], error)
+}
+
+// Loopback runs the executor in-process: the transport used by tests and
+// by the coordinator's local-fallback path. One envelope, no wire.
+type Loopback[T any] struct {
+	Exec ExecFn[T]
+}
+
+// Dispatch implements Transport.
+func (l Loopback[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope[T], error) {
+	env, err := l.Exec(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return []*Envelope[T]{env}, nil
+}
+
+// JSONRoundTrip encodes a request, runs exec, and decodes the envelope
+// through JSON — the exact serialization every remote transport uses — so
+// tests can pin wire fidelity without sockets.
+func JSONRoundTrip[T any](ctx context.Context, exec ExecFn[T], req Request) (*Envelope[T], error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var req2 Request
+	if err := json.Unmarshal(raw, &req2); err != nil {
+		return nil, err
+	}
+	env, err := exec(ctx, req2)
+	if err != nil {
+		return nil, err
+	}
+	raw, err = json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	out := new(Envelope[T])
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HTTPEndpoint dispatches shard requests to a `vsshard serve` worker over
+// POST {Base}/shard with JSON request/envelope bodies.
+type HTTPEndpoint[T any] struct {
+	Base   string // e.g. "http://127.0.0.1:8731"
+	Client *http.Client
+}
+
+// Dispatch implements Transport.
+func (h HTTPEndpoint[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope[T], error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: worker %s: %s: %s", h.Base, resp.Status, bytes.TrimSpace(raw))
+	}
+	env := new(Envelope[T])
+	if err := json.Unmarshal(raw, env); err != nil {
+		return nil, fmt.Errorf("shard: worker %s sent undecodable envelope: %w", h.Base, err)
+	}
+	return []*Envelope[T]{env}, nil
+}
+
+// Handler serves an executor over HTTP: POST /shard runs a request, GET
+// /healthz answers liveness probes. The `vsshard serve` mode mounts this.
+func Handler[T any](exec ExecFn[T]) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/shard", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		env, err := exec(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(env)
+	})
+	return mux
+}
+
+// ProcEndpoint spawns one worker subprocess per dispatch (`vsshard work`
+// style): the request goes to stdin as one JSON document, the envelope
+// comes back on stdout. A killed or crashing worker surfaces as a dispatch
+// error the coordinator retries — the kill-a-worker demo in the README
+// exercises exactly this path.
+type ProcEndpoint[T any] struct {
+	Argv []string // command + args; must speak the work protocol
+}
+
+// Dispatch implements Transport.
+func (p ProcEndpoint[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope[T], error) {
+	if len(p.Argv) == 0 {
+		return nil, fmt.Errorf("shard: empty worker argv")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, p.Argv[0], p.Argv[1:]...)
+	cmd.Stdin = bytes.NewReader(body)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("shard: worker process: %w (stderr: %s)", err, bytes.TrimSpace(errBuf.Bytes()))
+	}
+	env := new(Envelope[T])
+	if err := json.Unmarshal(out.Bytes(), env); err != nil {
+		return nil, fmt.Errorf("shard: worker process sent undecodable envelope: %w", err)
+	}
+	return []*Envelope[T]{env}, nil
+}
+
+// Endpoint names a transport for the coordinator's worker pool.
+type Endpoint[T any] struct {
+	Name      string
+	Transport Transport[T]
+}
+
+// WaitHealthy polls an HTTP worker's /healthz until it answers or the
+// context expires — `vsshard run -peers` uses it so freshly spawned
+// servers are not counted dead before they finish binding.
+func WaitHealthy(ctx context.Context, base string, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard: worker %s never became healthy: %w", base, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
