@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch shard
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch shard trace
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs sparse lifecycle batch shard
+tier1: vet obs sparse lifecycle batch shard trace
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -55,6 +55,18 @@ shard:
 	$(GO) test -race -count=2 ./internal/shard/
 	$(GO) test -race -count=2 -run 'TestSharded|TestBatchEvictionCancel' ./internal/experiments/
 	$(GO) test -race -count=2 -run 'TestOffset|TestBatchMidRunCancel|TestRecordedFailure|TestSyncDir' ./internal/montecarlo/
+
+# Distributed-tracing rung: the span/flight-recorder layer under the race
+# detector (worker tracers merge into shared worst-K sets), the cross-
+# transport trace-stitching and worst-K determinism contracts, the batched
+# phase-accounting acceptance, and the zero-alloc guard pinning that a
+# tracing-disabled armed transient step allocates nothing.
+trace:
+	$(GO) test -race -count=2 ./internal/obs/trace/
+	$(GO) test -race -count=1 -run 'TestTrace|TestClassifyVerdict' ./internal/montecarlo/ ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestBatchedPhaseSelfTimesCoverWall' ./internal/experiments/
+	$(GO) test -count=1 -run 'TestTracingDisabledArmedStepAllocFree|TestScopeForwardsSolverSpans' ./internal/spice/
+	$(GO) test -count=1 -run 'TestPrometheusGolden|TestHelpSurvives' ./internal/obs/
 
 # Tier 2: the race detector over the full tree, including the pooled
 # parallel Monte Carlo engine.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"vstat/internal/experiments"
 	"vstat/internal/extract"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs/trace"
 	"vstat/internal/stats"
 )
 
@@ -30,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	individual := flag.Bool("individual", false, "also print per-geometry solves (Fig. 2 mode)")
 	vdd := flag.Float64("vdd", 0.9, "supply voltage")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the golden MC runs to this path")
+	traceK := flag.Int("trace-k", 0, "with -trace-out, keep the K worst samples per geometry run (0 = default 8)")
 	flag.Parse()
 
 	var kind device.Kind
@@ -57,15 +61,33 @@ func main() {
 		fitted = cal
 	}
 
+	var rec *trace.Recorder
+	var runSpan *trace.Span
+	if *traceOut != "" {
+		rec = trace.New("bpvx", *traceK)
+		runSpan = rec.Start("bpvx "+*kindFlag, trace.CatRun, 0)
+	}
+
 	tg := bpv.Targets{Vdd: *vdd}
 	var data []bpv.GeometryVariance
 	fmt.Printf("golden MC variances (N=%d per geometry):\n", *n)
 	fmt.Printf("%10s %8s %14s %14s %14s\n", "W (nm)", "L (nm)", "sIdsat (uA)", "sLog10Ioff", "sCgg (aF)")
 	for gi, g := range experiments.ExtractionGeometries {
-		samples, err := montecarlo.Map(*n, *seed+int64(gi)*7919, 0,
+		var opts montecarlo.RunOpts
+		var gSpan *trace.Span
+		if rec != nil {
+			gSpan = rec.Start(fmt.Sprintf("golden-mc W=%.0fnm L=%.0fnm", g[0]*1e9, g[1]*1e9),
+				trace.CatMCRun, runSpan.ID())
+			opts.Trace = trace.NewMC(rec, fmt.Sprintf("golden-%d", gi), gSpan.ID(), *traceK)
+		}
+		samples, _, err := montecarlo.MapReportCtx(context.Background(), *n, *seed+int64(gi)*7919, 0, opts,
 			func(idx int, rng *rand.Rand) ([]float64, error) {
 				return tg.EvalVec(golden.SampleDevice(rng, kind, g[0], g[1])), nil
 			})
+		if opts.Trace != nil {
+			opts.Trace.Finish()
+		}
+		gSpan.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -96,6 +118,14 @@ func main() {
 			}
 			fmt.Printf("  W=%4.0f nm: %s\n", gv.W*1e9, ind)
 		}
+	}
+
+	if rec != nil {
+		runSpan.End()
+		if err := rec.WriteFile(*traceOut); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Printf("\ntrace written to %s (inspect with 'vstrace summarize %s')\n", *traceOut, *traceOut)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
+	obstrace "vstat/internal/obs/trace"
 	"vstat/internal/shard"
 	"vstat/internal/spice"
 )
@@ -631,6 +632,14 @@ type benchLC struct {
 	ckDir  string
 	resume bool
 	vdd    float64
+
+	// rec/runSpan/traceK drive the -trace-out flight recorder: each
+	// scalar-engine unit's distribution pass runs with a trace.MC under a
+	// per-unit span parented to runSpan. Never attached to the timed pass
+	// (its ns/allocs per sample must stay comparable across revisions).
+	rec     *obstrace.Recorder
+	runSpan uint64
+	traceK  int
 }
 
 // runUnit times one unit and turns the raw counters into a record. The
@@ -731,9 +740,21 @@ func runUnit(name, mode string, core spice.LinearCore, fn unitFn,
 			bo.live.Store(reg)
 		}
 		distOpts := lc.opts // never the checkpoint: the pass re-runs every sample
+		var unitSpan *obstrace.Span
+		if lc.rec != nil && lanes == 0 {
+			// The flight recorder covers the scalar-engine units only: the
+			// K-lane lockstep path shares solver work across lanes, so
+			// per-sample span attribution would be arbitrary there.
+			unit := fmt.Sprintf("%s/%s/%s", name, core, mode)
+			unitSpan = lc.rec.Start(unit, obstrace.CatExperiment, lc.runSpan)
+			distOpts.Trace = obstrace.NewMC(lc.rec, unit, unitSpan.ID(), lc.traceK)
+		}
 		if _, _, err := fn(lc.ctx, n, seed, workers, distOpts, fast, core, mi, nil); err != nil {
+			unitSpan.End()
 			return unitRecord{}, fmt.Errorf("%s (%s, %s) distribution pass: %w", name, mode, core, err)
 		}
+		distOpts.Trace.Finish()
+		unitSpan.End()
 		snap := reg.Snapshot()
 		if bo != nil {
 			bo.snaps = append(bo.snaps, unitSnapshot{Unit: name, Mode: mode, Metrics: snap})
@@ -860,6 +881,8 @@ func main() {
 		lifecycleB    = flag.Bool("lifecycle-bench", true, "measure checkpoint and budget-check overheads and record them under \"lifecycle\" in -out")
 
 		metricsOut = flag.String("metrics-out", "", "write the per-unit observability snapshots (JSON) to this path; implies -dist")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the distribution passes (per-unit spans + worst-sample flight recorder) to this path; implies -dist; scalar-engine units only")
+		traceK     = flag.Int("trace-k", 0, "with -trace-out, keep full span detail for the K worst samples per unit (0 = default 8)")
 		trace      = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr during the distribution passes (0 = off)")
 		logLevel   = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
 		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and a Prometheus /metrics endpoint on this address (e.g. localhost:6060)")
@@ -878,7 +901,7 @@ func main() {
 	}
 
 	bo := &benchObs{}
-	if *metricsOut != "" || *trace > 0 || *pprofAddr != "" {
+	if *metricsOut != "" || *trace > 0 || *pprofAddr != "" || *traceOut != "" {
 		*dist = true
 	}
 	if *trace > 0 {
@@ -921,6 +944,13 @@ func main() {
 		ckDir:  *ckDir,
 		resume: *resume,
 		vdd:    *vdd,
+	}
+	var traceRunSpan *obstrace.Span
+	if *traceOut != "" {
+		lc.rec = obstrace.New("vsbench", *traceK)
+		traceRunSpan = lc.rec.Start("vsbench", obstrace.CatRun, 0)
+		lc.runSpan = traceRunSpan.ID()
+		lc.traceK = *traceK
 	}
 
 	if *n < 1 {
@@ -1037,6 +1067,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d unit records)\n", *out, len(doc.Units))
+		if lc.rec != nil {
+			traceRunSpan.End()
+			traceRunSpan = nil
+			if err := lc.rec.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "vsbench: trace: %v\n", err)
+			} else {
+				fmt.Printf("trace written to %s (inspect with 'vstrace summarize %s')\n", *traceOut, *traceOut)
+			}
+			lc.rec = nil
+		}
 		if *metricsOut != "" {
 			blob, err := json.MarshalIndent(struct {
 				Units []unitSnapshot `json:"units"`

@@ -28,6 +28,7 @@ import (
 	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
+	obstrace "vstat/internal/obs/trace"
 )
 
 func main() {
@@ -51,6 +52,8 @@ func main() {
 		shardWorkers  = flag.Int("shard-workers", 0, "with -shard-size, in-process loopback endpoints per run (0 = -workers)")
 
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics snapshot (JSON) to this path on exit; enables instrumentation")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the campaign to this path on exit; includes the worst-sample flight recorder (inspect with 'vstrace summarize')")
+		traceK      = flag.Int("trace-k", 0, "with -trace-out, keep full span detail for the K worst samples per run (0 = default 8)")
 		trace       = flag.Int("trace", 0, "emit every Nth structured solver trace event to stderr (0 = off)")
 		logLevel    = flag.String("log-level", "warn", "minimum trace event level: debug|info|warn|error")
 		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof and a Prometheus /metrics endpoint on this address (e.g. localhost:6060)")
@@ -80,6 +83,16 @@ func main() {
 	}
 	if *skip {
 		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}
+	}
+
+	var rec *obstrace.Recorder
+	var runSpan *obstrace.Span
+	if *traceOut != "" {
+		rec = obstrace.New("vsrepro", *traceK)
+		runSpan = rec.Start("vsrepro "+*exp, obstrace.CatRun, 0)
+		cfg.TraceRec = rec
+		cfg.TraceParent = runSpan.ID()
+		cfg.TraceK = *traceK
 	}
 
 	var reg *obs.Registry
@@ -168,10 +181,20 @@ func main() {
 		}},
 	}
 
-	// flushMetrics writes the -metrics-out snapshot; it runs on the normal
-	// exit path AND on every fatal/interrupt path, so an interrupted
-	// campaign never drops its observability data.
+	// flushMetrics writes the -metrics-out snapshot and the -trace-out trace
+	// file; it runs on the normal exit path AND on every fatal/interrupt
+	// path, so an interrupted campaign never drops its observability data.
 	flushMetrics := func() {
+		if rec != nil {
+			runSpan.End()
+			runSpan = nil // End appends; never twice
+			if err := rec.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "vsrepro: trace:", err)
+			} else {
+				fmt.Printf("trace written to %s (inspect with 'vstrace summarize %s' or load in Perfetto)\n", *traceOut, *traceOut)
+			}
+			rec = nil
+		}
 		if *metricsOut == "" {
 			return
 		}
@@ -233,7 +256,16 @@ func main() {
 
 	for _, r := range selected {
 		t := time.Now()
+		var expSpan *obstrace.Span
+		if rec != nil {
+			// Each experiment gets its own span; Monte Carlo runs started
+			// while it is current parent to it (suite.Cfg is what runPooledMC
+			// reads its trace anchors from).
+			expSpan = rec.Start(r.id, obstrace.CatExperiment, runSpan.ID())
+			suite.Cfg.TraceParent = expSpan.ID()
+		}
 		res, err := r.run()
+		expSpan.End()
 		if err != nil {
 			if lifecycle.IsCancellation(err) {
 				fmt.Fprintf(os.Stderr, "vsrepro: %s interrupted: %v\n", r.id, err)

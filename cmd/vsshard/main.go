@@ -35,6 +35,8 @@ import (
 	"vstat/internal/core"
 	"vstat/internal/measure"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
+	"vstat/internal/obs/trace"
 	"vstat/internal/shard"
 	"vstat/internal/variation"
 )
@@ -154,7 +156,10 @@ func workMain(args []string) error {
 	return json.NewEncoder(os.Stdout).Encode(env)
 }
 
-// serveMain is the long-lived HTTP worker.
+// serveMain is the long-lived HTTP worker. Besides the shard protocol
+// (POST /shard, GET /healthz) it exposes GET /metrics: a Prometheus text
+// endpoint counting this worker's shard traffic (requests served, samples
+// executed, failed requests), all on the same listen address.
 func serveMain(args []string) error {
 	fs := flag.NewFlagSet("vsshard serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:8731", "listen address")
@@ -163,8 +168,32 @@ func serveMain(args []string) error {
 	workers := fs.Int("engine-workers", 1, "MC workers inside this process (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
-	fmt.Fprintf(os.Stderr, "vsshard serve: listening on %s (vdd=%g fast=%v)\n", *listen, *vdd, *fast)
-	return http.ListenAndServe(*listen, shard.Handler(makeExec(*vdd, *fast, *workers)))
+	reg := obs.NewRegistry()
+	reqs := reg.Counter("worker_shard_requests_total")
+	samples := reg.Counter("worker_samples_total")
+	fails := reg.Counter("worker_shard_failures_total")
+	reg.SetHelp("worker_shard_requests_total", "Shard requests this worker accepted.")
+	reg.SetHelp("worker_samples_total", "Monte Carlo samples this worker executed across all shards.")
+	reg.SetHelp("worker_shard_failures_total", "Shard requests that ended in an error (refused or failed mid-run).")
+	sh := reg.NewShard()
+	exec := makeExec(*vdd, *fast, *workers)
+	counted := shard.ExecFn[float64](func(ctx context.Context, req shard.Request) (*shard.Envelope[float64], error) {
+		sh.Add(reqs, 1)
+		env, err := exec(ctx, req)
+		if err != nil {
+			sh.Add(fails, 1)
+			return nil, err
+		}
+		sh.Add(samples, int64(env.Attempted))
+		return env, nil
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", shard.Handler(counted))
+	mux.Handle("/metrics", reg.Handler())
+
+	fmt.Fprintf(os.Stderr, "vsshard serve: listening on %s (vdd=%g fast=%v; POST /shard, GET /healthz, GET /metrics)\n",
+		*listen, *vdd, *fast)
+	return http.ListenAndServe(*listen, mux)
 }
 
 // runMain is the coordinator.
@@ -184,6 +213,8 @@ func runMain(args []string) error {
 	straggler := fs.Duration("straggler", 0, "speculative re-dispatch after this in-flight time (0 = off)")
 	shardWall := fs.Duration("shard-wall", 0, "wall budget per shard attempt (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "whole-run wall limit (0 = unlimited)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (dispatches, shard attempts, worst-sample spans from every worker) to this path")
+	traceK := fs.Int("trace-k", 0, "with -trace-out, keep full span detail for the K worst samples run-wide (0 = default 8)")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -237,9 +268,29 @@ func runMain(args []string) error {
 
 		StragglerAfter: *straggler,
 	}
+	var rec *trace.Recorder
+	var runSpan *trace.Span
+	if *traceOut != "" {
+		rec = trace.New("vsshard", *traceK)
+		runSpan = rec.Start(fmt.Sprintf("vsshard run %s n=%d", *bench, *n), trace.CatRun, 0)
+		cfg.Trace = rec
+		cfg.TraceParent = runSpan.ID()
+		cfg.TraceK = *traceK
+	}
 	start := time.Now()
 	res, err := shard.Run(ctx, cfg, eps, local)
 	wall := time.Since(start)
+	if rec != nil {
+		// Written even on a failed/cancelled run — a partial trace is
+		// exactly what post-mortems want.
+		runSpan.End()
+		if werr := rec.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "vsshard run: trace:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "vsshard run: trace written to %s (inspect with 'vstrace summarize %s')\n",
+				*traceOut, *traceOut)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("vsshard run: %w", err)
 	}

@@ -1,0 +1,221 @@
+// Command vstrace inspects the Chrome trace-event JSON files the vsrepro,
+// vsbench, vsshard, and bpvx tools write with -trace-out.
+//
+// Usage:
+//
+//	vstrace summarize run.trace.json
+//
+// summarize prints a run overview (root spans, event counts, orphan check),
+// a per-shard dispatch table, the run's critical path (the chain of
+// longest-duration children from the root), a per-phase time breakdown
+// aggregated over the retained worst samples, and the worst-K sample table
+// from the flight recorder. The same file loads in Perfetto /
+// chrome://tracing for the interactive view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vstat/internal/obs/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "summarize":
+		fs := flag.NewFlagSet("vstrace summarize", flag.ExitOnError)
+		depth := fs.Int("depth", 12, "critical-path depth to print")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: vstrace summarize [-depth N] <trace.json>")
+			os.Exit(2)
+		}
+		if err := summarize(fs.Arg(0), *depth); err != nil {
+			fmt.Fprintln(os.Stderr, "vstrace:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vstrace summarize [-depth N] <trace.json>")
+	os.Exit(2)
+}
+
+func summarize(path string, depth int) error {
+	evs, sum, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: no span events", path)
+	}
+
+	children := make(map[uint64][]*trace.Event, len(evs))
+	catCount := map[string]int{}
+	catDur := map[string]int64{}
+	var roots []*trace.Event
+	for i := range evs {
+		ev := &evs[i]
+		catCount[ev.Cat]++
+		catDur[ev.Cat] += ev.Dur
+		if ev.Parent == 0 {
+			roots = append(roots, ev)
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Parent != 0 {
+			children[ev.Parent] = append(children[ev.Parent], ev)
+		}
+	}
+
+	// Overview.
+	fmt.Printf("trace %s: %d spans, %d orphans\n", path, len(evs), trace.Orphans(evs))
+	for _, r := range roots {
+		fmt.Printf("  root: %-40s %10s  [%s]\n", r.Name, dur(r.Dur), r.Proc)
+	}
+	fmt.Println()
+	fmt.Println("spans by category:")
+	cats := make([]string, 0, len(catCount))
+	for c := range catCount {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf("  %-12s %6d spans  %12s total\n", c, catCount[c], dur(catDur[c]))
+	}
+
+	// Per-shard table: the coordinator's dispatch spans paired (by timing
+	// only — attempts may be lost before producing a worker span) with the
+	// worker-side shard spans.
+	var dispatch, shards []*trace.Event
+	for i := range evs {
+		switch evs[i].Cat {
+		case trace.CatDispatch:
+			dispatch = append(dispatch, &evs[i])
+		case trace.CatShard:
+			shards = append(shards, &evs[i])
+		}
+	}
+	if len(dispatch) > 0 {
+		sort.Slice(dispatch, func(i, j int) bool { return dispatch[i].Start < dispatch[j].Start })
+		fmt.Println()
+		fmt.Println("dispatch attempts (coordinator view):")
+		fmt.Printf("  %-44s %-10s %12s\n", "attempt", "outcome", "wall")
+		for _, d := range dispatch {
+			fmt.Printf("  %-44s %-10s %12s\n", d.Name, d.Note, dur(d.Dur))
+		}
+	}
+	if len(shards) > 0 {
+		sort.Slice(shards, func(i, j int) bool { return shards[i].Start < shards[j].Start })
+		fmt.Println()
+		fmt.Println("shard executions (worker view):")
+		fmt.Printf("  %-44s %-16s %12s\n", "shard", "proc", "wall")
+		for _, s := range shards {
+			fmt.Printf("  %-44s %-16s %12s\n", s.Name, s.Proc, dur(s.Dur))
+		}
+	}
+
+	// Critical path: from each root, repeatedly descend into the
+	// longest-duration child, reporting each hop's self time (span duration
+	// minus its children's).
+	for _, r := range roots {
+		fmt.Println()
+		fmt.Printf("critical path from %q:\n", r.Name)
+		cur := r
+		for lvl := 0; cur != nil && lvl < depth; lvl++ {
+			kids := children[cur.ID]
+			var childSum int64
+			var next *trace.Event
+			for _, k := range kids {
+				childSum += k.Dur
+				if next == nil || k.Dur > next.Dur {
+					next = k
+				}
+			}
+			self := cur.Dur - childSum
+			if self < 0 {
+				self = 0 // concurrent children legitimately oversubscribe the parent
+			}
+			fmt.Printf("  %s%-*s %12s total  %12s self  (%d children)\n",
+				strings.Repeat("  ", lvl), 44-2*lvl, name(cur), dur(cur.Dur), dur(self), len(kids))
+			cur = next
+		}
+	}
+
+	// Per-phase breakdown over the retained worst samples (the only samples
+	// whose phase spans survive to the file).
+	phaseDur := map[string]int64{}
+	phaseCount := map[string]int{}
+	for i := range evs {
+		if evs[i].Cat == trace.CatPhase {
+			phaseDur[evs[i].Name] += evs[i].Dur
+			phaseCount[evs[i].Name]++
+		}
+	}
+	if len(phaseDur) > 0 {
+		type pd struct {
+			name string
+			d    int64
+		}
+		var ps []pd
+		for n, d := range phaseDur {
+			ps = append(ps, pd{n, d})
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].d != ps[j].d {
+				return ps[i].d > ps[j].d
+			}
+			return ps[i].name < ps[j].name
+		})
+		fmt.Println()
+		fmt.Printf("phase breakdown over the %d retained worst samples:\n", len(sum.Worst))
+		for _, p := range ps {
+			fmt.Printf("  %-28s %6d spans  %12s total\n", p.name, phaseCount[p.name], dur(p.d))
+		}
+	}
+
+	// Worst-K table.
+	if len(sum.Worst) > 0 {
+		fmt.Println()
+		fmt.Printf("worst %d samples (flight recorder, K=%d):\n", len(sum.Worst), sum.K)
+		fmt.Printf("  %8s %-12s %8s %8s %12s  %-12s %s\n",
+			"idx", "verdict", "iters", "rescues", "wall", "worst-node", "error")
+		for _, w := range sum.Worst {
+			errMsg := w.Diag.Err
+			if len(errMsg) > 60 {
+				errMsg = errMsg[:57] + "..."
+			}
+			trunc := ""
+			if w.Truncated {
+				trunc = " [spans truncated]"
+			}
+			fmt.Printf("  %8d %-12s %8d %8d %12s  %-12s %s%s\n",
+				w.Diag.Idx, w.Diag.Verdict, w.Diag.Iters, w.Diag.Rescues,
+				dur(w.Diag.WallNs), w.Diag.WorstNode, errMsg, trunc)
+		}
+	}
+	return nil
+}
+
+// name renders a span with its run context compactly.
+func name(ev *trace.Event) string {
+	if len(ev.Name) > 40 {
+		return ev.Name[:37] + "..."
+	}
+	return ev.Name
+}
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -111,10 +111,20 @@ func (p *PooledGate) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 // see spice.Circuit.SetObs).
 func (p *PooledGate) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
 
+// AttachTracer implements montecarlo.TraceAttacher: phase spans and rescue
+// rungs of the template circuit flow to the worker's sample tracer.
+func (p *PooledGate) AttachTracer(t obs.Tracer) { p.Ckt.AttachTracer(t) }
+
 // RescueCounts implements montecarlo.RescueReporter: the nonzero
 // rescue-ladder counters accumulated by this worker's template circuit.
 func (p *PooledGate) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
+}
+
+// SolverWork implements montecarlo.WorkReporter: cumulative Newton
+// iterations and rescue stages, the flight recorder's ranking inputs.
+func (p *PooledGate) SolverWork() (iters, rescues int64) {
+	return p.Ckt.Stats().Work()
 }
 
 // ArmSample implements montecarlo.SampleArmer: the template circuit
@@ -163,9 +173,17 @@ func (p *PooledDFF) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 // SetObs attaches an observability scope to the template circuit.
 func (p *PooledDFF) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
 
+// AttachTracer implements montecarlo.TraceAttacher.
+func (p *PooledDFF) AttachTracer(t obs.Tracer) { p.Ckt.AttachTracer(t) }
+
 // RescueCounts implements montecarlo.RescueReporter.
 func (p *PooledDFF) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
+}
+
+// SolverWork implements montecarlo.WorkReporter.
+func (p *PooledDFF) SolverWork() (iters, rescues int64) {
+	return p.Ckt.Stats().Work()
 }
 
 // ArmSample implements montecarlo.SampleArmer.
@@ -194,9 +212,17 @@ func (p *PooledRing) Restat(f Factory) { p.rec.Restamp(p.Ckt, f) }
 // SetObs attaches an observability scope to the template circuit.
 func (p *PooledRing) SetObs(sc *obs.Scope) { p.Ckt.SetObs(sc) }
 
+// AttachTracer implements montecarlo.TraceAttacher.
+func (p *PooledRing) AttachTracer(t obs.Tracer) { p.Ckt.AttachTracer(t) }
+
 // RescueCounts implements montecarlo.RescueReporter.
 func (p *PooledRing) RescueCounts() map[string]int64 {
 	return p.Ckt.Stats().RescueCounts()
+}
+
+// SolverWork implements montecarlo.WorkReporter.
+func (p *PooledRing) SolverWork() (iters, rescues int64) {
+	return p.Ckt.Stats().Work()
 }
 
 // ArmSample implements montecarlo.SampleArmer.
@@ -294,9 +320,21 @@ func (p *PooledSRAM) Stats() spice.SolverStats {
 	return p.cL.Stats().Add(p.cR.Stats())
 }
 
+// AttachTracer implements montecarlo.TraceAttacher on both half-circuits
+// (they share a scope, so the tracer is simply set twice).
+func (p *PooledSRAM) AttachTracer(t obs.Tracer) {
+	p.cL.AttachTracer(t)
+	p.cR.AttachTracer(t)
+}
+
 // RescueCounts implements montecarlo.RescueReporter over both half-circuits.
 func (p *PooledSRAM) RescueCounts() map[string]int64 {
 	return p.Stats().RescueCounts()
+}
+
+// SolverWork implements montecarlo.WorkReporter over both half-circuits.
+func (p *PooledSRAM) SolverWork() (iters, rescues int64) {
+	return p.Stats().Work()
 }
 
 // ResetStats zeroes the solver counters of both half-circuits.

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/measure"
+	"vstat/internal/montecarlo"
+	"vstat/internal/obs"
+	"vstat/internal/spice"
+)
+
+// batchPhaseState pairs one worker's K-lane bench with its recording
+// handle, mirroring vsbench's batched instrumentation wiring.
+type batchPhaseState struct {
+	b  *circuits.PooledGateBatch
+	so *SampleObs
+}
+
+// TestBatchedPhaseSelfTimesCoverWall is the batched-engine phase-accounting
+// acceptance: under the K-lane lockstep engine — with the Newton budget
+// starved so lanes are evicted to the scalar path mid-run — the
+// device-eval-batch self-time plus its sibling phases must sum to the run's
+// wall time within 10% at workers=1. Eviction re-runs route through the
+// scalar phase set, so the disjoint-phases invariant has to hold across the
+// lockstep/scalar boundary, not just on the happy path.
+func TestBatchedPhaseSelfTimesCoverWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented batched MC in -short")
+	}
+	enableObs(t)
+	reg := obs.NewRegistry()
+	mi := NewMCInstr(reg)
+	const n, k, maxNewton = 240, 4, 2
+	const seed = int64(20130318)
+	m := core.DefaultStatVS()
+	var bm sync.Mutex
+	var benches []*circuits.PooledGateBatch
+
+	start := time.Now()
+	_, _, err := montecarlo.MapPooledBatchReportCtx(context.Background(), n, seed, 1, k,
+		montecarlo.RunOpts{Policy: montecarlo.SkipUpTo(1.0)},
+		func(int) (batchPhaseState, error) {
+			b, berr := circuits.NewPooledGateBatch(k, func() (*circuits.PooledGate, error) {
+				return circuits.NewPooledInverterFO(3, poolTestVdd, poolTestSizing(), m.Nominal(), false)
+			})
+			if berr != nil {
+				return batchPhaseState{}, berr
+			}
+			for _, p := range b.Lanes {
+				p.Ckt.MaxNewton = maxNewton // starve Newton: forces lockstep evictions
+			}
+			so := mi.NewWorker()
+			b.SetObs(so.Scope())
+			bm.Lock()
+			benches = append(benches, b)
+			bm.Unlock()
+			return batchPhaseState{b: b, so: so}, nil
+		},
+		func(st batchPhaseState, idxs []int, rngs []*rand.Rand, vals []float64, errs []error) {
+			b, so := st.b, st.so
+			sc := so.Scope()
+			sc.Enter(obs.PhaseRestamp)
+			for j, idx := range idxs {
+				b.SetLaneSample(j, idx)
+				b.Restat(j, so.Factory(m.Statistical(rngs[j])))
+			}
+			sc.Exit()
+			outs := b.TransientBatch(len(idxs), gateTranStop, gateTranStep)
+			sc.Enter(obs.PhaseMeasure)
+			for j := range idxs {
+				if outs[j].Err != nil {
+					errs[j] = outs[j].Err
+					continue
+				}
+				p := b.Lanes[j]
+				vals[j], errs[j] = measure.PairDelay(&p.Res, p.In, p.Out, poolTestVdd)
+			}
+			sc.Exit()
+			var sum spice.SolverStats
+			for _, p := range b.Lanes {
+				sum = sum.Add(p.Ckt.Stats())
+			}
+			so.EndBatch(len(idxs), sum)
+		})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var evicted int64
+	for _, b := range benches {
+		evicted += b.Evictions()
+	}
+	if evicted == 0 {
+		t.Fatal("starved run evicted no lanes; the test no longer exercises mid-run eviction")
+	}
+
+	snap := reg.Snapshot()
+	if be := snap.FindCounter("mc_phase_device-eval-batch_ns_total"); be <= 0 {
+		t.Fatal("device-eval-batch phase recorded no self-time under the batched engine")
+	}
+	// Eviction re-runs land in the scalar phases; both engines' phases must
+	// show up in the same disjoint accounting.
+	for _, phase := range []string{"assemble-J", "tri-solve"} {
+		if v := snap.FindCounter("mc_phase_" + phase + "_ns_total"); v <= 0 {
+			t.Fatalf("phase %s recorded no self-time (scalar eviction path uninstrumented?)", phase)
+		}
+	}
+	sum := time.Duration(phaseTotalNS(snap))
+	lo := wall - wall/10
+	hi := wall + wall/10
+	if sum < lo || sum > hi {
+		t.Fatalf("phase self-times sum to %v, outside 10%% of wall %v (evicted %d lanes)", sum, wall, evicted)
+	}
+}

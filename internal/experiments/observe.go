@@ -81,6 +81,16 @@ func NewMCInstr(reg *obs.Registry) *MCInstr {
 	}
 	mi.batchEvicted = reg.Counter("mc_batch_lanes_evicted_total")
 	mi.batchOccupancy = reg.Gauge("mc_batch_lane_occupancy_pct")
+	reg.SetHelp("mc_newton_iters", "Newton iterations per Monte Carlo sample.")
+	reg.SetHelp("mc_jac_refreshes", "Jacobian factorizations per Monte Carlo sample.")
+	reg.SetHelp("mc_samples_total", "Monte Carlo samples completed.")
+	reg.SetHelp("mc_samples_budget_total", "Samples that failed over their solver budget (wall, iteration cap, or hang watchdog).")
+	reg.SetHelp("mc_samples_cancelled_total", "In-flight samples drained by a run cancellation.")
+	for _, st := range rescueStages {
+		reg.SetHelp("mc_rescue_"+st+"_total", "Samples rescued by the "+st+" solver ladder stage.")
+	}
+	reg.SetHelp("mc_batch_lanes_evicted_total", "Lanes evicted from the K-lane lockstep path to the scalar engine.")
+	reg.SetHelp("mc_batch_lane_occupancy_pct", "Average filled-lane occupancy of the batched engine, in percent.")
 	return mi
 }
 
@@ -255,6 +265,24 @@ func (s obsState[B]) ArmSample(ctx context.Context, b lifecycle.Budget) {
 	if a, ok := any(s.B).(montecarlo.SampleArmer); ok {
 		a.ArmSample(ctx, b)
 	}
+}
+
+// AttachTracer forwards the flight-recorder tracer to the bench
+// (montecarlo.TraceAttacher), so solver phase spans land in the trace even
+// when the bench runs behind this observability wrapper.
+func (s obsState[B]) AttachTracer(t obs.Tracer) {
+	if a, ok := any(s.B).(montecarlo.TraceAttacher); ok {
+		a.AttachTracer(t)
+	}
+}
+
+// SolverWork forwards the bench's cumulative Newton/rescue totals
+// (montecarlo.WorkReporter) for the flight recorder's sample diagnostics.
+func (s obsState[B]) SolverWork() (iters, rescues int64) {
+	if w, ok := any(s.B).(montecarlo.WorkReporter); ok {
+		return w.SolverWork()
+	}
+	return 0, 0
 }
 
 // newObsState wraps a bench builder into a MapPooledReport newState that

@@ -28,6 +28,7 @@ import (
 	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs"
+	"vstat/internal/obs/trace"
 	"vstat/internal/shard"
 	"vstat/internal/stats"
 	"vstat/internal/variation"
@@ -65,6 +66,14 @@ type Config struct {
 	// Progress, when set alongside Metrics, is fed per-sample rescue
 	// tallies; attach it to run ticks with montecarlo.SetProgress.
 	Progress *obs.Progress
+
+	// TraceRec, when non-nil, records each circuit-MC run as a span tree
+	// (mc-run span under TraceParent, sample flight recorder keeping the
+	// TraceK worst samples) in the distributed-trace recorder. Works with
+	// both the pooled and sharded engines; independent of Metrics.
+	TraceRec    *trace.Recorder
+	TraceParent uint64
+	TraceK      int
 
 	// Ctx, when non-nil, cancels in-progress Monte Carlo runs: claiming
 	// stops, in-flight samples drain, and each experiment returns its
@@ -174,7 +183,16 @@ func runPooledMC[S, T any](cfg Config, name string, n int, seed int64,
 	if ck != nil {
 		opts.Checkpoint = ck
 	}
+	var mcSpan *trace.Span
+	if cfg.TraceRec != nil {
+		mcSpan = cfg.TraceRec.Start(name, trace.CatMCRun, cfg.TraceParent)
+		opts.Trace = trace.NewMC(cfg.TraceRec, name, mcSpan.ID(), cfg.TraceK)
+	}
 	out, rep, err := montecarlo.MapPooledReportCtx(cfg.ctx(), n, seed, cfg.Workers, opts, newState, fn)
+	if mcSpan != nil {
+		opts.Trace.Finish()
+		mcSpan.End()
+	}
 	cfg.instr.RecordRunLifecycle(rep) // this run's work, before any checkpoint overlay
 	if ck != nil {
 		if ferr := ck.Flush(); ferr != nil && err == nil {
@@ -224,6 +242,13 @@ func runShardedMC[S, T any](cfg Config, name string, n int, seed int64,
 		HangGrace:    cfg.HangGrace,
 		Metrics:      cfg.shardMetrics,
 	}
+	var mcSpan *trace.Span
+	if cfg.TraceRec != nil {
+		mcSpan = cfg.TraceRec.Start(name, trace.CatMCRun, cfg.TraceParent)
+		scfg.Trace = cfg.TraceRec
+		scfg.TraceParent = mcSpan.ID()
+		scfg.TraceK = cfg.TraceK
+	}
 	if cfg.Policy.OnFailure == montecarlo.SkipAndRecord {
 		scfg.MaxFailFrac = cfg.Policy.MaxFailFrac
 		if scfg.MaxFailFrac <= 0 {
@@ -231,6 +256,7 @@ func runShardedMC[S, T any](cfg Config, name string, n int, seed int64,
 		}
 	}
 	res, err := shard.Run(cfg.ctx(), scfg, eps, exec)
+	mcSpan.End()
 	cfg.instr.RecordRunLifecycle(res.Report)
 	return res.Out, res.Report, err
 }

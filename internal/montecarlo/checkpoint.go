@@ -64,13 +64,13 @@ func (f RecordedFailure) Err() error { return &restoredError{msg: f.Msg} }
 // entries are valid), failures, and the per-stage rescue totals of the
 // completed samples.
 type ckFile[T any] struct {
-	Version    int              `json:"version"`
-	ConfigHash string           `json:"config_hash"`
-	N          int              `json:"n"`
-	Done       []bool           `json:"done"`
-	Results    []T              `json:"results"`
+	Version    int               `json:"version"`
+	ConfigHash string            `json:"config_hash"`
+	N          int               `json:"n"`
+	Done       []bool            `json:"done"`
+	Results    []T               `json:"results"`
 	Failures   []RecordedFailure `json:"failures,omitempty"`
-	Rescued    map[string]int64 `json:"rescued,omitempty"`
+	Rescued    map[string]int64  `json:"rescued,omitempty"`
 }
 
 // restoredError is a failure loaded from a checkpoint: the message of the

@@ -38,6 +38,8 @@ import (
 	"time"
 
 	"vstat/internal/lifecycle"
+	"vstat/internal/obs"
+	"vstat/internal/obs/trace"
 )
 
 // SampleArmer is implemented by pooled worker states whose circuits enforce
@@ -45,6 +47,24 @@ import (
 // sample just before fn runs; states without the method run unarmed.
 type SampleArmer interface {
 	ArmSample(ctx context.Context, b lifecycle.Budget)
+}
+
+// TraceAttacher is implemented by worker states that can route solver
+// phase spans to a sample tracer (pooled circuit benches forward to their
+// obs.Scope). The engine attaches each worker's tracer once at startup;
+// states without the method still get sample-level spans and diagnostics,
+// just no phase detail.
+type TraceAttacher interface {
+	AttachTracer(t obs.Tracer)
+}
+
+// WorkReporter exposes a state's cumulative solver work — Newton
+// iterations and rescue stages — as two integers, cheap enough to snapshot
+// around every sample. The flight recorder ranks samples on the deltas;
+// both counters must be pure functions of (seed, idx) so the worst-K set
+// is identical at any worker count (see spice.SolverStats.Work).
+type WorkReporter interface {
+	SolverWork() (iters, rescues int64)
 }
 
 // CheckpointSink receives per-sample completions during a run and answers
@@ -86,6 +106,38 @@ type RunOpts struct {
 	// sharded results mergeable bit-identically (internal/shard). The result
 	// slice and any CheckpointSink stay local (indices 0..n-1).
 	Offset int
+	// Trace, when non-nil, arms the distributed-tracing flight recorder:
+	// each worker gets a trace.SampleTracer (attached to states
+	// implementing TraceAttacher), every sample is bracketed by a span
+	// carrying its fixed-size diagnostic, and the K worst samples keep
+	// full span detail (merged deterministically across workers). Nil
+	// keeps the hot path at one pointer check per sample and zero
+	// allocations.
+	Trace *trace.MC
+}
+
+// classifyVerdict maps a sample outcome onto the flight-recorder verdict
+// vocabulary.
+func classifyVerdict(err error) string {
+	if err == nil {
+		return trace.VerdictOK
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return trace.VerdictPanic
+	}
+	var be *lifecycle.BudgetError
+	if errors.As(err, &be) {
+		switch be.Kind {
+		case lifecycle.OverIters:
+			return trace.VerdictBudgetIters
+		case lifecycle.OverHang:
+			return trace.VerdictBudgetHang
+		default:
+			return trace.VerdictBudgetWall
+		}
+	}
+	return trace.VerdictFailed
 }
 
 // MapCtx is Map with a context: a cancelled ctx stops new claims, drains
@@ -199,6 +251,14 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 		}
 		armer, armed := any(st).(SampleArmer)
 		reporter, reports := any(st).(RescueReporter)
+		wt := opts.Trace.NewWorker(w)
+		var workRep WorkReporter
+		if wt != nil {
+			if ta, ok := any(st).(TraceAttacher); ok {
+				ta.AttachTracer(wt)
+			}
+			workRep, _ = any(st).(WorkReporter)
+		}
 		for !abort.Load() && ctx.Err() == nil {
 			idx := int(next.Add(1)) - 1
 			if idx >= n {
@@ -216,13 +276,37 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 			if armed {
 				armer.ArmSample(ctx, opts.Budget)
 			}
+			var preIters, preRescues int64
+			if wt != nil {
+				if workRep != nil {
+					preIters, preRescues = workRep.SolverWork()
+				}
+				wt.BeginSample(off + idx)
+			}
 			res, serr := safeSample(fn, st, off+idx, SampleRNG(seed, off+idx))
 			sl.idx.Store(-1)
 			if !commit[idx].CompareAndSwap(0, 1) {
 				// The watchdog gave up on this sample (and on us): its error
 				// slot is already written, a replacement worker is running.
-				// Exit without touching anything shared.
+				// Exit without touching anything shared (the tracer is
+				// worker-local and never collected from an abandoned
+				// worker, so dropping the sample record here races nothing).
 				return true
+			}
+			if wt != nil {
+				d := trace.SampleDiag{Verdict: classifyVerdict(serr)}
+				if workRep != nil {
+					iters, rescues := workRep.SolverWork()
+					d.Iters, d.Rescues = iters-preIters, rescues-preRescues
+				}
+				if serr != nil {
+					d.Err = serr.Error()
+					var ne interface{ WorstNode() string }
+					if errors.As(serr, &ne) {
+						d.WorstNode = ne.WorstNode()
+					}
+				}
+				wt.EndSample(d)
 			}
 			ran[idx] = true
 			out[idx], errs[idx] = res, serr
@@ -245,6 +329,7 @@ func MapPooledReportCtx[S, T any](ctx context.Context, n int, seed int64, worker
 				abort.Store(true)
 			}
 		}
+		opts.Trace.FinishWorker(wt)
 		mu.Lock()
 		states = append(states, st)
 		mu.Unlock()

@@ -1,0 +1,193 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vstat/internal/lifecycle"
+	"vstat/internal/obs"
+	"vstat/internal/obs/trace"
+)
+
+// traceFakeState is a minimal worker state implementing the engine's
+// optional tracing interfaces: cumulative solver-work counters whose
+// per-sample deltas are pure functions of idx, and a tracer hook that
+// records phase spans like a real bench's obs.Scope would.
+type traceFakeState struct {
+	iters, rescues int64
+	tr             obs.Tracer
+}
+
+func (s *traceFakeState) SolverWork() (int64, int64) { return s.iters, s.rescues }
+func (s *traceFakeState) AttachTracer(t obs.Tracer)  { s.tr = t }
+
+// nodeErr is a sample failure carrying a worst-KCL-node diagnostic.
+type nodeErr struct{ node string }
+
+func (e *nodeErr) Error() string     { return "no convergence at " + e.node }
+func (e *nodeErr) WorstNode() string { return e.node }
+
+// traceRun executes one deterministic fake MC under the flight recorder and
+// returns the sample values plus the merged worst-K records.
+func traceRun(t *testing.T, n, workers, k int, traced bool) ([]float64, []trace.SampleRecord) {
+	t.Helper()
+	var opts RunOpts
+	opts.Policy = SkipUpTo(1.0)
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.New("test", k)
+		mcSpan := rec.Start("mc", trace.CatMCRun, 0)
+		defer mcSpan.End()
+		opts.Trace = trace.NewMC(rec, "mc", mcSpan.ID(), k)
+	}
+	out, _, err := MapPooledReportCtx(context.Background(), n, 20130318, workers, opts,
+		func(int) (*traceFakeState, error) { return &traceFakeState{}, nil },
+		func(st *traceFakeState, idx int, rng *rand.Rand) (float64, error) {
+			// Deterministic per-sample "solver work": idx decides iterations,
+			// rescues, and failure, so the worst-K ranking is reproducible at
+			// any worker count.
+			st.iters += int64(10 + idx%97)
+			if idx%13 == 0 {
+				st.rescues += int64(1 + idx%3)
+			}
+			if st.tr != nil {
+				st.tr.BeginSpan("newton-solve", int64(idx))
+				st.tr.EndSpan(int64(idx + 1))
+			}
+			switch {
+			case idx == 41:
+				panic("numerical explosion")
+			case idx%17 == 0 && idx > 0:
+				return 0, &nodeErr{node: fmt.Sprintf("n%d", idx%5)}
+			}
+			return rng.NormFloat64(), nil
+		})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var recs []trace.SampleRecord
+	if traced {
+		recs = opts.Trace.Finish()
+	}
+	return out, recs
+}
+
+// TestTraceWorstKInvariantAcrossWorkers is the flight-recorder acceptance:
+// the K worst samples — their indices, verdicts, work counters, error
+// strings, and order — are identical at any worker count, and tracing
+// leaves the sampled values bit-identical to an untraced run.
+func TestTraceWorstKInvariantAcrossWorkers(t *testing.T) {
+	const n, k = 200, 6
+	plain, _ := traceRun(t, n, 4, k, false)
+
+	var ref []trace.SampleDiag
+	for _, workers := range []int{1, 4, 8} {
+		out, recs := traceRun(t, n, workers, k, true)
+		for i := range plain {
+			if math.Float64bits(out[i]) != math.Float64bits(plain[i]) {
+				t.Fatalf("workers=%d: tracing changed sample %d: %g vs %g", workers, i, out[i], plain[i])
+			}
+		}
+		if len(recs) != k {
+			t.Fatalf("workers=%d: kept %d records, want %d", workers, len(recs), k)
+		}
+		got := make([]trace.SampleDiag, len(recs))
+		for i, r := range recs {
+			got[i] = r.Diag
+			got[i].WallNs = 0 // machine-dependent; excluded from the contract
+			if len(r.Events) == 0 {
+				t.Fatalf("workers=%d: worst sample %d kept no span detail", workers, r.Diag.Idx)
+			}
+		}
+		if ref == nil {
+			ref = got
+			// Sanity on the ranking itself: the panic ranks worst, and
+			// failures fill the top of the table.
+			if got[0].Idx != 41 || got[0].Verdict != trace.VerdictPanic {
+				t.Fatalf("worst record = %+v, want the panic at idx 41", got[0])
+			}
+			for _, d := range got {
+				if d.Verdict == trace.VerdictFailed && d.WorstNode == "" {
+					t.Fatalf("failed sample %d lost its worst-node diagnostic: %+v", d.Idx, d)
+				}
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: worst[%d] = %+v, want %+v (workers=1)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestTraceExportConnected pins the no-orphans contract on the engine's own
+// output: every span the recorder exports after a traced run parents to
+// another exported span.
+func TestTraceExportConnected(t *testing.T) {
+	rec := trace.New("test", 4)
+	mcSpan := rec.Start("mc", trace.CatMCRun, 0)
+	var opts RunOpts
+	opts.Policy = SkipUpTo(1.0)
+	opts.Trace = trace.NewMC(rec, "mc", mcSpan.ID(), 4)
+	_, _, err := MapPooledReportCtx(context.Background(), 60, 7, 4, opts,
+		func(int) (*traceFakeState, error) { return &traceFakeState{}, nil },
+		func(st *traceFakeState, idx int, rng *rand.Rand) (float64, error) {
+			st.iters += int64(idx % 29)
+			if st.tr != nil {
+				st.tr.BeginSpan("newton-solve", 0)
+				st.tr.EndSpan(1)
+			}
+			if idx%11 == 3 {
+				return 0, errors.New("failed")
+			}
+			return rng.Float64(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace.Finish()
+	mcSpan.End()
+	evs, sum := rec.Export()
+	if got := trace.Orphans(evs); got != 0 {
+		t.Fatalf("%d orphan spans in the export", got)
+	}
+	if len(sum.Worst) != 4 {
+		t.Fatalf("kept %d worst records, want 4", len(sum.Worst))
+	}
+	var phases int
+	for i := range evs {
+		if evs[i].Cat == trace.CatPhase {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Fatal("no phase spans survived into the export")
+	}
+}
+
+// TestClassifyVerdict pins the outcome → verdict mapping, budget kinds
+// included.
+func TestClassifyVerdict(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, trace.VerdictOK},
+		{errors.New("x"), trace.VerdictFailed},
+		{&PanicError{Value: "boom"}, trace.VerdictPanic},
+		{&lifecycle.BudgetError{Kind: lifecycle.OverWall}, trace.VerdictBudgetWall},
+		{&lifecycle.BudgetError{Kind: lifecycle.OverIters}, trace.VerdictBudgetIters},
+		{&lifecycle.BudgetError{Kind: lifecycle.OverHang}, trace.VerdictBudgetHang},
+		{fmt.Errorf("wrapped: %w", &lifecycle.BudgetError{Kind: lifecycle.OverIters}), trace.VerdictBudgetIters},
+	}
+	for _, c := range cases {
+		if got := classifyVerdict(c.err); got != c.want {
+			t.Errorf("classifyVerdict(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

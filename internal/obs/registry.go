@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,11 +38,24 @@ type Registry struct {
 	counters []string
 	gauges   []string
 	hists    []histDef
+	help     map[string]string
 	shards   []*Shard
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
+
+// SetHelp attaches Prometheus HELP text to a metric name. The text is
+// stored verbatim; WritePrometheus escapes it per the text exposition
+// format. Callable any time (help is presentation, not a recording cell).
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = text
+}
 
 // Counter registers a counter and returns its ID. All metrics must be
 // registered before the first shard is created.
@@ -225,6 +239,8 @@ type Snapshot struct {
 	Counters   []CounterSnap `json:"counters,omitempty"`
 	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
 	Histograms []HistSnap    `json:"histograms,omitempty"`
+	// Help maps metric names to their HELP text (only names that have any).
+	Help map[string]string `json:"help,omitempty"`
 }
 
 // Snapshot merges every shard in registration order. Counters and
@@ -266,6 +282,12 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		hs.P50, hs.P90, hs.P99 = hs.Quantile(0.50), hs.Quantile(0.90), hs.Quantile(0.99)
 		snap.Histograms = append(snap.Histograms, hs)
+	}
+	if len(r.help) > 0 {
+		snap.Help = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			snap.Help[k] = v
+		}
 	}
 	return snap
 }
@@ -315,23 +337,72 @@ func promName(name string) string {
 	return b.String()
 }
 
+// escapeHelp escapes HELP text per the Prometheus text exposition format:
+// backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeLabel escapes a label value: backslash, newline, and double quote.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\n\"") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (counters, gauges, and cumulative-bucket histograms).
+// format (counters, gauges, and cumulative-bucket histograms). The output
+// is byte-deterministic for a given snapshot: each metric family is emitted
+// in sorted-name order regardless of registration order, and HELP text and
+// label values are escaped per the exposition format (so a scrape can never
+// be corrupted by a newline, quote, or backslash in a help string).
 func (s Snapshot) WritePrometheus(w io.Writer) error {
-	for _, c := range s.Counters {
+	help := func(name, n string) error {
+		if s.Help == nil {
+			return nil
+		}
+		txt, ok := s.Help[name]
+		if !ok || txt == "" {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", n, escapeHelp(txt))
+		return err
+	}
+	counters := append([]CounterSnap(nil), s.Counters...)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	for _, c := range counters {
 		n := promName(c.Name)
+		if err := help(c.Name, n); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
 			return err
 		}
 	}
-	for _, g := range s.Gauges {
+	gauges := append([]GaugeSnap(nil), s.Gauges...)
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	for _, g := range gauges {
 		n := promName(g.Name)
+		if err := help(g.Name, n); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
 			return err
 		}
 	}
-	for _, h := range s.Histograms {
+	hists := append([]HistSnap(nil), s.Histograms...)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	for _, h := range hists {
 		n := promName(h.Name)
+		if err := help(h.Name, n); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
 			return err
 		}
@@ -342,7 +413,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%d", h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, escapeLabel(le), cum); err != nil {
 				return err
 			}
 		}

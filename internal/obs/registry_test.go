@@ -145,6 +145,84 @@ func TestSnapshotJSONAndPrometheus(t *testing.T) {
 	}
 }
 
+// TestPrometheusGoldenOutput pins the text exposition format byte-exactly:
+// metric families emit in sorted-name order regardless of registration
+// order, HELP text escapes backslash and newline (quotes stay bare), label
+// values additionally escape quotes, and a second render is identical to
+// the first.
+func TestPrometheusGoldenOutput(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of sorted order.
+	z := r.Counter("z_total")
+	a := r.Counter("a_total")
+	g := r.Gauge("m_gauge")
+	h := r.Histogram("h_ns", []int64{10, 20})
+	r.SetHelp("a_total", "Line one\nline \"two\" with \\ backslash.")
+	r.SetHelp("h_ns", "Latency\\path")
+	s := r.NewShard()
+	s.Add(a, 3)
+	s.Add(z, 7)
+	s.Set(g, 5)
+	s.Observe(h, 5)
+	s.Observe(h, 15)
+	s.Observe(h, 999)
+
+	want := `# HELP a_total Line one\nline "two" with \\ backslash.
+# TYPE a_total counter
+a_total 3
+# TYPE z_total counter
+z_total 7
+# TYPE m_gauge gauge
+m_gauge 5
+# HELP h_ns Latency\\path
+# TYPE h_ns histogram
+h_ns_bucket{le="10"} 1
+h_ns_bucket{le="20"} 2
+h_ns_bucket{le="+Inf"} 3
+h_ns_sum 1019
+h_ns_count 3
+`
+	snap := r.Snapshot()
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus text not byte-identical to golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	var b2 strings.Builder
+	if err := snap.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+// TestHelpSurvivesSnapshotJSON pins that HELP text rides the -metrics-out
+// JSON document, so a file written by one process renders the same
+// exposition text elsewhere.
+func TestHelpSurvivesSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	r.SetHelp("x_total", "Help text.")
+	blob, err := r.Snapshot().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := back.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# HELP x_total Help text.\n") {
+		t.Fatalf("HELP lost through the JSON round-trip:\n%s", b.String())
+	}
+}
+
 func TestNilShardIsNoOp(t *testing.T) {
 	var s *Shard
 	s.Add(0, 1)

@@ -74,6 +74,17 @@ type frame struct {
 	start time.Time
 }
 
+// Tracer receives the Scope's phase span boundaries — the bridge between
+// the self-time accounting here and the distributed-tracing span capture
+// in internal/obs/trace (which implements this interface without obs
+// having to import it). Timestamps are unix nanoseconds, forwarded from
+// the clock reads Enter/Exit already make, so attaching a tracer adds no
+// extra time.Now calls to the hot path.
+type Tracer interface {
+	BeginSpan(name string, nowNs int64)
+	EndSpan(nowNs int64)
+}
+
 // Scope is a per-worker phase-timing handle: a fixed-size stack of open
 // spans plus per-phase self-time accumulators, flushed into a Shard at
 // sample end. Enter on a nested phase pauses the parent frame, so the five
@@ -85,9 +96,10 @@ type frame struct {
 // while the package gate is off, so instrumentation trees collapse to a
 // pointer check when observability is disabled.
 type Scope struct {
-	shard *Shard
-	pm    *PhaseMetrics
-	sink  *EventSink
+	shard  *Shard
+	pm     *PhaseMetrics
+	sink   *EventSink
+	tracer Tracer
 
 	acc   [NumPhases]int64 // self-time this sample, ns
 	stack [16]frame
@@ -111,6 +123,16 @@ func (s *Scope) SetEvents(sink *EventSink) {
 	s.sink = sink
 }
 
+// SetTracer attaches (or, with nil, detaches) a span tracer. With no
+// tracer the only added cost on Enter/Exit is one nil pointer check, and
+// the hot path stays allocation-free (pinned by internal/spice tests).
+func (s *Scope) SetTracer(t Tracer) {
+	if s == nil {
+		return
+	}
+	s.tracer = t
+}
+
 // Enter opens a span for the given phase, pausing the enclosing span so
 // only self-time accrues to each phase. Must be matched by Exit.
 func (s *Scope) Enter(p Phase) {
@@ -126,6 +148,9 @@ func (s *Scope) Enter(p Phase) {
 		s.stack[s.depth] = frame{phase: p, start: now}
 	}
 	s.depth++
+	if s.tracer != nil {
+		s.tracer.BeginSpan(p.String(), now.UnixNano())
+	}
 }
 
 // Exit closes the innermost span and resumes the parent frame.
@@ -142,6 +167,27 @@ func (s *Scope) Exit() {
 	if s.depth > 0 && s.depth <= len(s.stack) {
 		s.stack[s.depth-1].start = now
 	}
+	if s.tracer != nil {
+		s.tracer.EndSpan(now.UnixNano())
+	}
+}
+
+// SpanBegin opens an ad-hoc trace span (a rescue-ladder rung, say) on the
+// attached tracer without touching the phase self-time stack. A no-op —
+// one nil check — without a tracer; must be paired with SpanEnd.
+func (s *Scope) SpanBegin(name string) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.BeginSpan(name, time.Now().UnixNano())
+}
+
+// SpanEnd closes the innermost SpanBegin span.
+func (s *Scope) SpanEnd() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.EndSpan(time.Now().UnixNano())
 }
 
 // EndSample flushes the per-sample phase accumulators into the shard's

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event JSON export. The file is the standard
+// {"traceEvents":[...]} object-format document Perfetto and
+// chrome://tracing load, with span IDs/parents carried in each event's
+// args, plus one extra top-level "vstat" section (tolerated by both
+// viewers) holding the worst-K flight-recorder table so `vstrace
+// summarize` doesn't have to reconstruct diagnostics from spans.
+
+// Summary is the "vstat" section of a trace file.
+type Summary struct {
+	K     int            `json:"k"`
+	Worst []SampleRecord `json:"worst"`
+}
+
+// File is the full trace document.
+type File struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Vstat       Summary       `json:"vstat"`
+}
+
+// chromeEvent is one trace-event record. Ph "X" is a complete (begin+end)
+// event with ts/dur in microseconds; "M" is metadata (process names).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Export flattens the recorder's state — structural spans plus the events
+// of the surviving global worst-K samples — into one event list plus the
+// summary. Process tracks (pids) are assigned by sorted proc name, so the
+// export of a given span set is deterministic.
+func (r *Recorder) Export() ([]Event, Summary) {
+	evs, worst := r.Snapshot()
+	for _, rec := range worst {
+		evs = append(evs, rec.Events...)
+	}
+	return evs, Summary{K: r.K(), Worst: worst}
+}
+
+// WriteFile exports the trace to path as Chrome trace-event JSON.
+func (r *Recorder) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	evs, sum := r.Export()
+	blob, err := Marshal(evs, sum)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Marshal renders events plus the summary as the trace-file JSON document.
+func Marshal(evs []Event, sum Summary) ([]byte, error) {
+	pids := procTable(evs)
+	f := File{Vstat: sum, TraceEvents: make([]chromeEvent, 0, len(evs)+len(pids))}
+	// Metadata: name each process track, in deterministic (sorted) order.
+	names := make([]string, 0, len(pids))
+	for p := range pids {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+	for i := range evs {
+		ev := &evs[i]
+		// IDs travel as decimal strings: JSON numbers round-trip through
+		// float64 and a 64-bit span ID does not survive that.
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: "X",
+			Ts:  float64(ev.Start) / 1e3,
+			Dur: float64(ev.Dur) / 1e3,
+			Pid: pids[ev.Proc], Tid: ev.Worker,
+			Args: map[string]any{"id": strconv.FormatUint(ev.ID, 10)},
+		}
+		if ev.Parent != 0 {
+			ce.Args["parent"] = strconv.FormatUint(ev.Parent, 10)
+		}
+		if ev.Sample >= 0 {
+			ce.Args["sample"] = ev.Sample
+		}
+		if ev.Note != "" {
+			ce.Args["note"] = ev.Note
+		}
+		f.TraceEvents = append(f.TraceEvents, ce)
+	}
+	blob, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// procTable assigns each distinct proc label a pid, sorted for determinism.
+func procTable(evs []Event) map[string]int {
+	names := map[string]int{}
+	for i := range evs {
+		names[evs[i].Proc] = 0
+	}
+	sorted := make([]string, 0, len(names))
+	for p := range names {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		names[p] = i + 1
+	}
+	return names
+}
+
+// ReadFile loads a trace file back into span events plus the summary —
+// the shared loader for cmd/vstrace and the acceptance tests.
+func ReadFile(path string) ([]Event, Summary, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	return Unmarshal(blob)
+}
+
+// Unmarshal parses a trace-file document produced by Marshal.
+func Unmarshal(blob []byte) ([]Event, Summary, error) {
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, Summary{}, fmt.Errorf("trace: parse: %w", err)
+	}
+	procs := map[int]string{}
+	evs := make([]Event, 0, len(f.TraceEvents))
+	for _, ce := range f.TraceEvents {
+		if ce.Ph == "M" {
+			if ce.Name == "process_name" {
+				if n, ok := ce.Args["name"].(string); ok {
+					procs[ce.Pid] = n
+				}
+			}
+			continue
+		}
+		if ce.Ph != "X" {
+			continue
+		}
+		ev := Event{
+			Name: ce.Name, Cat: ce.Cat,
+			Start: int64(ce.Ts * 1e3), Dur: int64(ce.Dur * 1e3),
+			Worker: ce.Tid, Sample: -1, Proc: procs[ce.Pid],
+		}
+		ev.ID = argU64(ce.Args, "id")
+		ev.Parent = argU64(ce.Args, "parent")
+		if s, ok := ce.Args["sample"]; ok {
+			if v, ok := s.(float64); ok {
+				ev.Sample = int(v)
+			}
+		}
+		if n, ok := ce.Args["note"].(string); ok {
+			ev.Note = n
+		}
+		evs = append(evs, ev)
+	}
+	return evs, f.Vstat, nil
+}
+
+func argU64(args map[string]any, key string) uint64 {
+	switch x := args[key].(type) {
+	case string:
+		u, _ := strconv.ParseUint(x, 10, 64)
+		return u
+	case float64:
+		return uint64(x)
+	}
+	return 0
+}

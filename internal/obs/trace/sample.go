@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-sample span capture limits. The caps bound the flight recorder's
+// footprint: one scratch buffer of maxSampleEvents events per worker,
+// reused across samples, copied out only when a sample enters the top-K.
+const (
+	maxSampleEvents = 512
+	maxSpanDepth    = 32
+	// sampleSeqBits is the per-sample ID sub-space: sample idx's span IDs
+	// are base + (idx+1)<<sampleSeqBits + seq, so IDs are deterministic in
+	// (base, idx, seq) and two samples' ID ranges never overlap as long as
+	// a sample emits < 2^sampleSeqBits spans (the event cap guarantees it).
+	sampleSeqBits = 10
+)
+
+// MC is the per-Monte-Carlo-run trace bundle montecarlo.RunOpts carries:
+// it hands each engine worker a SampleTracer and merges the workers'
+// worst-K sets deterministically at the end. rec may be nil (a shard
+// worker tracing on behalf of a remote coordinator); the merged records
+// are then only returned from Finish, for the caller to ship over the
+// wire. A nil *MC disables sample tracing at the cost of one nil check.
+type MC struct {
+	rec    *Recorder
+	run    string
+	proc   string
+	parent uint64
+	base   uint64
+	k      int
+
+	mu    sync.Mutex
+	worst WorstSet
+}
+
+// NewMC builds the trace bundle for one Monte Carlo run recording into
+// rec: sample spans parent to parentSpan, and sample IDs draw from a fresh
+// ID block. Returns nil when rec is nil.
+func NewMC(rec *Recorder, run string, parentSpan uint64, k int) *MC {
+	if rec == nil {
+		return nil
+	}
+	if k <= 0 {
+		k = rec.K()
+	}
+	return &MC{rec: rec, run: run, proc: rec.proc, parent: parentSpan,
+		base: rec.AllocBase(), k: k, worst: WorstSet{K: k}}
+}
+
+// NewStandaloneMC builds the bundle for a run whose trace is collected for
+// a remote coordinator: the parent span ID and the ID base arrive on the
+// wire (shard.Request), and the merged worst records leave on it.
+func NewStandaloneMC(run, proc string, parentSpan, base uint64, k int) *MC {
+	if k <= 0 {
+		k = DefaultWorstK
+	}
+	return &MC{run: run, proc: proc, parent: parentSpan, base: base, k: k,
+		worst: WorstSet{K: k}}
+}
+
+// NewWorker hands engine worker w its sample tracer (nil on a nil MC).
+func (m *MC) NewWorker(w int) *SampleTracer {
+	if m == nil {
+		return nil
+	}
+	return &SampleTracer{
+		run: m.run, proc: m.proc, worker: w, parent: m.parent, base: m.base,
+		worst: WorstSet{K: m.k}, idx: -1,
+		buf: make([]Event, 0, maxSampleEvents),
+	}
+}
+
+// FinishWorker merges a worker's worst set into the run's. The engine
+// calls it once per cleanly exiting worker; a worker abandoned by the hang
+// watchdog never reaches it, so its records are dropped rather than raced
+// over. Nil-safe on both sides.
+func (m *MC) FinishWorker(t *SampleTracer) {
+	if m == nil || t == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, rec := range t.worst.Records() {
+		m.worst.Add(rec)
+	}
+	m.mu.Unlock()
+}
+
+// Finish returns the run's merged worst-K records (worst first) and, when
+// the MC records into a local Recorder, folds them into the run-global
+// worst set. Call after every worker has finished.
+func (m *MC) Finish() []SampleRecord {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	recs := append([]SampleRecord(nil), m.worst.Records()...)
+	m.mu.Unlock()
+	m.rec.AddWorst(recs)
+	return recs
+}
+
+// SampleTracer is one engine worker's span capture. It implements
+// obs.Tracer, so an obs.Scope forwards its phase Enter/Exit pairs here;
+// the montecarlo engine brackets each sample with BeginSample/EndSample.
+// Owned by one worker goroutine; not safe for concurrent use.
+type SampleTracer struct {
+	run    string
+	proc   string
+	worker int
+	parent uint64
+	base   uint64
+
+	worst WorstSet
+
+	idx      int // current global sample index, -1 between samples
+	sampleID uint64
+	startNs  int64
+	seq      uint64
+	buf      []Event
+	stack    [maxSpanDepth]int32 // buf index per open span, -1 = dropped
+	depth    int
+	dropped  int
+}
+
+// BeginSample opens the sample span for global index idx, resetting the
+// scratch buffer. The span's ID is deterministic in (base, idx).
+func (t *SampleTracer) BeginSample(idx int) {
+	if t == nil {
+		return
+	}
+	t.idx = idx
+	t.sampleID = t.base + (uint64(idx)+1)<<sampleSeqBits
+	t.seq = 0
+	t.dropped = 0
+	t.startNs = time.Now().UnixNano()
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, Event{
+		Name: "sample", Cat: CatSample, ID: t.sampleID, Parent: t.parent,
+		Start: t.startNs, Proc: t.proc, Worker: t.worker, Sample: idx,
+	})
+	t.stack[0] = 0
+	t.depth = 1
+}
+
+// BeginSpan opens a phase span nested under the innermost open span
+// (obs.Tracer). Outside a sample it is a no-op. Over-cap spans are counted
+// and dropped, keeping Begin/End pairing intact.
+func (t *SampleTracer) BeginSpan(name string, nowNs int64) {
+	if t == nil || t.idx < 0 {
+		return
+	}
+	rec := int32(-1)
+	if t.depth < maxSpanDepth && len(t.buf) < maxSampleEvents && t.seq < (1<<sampleSeqBits)-2 {
+		t.seq++
+		t.buf = append(t.buf, Event{
+			Name: name, Cat: CatPhase, ID: t.sampleID + t.seq, Parent: t.openParent(),
+			Start: nowNs, Proc: t.proc, Worker: t.worker, Sample: t.idx,
+		})
+		rec = int32(len(t.buf) - 1)
+	} else {
+		t.dropped++
+	}
+	if t.depth < maxSpanDepth {
+		t.stack[t.depth] = rec
+	}
+	t.depth++
+}
+
+// EndSpan closes the innermost open phase span (obs.Tracer). The sample
+// span itself is only closed by EndSample.
+func (t *SampleTracer) EndSpan(nowNs int64) {
+	if t == nil || t.idx < 0 || t.depth <= 1 {
+		return
+	}
+	t.depth--
+	if t.depth < maxSpanDepth {
+		if bi := t.stack[t.depth]; bi >= 0 {
+			ev := &t.buf[bi]
+			ev.Dur = nowNs - ev.Start
+		}
+	}
+}
+
+// openParent returns the ID of the innermost recorded open span.
+func (t *SampleTracer) openParent() uint64 {
+	for d := t.depth - 1; d >= 0; d-- {
+		if d < maxSpanDepth && t.stack[d] >= 0 {
+			return t.buf[t.stack[d]].ID
+		}
+	}
+	return t.sampleID
+}
+
+// EndSample closes the sample span and files its diagnostic: every sample
+// updates the worker's worst-K set, but the span detail is copied out of
+// the scratch buffer only when the sample actually enters it. d.Idx, d.Run
+// and d.WallNs are filled in here.
+func (t *SampleTracer) EndSample(d SampleDiag) {
+	if t == nil || t.idx < 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for t.depth > 1 {
+		t.EndSpan(now)
+	}
+	t.buf[0].Dur = now - t.buf[0].Start
+	d.Idx = t.idx
+	d.Run = t.run
+	d.WallNs = now - t.startNs
+	t.buf[0].Note = d.Verdict
+	if t.worst.WouldKeep(d) {
+		t.worst.Add(SampleRecord{
+			Diag:      d,
+			Events:    append([]Event(nil), t.buf...),
+			Truncated: t.dropped > 0,
+		})
+	}
+	t.idx = -1
+}

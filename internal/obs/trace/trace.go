@@ -1,0 +1,212 @@
+// Package trace is the distributed-tracing layer of the observability
+// stack: causal spans from run → experiment → shard attempt → sample →
+// solver phase, stitched across process boundaries by explicit parent IDs
+// carried on the shard wire format, and exported as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// The design splits spans into two tiers with very different volumes:
+//
+//   - Structural spans (run, experiment, mc-run, dispatch, shard attempt)
+//     number in the tens-to-hundreds per run. They are appended to a
+//     mutex-protected Recorder as they close and all survive to the file.
+//
+//   - Sample and phase spans number in the millions. Each worker records
+//     them into a fixed-capacity per-sample scratch buffer (a SampleTracer)
+//     and, at sample end, keeps the full span detail only when the sample
+//     enters the worker's top-K worst set (see worst.go). Everything else
+//     is reduced to nothing — the sample's fixed-size diagnostic was the
+//     only thing ever allocated, and it lived on the stack.
+//
+// Everything is nil-safe: a nil *Recorder, *MC, *SampleTracer, or *Span is
+// a no-op on every method, so a disabled trace costs one pointer check per
+// call site and zero allocations (pinned by tests in internal/spice).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span categories. Chrome trace viewers group by these.
+const (
+	CatRun        = "run"        // whole CLI invocation
+	CatExperiment = "experiment" // one experiment / bench unit
+	CatMCRun      = "mc-run"     // one Monte Carlo population
+	CatDispatch   = "dispatch"   // coordinator-side view of one shard attempt
+	CatShard      = "shard"      // worker-side execution of one shard attempt
+	CatSample     = "sample"     // one Monte Carlo sample
+	CatPhase      = "phase"      // solver phase / rescue rung inside a sample
+)
+
+// Event is one completed span. IDs are globally unique within a trace;
+// Parent is 0 for the root. Timestamps are unix nanoseconds, so spans from
+// different processes on the same machine align on a common axis.
+type Event struct {
+	Name   string `json:"name"`
+	Cat    string `json:"cat"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Proc   string `json:"proc,omitempty"`   // process/track label
+	Worker int    `json:"worker,omitempty"` // worker ordinal within the proc
+	Sample int    `json:"sample"`           // global sample index, -1 for structural spans
+	Note   string `json:"note,omitempty"`   // outcome annotation (committed/lost/verdict/…)
+}
+
+// idBlockShift sizes the ID blocks AllocBase hands out: each block holds
+// 2^48 IDs, enough for deterministic per-sample IDs of a multi-billion
+// sample run, while structural spans draw small sequential IDs from block
+// zero — the two ranges can never collide.
+const idBlockShift = 48
+
+// Recorder collects one process's structural spans and the run-global
+// worst-K sample set. Safe for concurrent use. A nil *Recorder is a no-op
+// everywhere, which is how tracing is disabled.
+type Recorder struct {
+	proc string
+	k    int
+
+	nextID   atomic.Uint64
+	nextBase atomic.Uint64
+
+	mu     sync.Mutex
+	events []Event
+	worst  WorstSet
+}
+
+// New builds a recorder labelled with the process name, keeping the k
+// worst samples run-wide (k <= 0 defaults to DefaultWorstK).
+func New(proc string, k int) *Recorder {
+	if k <= 0 {
+		k = DefaultWorstK
+	}
+	return &Recorder{proc: proc, k: k, worst: WorstSet{K: k}}
+}
+
+// K returns the worst-sample retention depth (0 on a nil recorder).
+func (r *Recorder) K() int {
+	if r == nil {
+		return 0
+	}
+	return r.k
+}
+
+// AllocID returns the next small sequential span ID (block zero).
+func (r *Recorder) AllocID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nextID.Add(1)
+}
+
+// AllocBase reserves a fresh 2^48-wide ID block for a sub-trace (one Monte
+// Carlo run, or one shard attempt shipped to another process) so its
+// deterministically derived sample IDs cannot collide with any other
+// block's.
+func (r *Recorder) AllocBase() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nextBase.Add(1) << idBlockShift
+}
+
+// Append adds completed events (worker-side shard spans arriving in a
+// committed envelope, typically).
+func (r *Recorder) Append(evs ...Event) {
+	if r == nil || len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, evs...)
+	r.mu.Unlock()
+}
+
+// AddWorst merges sample records into the run-global worst-K set. The set
+// ordering is deterministic in the samples' diagnostics (see Worse), so the
+// surviving K are independent of merge order, worker count, and sharding.
+func (r *Recorder) AddWorst(recs []SampleRecord) {
+	if r == nil || len(recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for i := range recs {
+		r.worst.Add(recs[i])
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns copies of the structural events and the current global
+// worst set.
+func (r *Recorder) Snapshot() ([]Event, []SampleRecord) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := append([]Event(nil), r.events...)
+	worst := append([]SampleRecord(nil), r.worst.Records()...)
+	return evs, worst
+}
+
+// Span is one open structural span; End appends it to the recorder.
+type Span struct {
+	r  *Recorder
+	ev Event
+}
+
+// Start opens a structural span under the given parent (0 = root).
+func (r *Recorder) Start(name, cat string, parent uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, ev: Event{
+		Name: name, Cat: cat, ID: r.AllocID(), Parent: parent,
+		Start: time.Now().UnixNano(), Proc: r.proc, Sample: -1,
+	}}
+}
+
+// ID returns the span's ID (0 on nil, safe to use as a parent).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ev.ID
+}
+
+// Note annotates the span's outcome.
+func (s *Span) Note(note string) {
+	if s == nil {
+		return
+	}
+	s.ev.Note = note
+}
+
+// End closes the span and appends it to the recorder. Calling End twice
+// records the span twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.ev.Dur = time.Now().UnixNano() - s.ev.Start
+	s.r.Append(s.ev)
+}
+
+// Orphans counts events whose Parent is neither 0 nor the ID of any event
+// in the set — the "one connected trace" acceptance check.
+func Orphans(evs []Event) int {
+	ids := make(map[uint64]struct{}, len(evs))
+	for i := range evs {
+		ids[evs[i].ID] = struct{}{}
+	}
+	orphans := 0
+	for i := range evs {
+		if p := evs[i].Parent; p != 0 {
+			if _, ok := ids[p]; !ok {
+				orphans++
+			}
+		}
+	}
+	return orphans
+}

@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// diags builds a deterministic population of sample diagnostics with
+// repeated verdict/rescue/iteration patterns so the worst-K selection has
+// genuine ties to break.
+func diags(n int) []SampleDiag {
+	verdicts := []string{VerdictOK, VerdictOK, VerdictOK, VerdictFailed, VerdictOK, VerdictBudgetIters, VerdictOK, VerdictPanic}
+	out := make([]SampleDiag, n)
+	for i := range out {
+		out[i] = SampleDiag{
+			Run:     "mc",
+			Idx:     i,
+			Iters:   int64(37 * (i % 11)),
+			Rescues: int64(i % 3),
+			WallNs:  int64(1000 * ((i * 7919) % 13)), // noise: must not affect ranking
+			Verdict: verdicts[i%len(verdicts)],
+		}
+	}
+	return out
+}
+
+// globalTopK selects the K worst diagnostics by full sort under Worse — the
+// reference the sharded merges must reproduce.
+func globalTopK(ds []SampleDiag, k int) []SampleDiag {
+	s := append([]SampleDiag(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return Worse(s[i], s[j]) })
+	if len(s) > k {
+		s = s[:k]
+	}
+	return s
+}
+
+// TestWorstSetMergeDeterministic is the flight-recorder determinism
+// contract: partitioning the sample population across any number of
+// per-worker top-K sets and merging them in any order yields exactly the
+// global top-K, in the same order.
+func TestWorstSetMergeDeterministic(t *testing.T) {
+	const k = 8
+	ds := diags(100)
+	want := globalTopK(ds, k)
+
+	for _, workers := range []int{1, 3, 4, 8, 17} {
+		// Deal samples round-robin to workers (the engine's index stream is
+		// arbitrary, so any partition must give the same answer).
+		perWorker := make([]WorstSet, workers)
+		for i := range perWorker {
+			perWorker[i] = WorstSet{K: k}
+		}
+		for i, d := range ds {
+			perWorker[i%workers].Add(SampleRecord{Diag: d})
+		}
+		// Merge in two different orders.
+		for _, reverse := range []bool{false, true} {
+			global := WorstSet{K: k}
+			for i := range perWorker {
+				w := i
+				if reverse {
+					w = workers - 1 - i
+				}
+				for _, rec := range perWorker[w].Records() {
+					global.Add(rec)
+				}
+			}
+			got := global.Records()
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d reverse=%v: kept %d records, want %d", workers, reverse, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Diag != want[i] {
+					t.Fatalf("workers=%d reverse=%v: record %d = %+v, want %+v",
+						workers, reverse, i, got[i].Diag, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorseTotalOrder pins the ranking axes: severity dominates, then
+// rescues, then iterations; wall time never participates; (run, idx) breaks
+// all remaining ties so the order is total.
+func TestWorseTotalOrder(t *testing.T) {
+	base := SampleDiag{Run: "r", Idx: 5, Iters: 100, Rescues: 1, Verdict: VerdictOK}
+	cases := []struct {
+		name  string
+		a, b  SampleDiag
+		worse bool
+	}{
+		{"failure outranks ok", SampleDiag{Verdict: VerdictFailed}, SampleDiag{Verdict: VerdictOK, Iters: 1e6}, true},
+		{"panic outranks budget", SampleDiag{Verdict: VerdictPanic}, SampleDiag{Verdict: VerdictBudgetWall, Rescues: 99}, true},
+		{"budget outranks plain failure", SampleDiag{Verdict: VerdictBudgetHang}, SampleDiag{Verdict: VerdictFailed, Rescues: 99}, true},
+		{"rescues beat iters", SampleDiag{Rescues: 2}, SampleDiag{Rescues: 1, Iters: 1e6}, true},
+		{"iters break rescue ties", SampleDiag{Rescues: 1, Iters: 101}, SampleDiag{Rescues: 1, Iters: 100}, true},
+		{"wall time is ignored", base, withWall(base, 1<<40), false},
+		{"idx is the final tiebreak", base, withIdx(base, 6), true},
+	}
+	for _, c := range cases {
+		if got := Worse(c.a, c.b); got != c.worse {
+			t.Errorf("%s: Worse = %v, want %v", c.name, got, c.worse)
+		}
+	}
+	// Antisymmetry on the wall-time case: equal under the order both ways.
+	if Worse(withWall(base, 1<<40), base) {
+		t.Error("wall time leaked into the ranking")
+	}
+}
+
+func withWall(d SampleDiag, w int64) SampleDiag { d.WallNs = w; return d }
+func withIdx(d SampleDiag, i int) SampleDiag    { d.Idx = i; return d }
+
+// TestSampleTracerCapture checks span capture mechanics: nesting parents
+// correctly, deterministic IDs, pairing under over-deep nesting, and the
+// truncation flag once the event cap is hit.
+func TestSampleTracerCapture(t *testing.T) {
+	rec := New("test", 4)
+	parent := rec.Start("mc", CatMCRun, 0)
+	m := NewMC(rec, "mc", parent.ID(), 4)
+	w := m.NewWorker(0)
+
+	// Normal nesting.
+	w.BeginSample(3)
+	w.BeginSpan("newton-solve", 100)
+	w.BeginSpan("tri-solve", 110)
+	w.EndSpan(120)
+	w.EndSpan(130)
+	w.EndSample(SampleDiag{Verdict: VerdictFailed, Iters: 7})
+
+	m.FinishWorker(w)
+	recs := m.Finish()
+	if len(recs) != 1 {
+		t.Fatalf("kept %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Diag.Idx != 3 || r.Diag.Run != "mc" || r.Diag.WallNs < 0 {
+		t.Fatalf("diag not filled in: %+v", r.Diag)
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("captured %d events, want 3 (sample + 2 phases)", len(r.Events))
+	}
+	sample, outer, inner := r.Events[0], r.Events[1], r.Events[2]
+	if sample.Cat != CatSample || sample.Parent != parent.ID() {
+		t.Fatalf("sample span = %+v, want parent %d", sample, parent.ID())
+	}
+	if outer.Parent != sample.ID || inner.Parent != outer.ID {
+		t.Fatalf("phase nesting broken: outer.Parent=%d inner.Parent=%d sample.ID=%d outer.ID=%d",
+			outer.Parent, inner.Parent, sample.ID, outer.ID)
+	}
+	if inner.Dur != 10 || outer.Dur != 30 {
+		t.Fatalf("span durations = %d, %d; want 10, 30", inner.Dur, outer.Dur)
+	}
+	if sample.Note != VerdictFailed {
+		t.Fatalf("sample note = %q, want verdict", sample.Note)
+	}
+	// Deterministic ID: base + (idx+1)<<sampleSeqBits.
+	if want := m.base + uint64(4)<<sampleSeqBits; sample.ID != want {
+		t.Fatalf("sample ID = %d, want %d", sample.ID, want)
+	}
+
+	// Over-cap capture: blow both the depth and the event cap; pairing must
+	// survive and the record must be marked truncated.
+	w2 := m.NewWorker(1)
+	w2.BeginSample(9)
+	for i := 0; i < maxSampleEvents+maxSpanDepth+10; i++ {
+		w2.BeginSpan("deep", int64(i))
+	}
+	for i := 0; i < maxSampleEvents+maxSpanDepth+10; i++ {
+		w2.EndSpan(int64(1000 + i))
+	}
+	w2.EndSample(SampleDiag{Verdict: VerdictPanic})
+	m.FinishWorker(w2)
+	recs = m.Finish()
+	var panicked *SampleRecord
+	for i := range recs {
+		if recs[i].Diag.Idx == 9 {
+			panicked = &recs[i]
+		}
+	}
+	if panicked == nil {
+		t.Fatal("over-cap sample did not survive into the worst set")
+	}
+	if !panicked.Truncated {
+		t.Fatal("over-cap sample not marked truncated")
+	}
+	if len(panicked.Events) > maxSampleEvents {
+		t.Fatalf("captured %d events, cap is %d", len(panicked.Events), maxSampleEvents)
+	}
+	for _, ev := range panicked.Events[1:] {
+		if ev.Dur <= 0 {
+			t.Fatalf("unpaired span after truncation: %+v", ev)
+		}
+	}
+}
+
+// TestFileRoundTrip writes a recorder with structural spans and worst-K
+// sample detail to disk and loads it back: every span survives with ID,
+// parent, category, note, and sample index intact, the trace stays
+// connected, and the summary matches.
+func TestFileRoundTrip(t *testing.T) {
+	rec := New("proc-a", 2)
+	run := rec.Start("run", CatRun, 0)
+	exp := rec.Start("exp-1", CatExperiment, run.ID())
+	m := NewMC(rec, "exp-1/mc", exp.ID(), 2)
+	w := m.NewWorker(0)
+	for idx := 0; idx < 5; idx++ {
+		w.BeginSample(idx)
+		w.BeginSpan("newton-solve", int64(idx*100))
+		w.EndSpan(int64(idx*100 + 50))
+		d := SampleDiag{Iters: int64(10 * idx), Verdict: VerdictOK}
+		if idx == 4 {
+			d.Verdict = VerdictFailed
+			d.Err = "singular matrix"
+			d.WorstNode = "n7"
+		}
+		w.EndSample(d)
+	}
+	m.FinishWorker(w)
+	m.Finish()
+	exp.Note("done")
+	exp.End()
+	run.End()
+
+	path := filepath.Join(t.TempDir(), "out.trace.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	evs, sum, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvs, wantSum := rec.Export()
+	if len(evs) != len(wantEvs) {
+		t.Fatalf("loaded %d events, wrote %d", len(evs), len(wantEvs))
+	}
+	if got := Orphans(evs); got != 0 {
+		t.Fatalf("%d orphan spans after round-trip", got)
+	}
+	// Index by ID: order through the file is not part of the contract.
+	byID := map[uint64]Event{}
+	for _, ev := range evs {
+		byID[ev.ID] = ev
+	}
+	for _, want := range wantEvs {
+		got, ok := byID[want.ID]
+		if !ok {
+			t.Fatalf("event %d (%s) lost in round-trip", want.ID, want.Name)
+		}
+		// Timestamps quantize to the file's microsecond resolution; compare
+		// the identity-bearing fields exactly.
+		got.Start, got.Dur = want.Start, want.Dur
+		if got != want {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", want.ID, got, want)
+		}
+	}
+	if sum.K != wantSum.K || len(sum.Worst) != len(wantSum.Worst) {
+		t.Fatalf("summary = K=%d/%d records, want K=%d/%d", sum.K, len(sum.Worst), wantSum.K, len(wantSum.Worst))
+	}
+	for i := range sum.Worst {
+		if sum.Worst[i].Diag != wantSum.Worst[i].Diag {
+			t.Fatalf("worst[%d].Diag = %+v, want %+v", i, sum.Worst[i].Diag, wantSum.Worst[i].Diag)
+		}
+	}
+	if sum.Worst[0].Diag.Verdict != VerdictFailed || sum.Worst[0].Diag.WorstNode != "n7" {
+		t.Fatalf("failed sample not ranked worst: %+v", sum.Worst[0].Diag)
+	}
+}
+
+// TestNilSafety pins the disabled-tracing contract: every method on a nil
+// recorder, MC, tracer, or span is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.K() != 0 || r.AllocID() != 0 || r.AllocBase() != 0 {
+		t.Fatal("nil recorder returned non-zero IDs")
+	}
+	r.Append(Event{})
+	r.AddWorst([]SampleRecord{{}})
+	if evs, worst := r.Snapshot(); evs != nil || worst != nil {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+	if err := r.WriteFile("/nonexistent/should-not-be-written"); err != nil {
+		t.Fatal("nil recorder WriteFile must be a no-op")
+	}
+	sp := r.Start("x", CatRun, 0)
+	if sp.ID() != 0 {
+		t.Fatal("nil span has an ID")
+	}
+	sp.Note("n")
+	sp.End()
+
+	m := NewMC(nil, "run", 0, 4)
+	if m != nil {
+		t.Fatal("NewMC with nil recorder must return nil")
+	}
+	w := m.NewWorker(0)
+	if w != nil {
+		t.Fatal("nil MC handed out a worker")
+	}
+	w.BeginSample(0)
+	w.BeginSpan("x", 0)
+	w.EndSpan(1)
+	w.EndSample(SampleDiag{})
+	m.FinishWorker(w)
+	if m.Finish() != nil {
+		t.Fatal("nil MC finished with records")
+	}
+}
+
+// TestStandaloneMCMatchesLocal pins the cross-process contract: a
+// standalone MC (shard worker) with the same base produces sample span IDs
+// identical to a local MC's, so a coordinator can merge remote records
+// without translation.
+func TestStandaloneMCMatchesLocal(t *testing.T) {
+	const base, parent = uint64(7) << idBlockShift, uint64(42)
+	m := NewStandaloneMC("mc", "shard-0/a0", parent, base, 4)
+	w := m.NewWorker(0)
+	w.BeginSample(100)
+	w.EndSample(SampleDiag{Verdict: VerdictFailed})
+	m.FinishWorker(w)
+	recs := m.Finish()
+	if len(recs) != 1 {
+		t.Fatalf("kept %d records, want 1", len(recs))
+	}
+	ev := recs[0].Events[0]
+	if want := base + uint64(101)<<sampleSeqBits; ev.ID != want {
+		t.Fatalf("standalone sample ID = %d, want deterministic %d", ev.ID, want)
+	}
+	if ev.Parent != parent {
+		t.Fatalf("standalone sample parent = %d, want wire parent %d", ev.Parent, parent)
+	}
+	if ev.Proc != "shard-0/a0" {
+		t.Fatalf("standalone sample proc = %q", ev.Proc)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+// The flight recorder: every sample produces a small fixed-size diagnostic
+// (SampleDiag); full span detail survives only for the K worst samples.
+// Determinism is the load-bearing property — the same K samples must be
+// retained at any worker count and any sharding — so the ranking uses only
+// fields that are pure functions of (seed, idx): the verdict, the rescue
+// work, and the Newton iteration count. Wall time is recorded for humans
+// but deliberately excluded from the order (it depends on machine load).
+
+// DefaultWorstK is the flight-recorder retention depth when unset.
+const DefaultWorstK = 8
+
+// Sample verdicts, in increasing severity. Budget and hang verdicts are
+// only as deterministic as the budgets that produce them (a wall-clock
+// budget can trip on one machine and not another); runs without budgets
+// produce only "ok", "failed", and "panic", all deterministic.
+const (
+	VerdictOK          = "ok"
+	VerdictFailed      = "failed"
+	VerdictBudgetWall  = "budget-wall"
+	VerdictBudgetIters = "budget-iters"
+	VerdictBudgetHang  = "budget-hang"
+	VerdictPanic       = "panic"
+)
+
+// severity ranks verdicts for the worst-K order: any failure outranks any
+// success, panics outrank everything.
+func severity(verdict string) int {
+	switch verdict {
+	case VerdictOK, "":
+		return 0
+	case VerdictPanic:
+		return 3
+	case VerdictBudgetWall, VerdictBudgetIters, VerdictBudgetHang:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// SampleDiag is the fixed-size per-sample diagnostic every traced sample
+// produces: enough to rank it, locate it, and explain it without keeping
+// its spans.
+type SampleDiag struct {
+	Run       string `json:"run,omitempty"` // mc-run name (experiment/bench)
+	Idx       int    `json:"idx"`           // global sample index
+	Iters     int64  `json:"iters"`         // Newton iterations this sample
+	Rescues   int64  `json:"rescues"`       // rescue-ladder stages climbed
+	WallNs    int64  `json:"wall_ns"`       // wall time (excluded from ranking)
+	Verdict   string `json:"verdict"`
+	WorstNode string `json:"worst_node,omitempty"` // worst KCL node of the failure
+	Err       string `json:"err,omitempty"`
+}
+
+// Worse reports whether a ranks strictly worse (= more worth keeping) than
+// b. The order is total and uses only deterministic fields, with (run, idx)
+// as the final tie-break, so any top-K selection under it is unique.
+func Worse(a, b SampleDiag) bool {
+	if sa, sb := severity(a.Verdict), severity(b.Verdict); sa != sb {
+		return sa > sb
+	}
+	if a.Rescues != b.Rescues {
+		return a.Rescues > b.Rescues
+	}
+	if a.Iters != b.Iters {
+		return a.Iters > b.Iters
+	}
+	if a.Run != b.Run {
+		return a.Run < b.Run
+	}
+	return a.Idx < b.Idx
+}
+
+// SampleRecord is one retained worst sample: its diagnostic plus the full
+// span detail captured while it ran. Truncated marks a sample whose span
+// buffer overflowed (detail capped, diagnostic still exact).
+type SampleRecord struct {
+	Diag      SampleDiag `json:"diag"`
+	Events    []Event    `json:"events,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// WorstSet keeps the K worst sample records under the Worse order. The
+// zero value with K set is ready to use. Not safe for concurrent use.
+type WorstSet struct {
+	K    int
+	recs []SampleRecord // sorted, worst first
+}
+
+// WouldKeep reports whether a sample with diagnostic d would enter the set
+// — the cheap pre-check that lets callers skip copying span buffers for
+// samples that won't survive.
+func (w *WorstSet) WouldKeep(d SampleDiag) bool {
+	if w.K <= 0 {
+		return false
+	}
+	if len(w.recs) < w.K {
+		return true
+	}
+	return Worse(d, w.recs[len(w.recs)-1].Diag)
+}
+
+// Add inserts rec if it ranks among the K worst, evicting the best of the
+// current set when full. Returns whether rec was kept.
+func (w *WorstSet) Add(rec SampleRecord) bool {
+	if !w.WouldKeep(rec.Diag) {
+		return false
+	}
+	i := len(w.recs)
+	for i > 0 && Worse(rec.Diag, w.recs[i-1].Diag) {
+		i--
+	}
+	w.recs = append(w.recs, SampleRecord{})
+	copy(w.recs[i+1:], w.recs[i:])
+	w.recs[i] = rec
+	if len(w.recs) > w.K {
+		w.recs = w.recs[:w.K]
+	}
+	return true
+}
+
+// Records returns the retained records, worst first.
+func (w *WorstSet) Records() []SampleRecord { return w.recs }

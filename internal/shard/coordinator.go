@@ -10,6 +10,7 @@ import (
 
 	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs/trace"
 )
 
 // Config parameterizes a coordinated run.
@@ -51,6 +52,17 @@ type Config struct {
 
 	// Metrics, when non-nil, receives the run's Stats (RecordStats).
 	Metrics *Metrics
+
+	// Trace, when non-nil, stitches the run into a distributed trace:
+	// every dispatch attempt records a coordinator-side span under
+	// TraceParent, each Request carries the parent span ID plus a freshly
+	// reserved sample-ID block, and the committed envelopes' worker-side
+	// spans and worst-sample records merge into the recorder in shard
+	// order (deterministic regardless of commit order). TraceK <= 0
+	// defaults to the recorder's K.
+	Trace       *trace.Recorder
+	TraceParent uint64
+	TraceK      int
 }
 
 func (c *Config) withDefaults() Config {
@@ -253,6 +265,13 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 			return res, fmt.Errorf("shard: shard %d [%d,%d) never committed", s.ord, s.lo, s.hi)
 		}
 		envs = append(envs, s.env)
+		// Merge trace payloads committed-envelopes-only and in shard order:
+		// the worst-K set is deterministic in the diagnostics, and the span
+		// stream is deterministic up to timestamps.
+		if cfg.Trace != nil {
+			cfg.Trace.Append(s.env.TraceEvents...)
+			cfg.Trace.AddWorst(s.env.Worst)
+		}
 	}
 	out, rep, err := Merge(cfg.N, envs)
 	if err != nil {
@@ -263,7 +282,7 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 }
 
 func (c *coordinator[T]) request(s *shardState[T], attempt int) Request {
-	return Request{
+	r := Request{
 		ConfigHash:   c.cfg.ConfigHash,
 		Seed:         c.cfg.Seed,
 		N:            c.cfg.N,
@@ -276,6 +295,19 @@ func (c *coordinator[T]) request(s *shardState[T], attempt int) Request {
 		HangGrace:    c.cfg.HangGrace,
 		MaxFailFrac:  c.cfg.MaxFailFrac,
 	}
+	if c.cfg.Trace != nil {
+		r.Trace = true
+		r.TraceK = c.cfg.TraceK
+		if r.TraceK <= 0 {
+			r.TraceK = c.cfg.Trace.K()
+		}
+		r.TraceParent = c.cfg.TraceParent
+		// A fresh ID block per attempt: two attempts at the same shard
+		// (retry, speculation) can both produce complete span sets without
+		// colliding; only the committed one is ever merged.
+		r.TraceBase = c.cfg.Trace.AllocBase()
+	}
+	return r
 }
 
 // workerLoop is one endpoint's dispatch loop: one in-flight attempt at a
@@ -333,8 +365,12 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 		actx, acancel = context.WithTimeout(ctx, c.cfg.ShardWall)
 		defer acancel()
 	}
+	sp := c.cfg.Trace.Start(fmt.Sprintf("dispatch shard %d attempt %d", s.ord, attempt),
+		trace.CatDispatch, c.cfg.TraceParent)
 	envs, err := tr.Dispatch(actx, c.request(s, attempt))
 	if ctx.Err() != nil {
+		sp.Note("shutdown")
+		sp.End()
 		return true // run is shutting down; outcome no longer matters
 	}
 	committedHere := false
@@ -362,9 +398,17 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 		}
 	}
 	if committedHere || s.commit.Load() != 0 {
+		if committedHere {
+			sp.Note("committed")
+		} else {
+			sp.Note("duplicate")
+		}
+		sp.End()
 		return err == nil && verr == nil
 	}
 	// Attempt produced nothing usable for a still-pending shard: lost.
+	sp.Note("lost")
+	sp.End()
 	c.statLost.Add(1)
 	s.failures.Add(1)
 	c.scheduleRetry(ctx, s)
@@ -476,14 +520,20 @@ func (c *coordinator[T]) localLoop(ctx context.Context) {
 			c.statDispatched.Add(1)
 			c.statLocal.Add(1)
 			start := time.Now()
+			sp := c.cfg.Trace.Start(fmt.Sprintf("dispatch shard %d attempt %d (local)", s.ord, attempt),
+				trace.CatDispatch, c.cfg.TraceParent)
 			env, err := c.local(ctx, c.request(s, attempt))
 			if ctx.Err() != nil {
+				sp.Note("shutdown")
+				sp.End()
 				return
 			}
 			if err == nil {
 				err = env.Validate(c.cfg.ConfigHash, c.cfg.N, s.lo, s.hi)
 			}
 			if err != nil {
+				sp.Note("lost")
+				sp.End()
 				c.failOnce.Do(func() {
 					c.failErr = fmt.Errorf("shard: local fallback for shard %d failed: %w", s.ord, err)
 					close(c.failedCh)
@@ -491,6 +541,8 @@ func (c *coordinator[T]) localLoop(ctx context.Context) {
 				return
 			}
 			if s.commit.CompareAndSwap(0, 1) {
+				sp.Note("committed")
+				sp.End()
 				s.env = env
 				c.latMu.Lock()
 				c.lats = append(c.lats, time.Since(start))
@@ -499,6 +551,8 @@ func (c *coordinator[T]) localLoop(ctx context.Context) {
 					close(c.done)
 				}
 			} else {
+				sp.Note("duplicate")
+				sp.End()
 				c.statDuplicates.Add(1)
 			}
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs/trace"
 )
 
 // ExecFn executes one shard request to completion and returns its result
@@ -40,12 +42,35 @@ func NewExecutor[S, T any](cfgHash string, engineWorkers int,
 			HangGrace: req.HangGrace,
 			Offset:    req.Lo,
 		}
+		// Worker-side trace: the shard span's ID is the attempt's reserved
+		// block base (sample span IDs start at base + 1<<sampleSeqBits, so
+		// the two never collide), its parent is the coordinator's span —
+		// that explicit edge is what stitches a remote worker's sub-trace
+		// into the coordinator's tree.
+		var mcr *trace.MC
+		var shardEv trace.Event
+		if req.Trace {
+			proc := fmt.Sprintf("shard-%d/a%d", req.Shard, req.Attempt)
+			shardEv = trace.Event{
+				Name: fmt.Sprintf("shard %d [%d,%d) attempt %d", req.Shard, req.Lo, req.Hi, req.Attempt),
+				Cat:  trace.CatShard, ID: req.TraceBase, Parent: req.TraceParent,
+				Start: time.Now().UnixNano(), Proc: proc, Sample: -1,
+			}
+			mcr = trace.NewStandaloneMC(req.Bench, proc, req.TraceBase, req.TraceBase, req.TraceK)
+			opts.Trace = mcr
+		}
 		out, rep, err := montecarlo.MapPooledReportCtx(ctx, req.Hi-req.Lo, req.Seed,
 			engineWorkers, opts, newState, fn)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d [%d,%d): %w", req.Shard, req.Lo, req.Hi, err)
 		}
-		return envelopeFromRun(cfgHash, req, out, rep), nil
+		env := envelopeFromRun(cfgHash, req, out, rep)
+		if req.Trace {
+			env.Worst = mcr.Finish()
+			shardEv.Dur = time.Now().UnixNano() - shardEv.Start
+			env.TraceEvents = []trace.Event{shardEv}
+		}
+		return env, nil
 	}
 }
 

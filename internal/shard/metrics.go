@@ -44,6 +44,15 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		local:      CounterHandle{reg.Counter("shard_local_fallback_total")},
 		latency:    reg.Histogram("shard_latency_ns", obs.ExpBounds(1_000_000, 2, 24)),
 	}
+	reg.SetHelp("shard_dispatched_total", "Shard attempts handed to any transport, including local fallback.")
+	reg.SetHelp("shard_retried_total", "Shard re-dispatches after a failed, lost, or rejected attempt.")
+	reg.SetHelp("shard_speculated_total", "Speculative duplicate attempts launched against straggling shards.")
+	reg.SetHelp("shard_committed_total", "Shards whose first valid envelope won the commit CAS.")
+	reg.SetHelp("shard_duplicate_results_total", "Valid envelopes that lost the commit race.")
+	reg.SetHelp("shard_results_lost_total", "Attempts that returned an error, nothing, or an invalid envelope.")
+	reg.SetHelp("shard_workers_lost_total", "Worker endpoints retired after consecutive failures.")
+	reg.SetHelp("shard_local_fallback_total", "Shard attempts executed on the coordinator's local executor.")
+	reg.SetHelp("shard_latency_ns", "Dispatch-to-commit wall time per committed shard, in nanoseconds.")
 	m.sh = reg.NewShard()
 	return m
 }

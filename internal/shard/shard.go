@@ -27,6 +27,7 @@ import (
 
 	"vstat/internal/lifecycle"
 	"vstat/internal/montecarlo"
+	"vstat/internal/obs/trace"
 )
 
 // EnvelopeVersion guards the wire schema, like checkpointVersion guards the
@@ -59,6 +60,18 @@ type Request struct {
 	// MaxFailFrac > 0 selects SkipAndRecord with that cap; 0 means
 	// fail-fast (the montecarlo default).
 	MaxFailFrac float64 `json:"max_fail_frac,omitempty"`
+
+	// Trace asks the worker to run its flight recorder for this attempt:
+	// the worker opens a shard span with ID TraceBase parented to the
+	// coordinator's TraceParent span, derives sample span IDs from the
+	// TraceBase block (reserved coordinator-side, so blocks from
+	// concurrent attempts never collide), keeps its worst-TraceK sample
+	// records, and ships spans + records back in the envelope. This is
+	// how one run's trace stitches across process boundaries.
+	Trace       bool   `json:"trace,omitempty"`
+	TraceK      int    `json:"trace_k,omitempty"`
+	TraceParent uint64 `json:"trace_parent,omitempty"`
+	TraceBase   uint64 `json:"trace_base,omitempty"`
 }
 
 // Policy translates the request's failure knob into a montecarlo.Policy.
@@ -95,6 +108,14 @@ type Envelope[T any] struct {
 	// Attempted counts samples the worker started (Hi-Lo on a healthy
 	// shard; carried so the merged RunReport is exact, not inferred).
 	Attempted int `json:"attempted"`
+
+	// TraceEvents (the worker-side shard span) and Worst (the worker's
+	// worst-K sample records, spans included) come back only when the
+	// request set Trace. The coordinator merges them from committed
+	// envelopes exclusively, in shard order — duplicates from lost or
+	// speculative attempts never reach the recorder.
+	TraceEvents []trace.Event        `json:"trace_events,omitempty"`
+	Worst       []trace.SampleRecord `json:"worst,omitempty"`
 }
 
 // Validate checks the envelope against the coordinator's expectation for

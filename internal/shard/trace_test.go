@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vstat/internal/obs/trace"
+)
+
+// traceWorkState gives the tracing tests a worker state whose solver-work
+// counters are pure functions of the sample index, so the flight recorder's
+// worst-K ranking is deterministic across worker counts, shard sizes, and
+// transports.
+type traceWorkState struct{ iters, rescues int64 }
+
+func (s *traceWorkState) SolverWork() (int64, int64) { return s.iters, s.rescues }
+
+func traceTestFn(s *traceWorkState, idx int, rng *rand.Rand) (float64, error) {
+	s.iters += int64(5 + idx%89)
+	if idx%31 == 0 {
+		s.rescues += int64(1 + idx%2)
+	}
+	if idx%97 == 13 {
+		return 0, fmt.Errorf("synthetic non-convergence at sample %d", idx)
+	}
+	return float64(idx) + rng.Float64(), nil
+}
+
+func traceExec() ExecFn[float64] {
+	return NewExecutor[*traceWorkState, float64](testHash, 2,
+		func(int) (*traceWorkState, error) { return &traceWorkState{}, nil }, traceTestFn)
+}
+
+// jsonTransport dispatches through the exact JSON serialization the remote
+// transports use — the subprocess wire without the subprocess.
+type jsonTransport struct{ Exec ExecFn[float64] }
+
+func (j jsonTransport) Dispatch(ctx context.Context, req Request) ([]*Envelope[float64], error) {
+	env, err := JSONRoundTrip(ctx, j.Exec, req)
+	if err != nil {
+		return nil, err
+	}
+	return []*Envelope[float64]{env}, nil
+}
+
+// tracedRun executes one traced sharded campaign and returns the exported
+// span set and summary. Endpoint transports are supplied by the caller.
+func tracedRun(t *testing.T, n, shardSize, k int, seed int64, eps []Endpoint[float64],
+	plan *FaultPlan) ([]trace.Event, trace.Summary, Result[float64]) {
+	t.Helper()
+	rec := trace.New("coordinator", k)
+	runSpan := rec.Start("test run", trace.CatRun, 0)
+	cfg := Config{
+		N: n, Seed: seed, ConfigHash: testHash, ShardSize: shardSize, MaxFailFrac: 1.0,
+		DeadAfter: 20, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Trace: rec, TraceParent: runSpan.ID(), TraceK: k,
+	}
+	if plan != nil {
+		for i := range eps {
+			eps[i].Transport = Wrap(plan, eps[i].Transport)
+		}
+	}
+	res, err := Run(context.Background(), cfg, eps, traceExec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSpan.End()
+	evs, sum := rec.Export()
+	return evs, sum, res
+}
+
+// TestTraceConnectedAcrossTransports is the distributed-tracing acceptance:
+// a campaign spread over an in-process loopback worker, a JSON round-trip
+// worker (the subprocess wire format), and a real HTTP worker — with a
+// scripted drop forcing one retry attempt — must export one connected
+// trace: zero orphans, every worker-side shard span parented to the run
+// span, and sample/phase detail surviving only under retained shard spans.
+func TestTraceConnectedAcrossTransports(t *testing.T) {
+	srv := httptest.NewServer(Handler(traceExec()))
+	defer srv.Close()
+
+	plan := &FaultPlan{Rules: []FaultRule{
+		{Shard: 1, Attempt: 0, Kind: FaultDrop}, // retry gets a fresh trace ID block
+	}}
+	eps := []Endpoint[float64]{
+		{Name: "loop", Transport: Loopback[float64]{Exec: traceExec()}},
+		{Name: "json", Transport: jsonTransport{Exec: traceExec()}},
+		{Name: "http", Transport: HTTPEndpoint[float64]{Base: srv.URL}},
+	}
+	evs, sum, res := tracedRun(t, 600, 100, 4, 20260809, eps, plan)
+
+	if got := trace.Orphans(evs); got != 0 {
+		t.Fatalf("%d orphan spans in a %d-span export", got, len(evs))
+	}
+	var runID uint64
+	counts := map[string]int{}
+	for i := range evs {
+		counts[evs[i].Cat]++
+		if evs[i].Cat == trace.CatRun {
+			runID = evs[i].ID
+		}
+	}
+	if counts[trace.CatRun] != 1 {
+		t.Fatalf("export holds %d run spans, want 1", counts[trace.CatRun])
+	}
+	if counts[trace.CatShard] != res.Shards {
+		t.Fatalf("%d worker-side shard spans for %d committed shards", counts[trace.CatShard], res.Shards)
+	}
+	// One dispatch span per attempt, including the dropped one.
+	if int64(counts[trace.CatDispatch]) != res.Stats.Dispatched {
+		t.Fatalf("%d dispatch spans for %d dispatched attempts", counts[trace.CatDispatch], res.Stats.Dispatched)
+	}
+	if counts[trace.CatSample] == 0 || counts[trace.CatPhase] != 0 {
+		// traceWorkState attaches no obs.Scope, so samples carry no phase
+		// spans here — but the worst samples' sample spans must survive.
+		t.Fatalf("sample detail wrong: %d sample spans, %d phase spans", counts[trace.CatSample], counts[trace.CatPhase])
+	}
+	shardIDs := map[uint64]bool{}
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Cat {
+		case trace.CatShard:
+			if ev.Parent != runID {
+				t.Fatalf("shard span %q parented to %d, want the run span %d", ev.Name, ev.Parent, runID)
+			}
+			shardIDs[ev.ID] = true
+		case trace.CatDispatch:
+			if ev.Parent != runID {
+				t.Fatalf("dispatch span %q parented to %d, want the run span %d", ev.Name, ev.Parent, runID)
+			}
+			if ev.Note == "" {
+				t.Fatalf("dispatch span %q carries no outcome note", ev.Name)
+			}
+		}
+	}
+	for i := range evs {
+		if evs[i].Cat == trace.CatSample && !shardIDs[evs[i].Parent] {
+			t.Fatalf("sample span %d parented to %d, not a committed shard span", evs[i].Sample, evs[i].Parent)
+		}
+	}
+	if len(sum.Worst) != 4 {
+		t.Fatalf("flight recorder kept %d records, want 4", len(sum.Worst))
+	}
+	// Committed-only merge: the dropped attempt's spans must not appear.
+	lost := 0
+	for i := range evs {
+		if evs[i].Cat == trace.CatDispatch && evs[i].Note == "lost" {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("the scripted drop left no lost dispatch span")
+	}
+}
+
+// TestTraceWorstKIdenticalAcrossDeployments pins the flight-recorder
+// determinism contract end to end: the same K worst samples — same
+// diagnostics, same order — survive whether the campaign runs on 1, 4, or
+// 8 workers, and whether the envelopes cross a wire or not.
+func TestTraceWorstKIdenticalAcrossDeployments(t *testing.T) {
+	const n, shardSize, k = 1200, 150, 6
+	const seed = int64(4242)
+
+	var ref []trace.SampleDiag
+	for _, workers := range []int{1, 4, 8} {
+		for _, wire := range []bool{false, true} {
+			label := fmt.Sprintf("workers=%d wire=%v", workers, wire)
+			var eps []Endpoint[float64]
+			for w := 0; w < workers; w++ {
+				var tr Transport[float64]
+				if wire {
+					tr = jsonTransport{Exec: traceExec()}
+				} else {
+					tr = Loopback[float64]{Exec: traceExec()}
+				}
+				eps = append(eps, Endpoint[float64]{Name: fmt.Sprintf("w%d", w), Transport: tr})
+			}
+			_, sum, _ := tracedRun(t, n, shardSize, k, seed, eps, nil)
+			if len(sum.Worst) != k {
+				t.Fatalf("%s: kept %d records, want %d", label, len(sum.Worst), k)
+			}
+			got := make([]trace.SampleDiag, k)
+			for i, r := range sum.Worst {
+				got[i] = r.Diag
+				got[i].WallNs = 0 // machine timing; excluded from the contract
+			}
+			if ref == nil {
+				ref = got
+				if got[0].Verdict != trace.VerdictFailed {
+					t.Fatalf("worst record is %+v, want a failed sample on top", got[0])
+				}
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: worst[%d] = %+v, want %+v", label, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTraceWireRoundTripPreservesRecords pins the envelope encoding: worst
+// records and shard spans survive the JSON wire bit-for-bit, IDs included
+// (they are large block-based uint64s that would corrupt through float64).
+func TestTraceWireRoundTripPreservesRecords(t *testing.T) {
+	exec := traceExec()
+	req := Request{
+		ConfigHash: testHash, Seed: 77, N: 200, Lo: 0, Hi: 200, MaxFailFrac: 1.0,
+		Trace: true, TraceK: 3, TraceParent: 41,
+		TraceBase: uint64(9) << 48,
+	}
+	direct, err := exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := JSONRoundTrip(context.Background(), exec, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wired.Worst) != len(direct.Worst) || len(wired.Worst) != 3 {
+		t.Fatalf("wire kept %d worst records, direct %d, want 3", len(wired.Worst), len(direct.Worst))
+	}
+	for i := range direct.Worst {
+		// Two separate executions: wall time differs, everything else must not.
+		wired.Worst[i].Diag.WallNs, direct.Worst[i].Diag.WallNs = 0, 0
+		if wired.Worst[i].Diag != direct.Worst[i].Diag {
+			t.Fatalf("worst[%d].Diag changed on the wire: %+v vs %+v", i, wired.Worst[i].Diag, direct.Worst[i].Diag)
+		}
+		for j := range direct.Worst[i].Events {
+			w, d := wired.Worst[i].Events[j], direct.Worst[i].Events[j]
+			if w.ID != d.ID || w.Parent != d.Parent {
+				t.Fatalf("worst[%d] span %d IDs changed on the wire: (%d,%d) vs (%d,%d)",
+					i, j, w.ID, w.Parent, d.ID, d.Parent)
+			}
+		}
+	}
+	if len(wired.TraceEvents) != 1 || wired.TraceEvents[0].ID != req.TraceBase ||
+		wired.TraceEvents[0].Parent != req.TraceParent {
+		t.Fatalf("shard span corrupted on the wire: %+v", wired.TraceEvents)
+	}
+	// Untraced requests must not grow the envelope.
+	req.Trace = false
+	plain, err := exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceEvents != nil || plain.Worst != nil {
+		t.Fatal("untraced request produced trace payload")
+	}
+}

@@ -97,9 +97,13 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 		return first.at(StageDCNewton, 0)
 	}
 
-	// 2. Gmin stepping.
+	// 2. Gmin stepping. Each rung runs inside a trace span so the flight
+	// recorder shows which rescue a pathological sample spent its time in
+	// (free without a tracer: SpanBegin/SpanEnd are a nil check each).
 	reset()
+	c.obsScope.SpanBegin("rescue:" + string(StageDCGmin))
 	cerr := c.gminStepInto(x)
+	c.obsScope.SpanEnd()
 	if cerr == nil {
 		c.stats.DCGminRescues++
 		c.traceRescue(StageDCGmin, 0, first)
@@ -113,7 +117,10 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 	for i := range x {
 		x[i] = 0
 	}
-	if cerr = c.sourceStepInto(x); cerr == nil {
+	c.obsScope.SpanBegin("rescue:" + string(StageDCSource))
+	cerr = c.sourceStepInto(x)
+	c.obsScope.SpanEnd()
+	if cerr == nil {
 		c.stats.DCSourceRescues++
 		c.traceRescue(StageDCSource, 0, first)
 		return nil
@@ -124,7 +131,9 @@ func (c *Circuit) solveOPInto(x, guess []float64, carry bool) error {
 
 	// 4. Pseudo-transient ramp.
 	reset()
+	c.obsScope.SpanBegin("rescue:" + string(StageDCPseudo))
 	cerr = c.pseudoTransientInto(x)
+	c.obsScope.SpanEnd()
 	if cerr == nil {
 		c.stats.DCPseudoRescues++
 		c.traceRescue(StageDCPseudo, 0, first)

@@ -67,6 +67,12 @@ func (e *ConvergenceError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *ConvergenceError) Unwrap() error { return e.Err }
 
+// WorstNode returns the name of the node with the largest KCL residual at
+// the failing iterate ("" when unknown). Exposed as a method so layers
+// that must not import spice (the montecarlo flight recorder) can extract
+// it through an anonymous interface with errors.As.
+func (e *ConvergenceError) WorstNode() string { return e.Node }
+
 // at tags the error with the stage and simulation time it surfaced from,
 // returning e for chaining. Nil-safe.
 func (e *ConvergenceError) at(st Stage, t float64) *ConvergenceError {

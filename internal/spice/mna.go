@@ -121,6 +121,16 @@ func (s SolverStats) RescueCounts() map[string]int64 {
 	return out
 }
 
+// Work reduces the counter set to the two numbers the per-sample flight
+// recorder ranks on: total Newton iterations and total rescue-ladder
+// stages climbed (every counter RescueCounts exposes). Both are pure
+// functions of the sample's physics, never of worker scheduling, so
+// per-sample deltas of Work are deterministic at any worker count.
+func (s SolverStats) Work() (iters, rescues int64) {
+	return s.NewtonIters, s.DCGminRescues + s.DCSourceRescues + s.DCPseudoRescues +
+		s.TranHalvings + s.Rescues + s.FastFallbacks + s.NonFiniteRejects
+}
+
 // Add returns the field-wise sum of two counter sets (benches spanning
 // several circuits report one merged set).
 func (s SolverStats) Add(o SolverStats) SolverStats {

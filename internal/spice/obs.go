@@ -14,6 +14,11 @@ func (c *Circuit) SetObs(sc *obs.Scope) { c.obsScope = sc }
 // index currently running on this circuit.
 func (c *Circuit) SetObsSample(idx int) { c.obsSample = idx }
 
+// AttachTracer forwards a span tracer to the attached scope, so solver
+// phase Enter/Exit pairs and rescue-ladder rungs emit trace spans. Safe
+// (and a no-op) without a scope.
+func (c *Circuit) AttachTracer(t obs.Tracer) { c.obsScope.SetTracer(t) }
+
 // traceRescue emits a rescue-ladder escalation event carrying the rung that
 // is being entered (or just succeeded) and the worst node of the triggering
 // convergence failure. All trace helpers are cheap no-ops without an

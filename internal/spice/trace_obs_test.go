@@ -1,0 +1,127 @@
+package spice
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vstat/internal/lifecycle"
+	"vstat/internal/obs"
+	"vstat/internal/obs/trace"
+)
+
+// armedTracedCircuit builds the fully instrumented worst case short of an
+// actual tracer: observability enabled, a live scope attached, a per-sample
+// budget armed — the configuration every traced-capable MC run uses when
+// -trace-out is NOT given.
+func armedTracedCircuit(t testing.TB) *Circuit {
+	c, _ := testInverter()
+	reg := obs.NewRegistry()
+	pm := obs.NewPhaseMetrics(reg) // register before the first shard
+	sc := obs.NewScope(reg.NewShard(), pm)
+	c.SetObs(sc)
+	return c
+}
+
+// TestTracingDisabledArmedStepAllocFree is the tracing layer's zero-overhead
+// guard: with a scope live and a sample budget armed but NO tracer attached
+// (tracing disabled, the default), the transient hot path must allocate
+// nothing — including after a tracer was attached once and then detached,
+// so the nil-tracer fast path is genuinely re-entered, not just never left.
+func TestTracingDisabledArmedStepAllocFree(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(false) })
+	c := armedTracedCircuit(t)
+
+	// Attach and detach a real tracer so the scope has seen both states.
+	mc := trace.NewStandaloneMC("alloc-test", "test", 1, uint64(1)<<48, 2)
+	c.AttachTracer(mc.NewWorker(0))
+	c.AttachTracer(nil)
+
+	ctx := context.Background()
+	budget := lifecycle.Budget{Wall: time.Hour, MaxNewton: 1 << 40}
+	opts := TranOpts{Stop: 100e-12, Step: 1e-12}
+	var res TranResult
+	c.ArmSample(ctx, budget)
+	if err := c.TransientInto(opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		c.ArmSample(ctx, budget)
+		if err := c.TransientInto(opts, &res); err != nil {
+			t.Fatal(err)
+		}
+		c.obsScope.EndSample()
+	})
+	if allocs != 0 {
+		t.Fatalf("armed transient step allocates %.1f objects per run with tracing disabled, want 0", allocs)
+	}
+}
+
+// BenchmarkArmedTransientTracingDisabled reports the allocation figure the
+// guard above pins, for the Makefile's trace rung and for eyeballing the
+// hot-path cost alongside the other solver benchmarks.
+func BenchmarkArmedTransientTracingDisabled(b *testing.B) {
+	obs.SetEnabled(true)
+	b.Cleanup(func() { obs.SetEnabled(false) })
+	c := armedTracedCircuit(b)
+	ctx := context.Background()
+	budget := lifecycle.Budget{Wall: time.Hour, MaxNewton: 1 << 40}
+	opts := TranOpts{Stop: 100e-12, Step: 1e-12}
+	var res TranResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ArmSample(ctx, budget)
+		if err := c.TransientInto(opts, &res); err != nil {
+			b.Fatal(err)
+		}
+		c.obsScope.EndSample()
+	}
+}
+
+// TestScopeForwardsSolverSpansToFlightRecorder pins the obs → trace bridge:
+// with a SampleTracer attached, a transient's phase Enter/Exit pairs arrive
+// as nested phase spans under the sample span, with the solver phase names
+// intact — no spice-side code ever imports the trace package.
+func TestScopeForwardsSolverSpansToFlightRecorder(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(false) })
+	c := armedTracedCircuit(t)
+
+	mc := trace.NewStandaloneMC("bridge-test", "test", 41, uint64(2)<<48, 2)
+	w := mc.NewWorker(0)
+	c.AttachTracer(w)
+
+	w.BeginSample(5)
+	var res TranResult
+	if err := c.TransientInto(TranOpts{Stop: 100e-12, Step: 1e-12}, &res); err != nil {
+		t.Fatal(err)
+	}
+	c.obsScope.EndSample()
+	w.EndSample(trace.SampleDiag{Verdict: trace.VerdictOK, Iters: c.Stats().NewtonIters})
+	mc.FinishWorker(w)
+	recs := mc.Finish()
+	if len(recs) != 1 {
+		t.Fatalf("flight recorder kept %d records, want 1", len(recs))
+	}
+	evs := recs[0].Events
+	if evs[0].Cat != trace.CatSample || evs[0].Sample != 5 || evs[0].Parent != 41 {
+		t.Fatalf("sample span = %+v", evs[0])
+	}
+	seen := map[string]int{}
+	for _, ev := range evs[1:] {
+		if ev.Cat != trace.CatPhase {
+			t.Fatalf("non-phase span inside a sample: %+v", ev)
+		}
+		if ev.Dur <= 0 {
+			t.Fatalf("unclosed phase span %q", ev.Name)
+		}
+		seen[ev.Name]++
+	}
+	for _, phase := range []string{"assemble-J", "lu-factor", "tri-solve", "newton-solve"} {
+		if seen[phase] == 0 {
+			t.Fatalf("solver phase %q never reached the tracer (saw %v)", phase, seen)
+		}
+	}
+}
