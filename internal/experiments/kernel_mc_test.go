@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"vstat/internal/circuits"
+	"vstat/internal/core"
+	"vstat/internal/device"
+	"vstat/internal/montecarlo"
+	"vstat/internal/vsmodel"
+)
+
+// kernelMC runs the INV FO3 delay MC with every device routed through the
+// given vsmodel kernel, returning the sampled delays.
+func kernelMC(t *testing.T, kernel vsmodel.Kernel, cfg Config, name string, n int, seed int64) []float64 {
+	t.Helper()
+	m := core.DefaultStatVS()
+	m.Kernel = kernel
+	out, _, err := runPooledMC[*circuits.PooledGate, float64](
+		cfg, name, n, seed, invBench(m), invDelay(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("run %q produced %d samples, want %d", name, len(out), n)
+	}
+	return out
+}
+
+// sameBits fails the test at the first sample whose bits differ.
+func sameBits(t *testing.T, what string, got, ref []float64) {
+	t.Helper()
+	for i := range ref {
+		if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+			t.Fatalf("%s: sample %d = %.17g, reference %.17g", what, i, got[i], ref[i])
+		}
+	}
+}
+
+// TestTapeFastMCDeterminism pins the fastmath tape kernel's reproducibility
+// contract at full Monte Carlo scale: a tape-fast circuit MC is
+// bit-identical to itself at any worker count and through the shard
+// coordinator (loopback transports, shard width not dividing n), even
+// though its values legitimately differ from the exact kernels'.
+func TestTapeFastMCDeterminism(t *testing.T) {
+	// Pin that the kernel knob actually routes devices through the
+	// fastmath tape, so the determinism runs below can't silently degrade
+	// into direct-kernel runs.
+	m := core.DefaultStatVS()
+	m.Kernel = vsmodel.KernelTapeFast
+	dev := m.Nominal()(device.NMOS, 300e-9, 40e-9)
+	td, ok := dev.(*vsmodel.TapeDevice)
+	if !ok || !td.Fast() {
+		t.Fatalf("StatVS{Kernel: tape-fast} nominal device = %T (fast=%v), want fastmath *TapeDevice", dev, ok && td.Fast())
+	}
+
+	const n = 24
+	const seed = int64(40613)
+	pol := montecarlo.SkipUpTo(1.0)
+
+	ref := kernelMC(t, vsmodel.KernelTapeFast, Config{Workers: 1, Policy: pol}, "tf-w1", n, seed)
+	for _, workers := range []int{2, 4} {
+		got := kernelMC(t, vsmodel.KernelTapeFast, Config{Workers: workers, Policy: pol},
+			"tf-w", n, seed)
+		sameBits(t, "worker-count invariance", got, ref)
+	}
+	for _, sh := range []struct{ size, eps int }{{7, 3}, {5, 2}} {
+		got := kernelMC(t, vsmodel.KernelTapeFast,
+			Config{Workers: 2, Policy: pol, ShardSize: sh.size, ShardEndpoints: sh.eps},
+			"tf-shard", n, seed)
+		sameBits(t, "shard-transport invariance", got, ref)
+	}
+}
+
+// TestTapeExactMCMatchesDirect pins the exact tape interpreter's
+// bit-identity contract end to end: a full circuit MC through the tape
+// kernel reproduces the direct closed-form kernel's sampled delays bit for
+// bit — every Newton trajectory, rescue decision, and measurement
+// interpolation included.
+func TestTapeExactMCMatchesDirect(t *testing.T) {
+	const n = 24
+	const seed = int64(40613)
+	pol := montecarlo.SkipUpTo(1.0)
+
+	ref := kernelMC(t, vsmodel.KernelDirect, Config{Workers: 2, Policy: pol}, "direct", n, seed)
+	got := kernelMC(t, vsmodel.KernelTape, Config{Workers: 2, Policy: pol}, "tape", n, seed)
+	sameBits(t, "tape-exact vs direct", got, ref)
+}

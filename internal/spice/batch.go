@@ -139,6 +139,8 @@ func (b *BatchSim) SetObs(sc *obs.Scope) {
 // (Restat) are always picked up; a device whose concrete type the model
 // kernel cannot batch demotes that position to the scalar-loop fallback.
 func (b *BatchSim) Rebind() {
+	b.obsScope.Enter(obs.PhaseTapeBind)
+	defer b.obsScope.Exit()
 	for i := range b.devs {
 		for l, c := range b.lanes {
 			if !b.devs[i].SetLane(l, c.MOSDevice(i)) {
@@ -180,6 +182,7 @@ func (b *BatchSim) evalRound(live int) {
 				continue
 			}
 			b.out.LaneInto(l, &b.lanes[l].devPre[i])
+			b.lanes[l].stats.ModelEvals++
 		}
 	}
 	b.obsScope.Exit()
@@ -419,33 +422,14 @@ func (b *BatchSim) TransientBatch(live int, opts TranOpts, guesses [][]float64, 
 			b.evict(l, opts, laneGuess(l), res[l])
 		}
 
-		if opts.Fast {
-			for l := 0; l < live; l++ {
-				if b.stepOK[l] {
-					c := b.lanes[l]
-					c.updateTranHistoryFast(c.trX, &c.trState)
-				}
-			}
-		} else {
-			// The exact history update re-evaluates every device at the
-			// converged state; refresh devPre with one batched values round.
-			refresh := 0
-			for l := 0; l < live; l++ {
-				if b.stepOK[l] {
-					b.mode[l] = device.EvalValues
-					refresh++
-				} else {
-					b.mode[l] = device.EvalSkip
-				}
-			}
-			if refresh > 0 {
-				b.evalRound(live)
-			}
-			for l := 0; l < live; l++ {
-				if b.stepOK[l] {
-					c := b.lanes[l]
-					c.updateTranHistory(c.trX, &c.trState)
-				}
+		// Advance the charge history for surviving lanes. devPre still holds
+		// each lane's final lockstep eval round — the pre-final-update Newton
+		// state, exactly what the scalar path caches in evCache — so neither
+		// mode needs an extra eval round here.
+		for l := 0; l < live; l++ {
+			if b.stepOK[l] {
+				c := b.lanes[l]
+				c.updateTranHistory(c.trX, &c.trState)
 			}
 		}
 

@@ -170,8 +170,9 @@ type Circuit struct {
 	spSlots stampSlots
 	spReady bool
 
-	// evCache holds per-MOSFET model evaluations from the last fast-path
-	// assemble, consumed by updateTranHistoryFast.
+	// evCache holds per-MOSFET model evaluations from the last transient
+	// assemble (the pre-final-update Newton state), consumed by
+	// updateTranHistory so a converged step never re-evaluates the models.
 	evCache []device.Eval
 
 	// devPre holds externally computed per-MOSFET derivative bundles for

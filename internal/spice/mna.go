@@ -97,6 +97,13 @@ type SolverStats struct {
 	// which sample last re-analyzed this worker's pooled template, which is
 	// scheduling-dependent.
 	SparseRepivots int64
+
+	// ModelEvals counts MOSFET compact-model evaluations (scalar Eval /
+	// EvalDerivs calls and batched SoA lane-evaluations alike), the
+	// denominator for per-kernel model-throughput metrics. Incremented at
+	// the sites that invoke a model, not at the stamping sites that consume
+	// a pre-computed bundle, so batch and scalar paths count identically.
+	ModelEvals int64
 }
 
 // RescueCounts returns the nonzero rescue-ladder counters keyed by stage
@@ -146,6 +153,7 @@ func (s SolverStats) Add(o SolverStats) SolverStats {
 		FastFallbacks:    s.FastFallbacks + o.FastFallbacks,
 		NonFiniteRejects: s.NonFiniteRejects + o.NonFiniteRejects,
 		SparseRepivots:   s.SparseRepivots + o.SparseRepivots,
+		ModelEvals:       s.ModelEvals + o.ModelEvals,
 	}
 }
 
@@ -260,8 +268,10 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 	}
 
 	// MOSFETs: DC channel current always; terminal charge currents in
-	// transient.
-	cacheEv := ctx.fast && ctx.tran != nil
+	// transient. Transient assembles cache the model evaluations so the
+	// converged step's history update (updateTranHistory) reuses the last
+	// Newton evaluation instead of re-evaluating every device.
+	cacheEv := ctx.tran != nil
 	if cacheEv && len(c.evCache) != len(c.mos) {
 		c.evCache = make([]device.Eval, len(c.mos))
 	}
@@ -280,8 +290,10 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 			dv = device.EvalDerivs(m.dev,
 				nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
 			ev = dv.Eval
+			c.stats.ModelEvals++
 		} else {
 			ev = m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+			c.stats.ModelEvals++
 		}
 		if cacheEv {
 			c.evCache[i] = ev
@@ -319,8 +331,15 @@ func (c *Circuit) assemble(x, f []float64, jac *linalg.Matrix, ctx *assembleCtx,
 	}
 }
 
-// updateTranHistory recomputes the charge/current history after a converged
-// timestep at solution x.
+// updateTranHistory advances the charge/current history after a converged
+// timestep at solution x. Capacitor charges are linear in x and recomputed
+// exactly. MOSFET terminal charges come from the evaluations cached by the
+// last Newton assembly (or from the lockstep batch driver's devPre bundles),
+// which sit at the pre-final-update Newton state: that differs from the
+// converged x by less than the solve's voltage tolerance per node, so the
+// charge error is far below the current tolerance in both the exact and
+// fast paths. Every caller runs immediately after a successful stepSolve on
+// the same circuit state, which is what fills the cache.
 func (c *Circuit) updateTranHistory(x []float64, ts *tranState) {
 	for i := range c.cs {
 		cp := &c.cs[i]
@@ -335,49 +354,12 @@ func (c *Circuit) updateTranHistory(x []float64, ts *tranState) {
 		ts.iPrevCap[i] = iq
 	}
 	for i := range c.mos {
-		m := &c.mos[i]
 		var e device.Eval
 		if c.devPreSet {
 			e = c.devPre[i].Eval
 		} else {
-			e = m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+			e = c.evCache[i]
 		}
-		q := [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
-		for k := 0; k < 4; k++ {
-			var iq float64
-			if ts.trap && !ts.firstBE {
-				iq = 2*(q[k]-ts.qPrevMos[i][k])/ts.h - ts.iPrevMos[i][k]
-			} else {
-				iq = (q[k] - ts.qPrevMos[i][k]) / ts.h
-			}
-			ts.qPrevMos[i][k] = q[k]
-			ts.iPrevMos[i][k] = iq
-		}
-	}
-}
-
-// updateTranHistoryFast is updateTranHistory with the MOSFET terminal
-// charges taken from the evaluations cached by the last assemble pass
-// instead of re-evaluating every device model. The cached evaluations are at
-// the pre-final-update Newton state, which differs from the converged x by
-// less than tolV per node, so the charge error is far below tolI; the
-// capacitor charges are linear in x and recomputed exactly. Only the
-// opt-in fast transient path uses it.
-func (c *Circuit) updateTranHistoryFast(x []float64, ts *tranState) {
-	for i := range c.cs {
-		cp := &c.cs[i]
-		q := cp.c * (nv(x, cp.a) - nv(x, cp.b))
-		var iq float64
-		if ts.trap && !ts.firstBE {
-			iq = 2*(q-ts.qPrevCap[i])/ts.h - ts.iPrevCap[i]
-		} else {
-			iq = (q - ts.qPrevCap[i]) / ts.h
-		}
-		ts.qPrevCap[i] = q
-		ts.iPrevCap[i] = iq
-	}
-	for i := range c.mos {
-		e := &c.evCache[i]
 		q := [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
 		for k := 0; k < 4; k++ {
 			var iq float64
@@ -464,6 +446,7 @@ func (c *Circuit) initTranHistory(x []float64, ts *tranState) {
 	for i := range c.mos {
 		m := &c.mos[i]
 		e := m.dev.Eval(nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+		c.stats.ModelEvals++
 		ts.qPrevMos[i] = [4]float64{e.Q.Qd, e.Q.Qg, e.Q.Qs, e.Q.Qb}
 	}
 }

@@ -264,7 +264,7 @@ func (c *Circuit) assembleSparse(x, f []float64, ctx *assembleCtx) {
 		}
 	}
 
-	cacheEv := ctx.fast && ctx.tran != nil
+	cacheEv := ctx.tran != nil
 	if cacheEv && len(c.evCache) != len(c.mos) {
 		c.evCache = make([]device.Eval, len(c.mos))
 	}
@@ -278,6 +278,7 @@ func (c *Circuit) assembleSparse(x, f []float64, ctx *assembleCtx) {
 		} else {
 			dv = device.EvalDerivs(m.dev,
 				nv(x, m.d), nv(x, m.g), nv(x, m.s), nv(x, m.b))
+			c.stats.ModelEvals++
 		}
 		ev := dv.Eval
 		if cacheEv {

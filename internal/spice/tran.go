@@ -32,14 +32,13 @@ type TranOpts struct {
 	// Fast enables the pooled-MC fast path: the Jacobian factorization is
 	// carried across timesteps (and refreshed only when the chord iteration
 	// stops contracting fast enough), the predictor extrapolates
-	// quadratically, the Newton tolerances relax to the fast-path pair
-	// (1 µV / 0.1 µA — the classic SPICE VNTOL class), and the charge
-	// history update reuses the device evaluations cached by the last
-	// Newton assembly instead of re-evaluating every model. Convergence is
+	// quadratically, and the Newton tolerances relax to the fast-path pair
+	// (1 µV / 0.1 µA — the classic SPICE VNTOL class). Convergence is
 	// still judged on the true residual each step, so accuracy is bounded
 	// by those tolerances; waveforms differ from the exact path at the
-	// tolerance floor (~1 µV).
-	// Leave unset for bit-identical results with the classic path.
+	// tolerance floor (~1 µV). Both paths reuse the device evaluations
+	// cached by the last Newton assembly for the charge-history update.
+	// Leave unset for the tight-tolerance classic path.
 	Fast bool
 }
 
@@ -222,7 +221,6 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 		}
 		ctx := assembleCtx{t: t, srcScale: 1, tran: ts, carry: opts.Fast, fast: opts.Fast}
 		cerr := c.stepSolve(x, &ctx)
-		usedFast := opts.Fast
 		if cerr != nil && lifecycle.Interrupted(cerr) {
 			// Cancelled or over budget: no fallback, no sub-stepping — the
 			// sample is over.
@@ -238,19 +236,13 @@ func (c *Circuit) TransientInto(opts TranOpts, res *TranResult) error {
 			c.luValid = false
 			copy(x, xPrev)
 			exact := assembleCtx{t: t, srcScale: 1, tran: ts}
-			if cerr = c.stepSolve(x, &exact); cerr == nil {
-				usedFast = false
-			}
+			cerr = c.stepSolve(x, &exact)
 		}
 		if cerr == nil {
-			if usedFast {
-				c.updateTranHistoryFast(x, ts)
-			} else {
-				c.updateTranHistory(x, ts)
-			}
-			// A model evaluation can still turn NaN between the residual
-			// check and the history update (the history re-evaluates every
-			// device); reject the poisoned history before it propagates.
+			c.updateTranHistory(x, ts)
+			// The cached charges passed the residual check, but a capacitor
+			// charge can still turn non-finite on a pathological candidate;
+			// reject the poisoned history before it propagates.
 			if !c.tranHistoryFinite(ts) {
 				c.stats.NonFiniteRejects++
 				c.traceNonFinite("tran-history", t)
@@ -342,11 +334,7 @@ func (c *Circuit) rescueStep(x []float64, t0, h float64, ts *tranState, fast boo
 		if cerr := c.stepSolve(x, &ctx); cerr != nil {
 			return cerr
 		}
-		if fast {
-			c.updateTranHistoryFast(x, ts)
-		} else {
-			c.updateTranHistory(x, ts)
-		}
+		c.updateTranHistory(x, ts)
 		if !c.tranHistoryFinite(ts) {
 			c.stats.NonFiniteRejects++
 			c.traceNonFinite("rescue-history", t0+float64(i)*sub)

@@ -1,0 +1,163 @@
+package vsmodel
+
+// fastmath.go — the opt-in fastmath transcendental kernels backing the
+// tape-fast lane (VSTAT_MODEL_KERNEL=tape-fast, vsbench -kernel tape-fast).
+//
+// These are branch-light minimax polynomial kernels in the Cephes lineage
+// (Moshier's exp.c/log.c rational approximations), chosen over Go's
+// math.Exp/math.Log not for a smaller polynomial — Go's FDLIBM-derived
+// routines are already near-minimal — but for a shape the compiler can keep
+// in registers across a lane loop: no error-sequence re-expansion, ldexp as
+// an exponent-field bit insert instead of a function call, and a single
+// straight rational evaluation per call, so consecutive lanes' divisions
+// and polynomial chains overlap in the out-of-order window.
+//
+// Accuracy contract: these are NOT correctly rounded and NOT bit-identical
+// to the math package. Measured worst-case error over the tape's operating
+// ranges is pinned by TestFastMathULP (fastmath_test.go) and documented in
+// DESIGN.md §14: a few ulp for exp and log, slightly wider for log1p.
+// Special values match libm semantics exactly: NaN→NaN, exp(±Inf)=+Inf/0,
+// exp overflow→+Inf, exp underflow→0, log(0)=−Inf, log(x<0)=NaN,
+// log(+Inf)=+Inf, log1p(−1)=−Inf, log1p(x<−1)=NaN.
+//
+// Determinism contract: the kernels are pure float64 arithmetic — no
+// tables, no FMA intrinsics, no platform-dependent paths — so tape-fast
+// results are bit-identical to themselves at any worker count, lane width,
+// shard size or transport, on any platform with IEEE-754 binary64. An
+// assembly build (see fastvec.go) must reproduce these scalar kernels bit
+// for bit to keep that contract.
+
+import "math"
+
+// Cephes expCoeff/expQuot: exp(x) = 2^n · (1 + 2p/(q−p)) with x reduced to
+// r = x − n·ln2 split against the two-part constant C1+C2.
+const (
+	expLog2E = 1.4426950408889634073599 // 1/ln 2
+	expC1    = 6.93359375e-1            // high part of ln 2
+	expC2    = -2.12194440054690582767669e-4
+
+	// exp(x) overflows above this and underflows to zero below the second.
+	expMax = 709.78271289338399684324569237317
+	expMin = -745.13321910194122585551387960163
+)
+
+// fastExp returns e^x with a few-ulp error bound and libm special-value
+// semantics. Pure float64 arithmetic; no tables.
+func fastExp(x float64) float64 {
+	if x != x { // NaN
+		return x
+	}
+	if x > expMax {
+		return math.Inf(1)
+	}
+	if x < expMin {
+		return 0
+	}
+
+	// n = round(x/ln2); r = x − n·ln2 in two parts to keep |r| ≤ ln2/2
+	// without cancellation.
+	nf := math.Floor(expLog2E*x + 0.5)
+	n := int(nf)
+	r := x - nf*expC1
+	r -= nf * expC2
+
+	// Rational minimax on [−ln2/2, ln2/2]: e^r = 1 + 2r·P(r²)/(Q(r²) − r·P(r²)).
+	z := r * r
+	p := r * ((1.26177193074810590878e-4*z+3.02994407707441961300e-2)*z +
+		9.99999999999999999910e-1)
+	q := (((3.00198505138664455042e-6*z+2.52448340349684104192e-3)*z+
+		2.27265548208155028766e-1)*z + 2.00000000000000000005e0)
+	e := p / (q - p)
+	y := 1 + 2*e
+
+	// Scale by 2^n: an exponent-field insert when the result stays normal,
+	// math.Ldexp on the subnormal/huge fringe.
+	if n > -1023 && n < 1024 {
+		return y * math.Float64frombits(uint64(1023+n)<<52)
+	}
+	return math.Ldexp(y, n)
+}
+
+const (
+	logSqrtH = 0.70710678118654752440 // √2/2
+	logC1    = 6.93359375e-1          // high part of ln 2 (matches expC1)
+	logC2    = 2.121944400546905827679e-4
+)
+
+// fastLog returns ln(x) with a few-ulp error bound and libm special-value
+// semantics. Pure float64 arithmetic; no tables.
+func fastLog(x float64) float64 {
+	if x != x { // NaN
+		return x
+	}
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	if x < 0 {
+		return math.NaN()
+	}
+	if math.IsInf(x, 1) {
+		return x
+	}
+
+	// Frexp via the exponent field, prescaling subnormals by 2^54.
+	bits := math.Float64bits(x)
+	var e int
+	if bits>>52 == 0 { // subnormal
+		x *= 1 << 54
+		bits = math.Float64bits(x)
+		e = -54
+	}
+	e += int(bits>>52) - 1022
+	// Mantissa in [1/2, 1).
+	x = math.Float64frombits(bits&0x800fffffffffffff | 0x3fe0000000000000)
+
+	// Normalize to x ∈ (√2/2, √2] around 1.
+	if x < logSqrtH {
+		e--
+		x = 2*x - 1
+	} else {
+		x = x - 1
+	}
+
+	// ln(1+x) ≈ x − x²/2 + x·x²·P(x)/Q(x), Cephes log.c minimax.
+	z := x * x
+	pn := (((((1.01875663804580931796e-4*x+4.97494994976747001425e-1)*x+
+		4.70579119878881725854e0)*x+1.44989225341610930846e1)*x+
+		1.79368678507819816313e1)*x + 7.70838733755885391666e0)
+	qd := ((((x+1.12873587189167450590e1)*x+4.52279145837532221105e1)*x+
+		8.29875266912776603211e1)*x+7.11544750618563894466e1)*x +
+		2.31251620126765340583e1
+	y := x * (z * (pn / qd))
+
+	// Reassemble with the two-part ln 2: ln2 = logC1 − logC2.
+	ef := float64(e)
+	y -= ef * logC2
+	y -= 0.5 * z
+	r := x + y
+	r += ef * logC1
+	return r
+}
+
+// fastLog1p returns ln(1+t) with libm special-value semantics, using the
+// classic u = 1+t correction ln(1+t) = ln(u)·t/(u−1) to recover the
+// low-order bits the rounding of 1+t discards.
+func fastLog1p(t float64) float64 {
+	if t != t { // NaN
+		return t
+	}
+	if t < -1 {
+		return math.NaN()
+	}
+	if t == -1 {
+		return math.Inf(-1)
+	}
+	u := 1 + t
+	if u == 1 {
+		return t // |t| below half-ulp of 1: ln(1+t) = t to double precision
+	}
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return fastLog(u) * (t / (u - 1))
+}

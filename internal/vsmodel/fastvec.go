@@ -1,0 +1,45 @@
+//go:build !vstatasm
+
+package vsmodel
+
+// fastvec.go — the portable lane-slab transcendental kernels the fastmath
+// tape replay dispatches to, one call per opExp/opLog/opLog1p over the
+// whole K-lane register row. The !vstatasm build (the default, and the only
+// one shipped today) loops the scalar fastmath kernels; a future
+// vstatasm-tagged file may replace these three functions with vectorized
+// assembly, but ONLY if that assembly reproduces fastExp/fastLog/fastLog1p
+// bit for bit — the tape-fast determinism contract (same bits at any worker
+// count, lane width, shard size or transport) extends across build
+// configurations of the same binary-visible results, and eviction
+// correctness relies on the K=1 replay and the slab replay agreeing
+// exactly.
+//
+// act masks lanes (nil = all live); masked lanes' outputs are left
+// untouched, mirroring replayTapeK's arithmetic ops.
+
+func vExpFast(dst, src []float64, act []bool) {
+	for l := range dst {
+		if act != nil && !act[l] {
+			continue
+		}
+		dst[l] = fastExp(src[l])
+	}
+}
+
+func vLogFast(dst, src []float64, act []bool) {
+	for l := range dst {
+		if act != nil && !act[l] {
+			continue
+		}
+		dst[l] = fastLog(src[l])
+	}
+}
+
+func vLog1pFast(dst, src []float64, act []bool) {
+	for l := range dst {
+		if act != nil && !act[l] {
+			continue
+		}
+		dst[l] = fastLog1p(src[l])
+	}
+}

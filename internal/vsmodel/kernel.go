@@ -1,0 +1,102 @@
+package vsmodel
+
+// kernel.go — the model-kernel knob: which evaluation backend a VS
+// parameter card is wrapped in when it enters the simulator.
+//
+//   - direct:    the scalar Params methods plus the ParamsBatch SoA kernel
+//                (the historical default).
+//   - tape:      the compiled op tape replayed with libm — bit-identical to
+//                direct, op-tape execution (tape.go).
+//   - tape-fast: the op tape replayed with the fastmath polynomial kernels —
+//                a few ulp off libm, bit-identical to itself at any worker
+//                count, lane width, shard size or transport (fastmath.go).
+//
+// KernelAuto (the zero value) defers to the process-wide
+// VSTAT_MODEL_KERNEL environment override, read once, and falls back to
+// direct — mirroring the spice package's VSTAT_LINEAR_CORE idiom.
+
+import (
+	"fmt"
+	"os"
+
+	"vstat/internal/device"
+)
+
+// Kernel selects the VS model evaluation backend.
+type Kernel int
+
+const (
+	// KernelAuto (the zero value) defers to the VSTAT_MODEL_KERNEL
+	// environment override ("direct", "tape" or "tape-fast"), falling back
+	// to KernelDirect.
+	KernelAuto Kernel = iota
+	KernelDirect
+	KernelTape
+	KernelTapeFast
+)
+
+// String returns the benchmark-facing name of the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelDirect:
+		return "direct"
+	case KernelTape:
+		return "tape"
+	case KernelTapeFast:
+		return "tape-fast"
+	default:
+		return "auto"
+	}
+}
+
+// ParseKernel parses a kernel name; the empty string is KernelAuto.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "direct":
+		return KernelDirect, nil
+	case "tape":
+		return KernelTape, nil
+	case "tape-fast":
+		return KernelTapeFast, nil
+	}
+	return KernelAuto, fmt.Errorf("vsmodel: unknown model kernel %q (want direct, tape or tape-fast)", s)
+}
+
+// envKernel is the process-wide VSTAT_MODEL_KERNEL override, read once.
+var envKernel = func() Kernel {
+	k, err := ParseKernel(os.Getenv("VSTAT_MODEL_KERNEL"))
+	if err != nil {
+		return KernelAuto
+	}
+	return k
+}()
+
+// Resolve maps KernelAuto through the environment override to a concrete
+// backend choice.
+func (k Kernel) Resolve() Kernel {
+	if k == KernelAuto {
+		k = envKernel
+	}
+	if k == KernelAuto {
+		k = KernelDirect
+	}
+	return k
+}
+
+// ForKernel wraps a parameter card in the chosen evaluation backend. The
+// returned device implements NativeDerivs, Varier and BatchBuilder for
+// every kernel, so statistical draws and lockstep batching stay on the
+// chosen backend.
+func ForKernel(p Params, k Kernel) device.Device {
+	switch k.Resolve() {
+	case KernelTape:
+		return NewTapeDevice(p, false)
+	case KernelTapeFast:
+		return NewTapeDevice(p, true)
+	default:
+		q := p
+		return &q
+	}
+}

@@ -1,0 +1,748 @@
+package vsmodel
+
+// tape.go — the compiled VS-model op tape.
+//
+// The scalar model (vsmodel.go, derivs.go) is flattened into a precompiled
+// straight-line op tape: a flat []tapeOp program over a float64 register
+// file, built once per branch shape and replayed per evaluation. Constants
+// and sample-invariants (δ(Leff), vxo·Leff/µ, Rs0/W, α·φt, √PhiB, …) become
+// bind slots folded at SetLane/bind time by exactly the expressions the
+// scalar path uses; common subexpressions are shared between value and
+// derivative slots by value numbering; and every data-dependent branch of
+// the scalar path that the driver does not own (the vbs clamp, the
+// logistic/softplus overflow guards, the vdsi clamp, the Fsat x>0 one-sided
+// limit) becomes a select op whose taken value is bit-identical to the
+// scalar branch result. The only branches left in the driver are the ones
+// the scalar entry points keep outside the arithmetic: polarity/swap
+// mapping, the w≤0 and rs=rd=0 short-circuits, and the bracketed-Newton
+// series-solve loop itself (which replays the solve segment per trial
+// current, exactly like solveSeriesD's eval closure).
+//
+// Bit-identity rules (the exact backend's contract): bind-time folding only
+// folds subtrees whose scalar counterpart computes the same expression with
+// the same associativity; CSE only merges ops with identical (code,
+// operands); no algebraic simplification is ever applied (x·0 and x+0 are
+// emitted literally — sign-of-zero and NaN propagation must match the
+// scalar path); and branch→select conversion requires the untaken side's
+// value to be discarded, never blended. Under those rules a tape replay
+// with libm transcendentals reproduces Eval/EvalDerivs4 bit for bit, which
+// is what preserves every existing determinism contract including lockstep
+// lane eviction. The fastmath backend replays the same program with the
+// polynomial kernels of fastmath.go and carries its own self-reproducibility
+// contract instead (see DESIGN.md §14).
+//
+// The program has three segments sharing one register file and one bind
+// table: the series-solve evaluation (solveSeriesD's eval closure, inputs
+// vgs/vds/vbs plus the trial current, outputs f, dF/dI and the 12-slot
+// coreOut), the values tail (Eval's charge assembly) and the derivative
+// tail (the EvalDerivs4 IFT bundle). Tails read the committed coreOut
+// through dedicated input registers the driver fills from the converged
+// per-lane state — never from the solve segment's scratch, which may hold a
+// later in-flight iteration of another lane's round.
+
+import (
+	"math"
+	"sync"
+)
+
+// opcode enumerates the tape's operation set. Arithmetic matches Go's
+// float64 semantics exactly; the two selects are ternary moves keyed on a
+// comparison (false for NaN operands, mirroring Go's > and <).
+type opcode uint8
+
+const (
+	opAdd   opcode = iota // dst = a + b
+	opSub                 // dst = a - b
+	opMul                 // dst = a * b
+	opDiv                 // dst = a / b
+	opNeg                 // dst = -a
+	opSqrt                // dst = sqrt(a)
+	opExp                 // dst = exp(a)
+	opLog                 // dst = log(a)
+	opLog1p               // dst = log1p(a)
+	opSelGT               // dst = a > b ? c : d
+	opSelLT               // dst = a < b ? c : d
+)
+
+// tapeOp is one straight-line operation. Register indices address the
+// program's register file (SoA slab in batch replay: register r, lane l is
+// slab[r·K+l]).
+type tapeOp struct {
+	code      opcode
+	dst, a, b uint16
+	c, d      uint16 // select operands (taken / untaken)
+}
+
+// bindSlot fills one constant register at bind time from a parameter card.
+type bindSlot struct {
+	reg uint16
+	f   func(p *Params) float64
+}
+
+// coreRefs indexes the 12 coreOut slots in tape register order:
+// f, q, s, fG, fD, fB, qG, qD, qB, sG, sD, sB.
+const nCoreSlots = 12
+
+// tapeProgram is one immutable compiled program, shared by every device
+// instance of the same branch shape (GammaB = 0 or not; nothing else in the
+// card changes the op structure, and statistical deltas never perturb
+// GammaB). Instances differ only in their bind-slot values.
+type tapeProgram struct {
+	nRegs int
+	binds []bindSlot
+
+	solve  []tapeOp // series-solve evaluation segment
+	values []tapeOp // Eval charge-assembly tail
+	derivs []tapeOp // EvalDerivs4 chain-rule tail
+
+	// Solve segment registers.
+	rVgs, rVds, rVbs uint16 // inputs: source-referred externals
+	rVgd             uint16 // input: Vg−Vd (tails' overlap charges)
+	rI               uint16 // input: trial current
+	outF, outDF      uint16 // outputs: W·f and analytic dF/dI
+	outCo            [nCoreSlots]uint16
+
+	// Tail input registers (driver fills from the committed coreOut).
+	rCo [nCoreSlots]uint16
+
+	// Values tail outputs (n-equivalent, unswapped).
+	outQg, outQd, outQs uint16
+
+	// Derivative tail outputs (n-equivalent, unswapped): charges, GId rows
+	// and the Qd/Qg/Qs capacitance rows (the Qb row is identically zero).
+	dQg, dQd, dQs uint16
+	dGId          [4]uint16
+	dCQ0          [4]uint16 // CQ[0][t] (Qd row)
+	dCQ1          [4]uint16 // CQ[1][t] (Qg row)
+	dCQ2          [4]uint16 // CQ[2][t] (Qs row)
+}
+
+// ref is a register handle inside the builder.
+type ref uint16
+
+// cseKey identifies an op for value numbering. Operand order is preserved
+// (no commutative canonicalization: a+b and b+a may differ in NaN payload).
+type cseKey struct {
+	code       opcode
+	a, b, c, d ref
+}
+
+// tapeBuilder emits a program. Emission order follows the scalar statement
+// order, so replay evaluates the identical op sequence; CSE only short-cuts
+// re-emission of an op whose result register already holds the value.
+type tapeBuilder struct {
+	nRegs uint16
+	binds []bindSlot
+	ops   []tapeOp
+	cse   map[cseKey]ref
+	lits  map[float64]ref
+	unis  map[string]ref
+}
+
+func newTapeBuilder() *tapeBuilder {
+	return &tapeBuilder{
+		cse:  make(map[cseKey]ref),
+		lits: make(map[float64]ref),
+		unis: make(map[string]ref),
+	}
+}
+
+func (b *tapeBuilder) newReg() ref {
+	r := ref(b.nRegs)
+	b.nRegs++
+	if b.nRegs == 0 {
+		panic("vsmodel: tape register file overflow")
+	}
+	return r
+}
+
+// input allocates a register written by the driver, not by any op.
+func (b *tapeBuilder) input() ref { return b.newReg() }
+
+// lit returns a register bound to a literal constant (per-lane in the slab,
+// filled at bind time like every other const).
+func (b *tapeBuilder) lit(v float64) ref {
+	if r, ok := b.lits[v]; ok {
+		return r
+	}
+	r := b.newReg()
+	b.lits[v] = r
+	b.binds = append(b.binds, bindSlot{reg: uint16(r), f: func(*Params) float64 { return v }})
+	return r
+}
+
+// uni returns a register bound to a sample-invariant derived from the card.
+// The closure must compute the value by exactly the expression the scalar
+// path uses. name dedups slots across segments.
+func (b *tapeBuilder) uni(name string, f func(p *Params) float64) ref {
+	if r, ok := b.unis[name]; ok {
+		return r
+	}
+	r := b.newReg()
+	b.unis[name] = r
+	b.binds = append(b.binds, bindSlot{reg: uint16(r), f: f})
+	return r
+}
+
+// resetCSE starts a new segment: register contents from a previous segment
+// replay are not guaranteed live (the driver only restores the named tail
+// inputs), so value numbering must not reach across segments. Const and
+// input registers stay valid — only op results are dropped.
+func (b *tapeBuilder) resetCSE() { b.cse = make(map[cseKey]ref) }
+
+// takeOps returns and clears the current segment's op list.
+func (b *tapeBuilder) takeOps() []tapeOp {
+	ops := b.ops
+	b.ops = nil
+	return ops
+}
+
+func (b *tapeBuilder) emit(code opcode, a, b2, c, d ref) ref {
+	k := cseKey{code, a, b2, c, d}
+	if r, ok := b.cse[k]; ok {
+		return r
+	}
+	r := b.newReg()
+	b.ops = append(b.ops, tapeOp{code: code, dst: uint16(r), a: uint16(a), b: uint16(b2), c: uint16(c), d: uint16(d)})
+	b.cse[k] = r
+	return r
+}
+
+func (b *tapeBuilder) add(x, y ref) ref         { return b.emit(opAdd, x, y, 0, 0) }
+func (b *tapeBuilder) sub(x, y ref) ref         { return b.emit(opSub, x, y, 0, 0) }
+func (b *tapeBuilder) mul(x, y ref) ref         { return b.emit(opMul, x, y, 0, 0) }
+func (b *tapeBuilder) div(x, y ref) ref         { return b.emit(opDiv, x, y, 0, 0) }
+func (b *tapeBuilder) neg(x ref) ref            { return b.emit(opNeg, x, 0, 0, 0) }
+func (b *tapeBuilder) sqrt(x ref) ref           { return b.emit(opSqrt, x, 0, 0, 0) }
+func (b *tapeBuilder) exp(x ref) ref            { return b.emit(opExp, x, 0, 0, 0) }
+func (b *tapeBuilder) log(x ref) ref            { return b.emit(opLog, x, 0, 0, 0) }
+func (b *tapeBuilder) log1p(x ref) ref          { return b.emit(opLog1p, x, 0, 0, 0) }
+func (b *tapeBuilder) selGT(x, y, t, f ref) ref { return b.emit(opSelGT, x, y, t, f) }
+func (b *tapeBuilder) selLT(x, y, t, f ref) ref { return b.emit(opSelLT, x, y, t, f) }
+
+// coreRefsOut bundles the 12 coreOut registers a core emission produced, in
+// tape slot order f, q, s, fG, fD, fB, qG, qD, qB, sG, sD, sB.
+type coreRefsOut struct {
+	f, q, s    ref
+	fG, fD, fB ref
+	qG, qD, qB ref
+	sG, sD, sB ref
+}
+
+func (c coreRefsOut) slots() [nCoreSlots]ref {
+	return [nCoreSlots]ref{c.f, c.q, c.s, c.fG, c.fD, c.fB, c.qG, c.qD, c.qB, c.sG, c.sD, c.sB}
+}
+
+// emitCore emits coreBiasPreD as straight-line ops: identical statement
+// order, with the scalar branches converted to selects (vbs clamp, the
+// logistic/softplus ±40 guards, the Fsat x>0 one-sided limit) and the
+// GammaB≠0 branch resolved at program-build time (hasBody — deltas never
+// perturb GammaB, so the shape is per-card, not per-sample).
+func emitCore(b *tapeBuilder, vgsi, vdsi, vbsi ref, hasBody bool) coreRefsOut {
+	l0 := b.lit(0)
+	l1 := b.lit(1)
+	l40 := b.lit(40)
+	lm40 := b.lit(-40)
+
+	cPhit := b.uni("phit", func(p *Params) float64 { return p.PhiT })
+	cVT0 := b.uni("vt0", func(p *Params) float64 { return p.VT0 })
+	cDelta := b.uni("delta", func(p *Params) float64 { return p.Delta(p.Leff()) })
+	cNegDelta := b.uni("negDelta", func(p *Params) float64 { return -p.Delta(p.Leff()) })
+	cPhiBClamp := b.uni("phiBClamp", func(p *Params) float64 { return p.PhiB - 0.05 })
+	cNd := b.uni("nd", func(p *Params) float64 { return p.Nd })
+	cN0 := b.uni("n0", func(p *Params) float64 { return p.N0 })
+	cAphit := b.uni("aphit", func(p *Params) float64 { return p.Alpha * p.PhiT })
+	cHalfAphit := b.uni("halfAphit", func(p *Params) float64 { return (p.Alpha * p.PhiT) / 2 })
+	cNegInvAphit := b.uni("negInvAphit", func(p *Params) float64 { return -1 / (p.Alpha * p.PhiT) })
+	cVtDOverAphit := b.uni("vtDOverAphit", func(p *Params) float64 {
+		return -p.Delta(p.Leff()) / (p.Alpha * p.PhiT)
+	})
+	cCinv := b.uni("cinv", func(p *Params) float64 { return p.Cinv })
+	cCinvNphitD := b.uni("cinvNphitD", func(p *Params) float64 { return p.Cinv * (p.Nd * p.PhiT) })
+	cNphitD := b.uni("nphitD", func(p *Params) float64 { return p.Nd * p.PhiT })
+	cVdsats := b.uni("vdsats", func(p *Params) float64 { return p.Vxo * p.Leff() / p.Mu })
+	cVdsatP := b.uni("vdsatP", func(p *Params) float64 { return p.PhiT - p.Vxo*p.Leff()/p.Mu })
+	cBeta := b.uni("beta", func(p *Params) float64 { return p.Beta })
+	cVxo := b.uni("vxo", func(p *Params) float64 { return p.Vxo })
+
+	// Body-corrected, DIBL-corrected threshold.
+	// vbsEff = min(vbsi, PhiB−0.05): select keyed exactly like the scalar
+	// clamp (NaN takes the untaken side, matching `if vbsEff > max`).
+	vbsEff := b.selGT(vbsi, cPhiBClamp, cPhiBClamp, vbsi)
+	vt := b.sub(cVT0, b.mul(cDelta, vdsi))
+	vtD := cNegDelta
+	vtB := ref(l0)
+	if hasBody {
+		cPhiB := b.uni("phiB", func(p *Params) float64 { return p.PhiB })
+		cSqrtPhiB := b.uni("sqrtPhiB", func(p *Params) float64 { return math.Sqrt(p.PhiB) })
+		cNegGammaB := b.uni("negGammaB", func(p *Params) float64 { return -p.GammaB })
+		cGammaB := b.uni("gammaB", func(p *Params) float64 { return p.GammaB })
+		l2 := b.lit(2)
+		sq := b.sqrt(b.sub(cPhiB, vbsEff))
+		vt = b.add(vt, b.mul(cGammaB, b.sub(sq, cSqrtPhiB)))
+		// vtB = clamped ? 0 : −GammaB/(2·sq); the clamp predicate is the
+		// same vbsi > PhiB−0.05 comparison as vbsEff's.
+		vtB = b.selGT(vbsi, cPhiBClamp, l0, b.div(cNegGammaB, b.mul(l2, sq)))
+	}
+
+	n := b.add(cN0, b.mul(cNd, vdsi))
+	nphit := b.mul(n, cPhit)
+
+	// Inversion transition function FF (logisticD with the ±40 guards as
+	// selects; the straight-line 1/(1+e^{−u}) is only bit-exact inside the
+	// guard window, so both clamps select their literal branch values).
+	u := b.div(b.sub(b.sub(vt, cHalfAphit), vgsi), cAphit)
+	e := b.exp(b.neg(u))
+	sRaw := b.div(l1, b.add(l1, e))
+	dRaw := b.mul(sRaw, b.sub(l1, sRaw))
+	ff := b.selGT(u, l40, l1, b.selLT(u, lm40, l0, sRaw))
+	ffp := b.selGT(u, l40, l0, b.selLT(u, lm40, l0, dRaw))
+	ffG := b.mul(ffp, cNegInvAphit)
+	ffD := b.mul(ffp, cVtDOverAphit)
+	ffB := b.mul(ffp, b.div(vtB, cAphit))
+
+	// Virtual-source charge density.
+	num := b.sub(vgsi, b.sub(vt, b.mul(cAphit, ff)))
+	numG := b.add(l1, b.mul(cAphit, ffG))
+	numD := b.sub(b.mul(cAphit, ffD), vtD)
+	numB := b.sub(b.mul(cAphit, ffB), vtB)
+	arg := b.div(num, nphit)
+	// softplusD with the ±40 guards as selects; e^{arg} is shared by every
+	// branch that needs it, exactly like the scalar single exponential.
+	eArg := b.exp(arg)
+	sp := b.selGT(arg, l40, arg, b.selLT(arg, lm40, eArg, b.log1p(eArg)))
+	spp := b.selGT(arg, l40, l1, b.selLT(arg, lm40, eArg, b.div(eArg, b.add(l1, eArg))))
+	q := b.mul(b.mul(cCinv, nphit), sp)
+	cspp := b.mul(b.mul(cCinv, nphit), spp)
+	qG := b.mul(cspp, b.div(numG, nphit))
+	qD := b.add(b.mul(cCinvNphitD, sp), b.mul(cspp, b.div(b.sub(numD, b.mul(arg, cNphitD)), nphit)))
+	qB := b.mul(cspp, b.div(numB, nphit))
+
+	// Saturation function Fsat with the x>0 one-sided limit as selects.
+	vdsat := b.add(b.mul(cVdsats, b.sub(l1, ff)), b.mul(cPhit, ff))
+	x := b.div(vdsi, vdsat)
+	t := b.exp(b.mul(cBeta, b.log(x)))
+	sSat := b.mul(x, b.exp(b.div(b.neg(b.log1p(t)), cBeta)))
+	dfdx := b.div(sSat, b.mul(x, b.add(l1, t)))
+	xvp := b.mul(x, cVdsatP)
+	sGr := b.mul(dfdx, b.div(b.neg(b.mul(xvp, ffG)), vdsat))
+	sDr := b.mul(dfdx, b.div(b.sub(l1, b.mul(xvp, ffD)), vdsat))
+	sBr := b.mul(dfdx, b.div(b.neg(b.mul(xvp, ffB)), vdsat))
+	s := b.selGT(x, l0, sSat, l0)
+	sG := b.selGT(x, l0, sGr, l0)
+	sD := b.selGT(x, l0, sDr, b.div(l1, vdsat))
+	sB := b.selGT(x, l0, sBr, l0)
+
+	f := b.mul(b.mul(s, q), cVxo)
+	fG := b.mul(b.add(b.mul(sG, q), b.mul(s, qG)), cVxo)
+	fD := b.mul(b.add(b.mul(sD, q), b.mul(s, qD)), cVxo)
+	fB := b.mul(b.add(b.mul(sB, q), b.mul(s, qB)), cVxo)
+
+	return coreRefsOut{f: f, q: q, s: s, fG: fG, fD: fD, fB: fB,
+		qG: qG, qD: qD, qB: qB, sG: sG, sD: sD, sB: sB}
+}
+
+// buildTapeProgram compiles the three segments for one branch shape.
+func buildTapeProgram(hasBody bool) *tapeProgram {
+	b := newTapeBuilder()
+	pr := &tapeProgram{}
+
+	// Shared inputs.
+	rVgs, rVds, rVbs, rI := b.input(), b.input(), b.input(), b.input()
+	rVgd := b.input()
+	var rCo [nCoreSlots]ref
+	for i := range rCo {
+		rCo[i] = b.input()
+	}
+	pr.rVgs, pr.rVds, pr.rVbs, pr.rI = uint16(rVgs), uint16(rVds), uint16(rVbs), uint16(rI)
+	pr.rVgd = uint16(rVgd)
+	for i, r := range rCo {
+		pr.rCo[i] = uint16(r)
+	}
+
+	// Access-resistance invariants (solveSeriesD hoists these before its
+	// eval closure; the w≤0 guard matches ParamsBatch.SetLane — such lanes
+	// never replay the solve or derivative segments anyway).
+	cRs := b.uni("rs", func(p *Params) float64 {
+		if w := p.Weff(); w > 0 {
+			return p.Rs0 / w
+		}
+		return 0
+	})
+	cRsRd := b.uni("rsrd", func(p *Params) float64 {
+		if w := p.Weff(); w > 0 {
+			return p.Rs0/w + p.Rd0/w
+		}
+		return 0
+	})
+	cNegRs := b.uni("negRs", func(p *Params) float64 {
+		if w := p.Weff(); w > 0 {
+			return -(p.Rs0 / w)
+		}
+		return 0
+	})
+	cNegRsRd := b.uni("negRsRd", func(p *Params) float64 {
+		if w := p.Weff(); w > 0 {
+			return -(p.Rs0/w + p.Rd0/w)
+		}
+		return 0
+	})
+	cW := b.uni("w", func(p *Params) float64 { return p.Weff() })
+
+	// ---- Segment 1: series-solve evaluation (solveSeriesD's eval closure).
+	l0 := b.lit(0)
+	vgsi := b.sub(rVgs, b.mul(rI, cRs))
+	vRaw := b.sub(rVds, b.mul(rI, cRsRd))
+	vdsi := b.selLT(vRaw, l0, l0, vRaw)
+	dvd := b.selLT(vRaw, l0, l0, cNegRsRd)
+	vbsi := b.sub(rVbs, b.mul(rI, cRs))
+	co := emitCore(b, vgsi, vdsi, vbsi, hasBody)
+	f := b.mul(cW, co.f)
+	df := b.mul(cW, b.add(b.add(b.mul(co.fG, cNegRs), b.mul(co.fD, dvd)), b.mul(co.fB, cNegRs)))
+	pr.outF, pr.outDF = uint16(f), uint16(df)
+	for i, r := range co.slots() {
+		pr.outCo[i] = uint16(r)
+	}
+	pr.solve = b.takeOps()
+
+	// ---- Segment 2: values tail (Eval's charge assembly). Inputs: the
+	// committed q (=qixo) and s (=fsat) slots plus vgs/vgd.
+	b.resetCSE()
+	l1 := b.lit(1)
+	l3 := b.lit(3)
+	l10 := b.lit(10)
+	lHalf := b.lit(0.5)
+	cWl := b.uni("wl", func(p *Params) float64 { return p.Weff() * p.Leff() })
+	cCovW := b.uni("covW", func(p *Params) float64 { return p.Cof * p.Weff() })
+	qixo, fsat := rCo[1], rCo[2]
+	qInv := b.mul(b.mul(cWl, qixo), b.sub(l1, b.div(fsat, l3)))
+	qdFrac := b.sub(lHalf, b.div(fsat, l10))
+	qsFrac := b.add(lHalf, b.div(fsat, l10))
+	qovS := b.mul(cCovW, rVgs)
+	qovD := b.mul(cCovW, rVgd)
+	pr.outQg = uint16(b.add(b.add(qInv, qovS), qovD))
+	pr.outQd = uint16(b.sub(b.mul(b.neg(qdFrac), qInv), qovD))
+	pr.outQs = uint16(b.sub(b.mul(b.neg(qsFrac), qInv), qovS))
+	pr.values = b.takeOps()
+
+	// ---- Segment 3: derivative tail (EvalDerivs4 after the solve).
+	b.resetCSE()
+	coFG, coFD, coFB := rCo[3], rCo[4], rCo[5]
+	coQG, coQD, coQB := rCo[6], rCo[7], rCo[8]
+	coSG, coSD, coSB := rCo[9], rCo[10], rCo[11]
+	Fg := b.mul(cW, coFG)
+	Fd := b.mul(cW, coFD)
+	Fb := b.mul(cW, coFB)
+	den := b.add(b.add(b.add(l1, b.mul(Fg, cRs)), b.mul(Fd, cRsRd)), b.mul(Fb, cRs))
+	iG := b.div(Fg, den)
+	iD := b.div(Fd, den)
+	iB := b.div(Fb, den)
+	dI := [3]ref{iG, iD, iB}
+	var dvgsi, dvdsi, dvbsi [3]ref
+	for x := 0; x < 3; x++ {
+		dvgsi[x] = b.mul(cNegRs, dI[x])
+		dvdsi[x] = b.mul(cNegRsRd, dI[x])
+		dvbsi[x] = b.mul(cNegRs, dI[x])
+	}
+	dvgsi[0] = b.add(dvgsi[0], l1)
+	dvdsi[1] = b.add(dvdsi[1], l1)
+	dvbsi[2] = b.add(dvbsi[2], l1)
+	var dQixo, dFsat [3]ref
+	for x := 0; x < 3; x++ {
+		dQixo[x] = b.add(b.add(b.mul(coQG, dvgsi[x]), b.mul(coQD, dvdsi[x])), b.mul(coQB, dvbsi[x]))
+		dFsat[x] = b.add(b.add(b.mul(coSG, dvgsi[x]), b.mul(coSD, dvdsi[x])), b.mul(coSB, dvbsi[x]))
+	}
+	// Terminal mapping rows (D, G, S, B), emitted literally — the scalar
+	// tail multiplies by these ±1/0 selectors too, so even the x·0 products
+	// match bit for bit.
+	dvgsT := [4]float64{0, 1, -1, 0}
+	dvdsT := [4]float64{1, 0, -1, 0}
+	dvbsT := [4]float64{0, 0, -1, 1}
+	dvgdT := [4]float64{-1, 1, 0, 0}
+	qInv2 := b.mul(b.mul(cWl, qixo), b.sub(l1, b.div(fsat, l3)))
+	qdFrac2 := b.sub(lHalf, b.div(fsat, l10))
+	qsFrac2 := b.add(lHalf, b.div(fsat, l10))
+	pr.dQg = uint16(b.add(b.add(qInv2, b.mul(cCovW, rVgs)), b.mul(cCovW, rVgd)))
+	pr.dQd = uint16(b.sub(b.mul(b.neg(qdFrac2), qInv2), b.mul(cCovW, rVgd)))
+	pr.dQs = uint16(b.sub(b.mul(b.neg(qsFrac2), qInv2), b.mul(cCovW, rVgs)))
+	for t := 0; t < 4; t++ {
+		lgs, lds, lbs, lgd := b.lit(dvgsT[t]), b.lit(dvdsT[t]), b.lit(dvbsT[t]), b.lit(dvgdT[t])
+		gi := b.add(b.add(b.mul(iG, lgs), b.mul(iD, lds)), b.mul(iB, lbs))
+		pr.dGId[t] = uint16(gi)
+		dq := b.add(b.add(b.mul(dQixo[0], lgs), b.mul(dQixo[1], lds)), b.mul(dQixo[2], lbs))
+		df := b.add(b.add(b.mul(dFsat[0], lgs), b.mul(dFsat[1], lds)), b.mul(dFsat[2], lbs))
+		dqInv := b.mul(cWl, b.sub(b.mul(dq, b.sub(l1, b.div(fsat, l3))), b.div(b.mul(qixo, df), l3)))
+		pr.dCQ1[t] = uint16(b.add(dqInv, b.mul(cCovW, b.add(lgs, lgd))))
+		pr.dCQ0[t] = uint16(b.sub(b.add(b.mul(b.neg(qdFrac2), dqInv), b.div(b.mul(qInv2, df), l10)), b.mul(cCovW, lgd)))
+		pr.dCQ2[t] = uint16(b.sub(b.sub(b.mul(b.neg(qsFrac2), dqInv), b.div(b.mul(qInv2, df), l10)), b.mul(cCovW, lgs)))
+	}
+	pr.derivs = b.takeOps()
+
+	pr.nRegs = int(b.nRegs)
+	pr.binds = b.binds
+	return pr
+}
+
+// The two program variants, built lazily and shared process-wide.
+var (
+	tapeProgs [2]*tapeProgram
+	tapeOnce  [2]sync.Once
+)
+
+func tapeProgramFor(hasBody bool) *tapeProgram {
+	i := 0
+	if hasBody {
+		i = 1
+	}
+	tapeOnce[i].Do(func() { tapeProgs[i] = buildTapeProgram(hasBody) })
+	return tapeProgs[i]
+}
+
+// replayTape1 replays one segment over a K=1 register file. The exact
+// backend calls libm (bit-identical to the scalar path by construction);
+// the fast backend substitutes the polynomial kernels of fastmath.go.
+func replayTape1(ops []tapeOp, r []float64, fast bool) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case opAdd:
+			r[op.dst] = r[op.a] + r[op.b]
+		case opSub:
+			r[op.dst] = r[op.a] - r[op.b]
+		case opMul:
+			r[op.dst] = r[op.a] * r[op.b]
+		case opDiv:
+			r[op.dst] = r[op.a] / r[op.b]
+		case opNeg:
+			r[op.dst] = -r[op.a]
+		case opSqrt:
+			r[op.dst] = math.Sqrt(r[op.a])
+		case opExp:
+			if fast {
+				r[op.dst] = fastExp(r[op.a])
+			} else {
+				r[op.dst] = math.Exp(r[op.a])
+			}
+		case opLog:
+			if fast {
+				r[op.dst] = fastLog(r[op.a])
+			} else {
+				r[op.dst] = math.Log(r[op.a])
+			}
+		case opLog1p:
+			if fast {
+				r[op.dst] = fastLog1p(r[op.a])
+			} else {
+				r[op.dst] = math.Log1p(r[op.a])
+			}
+		case opSelGT:
+			if r[op.a] > r[op.b] {
+				r[op.dst] = r[op.c]
+			} else {
+				r[op.dst] = r[op.d]
+			}
+		case opSelLT:
+			if r[op.a] < r[op.b] {
+				r[op.dst] = r[op.c]
+			} else {
+				r[op.dst] = r[op.d]
+			}
+		}
+	}
+}
+
+// replayTapeK replays one segment over a K-lane SoA slab, op-outer and
+// lane-inner so the independent per-lane latency chains (divisions,
+// transcendentals) overlap. act masks lanes; nil (or an all-true mask)
+// means all lanes live, which selects tighter unmasked inner loops whose
+// bounds checks the compiler can hoist. Lanes never mix: lane l only ever
+// reads and writes slab[_·k+l].
+func replayTapeK(ops []tapeOp, slab []float64, k int, act []bool, fast bool) {
+	if act != nil {
+		all := true
+		for _, a := range act {
+			if !a {
+				all = false
+				break
+			}
+		}
+		if all {
+			act = nil
+		}
+	}
+	for i := range ops {
+		op := &ops[i]
+		d := int(op.dst) * k
+		a := int(op.a) * k
+		b := int(op.b) * k
+		dv := slab[d : d+k : d+k]
+		av := slab[a : a+k : a+k]
+		bv := slab[b : b+k : b+k]
+		switch op.code {
+		case opAdd:
+			if act == nil {
+				for l := range dv {
+					dv[l] = av[l] + bv[l]
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = av[l] + bv[l]
+					}
+				}
+			}
+		case opSub:
+			if act == nil {
+				for l := range dv {
+					dv[l] = av[l] - bv[l]
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = av[l] - bv[l]
+					}
+				}
+			}
+		case opMul:
+			if act == nil {
+				for l := range dv {
+					dv[l] = av[l] * bv[l]
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = av[l] * bv[l]
+					}
+				}
+			}
+		case opDiv:
+			if act == nil {
+				for l := range dv {
+					dv[l] = av[l] / bv[l]
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = av[l] / bv[l]
+					}
+				}
+			}
+		case opNeg:
+			if act == nil {
+				for l := range dv {
+					dv[l] = -av[l]
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = -av[l]
+					}
+				}
+			}
+		case opSqrt:
+			if act == nil {
+				for l := range dv {
+					dv[l] = math.Sqrt(av[l])
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = math.Sqrt(av[l])
+					}
+				}
+			}
+		case opExp:
+			if fast {
+				vExpFast(dv, av, act)
+			} else if act == nil {
+				for l := range dv {
+					dv[l] = math.Exp(av[l])
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = math.Exp(av[l])
+					}
+				}
+			}
+		case opLog:
+			if fast {
+				vLogFast(dv, av, act)
+			} else if act == nil {
+				for l := range dv {
+					dv[l] = math.Log(av[l])
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = math.Log(av[l])
+					}
+				}
+			}
+		case opLog1p:
+			if fast {
+				vLog1pFast(dv, av, act)
+			} else if act == nil {
+				for l := range dv {
+					dv[l] = math.Log1p(av[l])
+				}
+			} else {
+				for l := range dv {
+					if act[l] {
+						dv[l] = math.Log1p(av[l])
+					}
+				}
+			}
+		case opSelGT:
+			c := int(op.c) * k
+			e := int(op.d) * k
+			cv := slab[c : c+k : c+k]
+			ev := slab[e : e+k : e+k]
+			if act == nil {
+				for l := range dv {
+					if av[l] > bv[l] {
+						dv[l] = cv[l]
+					} else {
+						dv[l] = ev[l]
+					}
+				}
+			} else {
+				for l := range dv {
+					if !act[l] {
+						continue
+					}
+					if av[l] > bv[l] {
+						dv[l] = cv[l]
+					} else {
+						dv[l] = ev[l]
+					}
+				}
+			}
+		case opSelLT:
+			c := int(op.c) * k
+			e := int(op.d) * k
+			cv := slab[c : c+k : c+k]
+			ev := slab[e : e+k : e+k]
+			if act == nil {
+				for l := range dv {
+					if av[l] < bv[l] {
+						dv[l] = cv[l]
+					} else {
+						dv[l] = ev[l]
+					}
+				}
+			} else {
+				for l := range dv {
+					if !act[l] {
+						continue
+					}
+					if av[l] < bv[l] {
+						dv[l] = cv[l]
+					} else {
+						dv[l] = ev[l]
+					}
+				}
+			}
+		}
+	}
+}

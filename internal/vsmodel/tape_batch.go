@@ -1,0 +1,360 @@
+package vsmodel
+
+// tape_batch.go — the K-lane SoA driver around the compiled op tape,
+// mirroring ParamsBatch lane for lane: the same pre-step (polarity map, D/S
+// swap, source-referred externals, w≤0 short-circuits), the same lockstep
+// bracket-Newton series solve (each Newton round is ONE masked replay of
+// the solve segment across all still-pending lanes, so the per-lane
+// division and transcendental latency chains overlap), and the same
+// values/derivative tails, replayed masked over the lanes that need them.
+//
+// Per-lane bit identity: a lane's op sequence is exactly the K=1
+// TapeDevice's (single replay implementation, op-outer/lane-inner, lanes
+// never mix), so an exact-mode lane matches the scalar (*Params) path bit
+// for bit and a fast-mode lane matches the K=1 fast TapeDevice — which is
+// what keeps lockstep eviction exact under either backend.
+//
+// Committed solve state: lanes converge at different Newton rounds, and a
+// later round overwrites the solve segment's output registers for every
+// still-pending lane. Each round therefore commits the outCo slots of the
+// lanes it evaluated into cCo ("last evaluation wins", the scalar
+// seriesState semantics); the tails replay from cCo through the program's
+// dedicated input registers.
+
+import (
+	"math"
+
+	"vstat/internal/device"
+)
+
+// TapeBatch is the tape-backed device.BatchDevice.
+type TapeBatch struct {
+	k    int
+	prog *tapeProgram
+	fast bool
+
+	// Register slab: register r, lane l at slab[r·k+l]. Constant and input
+	// rows persist across replays; op rows are scratch.
+	slab []float64
+
+	// Per-lane driver state hoisted at SetLane.
+	pol    []float64
+	wPos   []bool
+	rs, rd []float64
+
+	// Per-call scratch: pre-step.
+	full, vals []bool
+	swap       []bool
+	vgs, vds   []float64
+	vbs, vgd   []float64
+
+	// Series-solve state (the scalar driver loop, vectorized).
+	sDone  []bool
+	sA, sB []float64
+	sX     []float64
+	sTol   []float64
+	curID  []float64
+
+	// Committed core evaluation per lane, SoA: slot i, lane l at cCo[i·k+l].
+	cCo []float64
+
+	// Replay mask scratch.
+	act []bool
+}
+
+// NewTapeBatch allocates a K-lane tape batch for one compiled program at
+// one fastness, with all scratch preallocated so EvalDerivsBatch never
+// allocates.
+func NewTapeBatch(k int, prog *tapeProgram, fast bool) *TapeBatch {
+	tb := &TapeBatch{k: k, prog: prog, fast: fast}
+	tb.slab = make([]float64, prog.nRegs*k)
+	tb.cCo = make([]float64, nCoreSlots*k)
+	fs := []*[]float64{&tb.pol, &tb.rs, &tb.rd, &tb.vgs, &tb.vds, &tb.vbs, &tb.vgd,
+		&tb.sA, &tb.sB, &tb.sX, &tb.sTol, &tb.curID}
+	for _, f := range fs {
+		*f = make([]float64, k)
+	}
+	bs := []*[]bool{&tb.wPos, &tb.full, &tb.vals, &tb.swap, &tb.sDone, &tb.act}
+	for _, f := range bs {
+		*f = make([]bool, k)
+	}
+	return tb
+}
+
+// Lanes returns the lane capacity.
+func (tb *TapeBatch) Lanes() int { return tb.k }
+
+// SetLane binds lane l to a TapeDevice of the same program and fastness,
+// copying its already-bound constant registers into the lane's slab column.
+// Any other device (including a TapeDevice of the other branch shape or
+// backend) reports false, sending the caller to the scalar-loop fallback —
+// which still evaluates through that device's own tape.
+func (tb *TapeBatch) SetLane(l int, d device.Device) bool {
+	td, ok := d.(*TapeDevice)
+	if !ok || td.prog != tb.prog || td.fast != tb.fast {
+		return false
+	}
+	k := tb.k
+	for _, s := range tb.prog.binds {
+		tb.slab[int(s.reg)*k+l] = td.regs[s.reg]
+	}
+	tb.pol[l] = td.pol
+	tb.wPos[l] = td.wPos
+	tb.rs[l] = td.rs
+	tb.rd[l] = td.rd
+	return true
+}
+
+// setInput writes one lane of an input register row.
+func (tb *TapeBatch) setInput(reg uint16, l int, v float64) {
+	tb.slab[int(reg)*tb.k+l] = v
+}
+
+// commitLane copies lane l's outCo slots into its committed cCo column.
+func (tb *TapeBatch) commitLane(l int) {
+	k := tb.k
+	for i := 0; i < nCoreSlots; i++ {
+		tb.cCo[i*k+l] = tb.slab[int(tb.prog.outCo[i])*k+l]
+	}
+}
+
+// restoreCo copies the committed cCo columns of the masked lanes back into
+// the tail input registers before a tail replay.
+func (tb *TapeBatch) restoreCo(mask []bool) {
+	k := tb.k
+	for i := 0; i < nCoreSlots; i++ {
+		dst := tb.slab[int(tb.prog.rCo[i])*k:]
+		src := tb.cCo[i*k:]
+		for l := 0; l < k; l++ {
+			if !mask[l] {
+				continue
+			}
+			dst[l] = src[l]
+		}
+	}
+}
+
+// solveBatch runs the bracket-Newton series solve for every live lane in
+// lockstep, one masked solve-segment replay per Newton round. The per-lane
+// driver arithmetic is solveSeriesD's, statement for statement.
+func (tb *TapeBatch) solveBatch() {
+	k := tb.k
+	pr := tb.prog
+	need := 0
+	for l := 0; l < k; l++ {
+		tb.sDone[l] = true
+		tb.act[l] = false
+		if !tb.full[l] && !tb.vals[l] {
+			continue
+		}
+		if !tb.wPos[l] {
+			// solveSeriesD: w ≤ 0 returns a zero state (charges still
+			// assemble overlap terms for the values path).
+			tb.curID[l] = 0
+			for i := 0; i < nCoreSlots; i++ {
+				tb.cCo[i*k+l] = 0
+			}
+			continue
+		}
+		tb.setInput(pr.rVgs, l, tb.vgs[l])
+		tb.setInput(pr.rVds, l, tb.vds[l])
+		tb.setInput(pr.rVbs, l, tb.vbs[l])
+		tb.setInput(pr.rI, l, 0)
+		tb.act[l] = true
+		need++
+	}
+	if need == 0 {
+		return
+	}
+
+	// Initial evaluation at I = 0 for every live lane.
+	replayTapeK(pr.solve, tb.slab, k, tb.act, tb.fast)
+	fRow := tb.slab[int(pr.outF)*k:]
+	dfRow := tb.slab[int(pr.outDF)*k:]
+	pending := 0
+	for l := 0; l < k; l++ {
+		if !tb.act[l] {
+			continue
+		}
+		tb.commitLane(l)
+		f0, df0 := fRow[l], dfRow[l]
+		tb.curID[l] = f0
+		tb.act[l] = false
+		if tb.rs[l] == 0 && tb.rd[l] == 0 {
+			continue
+		}
+		tol := 1e-13 + 1e-9*f0
+		if f0 <= tol {
+			continue
+		}
+		tb.sTol[l] = tol
+		a, b := 0.0, f0
+		tb.sA[l], tb.sB[l] = a, b
+		// Newton step from I=0: g(0) = −F(0), g'(0) = 1 − F'(0).
+		x := f0 / (1 - df0)
+		if !(x > a && x < b) {
+			x = 0.5 * (a + b)
+		}
+		tb.sX[l] = x
+		tb.sDone[l] = false
+		tb.act[l] = true
+		tb.setInput(pr.rI, l, x)
+		pending++
+	}
+
+	for it := 0; it < 60 && pending > 0; it++ {
+		replayTapeK(pr.solve, tb.slab, k, tb.act, tb.fast)
+		for l := 0; l < k; l++ {
+			if !tb.act[l] {
+				continue
+			}
+			tb.commitLane(l)
+			a, b := tb.sA[l], tb.sB[l]
+			x := tb.sX[l]
+			fx, dfx := fRow[l], dfRow[l]
+			gx := x - fx
+			tb.curID[l] = fx
+			if math.Abs(gx) <= tb.sTol[l] || b-a <= 1e-15*(1+b) {
+				// Converged: the scalar path returns the root estimate x,
+				// not F(x); only 60-round exhaustion keeps F(x).
+				tb.curID[l] = x
+				tb.sDone[l] = true
+				tb.act[l] = false
+				pending--
+				continue
+			}
+			if gx > 0 {
+				tb.sB[l] = x
+				b = x
+			} else {
+				tb.sA[l] = x
+				a = x
+			}
+			xn := x - gx/(1-dfx)
+			if !(xn > a && xn < b) {
+				xn = 0.5 * (a + b)
+			}
+			tb.sX[l] = xn
+			tb.setInput(pr.rI, l, xn)
+		}
+	}
+	for l := 0; l < k; l++ {
+		tb.act[l] = false
+	}
+}
+
+// EvalDerivsBatch implements device.BatchDevice over the tape.
+func (tb *TapeBatch) EvalDerivsBatch(vd, vg, vs, vb []float64, mode []device.EvalMode, out *device.DerivsBatch) {
+	k := tb.k
+	pr := tb.prog
+
+	// Pre-step: polarity map, D/S swap and source-referred externals, as in
+	// Eval / EvalDerivs4. Input register rows are written here so both the
+	// solve segment and the tails see them.
+	for l := 0; l < k; l++ {
+		tb.full[l] = mode[l] == device.EvalFull
+		tb.vals[l] = mode[l] == device.EvalValues
+		if !tb.full[l] && !tb.vals[l] {
+			continue
+		}
+		if tb.full[l] && !tb.wPos[l] {
+			// EvalDerivs4 short-circuits w ≤ 0 to a zero bundle before any
+			// voltage mapping.
+			out.SetLaneDerivs(l, device.Derivs{})
+			tb.full[l] = false
+			continue
+		}
+		pol := tb.pol[l]
+		nvd, nvg, nvs, nvb := pol*vd[l], pol*vg[l], pol*vs[l], pol*vb[l]
+		swap := false
+		if nvd < nvs {
+			nvd, nvs = nvs, nvd
+			swap = true
+		}
+		tb.swap[l] = swap
+		tb.vgs[l] = nvg - nvs
+		tb.vds[l] = nvd - nvs
+		tb.vbs[l] = nvb - nvs
+		tb.vgd[l] = nvg - nvd
+		tb.setInput(pr.rVgs, l, tb.vgs[l])
+		tb.setInput(pr.rVgd, l, tb.vgd[l])
+	}
+
+	// Lockstep series solve; each lane's committed cCo column holds its
+	// converged core evaluation afterwards.
+	tb.solveBatch()
+
+	// Values tail (Eval's charge assembly), one masked replay.
+	anyVals := false
+	for l := 0; l < k; l++ {
+		tb.act[l] = tb.vals[l]
+		anyVals = anyVals || tb.vals[l]
+	}
+	if anyVals {
+		tb.restoreCo(tb.act)
+		replayTapeK(pr.values, tb.slab, k, tb.act, tb.fast)
+		qgRow := tb.slab[int(pr.outQg)*k:]
+		qdRow := tb.slab[int(pr.outQd)*k:]
+		qsRow := tb.slab[int(pr.outQs)*k:]
+		for l := 0; l < k; l++ {
+			if !tb.vals[l] {
+				continue
+			}
+			id := tb.curID[l]
+			q := device.Charges{Qg: qgRow[l], Qd: qdRow[l], Qs: qsRow[l], Qb: 0}
+			if tb.swap[l] {
+				id = -id
+				q = q.SwapDS()
+			}
+			if tb.pol[l] < 0 {
+				id = -id
+				q = q.Neg()
+			}
+			out.Id[l] = id
+			out.Q[0][l], out.Q[1][l], out.Q[2][l], out.Q[3][l] = q.Qd, q.Qg, q.Qs, q.Qb
+		}
+	}
+
+	// Derivative tail (the EvalDerivs4 IFT bundle), one masked replay.
+	anyFull := false
+	for l := 0; l < k; l++ {
+		tb.act[l] = tb.full[l]
+		anyFull = anyFull || tb.full[l]
+	}
+	if !anyFull {
+		return
+	}
+	tb.restoreCo(tb.act)
+	replayTapeK(pr.derivs, tb.slab, k, tb.act, tb.fast)
+	for l := 0; l < k; l++ {
+		if !tb.full[l] {
+			continue
+		}
+		var der device.Derivs
+		der.Id = tb.curID[l]
+		der.Q = device.Charges{
+			Qg: tb.slab[int(pr.dQg)*k+l],
+			Qd: tb.slab[int(pr.dQd)*k+l],
+			Qs: tb.slab[int(pr.dQs)*k+l],
+			Qb: 0,
+		}
+		for t := 0; t < 4; t++ {
+			der.GId[t] = tb.slab[int(pr.dGId[t])*k+l]
+			der.CQ[0][t] = tb.slab[int(pr.dCQ0[t])*k+l]
+			der.CQ[1][t] = tb.slab[int(pr.dCQ1[t])*k+l]
+			der.CQ[2][t] = tb.slab[int(pr.dCQ2[t])*k+l]
+			der.CQ[3][t] = 0
+		}
+		if tb.swap[l] {
+			der = swapDerivs(der)
+		}
+		if tb.pol[l] < 0 {
+			der.Id = -der.Id
+			der.Q = der.Q.Neg()
+		}
+		out.SetLaneDerivs(l, der)
+	}
+	for l := 0; l < k; l++ {
+		tb.act[l] = false
+	}
+}

@@ -1,0 +1,270 @@
+package vsmodel
+
+// tape_device.go — the K=1 driver around the compiled op tape: a
+// device.Device/NativeDerivs implementation that replays the program of
+// tape.go instead of calling coreBiasPreD. The driver keeps exactly the
+// branches the scalar entry points keep outside the core arithmetic —
+// polarity mapping, the D/S swap, the w≤0 and rs=rd=0 short-circuits, and
+// the bracket-safeguarded Newton loop of solveSeriesD — and replays the
+// solve segment once per trial current, so the evaluation sequence is
+// statement for statement the scalar path's with the core body interpreted
+// from the tape.
+//
+// With fast=false the replay calls libm and every output is bit-identical
+// to (*Params).Eval / EvalDerivs4; with fast=true the replay substitutes
+// the fastmath kernels, trading a few ulp for throughput while staying
+// bit-identical to itself (and to the batched tape-fast replay — both run
+// the identical op sequence, which is what keeps lockstep lane eviction
+// exact under the fast kernel too).
+
+import (
+	"math"
+
+	"vstat/internal/device"
+)
+
+// TapeDevice is a VS instance evaluated through the compiled op tape.
+type TapeDevice struct {
+	card Params
+	prog *tapeProgram
+	fast bool
+
+	// K=1 register file, bound to card at construction.
+	regs []float64
+
+	// Driver-side hoisted invariants (the scalar entry-point branches).
+	pol  float64
+	wPos bool
+	rs   float64
+	rd   float64
+}
+
+// NewTapeDevice compiles (or fetches the cached program for) the card's
+// branch shape and binds a K=1 register file to it.
+func NewTapeDevice(p Params, fast bool) *TapeDevice {
+	td := &TapeDevice{
+		card: p,
+		prog: tapeProgramFor(p.GammaB != 0),
+		fast: fast,
+	}
+	td.regs = make([]float64, td.prog.nRegs)
+	td.bind()
+	return td
+}
+
+// bind folds the card into the program's constant slots and the driver's
+// hoisted fields. Cheap (a few dozen closure calls), so statistical draws
+// re-bind instead of recompiling.
+func (td *TapeDevice) bind() {
+	p := &td.card
+	for _, s := range td.prog.binds {
+		td.regs[s.reg] = s.f(p)
+	}
+	td.pol = p.TypeK.Polarity()
+	w := p.Weff()
+	td.wPos = w > 0
+	if td.wPos {
+		td.rs = p.Rs0 / w
+		td.rd = p.Rd0 / w
+	} else {
+		td.rs, td.rd = 0, 0
+	}
+}
+
+// Card returns the bound parameter card.
+func (td *TapeDevice) Card() Params { return td.card }
+
+// Fast reports whether this instance replays with the fastmath kernels.
+func (td *TapeDevice) Fast() bool { return td.fast }
+
+// Kind implements device.Device.
+func (td *TapeDevice) Kind() device.Kind { return td.card.TypeK }
+
+// Width implements device.Device.
+func (td *TapeDevice) Width() float64 { return td.card.W }
+
+// Length implements device.Device.
+func (td *TapeDevice) Length() float64 { return td.card.Lgdr }
+
+// WithDeltas implements device.Varier: the statistical instance shares the
+// compiled program (deltas never perturb GammaB, so the branch shape is
+// stable) and re-binds its own register file.
+func (td *TapeDevice) WithDeltas(d device.Deltas) device.Device {
+	return NewTapeDevice(td.card.ApplyDeltas(d), td.fast)
+}
+
+// NewBatch implements device.BatchBuilder: lanes bind to the same program
+// at the same fastness (SetLane rejects mismatches so the caller falls back
+// to the scalar loop, which still runs this tape).
+func (td *TapeDevice) NewBatch(k int) device.BatchDevice {
+	return NewTapeBatch(k, td.prog, td.fast)
+}
+
+// solveTape is solveSeriesD's driver: the bracket-safeguarded Newton loop
+// on g(I) = I − F(I), with F evaluated by replaying the solve segment. On
+// return the outCo registers hold the last core evaluation ("last
+// evaluation wins", the scalar seriesState semantics) and the result is the
+// converged drain current. The caller guarantees wPos.
+func (td *TapeDevice) solveTape(vgs, vds, vbs float64) float64 {
+	r := td.regs
+	pr := td.prog
+	r[pr.rVgs], r[pr.rVds], r[pr.rVbs] = vgs, vds, vbs
+	r[pr.rI] = 0
+	replayTape1(pr.solve, r, td.fast)
+	f0, df0 := r[pr.outF], r[pr.outDF]
+	id := f0
+	if td.rs == 0 && td.rd == 0 {
+		return id
+	}
+	tol := 1e-13 + 1e-9*f0
+	if f0 <= tol {
+		return id
+	}
+	a, b := 0.0, f0
+	x := f0 / (1 - df0)
+	if !(x > a && x < b) {
+		x = 0.5 * (a + b)
+	}
+	for it := 0; it < 60; it++ {
+		r[pr.rI] = x
+		replayTape1(pr.solve, r, td.fast)
+		fx, dfx := r[pr.outF], r[pr.outDF]
+		gx := x - fx
+		id = fx
+		if math.Abs(gx) <= tol || b-a <= 1e-15*(1+b) {
+			// Converged: the scalar path returns the root estimate x, not
+			// F(x); only 60-round exhaustion keeps F(x).
+			return x
+		}
+		if gx > 0 {
+			b = x
+		} else {
+			a = x
+		}
+		xn := x - gx/(1-dfx)
+		if !(xn > a && xn < b) {
+			xn = 0.5 * (a + b)
+		}
+		x = xn
+	}
+	return id
+}
+
+// commitCo copies the solve segment's final core evaluation into the tail
+// input registers. At K=1 the outCo slots already hold the winning
+// evaluation, so the commit is a plain copy.
+func (td *TapeDevice) commitCo() {
+	for i := 0; i < nCoreSlots; i++ {
+		td.regs[td.prog.rCo[i]] = td.regs[td.prog.outCo[i]]
+	}
+}
+
+// zeroCo clears the tail input registers (the w≤0 path, where solveSeriesD
+// returns a zero-value state without evaluating the core).
+func (td *TapeDevice) zeroCo() {
+	for i := 0; i < nCoreSlots; i++ {
+		td.regs[td.prog.rCo[i]] = 0
+	}
+}
+
+// Eval implements device.Device by replaying the solve segment under the
+// driver loop and the values tail for the charge assembly.
+func (td *TapeDevice) Eval(vd, vg, vs, vb float64) device.Eval {
+	pol := td.pol
+	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
+	swap := false
+	if nvd < nvs {
+		nvd, nvs = nvs, nvd
+		swap = true
+	}
+	vgs := nvg - nvs
+	vds := nvd - nvs
+	vbs := nvb - nvs
+
+	var id float64
+	if td.wPos {
+		id = td.solveTape(vgs, vds, vbs)
+		td.commitCo()
+	} else {
+		// solveSeriesD short-circuits w ≤ 0 to a zero state; the charge
+		// tail still assembles the (degenerate-geometry) overlap terms.
+		id = 0
+		td.zeroCo()
+	}
+
+	r := td.regs
+	pr := td.prog
+	r[pr.rVgs] = vgs
+	r[pr.rVgd] = nvg - nvd
+	replayTape1(pr.values, r, td.fast)
+	q := device.Charges{
+		Qg: r[pr.outQg],
+		Qd: r[pr.outQd],
+		Qs: r[pr.outQs],
+		Qb: 0,
+	}
+
+	if swap {
+		id = -id
+		q = q.SwapDS()
+	}
+	if pol < 0 {
+		id = -id
+		q = q.Neg()
+	}
+	return device.Eval{Id: id, Q: q}
+}
+
+// EvalDerivs4 implements device.NativeDerivs by replaying the solve segment
+// under the driver loop and the derivative tail for the IFT bundle.
+func (td *TapeDevice) EvalDerivs4(vd, vg, vs, vb float64) device.Derivs {
+	pol := td.pol
+	nvd, nvg, nvs, nvb := pol*vd, pol*vg, pol*vs, pol*vb
+	swap := false
+	if nvd < nvs {
+		nvd, nvs = nvs, nvd
+		swap = true
+	}
+	vgs := nvg - nvs
+	vds := nvd - nvs
+	vbs := nvb - nvs
+	vgd := nvg - nvd
+
+	if !td.wPos {
+		return device.Derivs{}
+	}
+
+	id := td.solveTape(vgs, vds, vbs)
+	td.commitCo()
+
+	r := td.regs
+	pr := td.prog
+	r[pr.rVgs] = vgs
+	r[pr.rVgd] = vgd
+	replayTape1(pr.derivs, r, td.fast)
+
+	var der device.Derivs
+	der.Id = id
+	der.Q = device.Charges{
+		Qg: r[pr.dQg],
+		Qd: r[pr.dQd],
+		Qs: r[pr.dQs],
+		Qb: 0,
+	}
+	for t := 0; t < 4; t++ {
+		der.GId[t] = r[pr.dGId[t]]
+		der.CQ[0][t] = r[pr.dCQ0[t]]
+		der.CQ[1][t] = r[pr.dCQ1[t]]
+		der.CQ[2][t] = r[pr.dCQ2[t]]
+		der.CQ[3][t] = 0
+	}
+
+	if swap {
+		der = swapDerivs(der)
+	}
+	if pol < 0 {
+		der.Id = -der.Id
+		der.Q = der.Q.Neg()
+	}
+	return der
+}
