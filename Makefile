@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch shard trace tape
+.PHONY: tier1 tier2 bench bench-mc race vet obs sparse lifecycle batch shard shardcrash trace tape
 
 # Tier 1: the build + vet + test gate every change must keep green
 # (ROADMAP.md).
-tier1: vet obs sparse lifecycle batch shard trace tape
+tier1: vet obs sparse lifecycle batch shard shardcrash trace tape
 	$(GO) build ./... && $(GO) test ./...
 
 # Static analysis alone (also the first rung of tier1).
@@ -52,9 +52,23 @@ batch:
 # experiments layers.
 shard:
 	$(GO) vet ./internal/shard/ ./cmd/vsshard/
-	$(GO) test -race -count=2 ./internal/shard/
+	$(GO) test -race -short -count=2 ./internal/shard/
 	$(GO) test -race -count=2 -run 'TestSharded|TestBatchEvictionCancel' ./internal/experiments/
 	$(GO) test -race -count=2 -run 'TestOffset|TestBatchMidRunCancel|TestRecordedFailure|TestSyncDir' ./internal/montecarlo/
+
+# Crash-safety rung: the durable dispatch journal (kill-at-50% resume,
+# torn-tail recovery, foreign-run rejection), the streaming constant-memory
+# merge and its exact order/partition-invariant accumulator, and the
+# drain/fatal error taxonomy — under the race detector, because journal
+# appends, the streaming fold, and the live-envelope high-water mark all
+# sit inside the commit critical section by design. The 1.2M-sample
+# memory-bound acceptance run is excluded here (-short) and runs in the
+# plain tier1 `go test ./...` pass instead.
+shardcrash:
+	$(GO) vet ./internal/shard/ ./internal/montecarlo/ ./cmd/vsshard/
+	$(GO) test -race -short -count=2 -run 'TestJournal|TestStreaming|TestFaultCoordKill|TestFaultDrain|TestHTTPEndpoint|TestGate|TestStatsCheck' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestStreamSummary' ./internal/montecarlo/
+	$(GO) test -race -count=1 -run 'TestShardedRunJournalResume' ./internal/experiments/
 
 # Distributed-tracing rung: the span/flight-recorder layer under the race
 # detector (worker tracers merge into shared worst-K sets), the cross-

@@ -50,6 +50,7 @@ func main() {
 		resume        = flag.Bool("resume", false, "resume from existing files in -checkpoint, re-running only the missing samples; without it stale files are discarded")
 		shardSize     = flag.Int("shard-size", 0, "route the circuit Monte Carlo runs through the internal/shard coordinator in shards of this many samples (0 = off; mutually exclusive with -checkpoint)")
 		shardWorkers  = flag.Int("shard-workers", 0, "with -shard-size, in-process loopback endpoints per run (0 = -workers)")
+		shardJournal  = flag.String("shard-journal", "", "with -shard-size, directory for per-experiment dispatch journals; a killed campaign restarted with -resume restores committed shards instead of re-running them")
 
 		metricsOut  = flag.String("metrics-out", "", "write the observability metrics snapshot (JSON) to this path on exit; enables instrumentation")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the campaign to this path on exit; includes the worst-sample flight recorder (inspect with 'vstrace summarize')")
@@ -78,8 +79,9 @@ func main() {
 		CheckpointDir: *checkpoint,
 		Resume:        *resume,
 
-		ShardSize:      *shardSize,
-		ShardEndpoints: *shardWorkers,
+		ShardSize:       *shardSize,
+		ShardEndpoints:  *shardWorkers,
+		ShardJournalDir: *shardJournal,
 	}
 	if *skip {
 		cfg.Policy = montecarlo.Policy{OnFailure: montecarlo.SkipAndRecord, MaxFailFrac: *failFrac}

@@ -160,12 +160,19 @@ func workMain(args []string) error {
 // (POST /shard, GET /healthz) it exposes GET /metrics: a Prometheus text
 // endpoint counting this worker's shard traffic (requests served, samples
 // executed, failed requests), all on the same listen address.
+//
+// SIGTERM/SIGINT triggers a graceful drain: the in-flight shard runs to
+// completion and ships its envelope, while every new request (and health
+// probe) is rejected 503 with the draining header — the typed retryable
+// error the coordinator's backoff ladder re-routes around. The process
+// exits once in-flight work finishes or -drain-grace expires.
 func serveMain(args []string) error {
 	fs := flag.NewFlagSet("vsshard serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:8731", "listen address")
 	vdd := fs.Float64("vdd", 0.9, "supply voltage")
 	fast := fs.Bool("fast", false, "fast (chord-Newton) MC solver path")
 	workers := fs.Int("engine-workers", 1, "MC workers inside this process (0 = GOMAXPROCS)")
+	drainGrace := fs.Duration("drain-grace", 30*time.Second, "max wait for the in-flight shard after SIGTERM")
 	fs.Parse(args)
 
 	reg := obs.NewRegistry()
@@ -187,13 +194,36 @@ func serveMain(args []string) error {
 		sh.Add(samples, int64(env.Attempted))
 		return env, nil
 	})
+	gate := &shard.Gate{}
 	mux := http.NewServeMux()
-	mux.Handle("/", shard.Handler(counted))
+	mux.Handle("/", shard.GatedHandler(counted, gate))
 	mux.Handle("/metrics", reg.Handler())
+	srv := &http.Server{Addr: *listen, Handler: mux}
+
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		// Drain first so requests that race the shutdown see the typed
+		// rejection, then let Shutdown wait out the in-flight shard.
+		gate.Drain()
+		fmt.Fprintf(os.Stderr, "vsshard serve: %v: draining (grace %s)\n", s, *drainGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
 
 	fmt.Fprintf(os.Stderr, "vsshard serve: listening on %s (vdd=%g fast=%v; POST /shard, GET /healthz, GET /metrics)\n",
 		*listen, *vdd, *fast)
-	return http.ListenAndServe(*listen, mux)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("vsshard serve: drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "vsshard serve: drained cleanly")
+	return nil
 }
 
 // runMain is the coordinator.
@@ -215,6 +245,9 @@ func runMain(args []string) error {
 	timeout := fs.Duration("timeout", 0, "whole-run wall limit (0 = unlimited)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (dispatches, shard attempts, worst-sample spans from every worker) to this path")
 	traceK := fs.Int("trace-k", 0, "with -trace-out, keep full span detail for the K worst samples run-wide (0 = default 8)")
+	journalPath := fs.String("journal", "", "durable dispatch journal path: every shard commit is fsynced here")
+	resume := fs.Bool("resume", false, "with -journal, restore its committed shards and dispatch only the rest")
+	stream := fs.Bool("stream", false, "streaming constant-memory merge: fold each shard into running stats instead of buffering the full result vector")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -277,8 +310,31 @@ func runMain(args []string) error {
 		cfg.TraceParent = runSpan.ID()
 		cfg.TraceK = *traceK
 	}
+	var opts shard.RunOptions[float64]
+	if *journalPath != "" {
+		var jnl *shard.Journal[float64]
+		var jerr error
+		if *resume {
+			jnl, jerr = shard.OpenJournal[float64](*journalPath, cfg)
+		} else {
+			jnl, jerr = shard.CreateJournal[float64](*journalPath, cfg)
+		}
+		if jerr != nil {
+			return fmt.Errorf("vsshard run: %w", jerr)
+		}
+		defer jnl.Close()
+		if d := jnl.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "vsshard run: journal: dropped %d torn/invalid trailing record(s); their shards will be re-dispatched\n", d)
+		}
+		opts.Journal = jnl
+	}
+	var sum *montecarlo.StreamSummary
+	if *stream {
+		sum = &montecarlo.StreamSummary{}
+		opts.Stream = func(env *shard.Envelope[float64]) { shard.AddGood(env, sum) }
+	}
 	start := time.Now()
-	res, err := shard.Run(ctx, cfg, eps, local)
+	res, err := shard.RunWithOptions(ctx, cfg, eps, local, opts)
 	wall := time.Since(start)
 	if rec != nil {
 		// Written even on a failed/cancelled run — a partial trace is
@@ -294,23 +350,43 @@ func runMain(args []string) error {
 	if err != nil {
 		return fmt.Errorf("vsshard run: %w", err)
 	}
-	printSummary(*bench, *n, res, wall, len(eps))
+	// A run whose accounting doesn't balance must not pass for a clean
+	// result: exit non-zero with the diagnostic instead of burying the
+	// violation in metrics.
+	if cerr := res.Stats.Check(res.Shards); cerr != nil {
+		printSummary(*bench, *n, res, sum, wall, len(eps))
+		return fmt.Errorf("vsshard run: %w", cerr)
+	}
+	printSummary(*bench, *n, res, sum, wall, len(eps))
 	return nil
 }
 
-func printSummary(bench string, n int, res shard.Result[float64], wall time.Duration, workers int) {
-	vals := montecarlo.Compact(res.Out, res.Report)
-	mean, sd := meanStd(vals)
+func printSummary(bench string, n int, res shard.Result[float64], sum *montecarlo.StreamSummary, wall time.Duration, workers int) {
+	var mean, sd float64
+	var good int64
+	if sum != nil {
+		mean, sd, good = sum.Mean(), sum.Std(), sum.Count()
+	} else {
+		vals := montecarlo.Compact(res.Out, res.Report)
+		mean, sd = meanStd(vals)
+		good = int64(len(vals))
+	}
 	fmt.Printf("vsshard: %s delay MC, n=%d over %d shards, %d workers, %.2fs\n",
 		bench, n, res.Shards, workers, wall.Seconds())
 	fmt.Printf("  delay mean %.4g ps  sigma %.4g ps  (%d good samples)\n",
-		mean*1e12, sd*1e12, len(vals))
+		mean*1e12, sd*1e12, good)
 	if !res.Report.Clean() {
 		fmt.Printf("  run health: %s\n", res.Report.String())
 	}
 	s := res.Stats
 	fmt.Printf("  shards: dispatched %d  retried %d  speculated %d  duplicates %d  lost %d  workers-lost %d  local %d\n",
 		s.Dispatched, s.Retried, s.Speculated, s.Duplicates, s.Lost, s.WorkersLost, s.LocalFallback)
+	if s.JournalCommits > 0 || s.ResumeSkipped > 0 {
+		fmt.Printf("  journal: committed %d  restored-on-resume %d\n", s.JournalCommits, s.ResumeSkipped)
+	}
+	if sum != nil {
+		fmt.Printf("  streaming merge: peak live envelopes %d\n", s.PeakLiveEnvelopes)
+	}
 	if len(s.CommitLatency) > 0 {
 		lats := append([]time.Duration(nil), s.CommitLatency...)
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

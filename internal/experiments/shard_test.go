@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"vstat/internal/circuits"
@@ -69,6 +71,56 @@ func TestShardedRunMatchesLocal(t *testing.T) {
 	wantShards := int64((n + cfg.ShardSize - 1) / cfg.ShardSize)
 	if committed != wantShards || dispatched < wantShards {
 		t.Fatalf("shard counters: dispatched=%d committed=%d, want %d shards", dispatched, committed, wantShards)
+	}
+}
+
+// TestShardedRunJournalResume pins the suite-level dispatch journal: a
+// journaled sharded run followed by a Resume run with the same
+// ShardJournalDir must restore every shard — zero sample re-executed —
+// and still hand back bit-identical results and report.
+func TestShardedRunJournalResume(t *testing.T) {
+	m := core.DefaultStatVS()
+	const n = 24
+	const seed = int64(777)
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:         2,
+		Policy:          montecarlo.SkipUpTo(1.0),
+		ShardSize:       7,
+		ShardEndpoints:  2,
+		ShardJournalDir: dir,
+	}
+	ref, refRep, err := runPooledMC[*circuits.PooledGate, float64](
+		cfg, "journal-run", n, seed, invBench(m), invDelay(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	var reran atomic.Int64
+	base := invDelay(m)
+	got, gotRep, err := runPooledMC[*circuits.PooledGate, float64](
+		cfg, "journal-run", n, seed, invBench(m),
+		func(b *circuits.PooledGate, idx int, rng *rand.Rand) (float64, error) {
+			reran.Add(1)
+			return base(b, idx, rng)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 0 {
+		t.Fatalf("resume re-executed %d samples, want 0 (all shards journaled)", reran.Load())
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("resumed run produced %d samples, original %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("sample %d: resumed %.17g, original %.17g", i, got[i], ref[i])
+		}
+	}
+	if gotRep.Attempted != refRep.Attempted || gotRep.Failed != refRep.Failed {
+		t.Fatalf("resumed report %s, original %s", gotRep.String(), refRep.String())
 	}
 }
 

@@ -115,6 +115,12 @@ type Config struct {
 	// ShardEndpoints is how many loopback worker endpoints a sharded run
 	// dispatches to (<= 0: Workers, then GOMAXPROCS).
 	ShardEndpoints int
+	// ShardJournalDir, when set with ShardSize, gives every sharded run a
+	// durable dispatch journal at <dir>/<run-name>.journal.json: each
+	// shard commit is fsynced there, and Resume restores the committed
+	// shards instead of re-dispatching them — the shard-level analogue of
+	// the run-level checkpoint the sharded path cannot use.
+	ShardJournalDir string
 
 	// instr is the suite's instrumentation bundle, planted by NewSuite so
 	// runPooledMC can flush run-level lifecycle counters (over-budget and
@@ -266,7 +272,26 @@ func runShardedMC[S, T any](cfg Config, name string, n int, seed int64,
 			scfg.MaxFailFrac = 1.0 // uncapped SkipAndRecord
 		}
 	}
-	res, err := shard.Run(cfg.ctx(), scfg, eps, exec)
+	var opts shard.RunOptions[T]
+	if cfg.ShardJournalDir != "" {
+		if err := os.MkdirAll(cfg.ShardJournalDir, 0o755); err != nil {
+			return nil, montecarlo.RunReport{}, fmt.Errorf("shard journal dir: %w", err)
+		}
+		path := filepath.Join(cfg.ShardJournalDir, name+".journal.json")
+		var jnl *shard.Journal[T]
+		var jerr error
+		if cfg.Resume {
+			jnl, jerr = shard.OpenJournal[T](path, scfg)
+		} else {
+			jnl, jerr = shard.CreateJournal[T](path, scfg)
+		}
+		if jerr != nil {
+			return nil, montecarlo.RunReport{}, jerr
+		}
+		defer jnl.Close()
+		opts.Journal = jnl
+	}
+	res, err := shard.RunWithOptions(cfg.ctx(), scfg, eps, exec, opts)
 	mcSpan.End()
 	cfg.instr.RecordRunLifecycle(res.Report)
 	return res.Out, res.Report, err

@@ -1,0 +1,193 @@
+package montecarlo
+
+// StreamSummary is the streaming-mergeable run summary the shard
+// coordinator's constant-memory merge folds committed envelopes into. Its
+// determinism contract is stronger than "stable given one order": the sums
+// are accumulated *exactly* (a Shewchuk-style expansion of non-overlapping
+// partials, the algorithm behind Python's math.fsum), so the rounded Sum,
+// Mean, and Std are bit-identical for any insertion order, any partition
+// into per-shard summaries, and any merge order. That is what lets a
+// sharded run — whose shards commit in scheduling-dependent order — report
+// the same statistics, to the last bit, as a single-process pass over the
+// samples in index order, at any shard size.
+//
+// Space is O(1): a float64 expansion is bounded by the exponent range
+// (~40 partials), independent of how many values were added.
+
+import "math"
+
+// expansion holds a sum of float64s exactly as non-overlapping partials of
+// increasing magnitude. The partials always sum (as reals) to exactly the
+// running total.
+type expansion struct {
+	p []float64
+}
+
+// add folds x into the expansion via exact two-sums (error-free
+// transformations): after the call the partials again represent the exact
+// real-number sum.
+func (e *expansion) add(x float64) {
+	i := 0
+	for _, y := range e.p {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			e.p[i] = lo
+			i++
+		}
+		x = hi
+	}
+	e.p = append(e.p[:i], x)
+}
+
+// merge folds another expansion in; exactness makes the result independent
+// of which side the partials lived on.
+func (e *expansion) merge(o *expansion) {
+	for _, x := range o.p {
+		e.add(x)
+	}
+}
+
+// value rounds the exact sum to the nearest float64 (round half to even),
+// following CPython's fsum tail: sum partials from the largest down, and
+// when the discarded low part is exactly half an ulp, use the sign of the
+// next partial to decide the even-rounding direction.
+func (e *expansion) value() float64 {
+	n := len(e.p)
+	if n == 0 {
+		return 0
+	}
+	hi := e.p[n-1]
+	var lo float64
+	i := n - 1
+	for i > 0 {
+		i--
+		x, y := hi, e.p[i]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	if i > 0 && ((lo < 0 && e.p[i-1] < 0) || (lo > 0 && e.p[i-1] > 0)) {
+		y := lo * 2
+		x := hi + y
+		if y == x-hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// StreamSummary accumulates count, min, max, and exact sum / sum of squares
+// of a float64 stream. The zero value is ready to use. Not safe for
+// concurrent use; the coordinator serializes folds.
+type StreamSummary struct {
+	n          int64
+	min, max   float64
+	sum, sumSq expansion
+	// nonFinite carries any NaN/Inf inputs outside the exact expansion
+	// (which only holds finite partials). IEEE accumulation of specials is
+	// order-independent in the cases that matter: any NaN poisons, +Inf and
+	// -Inf together poison, a single Inf sign survives.
+	nonFinite    float64
+	sawNonFinite bool
+}
+
+// Add folds one sample.
+func (s *StreamSummary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.sawNonFinite = true
+		s.nonFinite += x
+		return
+	}
+	s.sum.add(x)
+	s.sumSq.add(x * x)
+}
+
+// Merge folds another summary in. Exact accumulation makes the result
+// independent of partitioning and merge order.
+func (s *StreamSummary) Merge(o *StreamSummary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.n += o.n
+	if o.sawNonFinite {
+		s.sawNonFinite = true
+		s.nonFinite += o.nonFinite
+	}
+	s.sum.merge(&o.sum)
+	s.sumSq.merge(&o.sumSq)
+}
+
+// Count returns how many samples were added.
+func (s *StreamSummary) Count() int64 { return s.n }
+
+// Min returns the smallest sample (0 before any Add).
+func (s *StreamSummary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 before any Add).
+func (s *StreamSummary) Max() float64 { return s.max }
+
+// Sum returns the correctly-rounded exact sum.
+func (s *StreamSummary) Sum() float64 {
+	v := s.sum.value()
+	if s.sawNonFinite {
+		return v + s.nonFinite
+	}
+	return v
+}
+
+// Mean returns Sum()/Count() (0 for an empty summary).
+func (s *StreamSummary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Sum() / float64(s.n)
+}
+
+// Std returns the sample standard deviation, computed from the exact sums
+// (sqrt((Σx² − (Σx)²/n)/(n−1))). The one subtraction is performed on
+// correctly-rounded exact totals, so the result is as order-independent as
+// the sums are.
+func (s *StreamSummary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	if s.sawNonFinite {
+		return math.NaN()
+	}
+	sum := s.sum.value()
+	ss := s.sumSq.value()
+	n := float64(s.n)
+	v := (ss - sum*sum/n) / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

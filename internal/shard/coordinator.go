@@ -47,7 +47,9 @@ type Config struct {
 	// speculation.
 	StragglerAfter time.Duration
 	// DeadAfter retires a worker endpoint after that many consecutive
-	// failed attempts; <= 0 defaults to 3.
+	// failed attempts; <= 0 defaults to 3. A fatal dispatch error (config
+	// mismatch — see FatalError) retires the endpoint immediately: a worker
+	// built for a different run can never serve any shard of this one.
 	DeadAfter int
 
 	// Metrics, when non-nil, receives the run's Stats (RecordStats).
@@ -85,8 +87,38 @@ func (c *Config) withDefaults() Config {
 	return d
 }
 
+// StreamFn folds one committed envelope into caller-owned running state —
+// the constant-memory merge hook. The coordinator calls it exactly once per
+// shard (commit CAS guarantees it), serialized, in commit order; the
+// envelope's Results are released right after the call, so the callback
+// must not retain the envelope or any slice inside it. Fold into an
+// order-independent accumulator (montecarlo.StreamSummary) to stay
+// bit-identical to a single-process run: commit order is
+// scheduling-dependent.
+type StreamFn[T any] func(env *Envelope[T])
+
+// RunOptions carries the crash-safety and memory-profile knobs that need
+// the run's result type (Config stays non-generic).
+type RunOptions[T any] struct {
+	// Journal, when non-nil, is the durable dispatch journal: shards it
+	// already holds are restored without dispatch (Stats.ResumeSkipped),
+	// and every new commit is appended + fsynced before it counts. The
+	// journal must have been created/opened for this exact Config.
+	Journal *Journal[T]
+	// Stream, when non-nil, switches the run to the streaming
+	// constant-memory merge: each committed envelope is folded via Stream
+	// and released instead of buffered, holding peak coordinator memory at
+	// O(max shard × in-flight attempts) rather than O(N). Result.Out is
+	// nil; Result.Report is still exact (per-shard failure records and
+	// counts are retained — they are small and bounded by the failure
+	// rate, not by N).
+	Stream StreamFn[T]
+}
+
 // Result is a completed coordinated run.
 type Result[T any] struct {
+	// Out is the merged full-run result vector — nil in streaming mode,
+	// where the values live only in the Stream callback's accumulator.
 	Out    []T
 	Report montecarlo.RunReport
 	Shards int
@@ -97,6 +129,17 @@ type Result[T any] struct {
 // uncommitted and had no local executor to degrade to.
 var ErrNoWorkers = errors.New("shard: all workers lost and no local executor")
 
+// shardMeta is what the streaming merge keeps of a committed envelope after
+// the values are folded and released: exactly the fields the final
+// RunReport and trace merge need, none of them O(shard size).
+type shardMeta struct {
+	attempted   int
+	failures    []montecarlo.RecordedFailure
+	rescued     map[string]int64
+	traceEvents []trace.Event
+	worst       []trace.SampleRecord
+}
+
 // shardState tracks one shard through the dispatch/commit state machine.
 // commit is the CAS word: 0 = pending, 1 = committed (first valid envelope
 // wins; later valid envelopes are duplicates) — the same first-writer-wins
@@ -106,7 +149,8 @@ type shardState[T any] struct {
 	lo, hi int
 
 	commit      atomic.Int32
-	env         *Envelope[T] // owned by the committer, read after join
+	env         *Envelope[T] // buffered mode: owned by the committer, read after join
+	meta        *shardMeta   // streaming mode: what survives the fold
 	attempts    atomic.Int32 // next attempt ordinal to hand out
 	failures    atomic.Int32 // failed/lost attempts so far
 	inFlight    atomic.Int32
@@ -132,6 +176,7 @@ type ticket struct {
 // coordinator is the mutable state of one Run.
 type coordinator[T any] struct {
 	cfg    Config
+	opts   RunOptions[T]
 	shards []*shardState[T]
 	local  ExecFn[T]
 
@@ -144,6 +189,11 @@ type coordinator[T any] struct {
 	failErr   error
 	failedCh  chan struct{}
 
+	// commitMu serializes the post-CAS ingest (journal append + streaming
+	// fold): commits are per-shard rare, so one lock keeps both the
+	// journal single-writer and the Stream callback free of concurrency.
+	commitMu sync.Mutex
+
 	statDispatched atomic.Int64
 	statRetried    atomic.Int64
 	statSpeculated atomic.Int64
@@ -151,9 +201,30 @@ type coordinator[T any] struct {
 	statLost       atomic.Int64
 	statWorkers    atomic.Int64
 	statLocal      atomic.Int64
+	statResumed    atomic.Int64
+	statJournal    atomic.Int64
+
+	// liveEnvs counts envelopes the coordinator currently retains;
+	// peakLive is its high-water mark — the streaming-merge memory bound
+	// the acceptance test pins (buffered mode honestly peaks at the shard
+	// count).
+	liveEnvs atomic.Int64
+	peakLive atomic.Int64
 
 	latMu sync.Mutex
 	lats  []time.Duration
+}
+
+func (c *coordinator[T]) streaming() bool { return c.opts.Stream != nil }
+
+func (c *coordinator[T]) noteLive(d int64) {
+	v := c.liveEnvs.Add(d)
+	for {
+		p := c.peakLive.Load()
+		if v <= p || c.peakLive.CompareAndSwap(p, v) {
+			return
+		}
+	}
 }
 
 // Run executes an N-sample Monte Carlo run as index-range shards over the
@@ -164,6 +235,13 @@ type coordinator[T any] struct {
 // when every endpoint has been retired (graceful degradation). With no
 // endpoints at all, every shard runs locally.
 func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local ExecFn[T]) (Result[T], error) {
+	return RunWithOptions(ctx, cfg, endpoints, local, RunOptions[T]{})
+}
+
+// RunWithOptions is Run with the crash-safety knobs: a durable dispatch
+// journal (killed coordinator resumes re-dispatching only uncommitted
+// ranges) and/or the streaming constant-memory merge.
+func RunWithOptions[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local ExecFn[T], opts RunOptions[T]) (Result[T], error) {
 	cfg = cfg.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
@@ -171,9 +249,13 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 	if cfg.N <= 0 {
 		return Result[T]{}, nil
 	}
+	if opts.Journal != nil && !opts.Journal.matches(cfg) {
+		return Result[T]{}, fmt.Errorf("shard: journal %s belongs to a different run configuration", opts.Journal.path)
+	}
 	nShards := (cfg.N + cfg.ShardSize - 1) / cfg.ShardSize
 	c := &coordinator[T]{
 		cfg:   cfg,
+		opts:  opts,
 		local: local,
 		// Never closed; capacity covers every possible initial, retry, and
 		// speculative ticket so enqueues never block.
@@ -183,12 +265,23 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 		failedCh: make(chan struct{}),
 	}
 	for i := 0; i < nShards; i++ {
-		lo := i * cfg.ShardSize
-		hi := lo + cfg.ShardSize
-		if hi > cfg.N {
-			hi = cfg.N
-		}
+		lo, hi, _ := shardRange(cfg.N, cfg.ShardSize, i)
 		c.shards = append(c.shards, &shardState[T]{ord: i, lo: lo, hi: hi})
+	}
+
+	// Restore the journal's committed prefix before anything dispatches:
+	// each restored envelope takes its shard's commit CAS exactly as a live
+	// one would, so the rest of the machinery simply never sees those
+	// shards as pending. Replay streams one envelope at a time — resume is
+	// as constant-memory as the streaming merge itself.
+	if opts.Journal != nil {
+		_, err := opts.Journal.Replay(func(env *Envelope[T]) error {
+			c.tryCommit(c.shards[env.Shard], env, time.Time{}, true)
+			return nil
+		})
+		if err != nil {
+			return Result[T]{Shards: nShards}, fmt.Errorf("shard: journal replay: %w", err)
+		}
 	}
 
 	dispatchCtx, cancel := context.WithCancel(ctx)
@@ -199,11 +292,17 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 		// Degenerate deployment: no workers configured, run everything on
 		// the local executor.
 		for _, s := range c.shards {
+			if s.commit.Load() != 0 {
+				continue
+			}
 			s.localQueued.Store(true)
 			c.localQ <- ticket{shard: s.ord, kind: ticketInitial}
 		}
 	} else {
 		for _, s := range c.shards {
+			if s.commit.Load() != 0 {
+				continue
+			}
 			c.tickets <- ticket{shard: s.ord, kind: ticketInitial}
 		}
 		c.live.Store(int64(len(endpoints)))
@@ -244,20 +343,31 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 	wg.Wait()
 
 	stats := Stats{
-		Dispatched:    c.statDispatched.Load(),
-		Retried:       c.statRetried.Load(),
-		Speculated:    c.statSpeculated.Load(),
-		Committed:     c.committed.Load(),
-		Duplicates:    c.statDuplicates.Load(),
-		Lost:          c.statLost.Load(),
-		WorkersLost:   c.statWorkers.Load(),
-		LocalFallback: c.statLocal.Load(),
-		CommitLatency: c.lats,
+		Dispatched:        c.statDispatched.Load(),
+		Retried:           c.statRetried.Load(),
+		Speculated:        c.statSpeculated.Load(),
+		Committed:         c.committed.Load(),
+		Duplicates:        c.statDuplicates.Load(),
+		Lost:              c.statLost.Load(),
+		WorkersLost:       c.statWorkers.Load(),
+		LocalFallback:     c.statLocal.Load(),
+		ResumeSkipped:     c.statResumed.Load(),
+		JournalCommits:    c.statJournal.Load(),
+		PeakLiveEnvelopes: c.peakLive.Load(),
+		CommitLatency:     c.lats,
 	}
 	cfg.Metrics.RecordStats(stats)
 	res := Result[T]{Shards: nShards, Stats: stats}
 	if runErr != nil {
 		return res, runErr
+	}
+	if c.streaming() {
+		rep, err := c.assembleStreamed()
+		if err != nil {
+			return res, err
+		}
+		res.Report = rep
+		return res, nil
 	}
 	envs := make([]*Envelope[T], 0, nShards)
 	for _, s := range c.shards {
@@ -279,6 +389,99 @@ func Run[T any](ctx context.Context, cfg Config, endpoints []Endpoint[T], local 
 	}
 	res.Out, res.Report = out, rep
 	return res, nil
+}
+
+// assembleStreamed builds the final RunReport from the per-shard metas, in
+// shard order — exactly the accumulation Merge performs, minus the result
+// vector the Stream callback already consumed.
+func (c *coordinator[T]) assembleStreamed() (montecarlo.RunReport, error) {
+	rep := montecarlo.RunReport{}
+	for _, s := range c.shards {
+		if s.commit.Load() != 1 || s.meta == nil {
+			return rep, fmt.Errorf("shard: shard %d [%d,%d) never committed", s.ord, s.lo, s.hi)
+		}
+		m := s.meta
+		rep.Attempted += m.attempted
+		rep.Failed += len(m.failures)
+		rep.Succeeded += m.attempted - len(m.failures)
+		for _, f := range m.failures {
+			if f.Panic {
+				rep.Panics++
+			}
+			rep.Failures = append(rep.Failures, montecarlo.SampleFailure{Idx: f.Idx, Err: f.Err()})
+		}
+		if len(m.rescued) > 0 {
+			if rep.Rescued == nil {
+				rep.Rescued = make(map[string]int64)
+			}
+			for k, v := range m.rescued {
+				rep.Rescued[k] += v
+			}
+		}
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Append(m.traceEvents...)
+			c.cfg.Trace.AddWorst(m.worst)
+		}
+	}
+	return rep, nil
+}
+
+// tryCommit is the single commit path: win the shard's CAS, make the
+// envelope durable (journal append + fsync) when a journal is attached,
+// then either fold-and-release it (streaming) or retain it for the final
+// merge (buffered). restored marks journal replay: no re-append, no
+// latency sample, counted in ResumeSkipped. Returns false when another
+// attempt already committed the shard (the caller counts a duplicate).
+func (c *coordinator[T]) tryCommit(s *shardState[T], env *Envelope[T], start time.Time, restored bool) bool {
+	if !s.commit.CompareAndSwap(0, 1) {
+		return false
+	}
+	c.noteLive(1)
+	c.commitMu.Lock()
+	if !restored && c.opts.Journal != nil {
+		if err := c.opts.Journal.Append(env); err != nil {
+			// Durability is the whole point of the journal: a commit that
+			// cannot be made durable fails the run rather than silently
+			// continuing volatile.
+			c.commitMu.Unlock()
+			c.noteLive(-1)
+			c.failOnce.Do(func() {
+				c.failErr = fmt.Errorf("shard: journal append for shard %d: %w", s.ord, err)
+				close(c.failedCh)
+			})
+			return true
+		}
+		c.statJournal.Add(1)
+	}
+	if c.streaming() {
+		if c.opts.Stream != nil {
+			c.opts.Stream(env)
+		}
+		s.meta = &shardMeta{
+			attempted:   env.Attempted,
+			failures:    env.Failures,
+			rescued:     env.Rescued,
+			traceEvents: env.TraceEvents,
+			worst:       env.Worst,
+		}
+	} else {
+		s.env = env
+	}
+	c.commitMu.Unlock()
+	if c.streaming() {
+		c.noteLive(-1) // Results released; only the O(1) meta survives
+	}
+	if restored {
+		c.statResumed.Add(1)
+	} else {
+		c.latMu.Lock()
+		c.lats = append(c.lats, time.Since(start))
+		c.latMu.Unlock()
+	}
+	if c.committed.Add(1) == int64(len(c.shards)) {
+		close(c.done)
+	}
+	return true
 }
 
 func (c *coordinator[T]) request(s *shardState[T], attempt int) Request {
@@ -311,7 +514,9 @@ func (c *coordinator[T]) request(s *shardState[T], attempt int) Request {
 }
 
 // workerLoop is one endpoint's dispatch loop: one in-flight attempt at a
-// time, retired after cfg.DeadAfter consecutive failures.
+// time, retired after cfg.DeadAfter consecutive failures — or immediately
+// on a fatal dispatch error, since a worker refusing this run's config will
+// refuse every shard of it.
 func (c *coordinator[T]) workerLoop(ctx context.Context, ep Endpoint[T]) {
 	consecutive := 0
 	for {
@@ -323,7 +528,7 @@ func (c *coordinator[T]) workerLoop(ctx context.Context, ep Endpoint[T]) {
 			if s.commit.Load() != 0 || s.localQueued.Load() {
 				continue // already satisfied or handed to local
 			}
-			ok := c.attempt(ctx, ep.Transport, s, t)
+			ok, fatal := c.attempt(ctx, ep.Transport, s, t)
 			if ctx.Err() != nil {
 				return // don't blame the worker for run shutdown
 			}
@@ -332,7 +537,7 @@ func (c *coordinator[T]) workerLoop(ctx context.Context, ep Endpoint[T]) {
 				continue
 			}
 			consecutive++
-			if consecutive >= c.cfg.DeadAfter {
+			if fatal || consecutive >= c.cfg.DeadAfter {
 				c.statWorkers.Add(1)
 				if c.live.Add(-1) == 0 {
 					c.sweepToLocal()
@@ -343,9 +548,11 @@ func (c *coordinator[T]) workerLoop(ctx context.Context, ep Endpoint[T]) {
 	}
 }
 
-// attempt runs one dispatch attempt and routes its outcome. Returns false
-// when the attempt counts against the worker (lost/error/invalid).
-func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardState[T], t ticket) bool {
+// attempt runs one dispatch attempt and routes its outcome. ok is false
+// when the attempt counts against the worker (lost/error/invalid); fatal
+// additionally marks a non-retryable refusal (FatalError) that should
+// retire the endpoint at once.
+func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardState[T], t ticket) (ok, fatal bool) {
 	attempt := int(s.attempts.Add(1)) - 1
 	c.statDispatched.Add(1)
 	switch t.kind {
@@ -371,7 +578,7 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 	if ctx.Err() != nil {
 		sp.Note("shutdown")
 		sp.End()
-		return true // run is shutting down; outcome no longer matters
+		return true, false // run is shutting down; outcome no longer matters
 	}
 	committedHere := false
 	var verr error
@@ -383,15 +590,8 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 			if verr = env.Validate(c.cfg.ConfigHash, c.cfg.N, s.lo, s.hi); verr != nil {
 				continue
 			}
-			if s.commit.CompareAndSwap(0, 1) {
-				s.env = env
+			if c.tryCommit(s, env, start, false) {
 				committedHere = true
-				c.latMu.Lock()
-				c.lats = append(c.lats, time.Since(start))
-				c.latMu.Unlock()
-				if c.committed.Add(1) == int64(len(c.shards)) {
-					close(c.done)
-				}
 			} else {
 				c.statDuplicates.Add(1)
 			}
@@ -404,7 +604,7 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 			sp.Note("duplicate")
 		}
 		sp.End()
-		return err == nil && verr == nil
+		return err == nil && verr == nil, false
 	}
 	// Attempt produced nothing usable for a still-pending shard: lost.
 	sp.Note("lost")
@@ -412,7 +612,7 @@ func (c *coordinator[T]) attempt(ctx context.Context, tr Transport[T], s *shardS
 	c.statLost.Add(1)
 	s.failures.Add(1)
 	c.scheduleRetry(ctx, s)
-	return false
+	return false, IsFatal(err)
 }
 
 // scheduleRetry books the next attempt for a still-pending shard: an
@@ -540,16 +740,9 @@ func (c *coordinator[T]) localLoop(ctx context.Context) {
 				})
 				return
 			}
-			if s.commit.CompareAndSwap(0, 1) {
+			if c.tryCommit(s, env, start, false) {
 				sp.Note("committed")
 				sp.End()
-				s.env = env
-				c.latMu.Lock()
-				c.lats = append(c.lats, time.Since(start))
-				c.latMu.Unlock()
-				if c.committed.Add(1) == int64(len(c.shards)) {
-					close(c.done)
-				}
 			} else {
 				sp.Note("duplicate")
 				sp.End()

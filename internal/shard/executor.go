@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -9,6 +10,11 @@ import (
 	"vstat/internal/montecarlo"
 	"vstat/internal/obs/trace"
 )
+
+// ErrConfigMismatch is the worker-side refusal of a request whose config
+// hash does not match the run this worker was built for. It is always
+// wrapped in a FatalError: no retry against the same worker can fix it.
+var ErrConfigMismatch = errors.New("shard: request config mismatch")
 
 // ExecFn executes one shard request to completion and returns its result
 // envelope. It is the unit every transport carries: the loopback transport
@@ -33,8 +39,8 @@ func NewExecutor[S, T any](cfgHash string, engineWorkers int,
 			return nil, err
 		}
 		if req.ConfigHash != cfgHash {
-			return nil, fmt.Errorf("shard: request for config %.12s…, this worker is built for %.12s…",
-				req.ConfigHash, cfgHash)
+			return nil, &FatalError{Err: fmt.Errorf("%w: request for config %.12s…, this worker is built for %.12s…",
+				ErrConfigMismatch, req.ConfigHash, cfgHash)}
 		}
 		opts := montecarlo.RunOpts{
 			Policy:    req.Policy(),

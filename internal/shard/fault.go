@@ -26,6 +26,17 @@ const (
 	// FaultVanish returns no envelopes and no error — a silently lost
 	// result, distinguishable from FaultDrop's loud failure.
 	FaultVanish
+	// FaultDrain answers with the typed retryable ErrDraining a
+	// shutting-down worker sends — the worker-drain matrix mode. The
+	// coordinator must treat it exactly like any retryable loss: back off,
+	// re-dispatch, never retire the endpoint ahead of DeadAfter.
+	FaultDrain
+	// FaultCoordKill simulates the coordinator dying at this (shard,
+	// attempt) point: it invokes the plan's Kill hook (tests wire it to
+	// cancel the run context or exit the process) and loses the attempt.
+	// Combined with a journal, the restarted run must resume from the
+	// committed prefix.
+	FaultCoordKill
 )
 
 // FaultRule scripts one fault at one (Shard, Attempt) point.
@@ -42,6 +53,10 @@ type FaultRule struct {
 // Wrap to apply the plan.
 type FaultPlan struct {
 	Rules []FaultRule
+	// Kill is the FaultCoordKill hook: called (once per matching rule)
+	// before the attempt is lost. Tests set it to cancel the coordinator's
+	// context mid-run — the in-process stand-in for kill -9.
+	Kill func()
 }
 
 func (p *FaultPlan) find(shard, attempt int) (FaultRule, bool) {
@@ -74,6 +89,13 @@ func (f faultTransport[T]) Dispatch(ctx context.Context, req Request) ([]*Envelo
 		return nil, fmt.Errorf("shard: injected worker kill (shard %d attempt %d)", req.Shard, req.Attempt)
 	case FaultVanish:
 		return nil, nil
+	case FaultDrain:
+		return nil, fmt.Errorf("%w (shard %d attempt %d)", ErrDraining, req.Shard, req.Attempt)
+	case FaultCoordKill:
+		if f.plan.Kill != nil {
+			f.plan.Kill()
+		}
+		return nil, fmt.Errorf("shard: injected coordinator kill (shard %d attempt %d)", req.Shard, req.Attempt)
 	case FaultDelay:
 		envs, err := f.next.Dispatch(ctx, req)
 		if err != nil {

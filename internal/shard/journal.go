@@ -1,0 +1,319 @@
+package shard
+
+// The durable dispatch journal makes the coordinator as expendable as its
+// workers. Every committed shard envelope is appended as one CRC-guarded
+// JSON record and fsynced before the commit is considered durable, so a
+// coordinator killed mid-campaign can restart with the same journal,
+// restore the committed prefix, and re-dispatch only the uncommitted
+// ranges — merging bit-identically to an uninterrupted run (the envelope is
+// the unit of determinism; where it ran and when it was replayed cannot
+// change its bytes).
+//
+// File layout (newline-delimited JSON, append-only):
+//
+//	line 0:  header — journal version, config hash, N, shard size, seed
+//	line 1+: {"crc": <IEEE CRC32 of env bytes>, "env": <Envelope JSON>}
+//
+// Recovery follows the checkpoint file's conventions (version / config-hash
+// / range validation) plus torn-write handling an append-only log needs: a
+// record that fails to parse or whose CRC disagrees marks the torn point —
+// it and everything after it are dropped and the file is truncated back to
+// the last durable record, so the affected shards are simply re-dispatched
+// rather than poisoning the merge. A record that parses and checksums but
+// fails envelope validation (foreign range, wrong hash) is skipped
+// individually for the same reason.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalVersion guards the on-disk journal schema.
+const JournalVersion = 1
+
+// journalHeader is line 0 of the file: the run identity every record must
+// belong to. ShardSize is pinned because shard ordinals only map to index
+// ranges under one fixed tiling.
+type journalHeader struct {
+	Version    int    `json:"version"`
+	ConfigHash string `json:"config_hash"`
+	N          int    `json:"n"`
+	ShardSize  int    `json:"shard_size"`
+	Seed       int64  `json:"seed"`
+}
+
+// journalRecord is one committed shard on disk. CRC is the IEEE CRC32 of
+// the raw Env bytes, the torn-write detector.
+type journalRecord struct {
+	CRC uint32          `json:"crc"`
+	Env json.RawMessage `json:"env"`
+}
+
+// Journal is the coordinator's durable commit log. Create one with
+// CreateJournal (fresh campaign) or OpenJournal (resume); pass it to
+// RunWithOptions, which replays restored shards and appends each new
+// commit. Append is serialized internally; the coordinator additionally
+// serializes folds, so a Journal is effectively single-writer.
+type Journal[T any] struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	hdr      journalHeader
+	replayed bool  // Replay ran (or the file is fresh): appends may begin
+	resumeLo int64 // file offset of the first record (after the header)
+	resumeHi int64 // file offset one past the last durable record
+	commits  int64
+	dropped  int // torn/invalid records discarded during open
+}
+
+func headerFor(cfg Config) journalHeader {
+	d := cfg.withDefaults()
+	return journalHeader{
+		Version:    JournalVersion,
+		ConfigHash: d.ConfigHash,
+		N:          d.N,
+		ShardSize:  d.ShardSize,
+		Seed:       d.Seed,
+	}
+}
+
+// CreateJournal starts a fresh journal at path for cfg's run, truncating
+// any existing file (mirror of a non-resume checkpoint open). The header is
+// written and fsynced immediately so even a zero-commit journal identifies
+// its run.
+func CreateJournal[T any](path string, cfg Config) (*Journal[T], error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", path, err)
+	}
+	j := &Journal[T]{f: f, path: path, hdr: headerFor(cfg), replayed: true}
+	raw, err := json.Marshal(j.hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: encode header: %w", err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync header: %w", err)
+	}
+	off, _ := f.Seek(0, io.SeekEnd)
+	j.resumeLo, j.resumeHi = off, off
+	return j, nil
+}
+
+// OpenJournal opens an existing journal for resume. A missing file starts
+// fresh (so -resume on a first run just runs everything, like the
+// checkpoint). A present file must carry a matching header — version,
+// config hash, N, shard size, and seed all pin the run identity; any
+// disagreement is an error, never a silent overwrite. The record region is
+// scanned once: the longest durable prefix of valid records is kept for
+// Replay, and the file is truncated back over any torn or unparsable tail
+// so future appends land on a clean boundary.
+func OpenJournal[T any](path string, cfg Config) (*Journal[T], error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j := &Journal[T]{f: f, path: path, hdr: headerFor(cfg)}
+	br := bufio.NewReaderSize(f, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if len(line) == 0 && errors.Is(err, io.EOF) {
+		// Empty (or freshly created) file: write the header and start clean.
+		f.Close()
+		return CreateJournal[T](path, cfg)
+	}
+	var hdr journalHeader
+	if err != nil || json.Unmarshal(line, &hdr) != nil {
+		// A torn header means the previous coordinator died inside
+		// CreateJournal before the sync: nothing after it can be durable,
+		// so restart the journal from scratch.
+		f.Close()
+		return CreateJournal[T](path, cfg)
+	}
+	if hdr != j.hdr {
+		f.Close()
+		return nil, fmt.Errorf(
+			"journal: %s was written by a different run (version %d hash %.12s… n=%d shard-size=%d seed=%d; want version %d hash %.12s… n=%d shard-size=%d seed=%d)",
+			path, hdr.Version, hdr.ConfigHash, hdr.N, hdr.ShardSize, hdr.Seed,
+			j.hdr.Version, j.hdr.ConfigHash, j.hdr.N, j.hdr.ShardSize, j.hdr.Seed)
+	}
+	j.resumeLo = int64(len(line))
+	good := j.resumeLo
+	for {
+		rec, n, err := readRecord(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Torn or corrupt tail: everything from here on is suspect.
+				j.dropped++
+			}
+			break
+		}
+		_ = rec
+		good += n
+	}
+	j.resumeHi = good
+	// Truncate over the torn tail so the next append starts on a record
+	// boundary; the dropped shards will simply be re-dispatched.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync after truncate: %w", err)
+	}
+	return j, nil
+}
+
+// readRecord reads one record line, returning it with the byte length it
+// consumed. io.EOF reports a clean end; any other error marks a torn or
+// corrupt record (partial line, invalid JSON, CRC mismatch).
+func readRecord(br *bufio.Reader) (journalRecord, int64, error) {
+	line, err := br.ReadBytes('\n')
+	if errors.Is(err, io.EOF) {
+		if len(line) == 0 {
+			return journalRecord{}, 0, io.EOF
+		}
+		return journalRecord{}, 0, fmt.Errorf("journal: torn record at tail (%d bytes, no newline)", len(line))
+	}
+	if err != nil {
+		return journalRecord{}, 0, err
+	}
+	var rec journalRecord
+	if jerr := json.Unmarshal(line, &rec); jerr != nil {
+		return journalRecord{}, 0, fmt.Errorf("journal: unparsable record: %w", jerr)
+	}
+	if crc32.ChecksumIEEE(rec.Env) != rec.CRC {
+		return journalRecord{}, 0, fmt.Errorf("journal: record CRC mismatch (torn or corrupt write)")
+	}
+	return rec, int64(len(line)), nil
+}
+
+// matches reports whether the journal belongs to cfg's run.
+func (j *Journal[T]) matches(cfg Config) bool { return j.hdr == headerFor(cfg) }
+
+// Commits returns how many envelopes this Journal appended since open.
+func (j *Journal[T]) Commits() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.commits
+}
+
+// Dropped returns how many torn/corrupt trailing records the open
+// discarded (their shards are re-dispatched).
+func (j *Journal[T]) Dropped() int { return j.dropped }
+
+// Replay streams the durable records to fn one at a time — constant memory
+// regardless of how many shards are already committed. Records that parse
+// and checksum but fail envelope validation against the journal's own run
+// identity are skipped (counted, re-dispatched later), never fatal.
+// RunWithOptions calls this once before any Append; the file position is
+// restored to the append boundary afterwards.
+func (j *Journal[T]) Replay(fn func(*Envelope[T]) error) (restored int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed {
+		return 0, nil
+	}
+	j.replayed = true
+	if _, err := j.f.Seek(j.resumeLo, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(io.LimitReader(j.f, j.resumeHi-j.resumeLo), 1<<16)
+	for {
+		rec, _, rerr := readRecord(br)
+		if rerr != nil {
+			break // open already truncated past any torn tail
+		}
+		env := new(Envelope[T])
+		if json.Unmarshal(rec.Env, env) != nil {
+			j.dropped++
+			continue
+		}
+		lo, hi, ok := shardRange(j.hdr.N, j.hdr.ShardSize, env.Shard)
+		if !ok || env.Validate(j.hdr.ConfigHash, j.hdr.N, lo, hi) != nil {
+			j.dropped++
+			continue
+		}
+		if err := fn(env); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	if _, err := j.f.Seek(j.resumeHi, io.SeekStart); err != nil {
+		return restored, err
+	}
+	return restored, nil
+}
+
+// Append durably records one committed envelope: a single write of the
+// framed record followed by fsync. A torn write (crash mid-record) is
+// recovered by the next open's tail truncation.
+func (j *Journal[T]) Append(env *Envelope[T]) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.replayed {
+		return fmt.Errorf("journal: append before replay")
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("journal: encode envelope: %w", err)
+	}
+	line, err := json.Marshal(journalRecord{CRC: crc32.ChecksumIEEE(raw), Env: raw})
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.commits++
+	return nil
+}
+
+// Close releases the underlying file.
+func (j *Journal[T]) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// shardRange maps a shard ordinal to its [lo, hi) index range under the
+// fixed tiling of [0, n) into shardSize-wide shards; ok is false for an
+// out-of-range ordinal.
+func shardRange(n, shardSize, ord int) (lo, hi int, ok bool) {
+	if shardSize <= 0 || ord < 0 {
+		return 0, 0, false
+	}
+	nShards := (n + shardSize - 1) / shardSize
+	if ord >= nShards {
+		return 0, 0, false
+	}
+	lo = ord * shardSize
+	hi = lo + shardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, true
+}

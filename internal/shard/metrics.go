@@ -1,6 +1,12 @@
 package shard
 
 import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"vstat/internal/obs"
@@ -21,6 +27,10 @@ type Metrics struct {
 	lost       CounterHandle
 	workers    CounterHandle
 	local      CounterHandle
+	journal    CounterHandle
+	resumed    CounterHandle
+	peakRSS    obs.GaugeID
+	peakLive   obs.GaugeID
 	latency    obs.HistID
 }
 
@@ -42,6 +52,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		lost:       CounterHandle{reg.Counter("shard_results_lost_total")},
 		workers:    CounterHandle{reg.Counter("shard_workers_lost_total")},
 		local:      CounterHandle{reg.Counter("shard_local_fallback_total")},
+		journal:    CounterHandle{reg.Counter("shard_journal_commits_total")},
+		resumed:    CounterHandle{reg.Counter("shard_journal_resume_skipped_total")},
+		peakRSS:    reg.Gauge("shard_coordinator_peak_rss_bytes"),
+		peakLive:   reg.Gauge("shard_coordinator_peak_live_envelopes"),
 		latency:    reg.Histogram("shard_latency_ns", obs.ExpBounds(1_000_000, 2, 24)),
 	}
 	reg.SetHelp("shard_dispatched_total", "Shard attempts handed to any transport, including local fallback.")
@@ -52,6 +66,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	reg.SetHelp("shard_results_lost_total", "Attempts that returned an error, nothing, or an invalid envelope.")
 	reg.SetHelp("shard_workers_lost_total", "Worker endpoints retired after consecutive failures.")
 	reg.SetHelp("shard_local_fallback_total", "Shard attempts executed on the coordinator's local executor.")
+	reg.SetHelp("shard_journal_commits_total", "Shard commits made durable in the dispatch journal (fsynced appends).")
+	reg.SetHelp("shard_journal_resume_skipped_total", "Shards restored from the journal on resume and never re-dispatched.")
+	reg.SetHelp("shard_coordinator_peak_rss_bytes", "Coordinator process peak resident set size at stats-record time.")
+	reg.SetHelp("shard_coordinator_peak_live_envelopes", "High-water mark of shard envelopes the coordinator held live at once.")
 	reg.SetHelp("shard_latency_ns", "Dispatch-to-commit wall time per committed shard, in nanoseconds.")
 	m.sh = reg.NewShard()
 	return m
@@ -78,9 +96,40 @@ func (m *Metrics) RecordStats(s Stats) {
 	m.add(m.lost, s.Lost)
 	m.add(m.workers, s.WorkersLost)
 	m.add(m.local, s.LocalFallback)
+	m.add(m.journal, s.JournalCommits)
+	m.add(m.resumed, s.ResumeSkipped)
+	m.sh.Set(m.peakLive, s.PeakLiveEnvelopes)
+	m.sh.Set(m.peakRSS, peakRSSBytes())
 	for _, d := range s.CommitLatency {
 		m.sh.Observe(m.latency, int64(d))
 	}
+}
+
+// peakRSSBytes reads the process's peak resident set size. Linux keeps it
+// in /proc/self/status as VmHWM; elsewhere (or if the parse fails) fall
+// back to the Go runtime's view of memory obtained from the OS — an
+// upper-ish proxy, but monotone and cheap, which is all a gauge needs.
+func peakRSSBytes() int64 {
+	if f, err := os.Open("/proc/self/status"); err == nil {
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+			break
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
 }
 
 // Stats is the coordinator's accounting of a run. The invariants tests
@@ -100,7 +149,42 @@ type Stats struct {
 	WorkersLost   int64 // endpoints retired after consecutive failures
 	LocalFallback int64 // attempts run on the coordinator's local executor
 
+	// ResumeSkipped counts shards restored from the dispatch journal (they
+	// commit without any dispatch attempt and leave no latency sample);
+	// JournalCommits counts fsynced journal appends this run performed.
+	ResumeSkipped  int64
+	JournalCommits int64
+	// PeakLiveEnvelopes is the high-water mark of envelopes held live at
+	// once: the shard count in buffered mode, O(in-flight attempts) under
+	// the streaming merge.
+	PeakLiveEnvelopes int64
+
 	// CommitLatency holds each committed shard's dispatch→commit wall time
 	// (unordered; feeds the shard_latency_ns histogram).
 	CommitLatency []time.Duration
+}
+
+// Check validates the accounting invariants of a completed run against the
+// number of shards it was supposed to commit. A non-nil error means the
+// coordinator lost track of work — callers treating the run as
+// authoritative (vsshard run) should fail loudly rather than report
+// silently wrong statistics.
+func (s Stats) Check(shards int) error {
+	if s.Committed != int64(shards) {
+		return fmt.Errorf("shard: stats invariant violated: committed %d of %d shards", s.Committed, shards)
+	}
+	if s.ResumeSkipped < 0 || s.ResumeSkipped > s.Committed {
+		return fmt.Errorf("shard: stats invariant violated: %d resume-skipped of %d committed", s.ResumeSkipped, s.Committed)
+	}
+	if got, want := int64(len(s.CommitLatency)), s.Committed-s.ResumeSkipped; got != want {
+		return fmt.Errorf("shard: stats invariant violated: %d commit latencies for %d dispatched commits", got, want)
+	}
+	// Dispatched = initial attempts (≤ one per non-restored shard) +
+	// retries + speculation + local fallback.
+	initial := s.Dispatched - s.Retried - s.Speculated - s.LocalFallback
+	if initial < 0 || initial > int64(shards)-s.ResumeSkipped {
+		return fmt.Errorf("shard: stats invariant violated: %d initial dispatches for %d shards (%d restored): dispatched=%d retried=%d speculated=%d local=%d",
+			initial, shards, s.ResumeSkipped, s.Dispatched, s.Retried, s.Speculated, s.LocalFallback)
+	}
+	return nil
 }

@@ -197,3 +197,22 @@ func Merge[T any](n int, envs []*Envelope[T]) ([]T, montecarlo.RunReport, error)
 	}
 	return out, rep, nil
 }
+
+// AddGood folds a committed scalar envelope's successful samples into a
+// streaming summary, skipping failed indices — the standard StreamFn body
+// for float64 runs (`vsshard run -stream` uses it). Failure indices are
+// validated strictly ascending, so one forward scan pairs them with the
+// result slots.
+func AddGood(env *Envelope[float64], sum *montecarlo.StreamSummary) {
+	fi := 0
+	for i, v := range env.Results {
+		idx := env.Lo + i
+		for fi < len(env.Failures) && env.Failures[fi].Idx < idx {
+			fi++
+		}
+		if fi < len(env.Failures) && env.Failures[fi].Idx == idx {
+			continue
+		}
+		sum.Add(v)
+	}
+}

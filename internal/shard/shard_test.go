@@ -83,21 +83,11 @@ func assertBitIdentical(t *testing.T, label string, got Result[float64], want []
 
 func assertStatsInvariants(t *testing.T, label string, r Result[float64]) {
 	t.Helper()
-	s := r.Stats
-	if s.Committed != int64(r.Shards) {
-		t.Fatalf("%s: committed %d shards of %d", label, s.Committed, r.Shards)
-	}
-	// Every dispatch is an initial transport attempt, a retry, a
-	// speculative duplicate, or a local-fallback run; initial attempts
-	// can't exceed the shard count (a shard swept to local after total
-	// worker loss never gets one).
-	initial := s.Dispatched - s.Retried - s.Speculated - s.LocalFallback
-	if initial < 0 || initial > int64(r.Shards) {
-		t.Fatalf("%s: dispatch accounting broken (%d initial attempts of %d shards): %+v",
-			label, initial, r.Shards, s)
-	}
-	if int64(len(s.CommitLatency)) != s.Committed {
-		t.Fatalf("%s: %d commit latencies for %d commits", label, len(s.CommitLatency), s.Committed)
+	// Stats.Check is the same invariant bundle `vsshard run` enforces:
+	// every shard committed, dispatch accounting balanced, one latency
+	// sample per non-restored commit.
+	if err := r.Stats.Check(r.Shards); err != nil {
+		t.Fatalf("%s: %v (stats %+v)", label, err, r.Stats)
 	}
 }
 

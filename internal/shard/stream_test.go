@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vstat/internal/montecarlo"
+)
+
+// summarize folds the single-process reference through the same
+// order-independent accumulator the streaming merge uses.
+func summarize(out []float64, rep montecarlo.RunReport) *montecarlo.StreamSummary {
+	failed := make(map[int]bool, len(rep.Failures))
+	for _, f := range rep.Failures {
+		failed[f.Idx] = true
+	}
+	sum := &montecarlo.StreamSummary{}
+	for i, v := range out {
+		if !failed[i] {
+			sum.Add(v)
+		}
+	}
+	return sum
+}
+
+func assertSummariesBitEqual(t *testing.T, label string, got, want *montecarlo.StreamSummary) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("%s: %d good samples, single-process %d", label, got.Count(), want.Count())
+	}
+	if got.Sum() != want.Sum() || got.Mean() != want.Mean() || got.Std() != want.Std() {
+		t.Fatalf("%s: streamed sum/mean/std %.17g/%.17g/%.17g, single-process %.17g/%.17g/%.17g",
+			label, got.Sum(), got.Mean(), got.Std(), want.Sum(), want.Mean(), want.Std())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("%s: streamed min/max %.17g/%.17g, single-process %.17g/%.17g",
+			label, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+}
+
+// TestStreamingMergeBitIdenticalUnderFaults: the streaming merge must
+// report the same statistics, to the last bit, as a single-process pass —
+// commits land in scheduling-dependent order, faults force retries and
+// duplicates, and the fold releases every envelope, so this pins the
+// exact-accumulation contract plus the per-shard meta path that rebuilds
+// the RunReport without the envelopes.
+func TestStreamingMergeBitIdenticalUnderFaults(t *testing.T) {
+	const n = 10_000
+	const seed = int64(20260809)
+	want, wantRep := baseline(t, n, seed)
+	wantSum := summarize(want, wantRep)
+
+	for _, tc := range []struct {
+		shardSize int
+		workers   int
+	}{
+		{256, 3},
+		{1000, 2},
+		{4096, 2},
+	} {
+		label := fmt.Sprintf("stream shardSize=%d workers=%d", tc.shardSize, tc.workers)
+		plan := &FaultPlan{Rules: faultMatrix()}
+		cfg := Config{
+			N: n, Seed: seed, ConfigHash: testHash,
+			ShardSize:   tc.shardSize,
+			MaxFailFrac: 1.0,
+			MaxAttempts: 6,
+			DeadAfter:   50,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+		}
+		var eps []Endpoint[float64]
+		for w := 0; w < tc.workers; w++ {
+			eps = append(eps, Endpoint[float64]{
+				Name:      fmt.Sprintf("w%d", w),
+				Transport: Wrap(plan, Loopback[float64]{Exec: testExec()}),
+			})
+		}
+		sum := &montecarlo.StreamSummary{}
+		res, err := RunWithOptions(context.Background(), cfg, eps, nil,
+			RunOptions[float64]{Stream: func(env *Envelope[float64]) { AddGood(env, sum) }})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Out != nil {
+			t.Fatalf("%s: streaming run still buffered %d results", label, len(res.Out))
+		}
+		assertSummariesBitEqual(t, label, sum, wantSum)
+		assertStatsInvariants(t, label, res)
+		// The report must be exactly the buffered merge's: same counts,
+		// same failure records in ascending global order.
+		g, w := res.Report, wantRep
+		if g.Attempted != w.Attempted || g.Succeeded != w.Succeeded || g.Failed != w.Failed {
+			t.Fatalf("%s: report %s, single-process %s", label, g.String(), w.String())
+		}
+		if len(g.Failures) != len(w.Failures) {
+			t.Fatalf("%s: %d failures, single-process %d", label, len(g.Failures), len(w.Failures))
+		}
+		for i := range w.Failures {
+			if g.Failures[i].Idx != w.Failures[i].Idx ||
+				g.Failures[i].Err.Error() != w.Failures[i].Err.Error() {
+				t.Fatalf("%s: failure %d = (%d, %q), single-process (%d, %q)", label, i,
+					g.Failures[i].Idx, g.Failures[i].Err.Error(),
+					w.Failures[i].Idx, w.Failures[i].Err.Error())
+			}
+		}
+	}
+}
+
+// fastStreamExec is a near-free sample function for the memory-bound test:
+// large N without transient-solver cost.
+func fastStreamExec() ExecFn[float64] {
+	return NewExecutor[struct{}, float64](testHash, 1, testNewState,
+		func(_ struct{}, idx int, rng *rand.Rand) (float64, error) {
+			return float64(idx) + rng.Float64(), nil
+		})
+}
+
+// TestStreamingMergeBoundedLiveEnvelopes is the O(max shard) acceptance
+// test: a 1.2M-sample run over 1200 shards must never hold more than a
+// worker-bounded handful of envelopes live — each committed envelope is
+// folded and released before the merge, so peak coordinator memory scales
+// with shard size and worker count, not with N. The buffered path honestly
+// reports the O(N) peak it pays.
+func TestStreamingMergeBoundedLiveEnvelopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1.2M-sample memory-bound acceptance run; skipped under -short (race rungs)")
+	}
+	const n = 1_200_000
+	const seed = int64(99)
+	const workers = 4
+	cfg := Config{N: n, Seed: seed, ConfigHash: testHash, ShardSize: 1000}
+	var eps []Endpoint[float64]
+	for w := 0; w < workers; w++ {
+		eps = append(eps, Endpoint[float64]{
+			Name:      fmt.Sprintf("w%d", w),
+			Transport: Loopback[float64]{Exec: fastStreamExec()},
+		})
+	}
+	sum := &montecarlo.StreamSummary{}
+	res, err := RunWithOptions(context.Background(), cfg, eps, nil,
+		RunOptions[float64]{Stream: func(env *Envelope[float64]) { AddGood(env, sum) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1200 {
+		t.Fatalf("shards = %d, want 1200", res.Shards)
+	}
+	if sum.Count() != n {
+		t.Fatalf("streamed %d samples of %d", sum.Count(), n)
+	}
+	// The bound: one envelope per in-flight worker commit plus slack for
+	// the instant between noteLive(+1) and the post-fold release. 1200
+	// shards through at most workers+2 live envelopes is the O(max shard)
+	// claim.
+	if res.Stats.PeakLiveEnvelopes > workers+2 {
+		t.Fatalf("streaming merge held %d envelopes live (workers=%d): memory is not O(max shard)",
+			res.Stats.PeakLiveEnvelopes, workers)
+	}
+	if res.Stats.PeakLiveEnvelopes < 1 {
+		t.Fatalf("peak live envelopes %d: tracking broken", res.Stats.PeakLiveEnvelopes)
+	}
+
+	// Contrast: the buffered merge on a small run peaks at the shard
+	// count, which is exactly what the streaming mode exists to avoid.
+	bcfg := Config{N: 10_000, Seed: seed, ConfigHash: testHash, ShardSize: 1000}
+	bres, err := Run(context.Background(), bcfg, []Endpoint[float64]{
+		{Name: "w0", Transport: Loopback[float64]{Exec: fastStreamExec()}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Stats.PeakLiveEnvelopes != int64(bres.Shards) {
+		t.Fatalf("buffered run peak %d, want %d (every envelope retained until merge)",
+			bres.Stats.PeakLiveEnvelopes, bres.Shards)
+	}
+}
+
+// TestStreamingWithJournalResume combines the two tentpole pieces: a
+// journaled streaming run killed mid-campaign resumes constant-memory —
+// restored envelopes are folded straight from the journal's replay stream
+// and released, and the statistics still match the single-process pass
+// bit for bit.
+func TestStreamingWithJournalResume(t *testing.T) {
+	const n = 50_000
+	const seed = int64(7)
+	cfg := Config{N: n, Seed: seed, ConfigHash: testHash, ShardSize: 1000}
+	path := filepath.Join(t.TempDir(), "run.journal.json")
+
+	// Reference summary from a clean streaming run (itself checked against
+	// the single-process pass elsewhere; here it is the fixed point).
+	wantSum := &montecarlo.StreamSummary{}
+	if _, err := RunWithOptions(context.Background(), cfg,
+		[]Endpoint[float64]{{Name: "w0", Transport: Loopback[float64]{Exec: fastStreamExec()}}}, nil,
+		RunOptions[float64]{Stream: func(env *Envelope[float64]) { AddGood(env, wantSum) }}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: journaled streaming run killed at ~half the shards.
+	ctx, kill := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(25)
+	jnl, err := CreateJournal[float64](path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum1 := &montecarlo.StreamSummary{}
+	_, _ = RunWithOptions(ctx, cfg, []Endpoint[float64]{{
+		Name: "w0",
+		Transport: killAfter[float64]{
+			next:      Loopback[float64]{Exec: fastStreamExec()},
+			remaining: &remaining,
+			kill:      kill,
+		},
+	}}, nil, RunOptions[float64]{
+		Journal: jnl,
+		Stream:  func(env *Envelope[float64]) { AddGood(env, sum1) },
+	})
+	kill()
+	committed := jnl.Commits()
+	jnl.Close()
+	if committed == 0 || committed >= 50 {
+		t.Fatalf("kill landed badly: %d of 50 shards journaled", committed)
+	}
+
+	// Phase 2: resume with a fresh accumulator; replayed shards fold from
+	// the journal, the rest are dispatched.
+	jnl2, err := OpenJournal[float64](path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	sum2 := &montecarlo.StreamSummary{}
+	res, err := RunWithOptions(context.Background(), cfg,
+		[]Endpoint[float64]{{Name: "w0", Transport: Loopback[float64]{Exec: fastStreamExec()}}}, nil,
+		RunOptions[float64]{
+			Journal: jnl2,
+			Stream:  func(env *Envelope[float64]) { AddGood(env, sum2) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ResumeSkipped != committed {
+		t.Fatalf("restored %d, journal held %d", res.Stats.ResumeSkipped, committed)
+	}
+	assertSummariesBitEqual(t, "stream+journal resume", sum2, wantSum)
+	assertStatsInvariants(t, "stream+journal resume", res)
+	if res.Stats.PeakLiveEnvelopes > 3 {
+		t.Fatalf("resume held %d envelopes live: replay is not streaming", res.Stats.PeakLiveEnvelopes)
+	}
+}

@@ -4,12 +4,63 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os/exec"
+	"sync/atomic"
 	"time"
 )
+
+// The dispatch error taxonomy the backoff ladder distinguishes:
+//
+//   - retryable (the default): transport hiccups, worker crashes, and the
+//     typed ErrDraining a shutting-down worker answers with. The
+//     coordinator retries through the usual backoff and the worker only
+//     counts toward DeadAfter like any other failure.
+//   - fatal (FatalError): the worker refused the request for a reason no
+//     retry can fix — a config-hash mismatch means it is built for a
+//     different run. The coordinator retires the endpoint immediately and
+//     re-routes the shard elsewhere.
+
+// ErrDraining is the typed retryable rejection a worker returns once its
+// drain has begun (SIGTERM on `vsshard serve`): the in-flight shard is
+// completed and flushed, new requests bounce with this error so the
+// coordinator's existing retry ladder re-dispatches them to live workers.
+var ErrDraining = errors.New("shard: worker draining")
+
+// FatalError marks a dispatch refusal that retrying cannot fix.
+type FatalError struct{ Err error }
+
+func (e *FatalError) Error() string { return e.Err.Error() }
+func (e *FatalError) Unwrap() error { return e.Err }
+
+// IsFatal reports whether err carries a FatalError anywhere in its chain.
+func IsFatal(err error) bool {
+	var fe *FatalError
+	return errors.As(err, &fe)
+}
+
+// HTTP headers carrying the error taxonomy across the wire: a status code
+// alone is ambiguous (a proxy can 503 too), so the worker marks its typed
+// rejections explicitly and HTTPEndpoint reconstructs the right Go error.
+const (
+	headerDraining = "X-Vstat-Draining"
+	headerFatal    = "X-Vstat-Fatal"
+)
+
+// Gate is a worker's drain switch. Serve traffic while open; after Drain
+// (SIGTERM) every new shard request and health probe is rejected with the
+// typed retryable draining error while in-flight work runs to completion.
+type Gate struct{ draining atomic.Bool }
+
+// Drain flips the gate; idempotent.
+func (g *Gate) Drain() { g.draining.Store(true) }
+
+// Draining reports whether Drain was called. Nil-safe (an ungated handler
+// never drains).
+func (g *Gate) Draining() bool { return g != nil && g.draining.Load() }
 
 // Transport delivers one shard request to a worker and returns the
 // envelopes that came back. The slice return models at-least-once
@@ -96,7 +147,14 @@ func (h HTTPEndpoint[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("shard: worker %s: %s: %s", h.Base, resp.Status, bytes.TrimSpace(raw))
+		msg := fmt.Errorf("shard: worker %s: %s: %s", h.Base, resp.Status, bytes.TrimSpace(raw))
+		if resp.Header.Get(headerFatal) != "" {
+			return nil, &FatalError{Err: msg}
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(headerDraining) != "" {
+			return nil, fmt.Errorf("%w: %v", ErrDraining, msg)
+		}
+		return nil, msg
 	}
 	env := new(Envelope[T])
 	if err := json.Unmarshal(raw, env); err != nil {
@@ -106,13 +164,39 @@ func (h HTTPEndpoint[T]) Dispatch(ctx context.Context, req Request) ([]*Envelope
 }
 
 // Handler serves an executor over HTTP: POST /shard runs a request, GET
-// /healthz answers liveness probes. The `vsshard serve` mode mounts this.
+// /healthz answers liveness probes. The `vsshard serve` mode mounts this
+// via GatedHandler so SIGTERM can drain it.
 func Handler[T any](exec ExecFn[T]) http.Handler {
+	return GatedHandler(exec, nil)
+}
+
+// GatedHandler is Handler with a drain gate. Once gate.Drain() fires, both
+// endpoints answer 503 with the draining header, which HTTPEndpoint maps
+// back to the retryable ErrDraining — the coordinator backs off and
+// re-dispatches to a worker that is still open. Executor errors map onto
+// the taxonomy too: a FatalError (config mismatch) becomes 409 + the fatal
+// header so the coordinator retires the endpoint instead of retrying a
+// request that can never succeed there.
+func GatedHandler[T any](exec ExecFn[T], gate *Gate) http.Handler {
 	mux := http.NewServeMux()
+	rejectDraining := func(w http.ResponseWriter) bool {
+		if !gate.Draining() {
+			return false
+		}
+		w.Header().Set(headerDraining, "1")
+		http.Error(w, ErrDraining.Error(), http.StatusServiceUnavailable)
+		return true
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if rejectDraining(w) {
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/shard", func(w http.ResponseWriter, r *http.Request) {
+		if rejectDraining(w) {
+			return
+		}
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -124,6 +208,11 @@ func Handler[T any](exec ExecFn[T]) http.Handler {
 		}
 		env, err := exec(r.Context(), req)
 		if err != nil {
+			if IsFatal(err) {
+				w.Header().Set(headerFatal, "1")
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
